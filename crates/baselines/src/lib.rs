@@ -1,0 +1,24 @@
+//! Baselines for the Darwin evaluation (paper §4.1 "Baselines").
+//!
+//! * [`snuba::Snuba`] — automated heuristic mining from a labeled subset
+//!   (Varma & Ré, 2019): candidate rules are generated *only* from the
+//!   labeled sample, scored on it, and selected as a diverse committee.
+//!   Its defining limitation — no generalization to pattern families
+//!   absent from the sample — is what Figures 7 and 8 measure.
+//! * [`selectors::HighP`] / [`selectors::HighC`] — degenerate Darwin
+//!   variants: query the rule with the highest expected precision /
+//!   highest raw coverage (§4.3).
+//! * [`active::ActiveLearning`] — entropy-based uncertainty sampling over
+//!   single instances (§4.4).
+//! * [`keyword::KeywordSampling`] — filter the corpus by 10 task keywords
+//!   and label random instances from the filtered pool (§4.4).
+
+pub mod active;
+pub mod keyword;
+pub mod selectors;
+pub mod snuba;
+
+pub use active::{ActiveLearning, ActiveLearningResult};
+pub use keyword::{KeywordSampling, KeywordSamplingResult};
+pub use selectors::{HighC, HighP};
+pub use snuba::{Snuba, SnubaConfig, SnubaResult};

@@ -1,0 +1,125 @@
+//! HighP and HighC: the degenerate selection strategies of §4.3.
+//!
+//! Both plug into the Darwin pipeline through [`darwin_core::Strategy`],
+//! replacing the hierarchy traversal while keeping everything else
+//! (candidate generation, classifier, oracle protocol) identical — the
+//! comparison isolates the selection policy.
+
+use darwin_core::traversal::Ctx;
+use darwin_core::Strategy;
+use darwin_index::RuleRef;
+
+/// Query the rule with the highest expected precision according to the
+/// classifier (mean score over its new instances). The paper observes it
+/// "identifies heuristics with very small coverage as its candidates".
+pub struct HighP;
+
+impl Strategy for HighP {
+    fn name(&self) -> &'static str {
+        "HighP"
+    }
+
+    fn select(&mut self, ctx: &Ctx) -> Option<RuleRef> {
+        ctx.most_promising(ctx.hierarchy.rules().iter().copied())
+    }
+
+    fn feedback(&mut self, _rule: RuleRef, _answer: bool, _ctx: &Ctx) {}
+}
+
+/// Query the rule with maximum raw coverage, ignoring expected precision.
+/// "HighC's performance was quite poor as most of its suggested rules are
+/// rejected by the oracle" (paper footnote 10).
+pub struct HighC;
+
+impl Strategy for HighC {
+    fn name(&self) -> &'static str {
+        "HighC"
+    }
+
+    fn select(&mut self, ctx: &Ctx) -> Option<RuleRef> {
+        ctx.hierarchy
+            .rules()
+            .iter()
+            .copied()
+            .filter(|&r| r != RuleRef::Root && !ctx.queried.contains(&r))
+            .filter(|&r| ctx.benefit(r).new_instances > 0)
+            .max_by_key(|&r| (ctx.index.count(r), std::cmp::Reverse(r)))
+    }
+
+    fn feedback(&mut self, _rule: RuleRef, _answer: bool, _ctx: &Ctx) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_core::{Darwin, DarwinConfig, GroundTruthOracle, Seed};
+    use darwin_grammar::Heuristic;
+    use darwin_index::{IndexConfig, IndexSet};
+    use darwin_text::Corpus;
+
+    fn fixture() -> (Corpus, Vec<bool>) {
+        let mut texts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            texts.push(format!("is there a shuttle to the airport at {i}"));
+            labels.push(true);
+            texts.push(format!("is there a bus to the airport at {i}"));
+            labels.push(true);
+        }
+        for i in 0..40 {
+            texts.push(format!("order a pizza with {i} toppings tonight"));
+            labels.push(false);
+            texts.push(format!("the pool opens at {i} for guests"));
+            labels.push(false);
+        }
+        (Corpus::from_texts(texts.iter()), labels)
+    }
+
+    #[test]
+    fn highp_runs_and_asks_tight_rules() {
+        let (corpus, labels) = fixture();
+        let index = IndexSet::build(&corpus, &IndexConfig::small());
+        let darwin = Darwin::new(&corpus, &index, DarwinConfig::fast().with_budget(8));
+        let seed = Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
+        let mut oracle = GroundTruthOracle::new(&labels, 0.8);
+        let run = darwin.run_with(seed, &mut oracle, |_| Box::new(HighP));
+        assert!(run.questions() > 0);
+        assert!(run.positives.len() >= 10);
+    }
+
+    #[test]
+    fn highc_asks_broadest_rules_and_gets_rejected() {
+        let (corpus, labels) = fixture();
+        let index = IndexSet::build(&corpus, &IndexConfig::small());
+        let darwin = Darwin::new(&corpus, &index, DarwinConfig::fast().with_budget(8));
+        let seed = Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
+        let mut oracle = GroundTruthOracle::new(&labels, 0.8);
+        let run = darwin.run_with(seed, &mut oracle, |_| Box::new(HighC));
+        // The broadest rules ("the", "a", POS terminals) are noisy: HighC
+        // gets mostly NO answers.
+        let rejected = run.trace.iter().filter(|t| !t.answer).count();
+        assert!(
+            rejected * 2 >= run.trace.len(),
+            "HighC should be rejected often: {}/{}",
+            rejected,
+            run.trace.len()
+        );
+    }
+
+    #[test]
+    fn highc_picks_highest_count_first() {
+        let (corpus, labels) = fixture();
+        let index = IndexSet::build(&corpus, &IndexConfig::small());
+        // Disable the coverage-fraction guard: this test checks HighC's raw
+        // behaviour of grabbing the broadest rule available.
+        let cfg =
+            DarwinConfig { max_coverage_frac: 1.0, ..DarwinConfig::fast().with_budget(1) };
+        let darwin = Darwin::new(&corpus, &index, cfg);
+        let seed = Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
+        let mut oracle = GroundTruthOracle::new(&labels, 0.8);
+        let run = darwin.run_with(seed, &mut oracle, |_| Box::new(HighC));
+        let first = &run.trace[0];
+        let cov = first.rule.coverage(&corpus).len();
+        assert!(cov >= 40, "first HighC pick should be broad, got {cov}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion benches: classifiers, benefit scoring and the label model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darwin_classifier::ClassifierKind;
+use darwin_core::benefit::benefit;
+use darwin_datasets::directions;
+use darwin_index::IdSet;
+use darwin_labelmodel::{GenerativeConfig, GenerativeModel, LfMatrix};
+use darwin_text::embed::EmbedConfig;
+use darwin_text::Embeddings;
+
+fn bench_classifiers(c: &mut Criterion) {
+    let d = directions::generate(3000, 42);
+    let emb = Embeddings::train(&d.corpus, &EmbedConfig::default());
+    let pos: Vec<u32> = (0..d.len() as u32).filter(|&i| d.labels[i as usize]).take(100).collect();
+    let neg: Vec<u32> = (0..d.len() as u32).filter(|&i| !d.labels[i as usize]).take(300).collect();
+
+    let mut g = c.benchmark_group("classifier");
+    g.sample_size(10);
+    g.bench_function("logreg_fit_400", |b| {
+        let mut clf = ClassifierKind::logreg().build(&emb, 1);
+        b.iter(|| clf.fit(&d.corpus, &emb, &pos, &neg));
+    });
+    g.bench_function("cnn_fit_400_4epochs", |b| {
+        let mut clf = ClassifierKind::cnn_with_epochs(4).build(&emb, 1);
+        b.iter(|| clf.fit(&d.corpus, &emb, &pos, &neg));
+    });
+    let mut trained = ClassifierKind::logreg().build(&emb, 1);
+    trained.fit(&d.corpus, &emb, &pos, &neg);
+    g.bench_function("logreg_predict_all_3k", |b| {
+        let mut out = Vec::new();
+        b.iter(|| trained.predict_all(&d.corpus, &emb, &mut out));
+    });
+    g.finish();
+
+    let mut g2 = c.benchmark_group("embeddings");
+    g2.sample_size(10);
+    g2.bench_function("train_3k_corpus", |b| {
+        b.iter(|| Embeddings::train(&d.corpus, &EmbedConfig::default()));
+    });
+    g2.finish();
+}
+
+fn bench_benefit(c: &mut Criterion) {
+    let n = 100_000u32;
+    let postings: Vec<u32> = (0..n).step_by(7).collect();
+    let p = IdSet::from_ids(&(0..n).step_by(13).collect::<Vec<_>>(), n as usize);
+    let scores = vec![0.3f32; n as usize];
+    c.bench_function("benefit_14k_postings", |b| {
+        b.iter(|| benefit(&postings, &p, &scores));
+    });
+}
+
+fn bench_labelmodel(c: &mut Criterion) {
+    let coverages: Vec<Vec<u32>> =
+        (0..20).map(|j| (0..1000u32).filter(|i| (i + j) % 7 == 0).collect()).collect();
+    let refs: Vec<&[u32]> = coverages.iter().map(|v| v.as_slice()).collect();
+    let m = LfMatrix::from_coverages(1000, &refs);
+    c.bench_function("generative_em_1000x20", |b| {
+        b.iter(|| GenerativeModel::fit(&m, &GenerativeConfig::default()));
+    });
+}
+
+criterion_group!(benches, bench_classifiers, bench_benefit, bench_labelmodel);
+criterion_main!(benches);

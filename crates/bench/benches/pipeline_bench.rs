@@ -1,0 +1,58 @@
+//! Criterion benches: traversal steps and the end-to-end pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darwin_core::candidates::generate_hierarchy;
+use darwin_core::traversal::{Ctx, Strategy, UniversalSearch};
+use darwin_core::{Darwin, DarwinConfig, GroundTruthOracle, Seed};
+use darwin_datasets::directions;
+use darwin_grammar::Heuristic;
+use darwin_index::fx::FxHashSet;
+use darwin_index::{IdSet, IndexConfig, IndexSet};
+
+fn bench_traversal_step(c: &mut Criterion) {
+    let d = directions::generate(3000, 42);
+    let index = IndexSet::build(
+        &d.corpus,
+        &IndexConfig { max_phrase_len: 6, min_count: 2, ..Default::default() },
+    );
+    let seed = Heuristic::phrase(&d.corpus, "best way to get to").unwrap();
+    let p = IdSet::from_ids(&seed.coverage(&d.corpus), d.len());
+    let hierarchy = generate_hierarchy(&index, &p, 2000, d.len() / 2);
+    let scores = vec![0.2f32; d.len()];
+    let queried = FxHashSet::default();
+    let ctx = Ctx {
+        index: &index,
+        hierarchy: &hierarchy,
+        p: &p,
+        scores: &scores,
+        queried: &queried,
+        benefit_threshold: 0.5,
+    };
+    c.bench_function("universal_select_2000_candidates", |b| {
+        let mut us = UniversalSearch::new();
+        b.iter(|| us.select(&ctx));
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let d = directions::generate(2000, 42);
+    let index = IndexSet::build(
+        &d.corpus,
+        &IndexConfig { max_phrase_len: 5, min_count: 2, ..Default::default() },
+    );
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("end_to_end_2k_budget10", |b| {
+        b.iter(|| {
+            let cfg = DarwinConfig { budget: 10, n_candidates: 1000, ..Default::default() };
+            let darwin = Darwin::new(&d.corpus, &index, cfg);
+            let seed = Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap();
+            let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);
+            darwin.run(Seed::Rule(seed), &mut oracle)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traversal_step, bench_pipeline);
+criterion_main!(benches);

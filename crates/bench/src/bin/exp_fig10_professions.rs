@@ -1,0 +1,4 @@
+//! Regenerates the corresponding paper result. See DESIGN.md §3.
+fn main() {
+    darwin_bench::experiments::fig10_professions();
+}

@@ -1,0 +1,19 @@
+//! Runs the full experiment suite in paper order.
+fn main() {
+    use darwin_bench::experiments as e;
+    e::table1_datasets();
+    e::fig7_seed_size();
+    e::fig8_biased_seed();
+    e::fig9_coverage();
+    e::fig9_fscore();
+    e::fig10_professions();
+    e::fig11_traversals();
+    e::table2_snorkel();
+    e::fig12_sensitivity();
+    e::fig13_candidates();
+    e::fig14_epochs();
+    e::efficiency();
+    e::annotator_noise();
+    e::highc_footnote();
+    println!("all experiments complete; CSVs in target/experiments/");
+}

@@ -1,0 +1,12 @@
+//! Experiment harness regenerating every table and figure of the Darwin
+//! paper's evaluation (§4). Each experiment is a library function invoked
+//! by a thin binary in `src/bin/`; all of them print the paper's
+//! rows/series to stdout and write CSV under `target/experiments/`.
+//!
+//! Scale control: experiments run at the paper's corpus sizes by default;
+//! set `DARWIN_SCALE` (e.g. `0.25`) to shrink every corpus and budget
+//! proportionally for quick smoke runs, and `DARWIN_FULL=1` to run the
+//! professions efficiency experiment at the paper's 1M sentences.
+
+pub mod experiments;
+pub mod support;

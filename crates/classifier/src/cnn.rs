@@ -1,0 +1,408 @@
+//! The Kim (2014) sentence-classification CNN, from scratch.
+//!
+//! Architecture (paper §4.1): the input is the stacked word-embedding matrix
+//! of the sentence; convolution filters of several widths slide over it;
+//! each filter's activations are max-pooled over time; the pooled feature
+//! vector passes through two fully-connected layers ("a 3-layer
+//! convolutional neural network followed by two fully connected layers").
+//! Embeddings are fixed (provided by `darwin-text`); only the filters and
+//! dense layers train, via Adam on binary cross-entropy.
+
+#![allow(clippy::needless_range_loop)] // index math mirrors the tensor strides
+
+use crate::adam::{bce, sigmoid, Param};
+use crate::features::embedding_matrix;
+use crate::model::TextClassifier;
+use darwin_text::{Corpus, Embeddings};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters for [`KimCnn`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CnnConfig {
+    /// Convolution widths (token windows).
+    pub widths: Vec<usize>,
+    /// Filters per width.
+    pub filters: usize,
+    /// Hidden units in the first fully-connected layer.
+    pub hidden: usize,
+    /// Maximum sentence length (longer sentences are truncated).
+    pub max_len: usize,
+    /// Training epochs (Figure 14 sweeps 4..12; more epochs overfit).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Minibatch size.
+    pub batch: usize,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        CnnConfig {
+            widths: vec![2, 3, 4],
+            filters: 12,
+            hidden: 24,
+            max_len: 32,
+            epochs: 8,
+            lr: 0.01,
+            batch: 16,
+        }
+    }
+}
+
+/// The trained model. All tensors are flat `Vec<f32>` with explicit strides.
+pub struct KimCnn {
+    cfg: CnnConfig,
+    dim: usize,
+    /// One weight tensor per width: `filters × (width·dim)`.
+    conv_w: Vec<Param>,
+    conv_b: Vec<Param>,
+    /// `hidden × total_filters`.
+    fc1_w: Param,
+    fc1_b: Param,
+    /// `1 × hidden`.
+    fc2_w: Param,
+    fc2_b: Param,
+    seed: u64,
+    step: u32,
+}
+
+/// Forward-pass scratch space, reused across samples.
+struct Scratch {
+    x: Vec<f32>,       // max_len × dim
+    feat: Vec<f32>,    // total_filters
+    argmax: Vec<usize>,// total_filters — pooling winners
+    h: Vec<f32>,       // hidden (post-ReLU)
+    hpre: Vec<f32>,    // hidden (pre-ReLU)
+}
+
+impl KimCnn {
+    pub fn new(dim: usize, cfg: CnnConfig, seed: u64) -> KimCnn {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let total = cfg.widths.len() * cfg.filters;
+        let conv_w = cfg
+            .widths
+            .iter()
+            .map(|&w| {
+                let fan_in = (w * dim) as f32;
+                Param::uniform(cfg.filters * w * dim, (6.0 / fan_in).sqrt(), &mut rng)
+            })
+            .collect();
+        let conv_b = cfg.widths.iter().map(|_| Param::zeros(cfg.filters)).collect();
+        let fc1_w = Param::uniform(cfg.hidden * total, (6.0 / total as f32).sqrt(), &mut rng);
+        let fc1_b = Param::zeros(cfg.hidden);
+        let fc2_w = Param::uniform(cfg.hidden, (6.0 / cfg.hidden as f32).sqrt(), &mut rng);
+        let fc2_b = Param::zeros(1);
+        KimCnn { cfg, dim, conv_w, conv_b, fc1_w, fc1_b, fc2_w, fc2_b, seed, step: 0 }
+    }
+
+    pub fn config(&self) -> &CnnConfig {
+        &self.cfg
+    }
+
+    fn total_filters(&self) -> usize {
+        self.cfg.widths.len() * self.cfg.filters
+    }
+
+    fn scratch(&self) -> Scratch {
+        Scratch {
+            x: vec![0.0; self.cfg.max_len * self.dim],
+            feat: vec![0.0; self.total_filters()],
+            argmax: vec![0; self.total_filters()],
+            h: vec![0.0; self.cfg.hidden],
+            hpre: vec![0.0; self.cfg.hidden],
+        }
+    }
+
+    /// Forward pass; fills the scratch and returns P(positive).
+    fn forward(&self, corpus: &Corpus, emb: &Embeddings, id: u32, s: &mut Scratch) -> f32 {
+        let n = embedding_matrix(corpus, emb, id, self.cfg.max_len, &mut s.x);
+        let dim = self.dim;
+        // Convolution + max-over-time pooling.
+        for (wi, &width) in self.cfg.widths.iter().enumerate() {
+            let wlen = width * dim;
+            let positions = if n >= width { n - width + 1 } else { 1 };
+            for f in 0..self.cfg.filters {
+                let wrow = &self.conv_w[wi].w[f * wlen..(f + 1) * wlen];
+                let bias = self.conv_b[wi].w[f];
+                let mut best = f32::NEG_INFINITY;
+                let mut best_t = 0;
+                for t in 0..positions {
+                    // Window may run past `n` into zero padding — harmless.
+                    let xwin = &s.x[t * dim..t * dim + wlen.min(s.x.len() - t * dim)];
+                    let mut z = bias;
+                    for (a, b) in wrow.iter().zip(xwin) {
+                        z += a * b;
+                    }
+                    if z > best {
+                        best = z;
+                        best_t = t;
+                    }
+                }
+                let fi = wi * self.cfg.filters + f;
+                s.feat[fi] = best.max(0.0); // ReLU after pooling
+                s.argmax[fi] = best_t;
+            }
+        }
+        // FC1 (ReLU) + FC2 (sigmoid).
+        let total = self.total_filters();
+        for hidx in 0..self.cfg.hidden {
+            let row = &self.fc1_w.w[hidx * total..(hidx + 1) * total];
+            let mut z = self.fc1_b.w[hidx];
+            for (a, b) in row.iter().zip(&s.feat) {
+                z += a * b;
+            }
+            s.hpre[hidx] = z;
+            s.h[hidx] = z.max(0.0);
+        }
+        let mut z = self.fc2_b.w[0];
+        for (a, b) in self.fc2_w.w.iter().zip(&s.h) {
+            z += a * b;
+        }
+        sigmoid(z)
+    }
+
+    /// Backward pass for one sample (adds into parameter gradients).
+    /// `dz2` is the loss gradient at the output logit — `p - y` for plain
+    /// BCE, scaled by the class weight for balanced training.
+    fn backward(&mut self, dz2: f32, s: &Scratch) {
+        let total = self.total_filters();
+        // FC2.
+        for hidx in 0..self.cfg.hidden {
+            self.fc2_w.g[hidx] += dz2 * s.h[hidx];
+        }
+        self.fc2_b.g[0] += dz2;
+        // FC1.
+        let mut dfeat = vec![0.0f32; total];
+        for hidx in 0..self.cfg.hidden {
+            if s.hpre[hidx] <= 0.0 {
+                continue;
+            }
+            let dh = dz2 * self.fc2_w.w[hidx];
+            let row = hidx * total;
+            for fi in 0..total {
+                self.fc1_w.g[row + fi] += dh * s.feat[fi];
+                dfeat[fi] += dh * self.fc1_w.w[row + fi];
+            }
+            self.fc1_b.g[hidx] += dh;
+        }
+        // Conv, through the pooling argmax and the post-pool ReLU.
+        let dim = self.dim;
+        for (wi, &width) in self.cfg.widths.iter().enumerate() {
+            let wlen = width * dim;
+            for f in 0..self.cfg.filters {
+                let fi = wi * self.cfg.filters + f;
+                if s.feat[fi] <= 0.0 {
+                    continue; // ReLU gate closed
+                }
+                let df = dfeat[fi];
+                if df == 0.0 {
+                    continue;
+                }
+                let t = s.argmax[fi];
+                let avail = wlen.min(s.x.len() - t * dim);
+                let xwin = &s.x[t * dim..t * dim + avail];
+                let grow = &mut self.conv_w[wi].g[f * wlen..f * wlen + avail];
+                for (g, xv) in grow.iter_mut().zip(xwin) {
+                    *g += df * xv;
+                }
+                self.conv_b[wi].g[f] += df;
+            }
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        for p in self.conv_w.iter_mut().chain(self.conv_b.iter_mut()) {
+            p.zero_grad();
+        }
+        self.fc1_w.zero_grad();
+        self.fc1_b.zero_grad();
+        self.fc2_w.zero_grad();
+        self.fc2_b.zero_grad();
+    }
+
+    fn step_all(&mut self) {
+        self.step += 1;
+        let (lr, t) = (self.cfg.lr, self.step);
+        for p in self.conv_w.iter_mut().chain(self.conv_b.iter_mut()) {
+            p.adam_step(lr, t);
+        }
+        self.fc1_w.adam_step(lr, t);
+        self.fc1_b.adam_step(lr, t);
+        self.fc2_w.adam_step(lr, t);
+        self.fc2_b.adam_step(lr, t);
+    }
+
+    /// Mean training BCE over the given examples (diagnostic).
+    pub fn loss(&self, corpus: &Corpus, emb: &Embeddings, pos: &[u32], neg: &[u32]) -> f32 {
+        let mut s = self.scratch();
+        let mut total = 0.0;
+        for &id in pos {
+            total += bce(self.forward(corpus, emb, id, &mut s), 1.0);
+        }
+        for &id in neg {
+            total += bce(self.forward(corpus, emb, id, &mut s), 0.0);
+        }
+        total / (pos.len() + neg.len()).max(1) as f32
+    }
+}
+
+impl TextClassifier for KimCnn {
+    fn fit(&mut self, corpus: &Corpus, emb: &Embeddings, pos: &[u32], neg: &[u32]) {
+        // Re-initialize: each retraining in the pipeline starts fresh on the
+        // grown positive set (Algorithm 1 line 10 "train_classifier").
+        *self = KimCnn::new(self.dim, self.cfg.clone(), self.seed);
+        let mut data: Vec<(u32, f32)> = pos
+            .iter()
+            .map(|&i| (i, 1.0))
+            .chain(neg.iter().map(|&i| (i, 0.0)))
+            .collect();
+        if data.is_empty() {
+            return;
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x7EA);
+        let mut scratch = self.scratch();
+        // Class-balanced loss (see LogReg::fit for the rationale).
+        let pos_weight = if pos.is_empty() || neg.is_empty() {
+            1.0
+        } else {
+            (neg.len() as f32 / pos.len() as f32).clamp(0.25, 2.0)
+        };
+        for _epoch in 0..self.cfg.epochs {
+            data.shuffle(&mut rng);
+            for batch in data.chunks(self.cfg.batch) {
+                self.zero_grads();
+                for &(id, y) in batch {
+                    let p = self.forward(corpus, emb, id, &mut scratch);
+                    let w = if y > 0.5 { pos_weight } else { 1.0 };
+                    self.backward(w * (p - y), &scratch);
+                }
+                // Average gradient over the batch.
+                let inv = 1.0 / batch.len() as f32;
+                for p in self.conv_w.iter_mut().chain(self.conv_b.iter_mut()) {
+                    p.g.iter_mut().for_each(|g| *g *= inv);
+                }
+                self.fc1_w.g.iter_mut().for_each(|g| *g *= inv);
+                self.fc1_b.g.iter_mut().for_each(|g| *g *= inv);
+                self.fc2_w.g.iter_mut().for_each(|g| *g *= inv);
+                self.fc2_b.g.iter_mut().for_each(|g| *g *= inv);
+                self.step_all();
+            }
+        }
+    }
+
+    fn predict(&self, corpus: &Corpus, emb: &Embeddings, id: u32) -> f32 {
+        let mut s = self.scratch();
+        self.forward(corpus, emb, id, &mut s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_text::embed::EmbedConfig;
+
+    fn toy() -> (Corpus, Embeddings, Vec<u32>, Vec<u32>) {
+        let mut texts = Vec::new();
+        for i in 0..60 {
+            texts.push(format!("what is the best way to get to terminal {}", i % 7));
+            texts.push(format!("please order {} pizzas with cheese and olives", i % 5));
+        }
+        let c = Corpus::from_texts(texts.iter());
+        let e = Embeddings::train(&c, &EmbedConfig { dim: 12, ..Default::default() });
+        let pos = (0..120).filter(|i| i % 2 == 0).collect();
+        let neg = (0..120).filter(|i| i % 2 == 1).collect();
+        (c, e, pos, neg)
+    }
+
+    #[test]
+    fn learns_separable_task() {
+        let (c, e, pos, neg) = toy();
+        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 6, ..Default::default() }, 3);
+        cnn.fit(&c, &e, &pos[..30], &neg[..30]);
+        let acc = pos[30..]
+            .iter()
+            .map(|&i| (cnn.predict(&c, &e, i) > 0.5) as usize)
+            .chain(neg[30..].iter().map(|&i| (cnn.predict(&c, &e, i) <= 0.5) as usize))
+            .sum::<usize>();
+        assert!(acc >= 54, "accuracy {acc}/60");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (c, e, pos, neg) = toy();
+        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 4, ..Default::default() }, 5);
+        let before = cnn.loss(&c, &e, &pos, &neg);
+        cnn.fit(&c, &e, &pos, &neg);
+        let after = cnn.loss(&c, &e, &pos, &neg);
+        assert!(after < before, "loss {before} -> {after}");
+        assert!(after.is_finite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (c, e, pos, neg) = toy();
+        let mut a = KimCnn::new(e.dim(), CnnConfig { epochs: 2, ..Default::default() }, 11);
+        let mut b = KimCnn::new(e.dim(), CnnConfig { epochs: 2, ..Default::default() }, 11);
+        a.fit(&c, &e, &pos[..10], &neg[..10]);
+        b.fit(&c, &e, &pos[..10], &neg[..10]);
+        for id in 0..10u32 {
+            assert_eq!(a.predict(&c, &e, id), b.predict(&c, &e, id));
+        }
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (c, e, pos, neg) = toy();
+        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 2, ..Default::default() }, 1);
+        cnn.fit(&c, &e, &pos[..5], &neg[..5]);
+        for id in 0..c.len() as u32 {
+            let p = cnn.predict(&c, &e, id);
+            assert!((0.0..=1.0).contains(&p) && p.is_finite());
+        }
+    }
+
+    #[test]
+    fn gradient_check_fc2() {
+        // Numeric vs analytic gradient on the final layer for one sample.
+        let (c, e, _, _) = toy();
+        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 1, ..Default::default() }, 9);
+        let mut s = cnn.scratch();
+        let id = 0u32;
+        let y = 1.0;
+        let p = cnn.forward(&c, &e, id, &mut s);
+        cnn.zero_grads();
+        cnn.backward(p - y, &s);
+        let analytic = cnn.fc2_w.g[0];
+        let eps = 1e-3;
+        let orig = cnn.fc2_w.w[0];
+        cnn.fc2_w.w[0] = orig + eps;
+        let lp = bce(cnn.forward(&c, &e, id, &mut s), y);
+        cnn.fc2_w.w[0] = orig - eps;
+        let lm = bce(cnn.forward(&c, &e, id, &mut s), y);
+        cnn.fc2_w.w[0] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn handles_empty_training_set() {
+        let (c, e, _, _) = toy();
+        let mut cnn = KimCnn::new(e.dim(), CnnConfig::default(), 2);
+        cnn.fit(&c, &e, &[], &[]);
+        assert!(cnn.predict(&c, &e, 0).is_finite());
+    }
+
+    #[test]
+    fn short_sentence_shorter_than_widest_filter() {
+        let c = Corpus::from_texts(["hi", "the shuttle to the airport now leaves"]);
+        let e = Embeddings::train(&c, &EmbedConfig { dim: 8, ..Default::default() });
+        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 2, ..Default::default() }, 4);
+        cnn.fit(&c, &e, &[0], &[1]);
+        assert!(cnn.predict(&c, &e, 0).is_finite());
+    }
+}

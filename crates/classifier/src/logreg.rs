@@ -1,0 +1,183 @@
+//! Logistic regression over mean-embedding + hashed bag-of-words features.
+//!
+//! The fast alternative to the Kim CNN: same [`TextClassifier`] contract,
+//! orders of magnitude cheaper to retrain. Used by experiments that sweep
+//! many pipeline configurations, and as the comparison point in the
+//! classifier-quality ablation.
+
+#![allow(clippy::needless_range_loop)] // index math mirrors the tensor strides
+
+use crate::adam::{sigmoid, Param};
+use crate::features::{logreg_dim, logreg_features};
+use crate::model::TextClassifier;
+use darwin_text::{Corpus, Embeddings};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters for [`LogReg`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogRegConfig {
+    pub epochs: usize,
+    pub lr: f32,
+    /// L2 on the dense (mean-embedding) block.
+    pub l2: f32,
+    /// L2 on the hashed bag-of-words block. Kept much stronger than `l2`:
+    /// the BoW block can memorize the exact surface of the training
+    /// positives, which would zero out the embedding pathway Darwin needs
+    /// for semantic generalization (paper §3, "bus" → "public transport").
+    pub l2_bow: f32,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig { epochs: 12, lr: 0.05, l2: 1e-4, l2_bow: 6e-3 }
+    }
+}
+
+/// Binary logistic regression trained with Adam.
+pub struct LogReg {
+    cfg: LogRegConfig,
+    w: Param,
+    dim: usize,
+    seed: u64,
+    step: u32,
+}
+
+impl LogReg {
+    pub fn new(emb: &Embeddings, cfg: LogRegConfig, seed: u64) -> LogReg {
+        let dim = logreg_dim(emb);
+        LogReg { cfg, w: Param::zeros(dim), dim, seed, step: 0 }
+    }
+
+    fn score(&self, f: &[f32]) -> f32 {
+        let mut z = 0.0;
+        for (a, b) in self.w.w.iter().zip(f) {
+            z += a * b;
+        }
+        sigmoid(z)
+    }
+}
+
+impl TextClassifier for LogReg {
+    fn fit(&mut self, corpus: &Corpus, emb: &Embeddings, pos: &[u32], neg: &[u32]) {
+        self.w = Param::zeros(self.dim);
+        self.step = 0;
+        let mut data: Vec<(u32, f32)> = pos
+            .iter()
+            .map(|&i| (i, 1.0))
+            .chain(neg.iter().map(|&i| (i, 0.0)))
+            .collect();
+        if data.is_empty() {
+            return;
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x10C);
+        let mut f = vec![0.0f32; self.dim];
+        // Class-balanced loss: Darwin trains on few positives against many
+        // sampled negatives; without re-weighting, predicted probabilities
+        // collapse below the 0.5 benefit threshold of UniversalSearch.
+        let pos_weight = if pos.is_empty() || neg.is_empty() {
+            1.0
+        } else {
+            (neg.len() as f32 / pos.len() as f32).clamp(0.25, 2.0)
+        };
+        for _ in 0..self.cfg.epochs {
+            data.shuffle(&mut rng);
+            for &(id, y) in &data {
+                logreg_features(corpus, emb, id, &mut f);
+                let p = self.score(&f);
+                let w = if y > 0.5 { pos_weight } else { 1.0 };
+                let d = w * (p - y);
+                self.w.zero_grad();
+                let emb_dim = self.dim - crate::features::BOW_BUCKETS - 1;
+                for i in 0..self.dim {
+                    let l2 = if i < emb_dim { self.cfg.l2 } else { self.cfg.l2_bow };
+                    self.w.g[i] = d * f[i] + l2 * self.w.w[i];
+                }
+                self.step += 1;
+                self.w.adam_step(self.cfg.lr, self.step);
+            }
+        }
+    }
+
+    fn predict(&self, corpus: &Corpus, emb: &Embeddings, id: u32) -> f32 {
+        let mut f = vec![0.0f32; self.dim];
+        logreg_features(corpus, emb, id, &mut f);
+        self.score(&f)
+    }
+
+    fn predict_all(&self, corpus: &Corpus, emb: &Embeddings, out: &mut Vec<f32>) {
+        out.clear();
+        let mut f = vec![0.0f32; self.dim];
+        for id in 0..corpus.len() as u32 {
+            logreg_features(corpus, emb, id, &mut f);
+            out.push(self.score(&f));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_text::embed::EmbedConfig;
+
+    fn toy() -> (Corpus, Embeddings) {
+        let mut texts = Vec::new();
+        for i in 0..50 {
+            texts.push(format!("take the shuttle to terminal {}", i % 9));
+            texts.push(format!("the pasta with sauce number {}", i % 9));
+        }
+        let c = Corpus::from_texts(texts.iter());
+        let e = Embeddings::train(&c, &EmbedConfig { dim: 12, ..Default::default() });
+        (c, e)
+    }
+
+    #[test]
+    fn separates_toy_task() {
+        let (c, e) = toy();
+        let pos: Vec<u32> = (0..100).filter(|i| i % 2 == 0).collect();
+        let neg: Vec<u32> = (0..100).filter(|i| i % 2 == 1).collect();
+        let mut lr = LogReg::new(&e, LogRegConfig::default(), 7);
+        lr.fit(&c, &e, &pos[..25], &neg[..25]);
+        let acc: usize = pos[25..]
+            .iter()
+            .map(|&i| (lr.predict(&c, &e, i) > 0.5) as usize)
+            .chain(neg[25..].iter().map(|&i| (lr.predict(&c, &e, i) <= 0.5) as usize))
+            .sum();
+        assert!(acc >= 45, "accuracy {acc}/50");
+    }
+
+    #[test]
+    fn untrained_predicts_half() {
+        let (c, e) = toy();
+        let lr = LogReg::new(&e, LogRegConfig::default(), 7);
+        assert!((lr.predict(&c, &e, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refit_resets_state() {
+        let (c, e) = toy();
+        let mut a = LogReg::new(&e, LogRegConfig::default(), 3);
+        let mut b = LogReg::new(&e, LogRegConfig::default(), 3);
+        // a: fit twice on same data; b: fit once. Final models must agree.
+        a.fit(&c, &e, &[0, 2], &[1, 3]);
+        a.fit(&c, &e, &[0, 2], &[1, 3]);
+        b.fit(&c, &e, &[0, 2], &[1, 3]);
+        for id in 0..6u32 {
+            let (pa, pb) = (a.predict(&c, &e, id), b.predict(&c, &e, id));
+            assert!((pa - pb).abs() < 1e-5, "{pa} vs {pb}");
+        }
+    }
+
+    #[test]
+    fn predict_all_fast_path_agrees() {
+        let (c, e) = toy();
+        let mut lr = LogReg::new(&e, LogRegConfig::default(), 9);
+        lr.fit(&c, &e, &[0, 2, 4], &[1, 3, 5]);
+        let mut all = Vec::new();
+        lr.predict_all(&c, &e, &mut all);
+        for id in (0..c.len() as u32).step_by(17) {
+            assert_eq!(all[id as usize], lr.predict(&c, &e, id));
+        }
+    }
+}

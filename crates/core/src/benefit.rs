@@ -1,0 +1,75 @@
+//! Benefit scoring (paper §3.3).
+//!
+//! The benefit of heuristic `r` is the expected gain in the positive set:
+//! `Σ_{s ∈ C_r \ P} p_s`, with `p_s` the classifier's positive probability.
+//! The benefit *per new instance* gates UniversalSearch (rules whose
+//! average is below 0.5 are expected to be mostly negative).
+
+use darwin_index::IdSet;
+
+/// Benefit of a rule given its postings, the current positive set and the
+/// per-sentence scores.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Benefit {
+    /// `Σ p_s` over the new (not-yet-positive) covered sentences.
+    pub total: f64,
+    /// Number of new sentences the rule would add.
+    pub new_instances: usize,
+}
+
+impl Benefit {
+    /// Benefit per new instance (0 when the rule adds nothing).
+    pub fn average(&self) -> f64 {
+        if self.new_instances == 0 {
+            0.0
+        } else {
+            self.total / self.new_instances as f64
+        }
+    }
+}
+
+/// Compute the benefit of a rule with coverage `postings`.
+pub fn benefit(postings: &[u32], p: &IdSet, scores: &[f32]) -> Benefit {
+    let mut total = 0.0f64;
+    let mut new_instances = 0usize;
+    for &s in postings {
+        if !p.contains(s) {
+            total += scores[s as usize] as f64;
+            new_instances += 1;
+        }
+    }
+    Benefit { total, new_instances }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_new_instances() {
+        let p = IdSet::from_ids(&[0, 1], 10);
+        let scores = vec![0.9, 0.8, 0.7, 0.6, 0.5];
+        let b = benefit(&[0, 1, 2, 3], &p, &scores);
+        assert_eq!(b.new_instances, 2);
+        assert!((b.total - (0.7 + 0.6)).abs() < 1e-6);
+        assert!((b.average() - 0.65).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fully_covered_rule_has_zero_benefit() {
+        let p = IdSet::from_ids(&[0, 1, 2], 10);
+        let scores = vec![1.0; 3];
+        let b = benefit(&[0, 1, 2], &p, &scores);
+        assert_eq!(b.new_instances, 0);
+        assert_eq!(b.total, 0.0);
+        assert_eq!(b.average(), 0.0);
+    }
+
+    #[test]
+    fn empty_postings() {
+        let p = IdSet::with_universe(4);
+        let b = benefit(&[], &p, &[0.5; 4]);
+        assert_eq!(b.new_instances, 0);
+        assert_eq!(b.average(), 0.0);
+    }
+}

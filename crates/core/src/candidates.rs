@@ -1,0 +1,172 @@
+//! Candidate-heuristic generation (paper Algorithm 2).
+//!
+//! Greedy best-first search over the index: start from the `*` root, pop
+//! the candidate with the highest coverage over the discovered positives
+//! `P`, add its children to the frontier, repeat until `k` heuristics are
+//! collected. Subtrees with zero overlap with `P` are never expanded —
+//! that pruning is what keeps the exponential TreeMatch space tractable.
+
+use crate::hierarchy::Hierarchy;
+use darwin_index::{IdSet, IndexSet, RuleRef};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct Entry {
+    overlap: usize,
+    /// Tie-break on total coverage: on equal overlap with `P`, prefer the
+    /// *tighter* rule (fewer total matches ⇒ higher expected precision),
+    /// then the rule handle for determinism.
+    count: usize,
+    rule: RuleRef,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.overlap
+            .cmp(&other.overlap)
+            .then(other.count.cmp(&self.count))
+            .then_with(|| other.rule.cmp(&self.rule))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Generate up to `k` candidate heuristics with high coverage over `p`
+/// (Algorithm 2). The returned list is in pop order (best first) and never
+/// contains the root. Rules covering more than `max_count` sentences are
+/// skipped (their subtrees are still explored — children are tighter).
+pub fn generate(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Vec<RuleRef> {
+    let mut out = Vec::with_capacity(k.min(1024));
+    let mut heap = BinaryHeap::new();
+    let mut seen: darwin_index::fx::FxHashSet<RuleRef> = Default::default();
+
+    let push_children = |rule: RuleRef,
+                             heap: &mut BinaryHeap<Entry>,
+                             seen: &mut darwin_index::fx::FxHashSet<RuleRef>| {
+        for child in index.children(rule) {
+            if !seen.insert(child) {
+                continue;
+            }
+            let postings = index.coverage(child);
+            let overlap = p.count_in(postings);
+            if overlap == 0 {
+                continue; // zero overlap ⇒ the whole subtree is useless
+            }
+            heap.push(Entry { overlap, count: postings.len(), rule: child });
+
+        }
+    };
+
+    push_children(RuleRef::Root, &mut heap, &mut seen);
+    while out.len() < k {
+        let Some(best) = heap.pop() else { break };
+        // Over-broad rules are expanded (children may qualify) but not
+        // offered as candidates themselves.
+        if best.count <= max_count {
+            out.push(best.rule);
+        }
+        push_children(best.rule, &mut heap, &mut seen);
+    }
+    out
+}
+
+/// Generate candidates and arrange them into a [`Hierarchy`], applying the
+/// cleanup of §3.2.1: candidates whose coverage adds no new positive
+/// sentences beyond `p` are dropped.
+pub fn generate_hierarchy(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Hierarchy {
+    let raw = generate(index, p, k, max_count);
+    let cleaned: Vec<RuleRef> = raw
+        .into_iter()
+        .filter(|&r| {
+            let postings = index.coverage(r);
+            postings.len() > p.count_in(postings)
+        })
+        .collect();
+    Hierarchy::new(index, cleaned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_grammar::Heuristic;
+    use darwin_index::IndexConfig;
+    use darwin_text::Corpus;
+
+    fn setup() -> (Corpus, IndexSet) {
+        let texts = [
+            "the shuttle to the airport leaves hourly",
+            "is there a shuttle to the airport tonight",
+            "the shuttle to downtown is free",
+            "order a pizza to the room",
+            "the pool opens at nine",
+            "is there a bus to the airport",
+        ];
+        let c = Corpus::from_texts(texts);
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        (c, idx)
+    }
+
+    #[test]
+    fn candidates_overlap_positives() {
+        let (c, idx) = setup();
+        // Positives: the two airport-shuttle sentences.
+        let p = IdSet::from_ids(&[0, 1], c.len());
+        let cands = generate(&idx, &p, 50, usize::MAX);
+        assert!(!cands.is_empty());
+        for &r in &cands {
+            assert!(p.count_in(idx.coverage(r)) > 0, "{:?}", idx.heuristic(r).display(c.vocab()));
+        }
+        // "shuttle" ranks near the top (overlap 2; bare "the" has overlap 2
+        // as well but that's fine — both cover P).
+        let shuttle = idx.resolve(&Heuristic::phrase(&c, "shuttle").unwrap()).unwrap();
+        assert!(cands.contains(&shuttle));
+    }
+
+    #[test]
+    fn best_first_order_is_nonincreasing_overlap() {
+        let (c, idx) = setup();
+        let p = IdSet::from_ids(&[0, 1, 2], c.len());
+        let cands = generate(&idx, &p, 100, usize::MAX);
+        // Because children are only injected after their parent pops, the
+        // sequence isn't globally sorted; but the first candidate must have
+        // the maximum overlap among all root children.
+        let first_overlap = p.count_in(idx.coverage(cands[0]));
+        assert_eq!(first_overlap, 3, "a unigram covering all three positives pops first");
+    }
+
+    #[test]
+    fn respects_k() {
+        let (c, idx) = setup();
+        let p = IdSet::from_ids(&[0, 1, 2], c.len());
+        assert!(generate(&idx, &p, 5, usize::MAX).len() <= 5);
+        let all = generate(&idx, &p, 10_000, usize::MAX);
+        assert!(all.len() < 10_000, "pool exhausts on a tiny corpus");
+    }
+
+    #[test]
+    fn empty_p_yields_nothing() {
+        let (c, idx) = setup();
+        let p = IdSet::with_universe(c.len());
+        assert!(generate(&idx, &p, 10, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn cleanup_drops_fully_covered_rules() {
+        let (c, idx) = setup();
+        // All shuttle sentences already positive: rules covering only them
+        // add nothing and must be cleaned; "airport" still adds sentence 5.
+        let p = IdSet::from_ids(&[0, 1, 2], c.len());
+        let h = generate_hierarchy(&idx, &p, 200, usize::MAX);
+        let shuttle = idx.resolve(&Heuristic::phrase(&c, "shuttle").unwrap()).unwrap();
+        assert!(!h.contains(shuttle), "'shuttle' adds no new positives");
+        let airport = idx.resolve(&Heuristic::phrase(&c, "airport").unwrap()).unwrap();
+        assert!(h.contains(airport), "'airport' still adds sentence 5");
+    }
+}

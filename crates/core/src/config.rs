@@ -1,0 +1,139 @@
+//! Pipeline configuration.
+
+use darwin_classifier::ClassifierKind;
+
+/// Which hierarchy-traversal strategy selects the next question
+/// (paper §3.3–3.6).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraversalKind {
+    /// Algorithm 3 — explore the neighborhood of accepted rules.
+    Local,
+    /// Algorithm 4 — pick the globally most beneficial candidate.
+    Universal,
+    /// Algorithm 5 — toggle between the two after `tau` failures.
+    Hybrid,
+}
+
+impl TraversalKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TraversalKind::Local => "Darwin(LS)",
+            TraversalKind::Universal => "Darwin(US)",
+            TraversalKind::Hybrid => "Darwin(HS)",
+        }
+    }
+}
+
+/// All knobs of the Darwin pipeline, with paper defaults.
+#[derive(Clone, Debug)]
+pub struct DarwinConfig {
+    /// Oracle query budget `b`.
+    pub budget: usize,
+    /// Candidate pool size `k` per hierarchy generation (paper: 10K,
+    /// Figure 13 sweeps {5K, 10K, 20K}).
+    pub n_candidates: usize,
+    /// Traversal strategy (paper recommendation: Hybrid).
+    pub traversal: TraversalKind,
+    /// HybridSearch switch parameter τ (paper default: 5; Figure 12a
+    /// sweeps {3,5,7,9}).
+    pub tau: usize,
+    /// Benefit classifier. The paper trains the Kim CNN; logistic
+    /// regression is the fast ablation and the default here so that broad
+    /// experiment sweeps stay cheap — pass `ClassifierKind::cnn()` for the
+    /// paper configuration.
+    pub classifier: ClassifierKind,
+    /// UniversalSearch prunes candidates whose benefit-per-instance is
+    /// below this (Algorithm 4 line 8; paper: 0.5).
+    pub benefit_threshold: f64,
+    /// How many presumed negatives to sample per positive when training.
+    pub neg_per_pos: usize,
+    /// Floor on the sampled negative count.
+    pub min_negatives: usize,
+    /// Use the §4.5 incremental re-scoring optimization.
+    pub incremental_scoring: bool,
+    /// Candidates covering more than this fraction of the corpus are never
+    /// generated: on the paper's imbalanced tasks (1–12% positive) such
+    /// rules cannot clear the 0.8-precision bar, and asking them wastes
+    /// oracle budget (part of the §3.2.1 diversity constraints).
+    pub max_coverage_frac: f64,
+    /// RNG seed (negative sampling, tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for DarwinConfig {
+    fn default() -> Self {
+        DarwinConfig {
+            budget: 100,
+            n_candidates: 10_000,
+            traversal: TraversalKind::Hybrid,
+            tau: 5,
+            classifier: ClassifierKind::logreg(),
+            benefit_threshold: 0.5,
+            neg_per_pos: 3,
+            min_negatives: 50,
+            incremental_scoring: true,
+            max_coverage_frac: 0.4,
+            seed: 42,
+        }
+    }
+}
+
+impl DarwinConfig {
+    /// Small-scale configuration for tests and doc examples.
+    pub fn fast() -> DarwinConfig {
+        DarwinConfig { budget: 20, n_candidates: 500, ..Default::default() }
+    }
+
+    /// The paper's configuration: Kim CNN benefit classifier, 10K
+    /// candidates, HybridSearch.
+    pub fn paper() -> DarwinConfig {
+        DarwinConfig { classifier: ClassifierKind::cnn(), ..Default::default() }
+    }
+
+    pub fn with_traversal(mut self, t: TraversalKind) -> Self {
+        self.traversal = t;
+        self
+    }
+
+    pub fn with_budget(mut self, b: usize) -> Self {
+        self.budget = b;
+        self
+    }
+
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DarwinConfig::default();
+        assert_eq!(c.n_candidates, 10_000);
+        assert_eq!(c.tau, 5);
+        assert_eq!(c.benefit_threshold, 0.5);
+        assert_eq!(c.traversal, TraversalKind::Hybrid);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = DarwinConfig::fast()
+            .with_traversal(TraversalKind::Local)
+            .with_budget(7)
+            .with_seed(9);
+        assert_eq!(c.traversal, TraversalKind::Local);
+        assert_eq!(c.budget, 7);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn traversal_names() {
+        assert_eq!(TraversalKind::Hybrid.name(), "Darwin(HS)");
+        assert_eq!(TraversalKind::Local.name(), "Darwin(LS)");
+        assert_eq!(TraversalKind::Universal.name(), "Darwin(US)");
+    }
+}

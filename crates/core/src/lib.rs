@@ -1,0 +1,36 @@
+//! The Darwin adaptive rule discovery system (paper §3).
+//!
+//! Given an analyzed corpus, a heuristic index and a seed (one labeling
+//! rule or a couple of positive sentences), Darwin iteratively:
+//!
+//! 1. generates a manageable pool of promising candidate heuristics from
+//!    the index, organized by subset/superset structure
+//!    ([`candidates`], Algorithm 2; [`hierarchy`]),
+//! 2. selects the next heuristic to verify using a traversal strategy —
+//!    [`traversal::LocalSearch`], [`traversal::UniversalSearch`] or
+//!    [`traversal::HybridSearch`] (Algorithms 3–5), guided by a *benefit*
+//!    score computed from a classifier trained on the positives found so
+//!    far ([`benefit`]),
+//! 3. asks the [`oracle::Oracle`] a YES/NO question about the selected
+//!    heuristic, and
+//! 4. on YES, grows the positive set, retrains the classifier and updates
+//!    all scores ([`pipeline`], Algorithm 1).
+//!
+//! The output is the accepted rule set, the discovered positives, the
+//! trained classifier scores, and a per-question trace from which the
+//! evaluation reconstructs coverage/F-score curves.
+
+pub mod benefit;
+pub mod candidates;
+pub mod config;
+pub mod hierarchy;
+pub mod oracle;
+pub mod parallel;
+pub mod pipeline;
+pub mod traversal;
+
+pub use config::{DarwinConfig, TraversalKind};
+pub use oracle::{GroundTruthOracle, Oracle, SampledAnnotatorOracle};
+pub use parallel::MajorityOracle;
+pub use pipeline::{Darwin, RunResult, Seed, TraceStep};
+pub use traversal::Strategy;

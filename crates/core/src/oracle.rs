@@ -1,0 +1,186 @@
+//! Oracle abstractions (paper Definition 4, §4.5 "Performance of human
+//! annotators").
+//!
+//! An oracle answers YES/NO: "is this heuristic adequately precise at
+//! capturing positive instances?". Experiments synthesize answers from
+//! ground truth; the sampled-annotator oracle reproduces the error pattern
+//! observed with Figure-eight crowd workers (judging from 5 sampled
+//! matches, occasionally fooled when the sample looks cleaner than the
+//! full coverage set).
+
+use darwin_grammar::Heuristic;
+use darwin_text::Corpus;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The YES/NO feedback source Darwin queries.
+pub trait Oracle {
+    /// Is `rule` adequately precise? `coverage` is `C_r` over the corpus.
+    fn ask(&mut self, corpus: &Corpus, rule: &Heuristic, coverage: &[u32]) -> bool;
+
+    /// Number of questions asked so far.
+    fn queries(&self) -> usize;
+}
+
+/// A perfect annotator: YES iff the precision of the full coverage set
+/// meets the threshold. The paper observes users label a heuristic precise
+/// only when precision ≥ 0.8, and simulates oracles the same way (§4.1
+/// "we respond YES to heuristic h if at least 80% of its coverage set
+/// consist of positive instances").
+pub struct GroundTruthOracle<'a> {
+    labels: &'a [bool],
+    threshold: f64,
+    queries: usize,
+}
+
+impl<'a> GroundTruthOracle<'a> {
+    pub fn new(labels: &'a [bool], threshold: f64) -> Self {
+        GroundTruthOracle { labels, threshold, queries: 0 }
+    }
+
+    /// Precision of an id set under the ground truth.
+    pub fn precision(&self, coverage: &[u32]) -> f64 {
+        if coverage.is_empty() {
+            return 0.0;
+        }
+        let pos = coverage.iter().filter(|&&i| self.labels[i as usize]).count();
+        pos as f64 / coverage.len() as f64
+    }
+}
+
+impl Oracle for GroundTruthOracle<'_> {
+    fn ask(&mut self, _corpus: &Corpus, _rule: &Heuristic, coverage: &[u32]) -> bool {
+        self.queries += 1;
+        !coverage.is_empty() && self.precision(coverage) >= self.threshold
+    }
+
+    fn queries(&self) -> usize {
+        self.queries
+    }
+}
+
+/// A human-like annotator: inspects `k` randomly sampled matching
+/// sentences (the paper's query UI shows 5, Figure 2) and answers YES iff
+/// at least `ceil(accept_ratio·k)` of them are positive. Errors concentrate
+/// on rules whose small sample happens to look better (or worse) than the
+/// full coverage set; presenting more samples lowers the error rate
+/// (paper §4.5).
+pub struct SampledAnnotatorOracle<'a> {
+    labels: &'a [bool],
+    k: usize,
+    accept_ratio: f64,
+    rng: StdRng,
+    queries: usize,
+}
+
+impl<'a> SampledAnnotatorOracle<'a> {
+    pub fn new(labels: &'a [bool], k: usize, seed: u64) -> Self {
+        SampledAnnotatorOracle {
+            labels,
+            k,
+            accept_ratio: 0.8,
+            rng: StdRng::seed_from_u64(seed),
+            queries: 0,
+        }
+    }
+
+    /// Override the acceptance ratio (default 0.8, matching the empirical
+    /// precision bar users apply).
+    pub fn with_accept_ratio(mut self, r: f64) -> Self {
+        self.accept_ratio = r;
+        self
+    }
+}
+
+impl Oracle for SampledAnnotatorOracle<'_> {
+    fn ask(&mut self, _corpus: &Corpus, _rule: &Heuristic, coverage: &[u32]) -> bool {
+        self.queries += 1;
+        if coverage.is_empty() {
+            return false;
+        }
+        let k = self.k.min(coverage.len());
+        let sample: Vec<u32> =
+            coverage.choose_multiple(&mut self.rng, k).copied().collect();
+        let pos = sample.iter().filter(|&&i| self.labels[i as usize]).count();
+        let needed = (self.accept_ratio * k as f64).ceil() as usize;
+        pos >= needed.max(1)
+    }
+
+    fn queries(&self) -> usize {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::from_texts(["a b", "c d", "e f", "g h", "i j"])
+    }
+
+    fn dummy_rule(c: &Corpus) -> Heuristic {
+        Heuristic::phrase(c, "a").unwrap()
+    }
+
+    #[test]
+    fn ground_truth_applies_threshold() {
+        let c = corpus();
+        let labels = vec![true, true, true, true, false];
+        let mut o = GroundTruthOracle::new(&labels, 0.8);
+        let r = dummy_rule(&c);
+        assert!(o.ask(&c, &r, &[0, 1, 2, 3, 4])); // 4/5 = 0.8
+        assert!(!o.ask(&c, &r, &[2, 3, 4])); // 2/3 < 0.8
+        assert!(!o.ask(&c, &r, &[])); // empty coverage is never precise
+        assert_eq!(o.queries(), 3);
+    }
+
+    #[test]
+    fn annotator_is_perfect_on_clean_rules() {
+        let c = corpus();
+        let labels = vec![true, true, true, false, false];
+        let mut o = SampledAnnotatorOracle::new(&labels, 5, 1);
+        let r = dummy_rule(&c);
+        assert!(o.ask(&c, &r, &[0, 1, 2])); // all positive
+        assert!(!o.ask(&c, &r, &[3, 4])); // all negative
+    }
+
+    #[test]
+    fn annotator_errs_sometimes_on_borderline_rules() {
+        // Precision 0.6 coverage: with k=5 and 0.8 bar, the annotator
+        // sometimes says YES (sample of 4+/5 positives) and often NO.
+        let labels: Vec<bool> = (0..100).map(|i| i % 5 < 3).collect();
+        let coverage: Vec<u32> = (0..100).collect();
+        let c = corpus();
+        let r = dummy_rule(&c);
+        let mut yes = 0;
+        for seed in 0..200 {
+            let mut o = SampledAnnotatorOracle::new(&labels, 5, seed);
+            if o.ask(&c, &r, &coverage) {
+                yes += 1;
+            }
+        }
+        assert!(yes > 5, "some false YES expected, got {yes}");
+        assert!(yes < 150, "mostly NO expected, got {yes}");
+    }
+
+    #[test]
+    fn more_samples_lower_error_rate() {
+        let labels: Vec<bool> = (0..1000).map(|i| i % 5 < 3).collect(); // precision 0.6
+        let coverage: Vec<u32> = (0..1000).collect();
+        let c = corpus();
+        let r = dummy_rule(&c);
+        let err_rate = |k: usize| {
+            let mut yes = 0;
+            for seed in 0..300 {
+                let mut o = SampledAnnotatorOracle::new(&labels, k, seed);
+                if o.ask(&c, &r, &coverage) {
+                    yes += 1;
+                }
+            }
+            yes as f64 / 300.0
+        };
+        assert!(err_rate(25) < err_rate(5), "k=25 {} vs k=5 {}", err_rate(25), err_rate(5));
+    }
+}

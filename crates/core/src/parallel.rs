@@ -1,0 +1,294 @@
+//! Parallel rule discovery (paper §1: Darwin "supports parallel discovery
+//! of rules by asking different annotators to evaluate different rules")
+//! and crowd-style answer aggregation (§4.3's cost model: "the oracle
+//! considers a majority vote by querying three crowd members").
+//!
+//! [`Darwin::run_parallel`] proceeds in rounds: each round selects a batch
+//! of *diverse* candidate rules (maximum benefit, penalizing coverage
+//! overlap within the batch, so annotators never review near-duplicate
+//! rules), sends one rule to each annotator, applies all answers at once,
+//! and then retrains — one classifier update per round instead of per
+//! question, which is what makes the wall-clock win of parallel annotation
+//! real.
+
+use crate::benefit::benefit;
+use crate::candidates::generate_hierarchy;
+use crate::oracle::Oracle;
+use crate::pipeline::{Darwin, RunResult, Seed, TraceStep};
+use darwin_grammar::Heuristic;
+use darwin_index::fx::FxHashSet;
+use darwin_index::{IdSet, RuleRef};
+use darwin_text::Corpus;
+
+/// Majority vote over several independent annotators. One [`Oracle::ask`]
+/// call fans the same question out to every member and counts one logical
+/// query (the paper prices it as `members × 2¢`).
+pub struct MajorityOracle<'a> {
+    members: Vec<Box<dyn Oracle + 'a>>,
+    queries: usize,
+}
+
+impl<'a> MajorityOracle<'a> {
+    pub fn new(members: Vec<Box<dyn Oracle + 'a>>) -> Self {
+        assert!(!members.is_empty(), "majority oracle needs at least one member");
+        MajorityOracle { members, queries: 0 }
+    }
+
+    /// Cost in cents under the paper's crowdsourcing model (2¢ per member
+    /// evaluation).
+    pub fn cost_cents(&self) -> usize {
+        self.queries * self.members.len() * 2
+    }
+}
+
+impl Oracle for MajorityOracle<'_> {
+    fn ask(&mut self, corpus: &Corpus, rule: &Heuristic, coverage: &[u32]) -> bool {
+        self.queries += 1;
+        let mut yes = 0;
+        for m in self.members.iter_mut() {
+            if m.ask(corpus, rule, coverage) {
+                yes += 1;
+            }
+        }
+        2 * yes > self.members.len()
+    }
+
+    fn queries(&self) -> usize {
+        self.queries
+    }
+}
+
+impl Darwin<'_> {
+    /// Interactive discovery with `annotators.len()` annotators working in
+    /// parallel for `rounds` rounds. Returns the same [`RunResult`] shape
+    /// as [`Darwin::run`]; `trace` records one step per question in
+    /// round-major order.
+    pub fn run_parallel(
+        &self,
+        seed: Seed,
+        annotators: &mut [&mut dyn Oracle],
+        rounds: usize,
+    ) -> RunResult {
+        assert!(!annotators.is_empty(), "need at least one annotator");
+        let corpus = self.corpus();
+        let index = self.index();
+        let cfg = self.config().clone();
+        let n = corpus.len();
+
+        let mut p = IdSet::with_universe(n);
+        let mut accepted: Vec<Heuristic> = Vec::new();
+        match &seed {
+            Seed::Rule(h) => {
+                let cov = match index.resolve(h) {
+                    Some(r) => index.coverage(r).to_vec(),
+                    None => h.coverage(corpus),
+                };
+                p.extend_from_slice(&cov);
+                accepted.push(h.clone());
+            }
+            Seed::Positives(ids) => {
+                p.extend_from_slice(ids);
+            }
+        }
+
+        let mut clf = cfg.classifier.build(self.embeddings(), cfg.seed);
+        let mut cache = darwin_classifier::ScoreCache::new(n);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed ^ 0x9A11);
+        self.retrain_for_parallel(&mut *clf, &mut cache, &p, &mut rng);
+
+        let max_count = (cfg.max_coverage_frac * n as f64).ceil() as usize;
+        let mut queried: FxHashSet<RuleRef> = FxHashSet::default();
+        let mut rejected: Vec<Heuristic> = Vec::new();
+        let mut trace: Vec<TraceStep> = Vec::new();
+        let mut question = 0usize;
+
+        for _round in 0..rounds {
+            let hierarchy = generate_hierarchy(index, &p, cfg.n_candidates, max_count);
+            let batch = select_diverse_batch(
+                index,
+                hierarchy.rules(),
+                &p,
+                cache.scores(),
+                &queried,
+                annotators.len(),
+            );
+            if batch.is_empty() {
+                break;
+            }
+            let mut grew = false;
+            for (rule, annotator) in batch.iter().zip(annotators.iter_mut()) {
+                queried.insert(*rule);
+                question += 1;
+                let h = index.heuristic(*rule);
+                let cov = index.coverage(*rule);
+                let answer = annotator.ask(corpus, &h, cov);
+                let mut new_ids = Vec::new();
+                if answer {
+                    new_ids = cov.iter().copied().filter(|&s| !p.contains(s)).collect();
+                    p.extend_from_slice(cov);
+                    accepted.push(h.clone());
+                    grew = true;
+                } else {
+                    rejected.push(h.clone());
+                }
+                trace.push(TraceStep {
+                    question,
+                    rule: h,
+                    answer,
+                    new_positive_ids: new_ids,
+                    p_size: p.len(),
+                });
+            }
+            if grew {
+                self.retrain_for_parallel(&mut *clf, &mut cache, &p, &mut rng);
+            }
+        }
+
+        RunResult {
+            accepted,
+            rejected,
+            positives: p.iter().collect(),
+            trace,
+            scores: cache.scores().to_vec(),
+        }
+    }
+}
+
+/// Greedy diverse batch: repeatedly take the most beneficial rule whose
+/// *new* coverage overlaps every already-picked rule's new coverage by at
+/// most half — annotators should not be shown near-duplicates.
+fn select_diverse_batch(
+    index: &darwin_index::IndexSet,
+    pool: &[RuleRef],
+    p: &IdSet,
+    scores: &[f32],
+    queried: &FxHashSet<RuleRef>,
+    k: usize,
+) -> Vec<RuleRef> {
+    // Same gating as the sequential traversals: rules whose benefit per
+    // new instance clears the 0.5 bar rank first (by total benefit);
+    // everything else ranks by expected precision. Without this, batches
+    // fill with broad rules the oracle is certain to reject.
+    let mut scored: Vec<(RuleRef, bool, f64, f64)> = pool
+        .iter()
+        .copied()
+        .filter(|r| !queried.contains(r))
+        .map(|r| {
+            let b = benefit(index.coverage(r), p, scores);
+            (r, b.average() > 0.5, b.total, b.average())
+        })
+        .filter(|(_, _, total, _)| *total > 0.0)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| if a.1 { b.2.total_cmp(&a.2) } else { b.3.total_cmp(&a.3) })
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    let scored: Vec<(RuleRef, f64)> = scored.into_iter().map(|(r, _, t, _)| (r, t)).collect();
+
+    let mut batch: Vec<RuleRef> = Vec::with_capacity(k);
+    let mut covered = IdSet::with_universe(scores.len());
+    for (rule, _) in scored {
+        if batch.len() == k {
+            break;
+        }
+        let new: Vec<u32> =
+            index.coverage(rule).iter().copied().filter(|&s| !p.contains(s)).collect();
+        if new.is_empty() {
+            continue;
+        }
+        let overlap = covered.count_in(&new);
+        if overlap * 2 > new.len() {
+            continue; // mostly duplicates what a teammate is already reviewing
+        }
+        covered.extend_from_slice(&new);
+        batch.push(rule);
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DarwinConfig;
+    use crate::oracle::{GroundTruthOracle, SampledAnnotatorOracle};
+    use darwin_index::{IndexConfig, IndexSet};
+
+    fn fixture() -> (Corpus, Vec<bool>) {
+        let mut texts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..12 {
+            texts.push(format!("is there a shuttle to the airport at {i}"));
+            labels.push(true);
+            texts.push(format!("is there a bus to the airport at {i}"));
+            labels.push(true);
+        }
+        for i in 0..40 {
+            texts.push(format!("order a pizza with {i} toppings to the room"));
+            labels.push(false);
+            texts.push(format!("the pool opens at {i} for guests"));
+            labels.push(false);
+        }
+        (Corpus::from_texts(texts.iter()), labels)
+    }
+
+    #[test]
+    fn parallel_run_discovers_positives() {
+        let (corpus, labels) = fixture();
+        let index = IndexSet::build(&corpus, &IndexConfig::small());
+        let darwin = Darwin::new(&corpus, &index, DarwinConfig::fast());
+        let seed =
+            Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
+        let mut a = GroundTruthOracle::new(&labels, 0.8);
+        let mut b = GroundTruthOracle::new(&labels, 0.8);
+        let mut c = GroundTruthOracle::new(&labels, 0.8);
+        let mut annotators: Vec<&mut dyn Oracle> = vec![&mut a, &mut b, &mut c];
+        let run = darwin.run_parallel(seed, &mut annotators, 4);
+        assert!(run.questions() <= 12, "3 annotators × 4 rounds");
+        assert!(run.positives.len() > 12, "grew beyond the seed family");
+        // The per-round batches contain distinct rules.
+        let mut seen = std::collections::HashSet::new();
+        for t in &run.trace {
+            assert!(seen.insert(t.rule.clone()), "duplicate question {:?}", t.rule);
+        }
+    }
+
+    #[test]
+    fn diverse_batch_avoids_near_duplicates() {
+        let (corpus, labels) = fixture();
+        let index = IndexSet::build(&corpus, &IndexConfig::small());
+        let darwin = Darwin::new(&corpus, &index, DarwinConfig::fast());
+        let seed =
+            Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
+        let mut a = GroundTruthOracle::new(&labels, 0.8);
+        let mut b = GroundTruthOracle::new(&labels, 0.8);
+        let mut annotators: Vec<&mut dyn Oracle> = vec![&mut a, &mut b];
+        let run = darwin.run_parallel(seed, &mut annotators, 1);
+        // Within the single round, the two questions must cover
+        // substantially different new sentences.
+        if run.trace.len() == 2 {
+            let c0 = run.trace[0].rule.coverage(&corpus);
+            let c1 = run.trace[1].rule.coverage(&corpus);
+            let shared = c0.iter().filter(|x| c1.contains(x)).count();
+            assert!(shared * 2 <= c0.len().max(c1.len()), "near-duplicate batch");
+        }
+    }
+
+    #[test]
+    fn majority_oracle_outvotes_one_bad_member() {
+        let (corpus, labels) = fixture();
+        // Two reliable members and one error-prone k=2 annotator.
+        let m1 = Box::new(GroundTruthOracle::new(&labels, 0.8));
+        let m2 = Box::new(GroundTruthOracle::new(&labels, 0.8));
+        let m3 = Box::new(SampledAnnotatorOracle::new(&labels, 2, 5));
+        let mut crowd = MajorityOracle::new(vec![m1, m2, m3]);
+        let rule = Heuristic::phrase(&corpus, "shuttle").unwrap();
+        let cov = rule.coverage(&corpus);
+        assert!(crowd.ask(&corpus, &rule, &cov), "precise rule accepted by majority");
+        let junk = Heuristic::phrase(&corpus, "the").unwrap();
+        let jcov = junk.coverage(&corpus);
+        assert!(!crowd.ask(&corpus, &junk, &jcov));
+        assert_eq!(crowd.queries(), 2);
+        assert_eq!(crowd.cost_cents(), 2 * 3 * 2, "paper cost model: 2¢ × 3 members");
+    }
+}

@@ -1,0 +1,256 @@
+//! The `cause-effect` dataset (SemEval-2010 task 8 style): positives
+//! describe a cause→effect relation between two entities. 10.7K sentences,
+//! 12.2% positive, relation extraction.
+//!
+//! The Figure 11 traversal story is wired in: `caused by` and `triggered
+//! by` are precise, but bare `by` is swamped by passive non-causal
+//! negatives ("written by", "painted by", "paid by card", "by the door"),
+//! so a traversal that generalizes `has been caused by → by` must
+//! re-specialize (`by → triggered by`).
+
+use crate::gen::{Bank, Family, Spec};
+use crate::{Dataset, Task};
+
+static BANKS: &[Bank] = &[
+    (
+        "EVENT",
+        &[
+            "the outage", "the flood", "the fire", "the delay", "the crash", "the shortage",
+            "the epidemic", "the collapse", "the blackout", "the landslide", "the recession",
+            "the explosion", "the famine", "the erosion",
+        ],
+    ),
+    (
+        "AGENT",
+        &[
+            "the storm", "lightning", "a gas leak", "the earthquake", "heavy rain", "a virus",
+            "the drought", "a short circuit", "the strike", "overheating", "a software bug",
+            "the frost", "high winds", "corrosion",
+        ],
+    ),
+    ("NAME", &["marlowe", "okafor", "petrov", "tanaka", "silva", "keller", "moreau", "novak"]),
+    ("THING", &["the novel", "the mural", "the bridge", "the cathedral", "the portrait", "the score"]),
+    ("PLACE", &["the valley", "the coast", "the station", "the harbor", "the old town"]),
+];
+
+static POS: &[Family] = &[
+    Family {
+        key: "caused-by",
+        weight: 3.0,
+        templates: &[
+            "{EVENT} was caused by {AGENT}",
+            "{EVENT} has been caused by {AGENT}",
+            "officials said {EVENT} was caused by {AGENT}",
+            "{EVENT} in {PLACE} was caused by {AGENT}",
+        ],
+    },
+    Family {
+        key: "caused",
+        weight: 2.4,
+        templates: &[
+            "{AGENT} caused {EVENT}",
+            "{AGENT} caused {EVENT} in {PLACE}",
+            "{AGENT} caused {EVENT} within hours",
+        ],
+    },
+    Family {
+        key: "triggered",
+        weight: 2.0,
+        templates: &[
+            "{EVENT} was triggered by {AGENT}",
+            "{AGENT} triggered {EVENT} in {PLACE}",
+            "{EVENT} appears to have been triggered by {AGENT}",
+        ],
+    },
+    Family {
+        key: "led-to",
+        weight: 1.7,
+        templates: &[
+            "{AGENT} led to {EVENT}",
+            "{AGENT} eventually led to {EVENT} in {PLACE}",
+        ],
+    },
+    Family {
+        key: "resulted",
+        weight: 1.5,
+        templates: &[
+            "{AGENT} resulted in {EVENT}",
+            "{EVENT} resulted from {AGENT}",
+        ],
+    },
+    Family {
+        key: "due-to",
+        weight: 1.3,
+        templates: &[
+            "{EVENT} was due to {AGENT}",
+            "{EVENT} in {PLACE} was largely due to {AGENT}",
+        ],
+    },
+    Family {
+        key: "because-of",
+        weight: 1.1,
+        templates: &[
+            "{EVENT} happened because of {AGENT}",
+            "because of {AGENT} , {EVENT} spread to {PLACE}",
+        ],
+    },
+    Family {
+        key: "induces",
+        weight: 0.9,
+        templates: &[
+            "{AGENT} induces {EVENT}",
+            "researchers showed that {AGENT} induces {EVENT}",
+        ],
+    },
+    Family {
+        key: "blamed-on",
+        weight: 0.8,
+        templates: &[
+            "{EVENT} was blamed on {AGENT}",
+            "investigators blamed {EVENT} on {AGENT}",
+        ],
+    },
+    Family {
+        key: "stems-from",
+        weight: 0.7,
+        templates: &["{EVENT} stems from {AGENT}", "{EVENT} in {PLACE} stems from {AGENT}"],
+    },
+];
+
+static NEG: &[Family] = &[
+    Family {
+        key: "written-by",
+        weight: 2.6,
+        templates: &[
+            "{THING} was written by {NAME}",
+            "{THING} was written by {NAME} in exile",
+            "a preface was written by {NAME}",
+        ],
+    },
+    Family {
+        key: "made-by",
+        weight: 2.3,
+        templates: &[
+            "{THING} was painted by {NAME}",
+            "{THING} was designed by {NAME}",
+            "{THING} was restored by {NAME} last spring",
+        ],
+    },
+    Family {
+        key: "by-location",
+        weight: 2.0,
+        templates: &[
+            "the inn stands by the harbor",
+            "they waited by the door of the station",
+            "a path runs by {PLACE}",
+        ],
+    },
+    Family {
+        key: "paid-by",
+        weight: 1.7,
+        templates: &[
+            "the fee can be paid by card",
+            "tickets are sold by the dozen",
+            "the room was booked by {NAME}",
+        ],
+    },
+    Family {
+        key: "travel-by",
+        weight: 1.5,
+        templates: &[
+            "{NAME} traveled by train to {PLACE}",
+            "goods arrive by ship at {PLACE}",
+        ],
+    },
+    Family {
+        key: "descriptive",
+        weight: 2.1,
+        templates: &[
+            "{THING} attracts visitors to {PLACE}",
+            "{NAME} lived near {PLACE} for years",
+            "{PLACE} is known for its markets",
+            "{THING} was admired across the region",
+        ],
+    },
+    Family {
+        key: "reports",
+        weight: 1.6,
+        templates: &[
+            "{NAME} reported on {EVENT} for the paper",
+            "a committee reviewed {EVENT} last month",
+            "{EVENT} was discussed at the council",
+        ],
+    },
+    Family {
+        key: "recovery",
+        weight: 1.2,
+        templates: &[
+            "crews repaired the damage after {EVENT}",
+            "{PLACE} reopened weeks after {EVENT}",
+        ],
+    },
+];
+
+pub fn spec() -> Spec {
+    Spec {
+        name: "cause-effect",
+        task: Task::Relations,
+        positive_rate: 0.122,
+        pos_families: POS,
+        neg_families: NEG,
+        banks: BANKS,
+        keywords: &[
+            "caused", "cause", "triggered", "led", "resulted", "due", "because", "induces",
+            "blamed", "effect",
+        ],
+        seed_rules: &["has been caused by", "caused by", "triggered by"],
+    }
+}
+
+/// Generate the dataset at `n` sentences (paper size: 10 700).
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    spec().generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_grammar::Heuristic;
+
+    fn precision(d: &Dataset, rule: &str) -> (f64, usize) {
+        let cov = Heuristic::phrase(&d.corpus, rule).unwrap().coverage(&d.corpus);
+        let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
+        (pos as f64 / cov.len().max(1) as f64, cov.len())
+    }
+
+    #[test]
+    fn matches_table1_statistics() {
+        let d = generate(10_700, 42);
+        let s = d.stats();
+        assert_eq!(s.sentences, 10_700);
+        assert!((s.positive_pct - 12.2).abs() < 0.2, "pct {}", s.positive_pct);
+        assert_eq!(s.task, Task::Relations);
+    }
+
+    #[test]
+    fn figure11_precision_structure() {
+        let d = generate(10_700, 42);
+        let (p_caused_by, _) = precision(&d, "caused by");
+        let (p_triggered_by, _) = precision(&d, "triggered by");
+        let (p_by, n_by) = precision(&d, "by");
+        assert!(p_caused_by >= 0.95, "caused by: {p_caused_by}");
+        assert!(p_triggered_by >= 0.95, "triggered by: {p_triggered_by}");
+        assert!(p_by < 0.8, "bare 'by' must be noisy: {p_by} over {n_by}");
+        assert!(n_by > 1000, "'by' must be high-coverage");
+    }
+
+    #[test]
+    fn seed_rule_generalization_chain_exists() {
+        // Figure 11: has been caused by -> caused by -> by -> triggered by.
+        let d = generate(10_700, 42);
+        for rule in ["has been caused by", "caused by", "by", "triggered by"] {
+            let h = Heuristic::phrase(&d.corpus, rule).unwrap();
+            assert!(!h.coverage(&d.corpus).is_empty(), "{rule}");
+        }
+    }
+}

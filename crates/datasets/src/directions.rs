@@ -1,0 +1,372 @@
+//! The `directions` dataset (paper Example 1): questions submitted by hotel
+//! guests; positives ask for directions or transportation between locations.
+//! 15.3K sentences, 3.8% positive, intent classification.
+//!
+//! Design notes (mirrors the paper's anecdotes):
+//! * `best way to` is **imprecise** — it also heads "best way to order
+//!   food" negatives; `best way to get to` is precise.
+//! * `uber` is imprecise ("uber eats" negatives); `uber to` is precise.
+//! * `shuttle` and `bart` are precise unigrams with no token overlap with
+//!   the default seed — Figure 8 removes `shuttle` from the seed sample to
+//!   test generalization.
+
+use crate::gen::{Bank, Family, Spec};
+use crate::{Dataset, Task};
+
+static BANKS: &[Bank] = &[
+    (
+        "PLACE",
+        &[
+            "the airport", "the hotel", "downtown", "the pier", "union square", "the stadium",
+            "the museum", "the convention center", "the city center", "the train station",
+            "the ferry building", "the mall", "the beach", "the aquarium", "the park",
+            "the theater", "chinatown", "the wharf", "the university", "the gardens",
+        ],
+    ),
+    ("CITY", &["sfo", "oakland", "berkeley", "san jose", "palo alto", "sausalito", "daly city"]),
+    (
+        "FOOD",
+        &[
+            "pizza", "sushi", "breakfast", "dinner", "room service", "a burger", "pasta",
+            "dessert", "coffee", "sandwiches",
+        ],
+    ),
+    ("TIME", &["tonight", "tomorrow", "this evening", "at noon", "in the morning", "right now"]),
+    ("SERVICE", &["the spa", "the gym", "the pool", "laundry service", "housekeeping", "the bar"]),
+];
+
+static POS: &[Family] = &[
+    Family {
+        key: "best-way-get",
+        weight: 3.0,
+        templates: &[
+            "what is the best way to get to {PLACE} ?",
+            "what is the best way to get to {PLACE} from the hotel ?",
+            "what would be the best way to get to {CITY} {TIME} ?",
+            "is driving the best way to get to {PLACE} ?",
+        ],
+    },
+    Family {
+        key: "how-get",
+        weight: 2.6,
+        templates: &[
+            "how do i get to {PLACE} from here ?",
+            "how do we get to {PLACE} {TIME} ?",
+            "how can i get to {CITY} from the hotel ?",
+            "how do i get from {PLACE} to {PLACE} ?",
+        ],
+    },
+    Family {
+        key: "shuttle",
+        weight: 2.2,
+        templates: &[
+            "is there a shuttle to {PLACE} ?",
+            "does the hotel run a shuttle to the airport ?",
+            "what time does the shuttle to {PLACE} leave ?",
+            "can i book the shuttle to {CITY} {TIME} ?",
+            "is the airport shuttle free for guests ?",
+        ],
+    },
+    Family {
+        key: "uber-taxi",
+        weight: 2.0,
+        templates: &[
+            "is uber the fastest way to get to {PLACE} ?",
+            "should i take a taxi or uber to {CITY} ?",
+            "how much is a taxi to {PLACE} from the hotel ?",
+            "can you call me an uber to {PLACE} {TIME} ?",
+        ],
+    },
+    Family {
+        key: "bart",
+        weight: 1.8,
+        templates: &[
+            "is there a bart from {CITY} to the hotel ?",
+            "which bart station is closest to {PLACE} ?",
+            "does the bart run to {CITY} {TIME} ?",
+            "how late does the bart to {CITY} run ?",
+        ],
+    },
+    Family {
+        key: "bus",
+        weight: 1.6,
+        templates: &[
+            "which bus goes to {PLACE} ?",
+            "is there a bus from the hotel to {PLACE} ?",
+            "where do i catch the bus to {CITY} ?",
+            "does the bus to {PLACE} stop near the hotel ?",
+        ],
+    },
+    Family {
+        key: "directions",
+        weight: 1.5,
+        templates: &[
+            "can you give me directions to {PLACE} ?",
+            "i need directions to {PLACE} from the hotel",
+            "could you print directions to {CITY} for me ?",
+        ],
+    },
+    Family {
+        key: "walk",
+        weight: 1.3,
+        templates: &[
+            "can i walk to {PLACE} from here ?",
+            "is it possible to walk to {PLACE} or should i drive ?",
+            "how long is the walk to {PLACE} ?",
+        ],
+    },
+    Family {
+        key: "distance",
+        weight: 1.1,
+        templates: &[
+            "how far is {PLACE} from the hotel ?",
+            "how far away is {CITY} ?",
+            "what is the distance from the hotel to {PLACE} ?",
+        ],
+    },
+    Family {
+        key: "train",
+        weight: 1.0,
+        templates: &[
+            "is there a train to {CITY} from here ?",
+            "where is the nearest train to {CITY} ?",
+            "what time is the last train to {CITY} ?",
+        ],
+    },
+    Family {
+        key: "ferry",
+        weight: 0.8,
+        templates: &[
+            "does the ferry go to {CITY} ?",
+            "where do we board the ferry to {CITY} ?",
+        ],
+    },
+    Family {
+        key: "rental-drive",
+        weight: 0.7,
+        templates: &[
+            "should i rent a car to drive to {CITY} ?",
+            "how long is the drive to {CITY} from the hotel ?",
+        ],
+    },
+    Family {
+        key: "transfer",
+        weight: 0.6,
+        templates: &[
+            "do you arrange transfers to the airport {TIME} ?",
+            "can the hotel arrange a transfer to {PLACE} ?",
+        ],
+    },
+];
+
+static NEG: &[Family] = &[
+    Family {
+        key: "order-food",
+        weight: 3.0,
+        templates: &[
+            "what is the best way to order {FOOD} ?",
+            "what is the best way to order {FOOD} from you ?",
+            "can i order {FOOD} to the room {TIME} ?",
+            "how do i order {FOOD} from the restaurant ?",
+        ],
+    },
+    Family {
+        key: "check-in",
+        weight: 2.6,
+        templates: &[
+            "what is the best way to check in there ?",
+            "can we check in early {TIME} ?",
+            "how late can i check in ?",
+            "is online check in available ?",
+        ],
+    },
+    Family {
+        key: "uber-eats",
+        weight: 2.0,
+        templates: &[
+            "would uber eats be the fastest way to order ?",
+            "does uber eats deliver {FOOD} to the hotel ?",
+            "can i get {FOOD} on uber eats {TIME} ?",
+        ],
+    },
+    Family {
+        key: "amenities",
+        weight: 2.2,
+        templates: &[
+            "what time does {SERVICE} open {TIME} ?",
+            "is {SERVICE} free for guests ?",
+            "how do i book {SERVICE} for {TIME} ?",
+            "where is {SERVICE} located in the hotel ?",
+        ],
+    },
+    Family {
+        key: "wifi",
+        weight: 1.8,
+        templates: &[
+            "what is the wifi password ?",
+            "is the wifi free in the rooms ?",
+            "the wifi is not working in my room",
+        ],
+    },
+    Family {
+        key: "billing",
+        weight: 1.6,
+        templates: &[
+            "can i get a receipt for my stay ?",
+            "why was my card charged twice ?",
+            "what is the best way to settle the bill ?",
+        ],
+    },
+    Family {
+        key: "restaurant-rec",
+        weight: 1.7,
+        templates: &[
+            "can you recommend a place for {FOOD} ?",
+            "what is the best {FOOD} near the hotel ?",
+            "any good places for {FOOD} {TIME} ?",
+        ],
+    },
+    Family {
+        key: "housekeeping",
+        weight: 1.4,
+        templates: &[
+            "can housekeeping bring extra towels {TIME} ?",
+            "please send housekeeping to my room",
+            "when does housekeeping clean the rooms ?",
+        ],
+    },
+    Family {
+        key: "luggage",
+        weight: 1.2,
+        templates: &[
+            "can you store my luggage after checkout ?",
+            "where can i leave my luggage {TIME} ?",
+        ],
+    },
+    Family {
+        key: "booking",
+        weight: 1.3,
+        templates: &[
+            "can i extend my stay by one night ?",
+            "how do i cancel my reservation ?",
+            "is a late checkout possible {TIME} ?",
+        ],
+    },
+    Family {
+        key: "events",
+        weight: 1.0,
+        templates: &[
+            "what events are happening {TIME} ?",
+            "is there live music at the bar {TIME} ?",
+        ],
+    },
+    Family {
+        key: "smalltalk",
+        weight: 0.9,
+        templates: &[
+            "what is the weather like {TIME} ?",
+            "thank you so much for the help",
+            "the room is wonderful , thanks",
+        ],
+    },
+    Family {
+        key: "parking",
+        weight: 1.1,
+        templates: &[
+            "how much is parking per night ?",
+            "is valet parking available {TIME} ?",
+        ],
+    },
+];
+
+/// The generation spec (exposed for tests and custom sizes).
+pub fn spec() -> Spec {
+    Spec {
+        name: "directions",
+        task: Task::Intents,
+        positive_rate: 0.038,
+        pos_families: POS,
+        neg_families: NEG,
+        banks: BANKS,
+        keywords: &[
+            "way", "get", "shuttle", "bus", "taxi", "directions", "airport", "train", "walk",
+            "far",
+        ],
+        seed_rules: &["best way to get to", "shuttle to", "how do i get to"],
+    }
+}
+
+/// Generate the dataset at `n` sentences (paper size: 15 300).
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    spec().generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_grammar::Heuristic;
+
+    #[test]
+    fn matches_table1_statistics() {
+        let d = generate(15_300, 42);
+        let s = d.stats();
+        assert_eq!(s.sentences, 15_300);
+        assert!((s.positive_pct - 3.8).abs() < 0.15, "pct {}", s.positive_pct);
+        assert_eq!(s.task, Task::Intents);
+    }
+
+    #[test]
+    fn seed_rule_is_precise() {
+        let d = generate(8000, 42);
+        let h = Heuristic::phrase(&d.corpus, "best way to get to").unwrap();
+        let cov = h.coverage(&d.corpus);
+        assert!(!cov.is_empty());
+        let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!(pos as f64 / cov.len() as f64 >= 0.95, "{pos}/{}", cov.len());
+    }
+
+    #[test]
+    fn best_way_to_is_imprecise() {
+        let d = generate(8000, 42);
+        let h = Heuristic::phrase(&d.corpus, "best way to").unwrap();
+        let cov = h.coverage(&d.corpus);
+        let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
+        let prec = pos as f64 / cov.len() as f64;
+        assert!(prec < 0.8, "bare 'best way to' must fail the oracle: {prec}");
+    }
+
+    #[test]
+    fn shuttle_is_precise_and_disjoint_from_seed() {
+        let d = generate(8000, 42);
+        let h = Heuristic::phrase(&d.corpus, "shuttle").unwrap();
+        let cov = h.coverage(&d.corpus);
+        let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!(pos as f64 / cov.len() as f64 >= 0.9);
+        // No token overlap with the default seed rule "best way to get to":
+        let seed = Heuristic::phrase(&d.corpus, "best way to get to").unwrap();
+        let seed_cov: std::collections::HashSet<u32> =
+            seed.coverage(&d.corpus).into_iter().collect();
+        let overlap = cov.iter().filter(|i| seed_cov.contains(i)).count();
+        assert!((overlap as f64) / (cov.len() as f64) < 0.2);
+    }
+
+    #[test]
+    fn uber_is_imprecise_uber_to_is_precise() {
+        let d = generate(10_000, 42);
+        let uber = Heuristic::phrase(&d.corpus, "uber").unwrap().coverage(&d.corpus);
+        let pos = uber.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!((pos as f64) / (uber.len() as f64) < 0.8, "'uber' alone too precise");
+    }
+
+    #[test]
+    fn positives_spread_over_many_families() {
+        let d = generate(15_300, 42);
+        let mut fams = std::collections::HashSet::new();
+        for i in 0..d.len() {
+            if d.labels[i] {
+                fams.insert(d.family[i]);
+            }
+        }
+        assert!(fams.len() >= 12, "positive families: {}", fams.len());
+    }
+}

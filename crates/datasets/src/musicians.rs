@@ -1,0 +1,295 @@
+//! The `musicians` dataset: Wikipedia-style sentences; positives mention
+//! musicians (entity extraction, ground truth via NELL in the paper).
+//! 15.8K sentences, 10% positive.
+//!
+//! `composer` is a precise, high-coverage keyword (Figure 8 excludes it
+//! from the biased seed; Figure 12b uses it as seed Rule 1, `piano` as
+//! Rule 2 and a full sentence as Rule 3). Negatives include painters,
+//! scientists and athletes whose templates share verbs (`performed`,
+//! `played`, `famous`) so bare verbs are imprecise.
+
+use crate::gen::{Bank, Family, Spec};
+use crate::{Dataset, Task};
+
+static BANKS: &[Bank] = &[
+    (
+        "NAME",
+        &[
+            "holst", "elgar", "varga", "lindqvist", "okafor", "marini", "petrov", "tanaka",
+            "moreau", "silva", "novak", "keller", "ibanez", "fontaine", "olsen", "drummond",
+            "castile", "werner", "alvarez", "kimura",
+        ],
+    ),
+    (
+        "WORK",
+        &[
+            "the fourth symphony", "a nocturne in g minor", "the chamber suite", "an early opera",
+            "the string quartet", "a piano concerto", "the folk cycle", "a choral mass",
+            "the second sonata", "a ballet score",
+        ],
+    ),
+    ("CITY", &["vienna", "prague", "leipzig", "milan", "lisbon", "krakow", "bergen", "kyoto"]),
+    ("YEAR", &["1781", "1804", "1837", "1862", "1891", "1910", "1924", "1947", "1969", "1983"]),
+    (
+        "INSTRUMENT",
+        &["piano", "violin", "cello", "flute", "organ", "guitar", "clarinet", "harp"],
+    ),
+    ("FIELD", &["physics", "chemistry", "botany", "geology", "astronomy", "medicine"]),
+    ("TEAM", &["united", "rovers", "city", "athletic", "wanderers"]),
+];
+
+static POS: &[Family] = &[
+    Family {
+        key: "composer",
+        weight: 3.0,
+        templates: &[
+            "the composer {NAME} wrote {WORK} in {YEAR}",
+            "{NAME} was a composer from {CITY}",
+            "as a composer , {NAME} completed {WORK}",
+            "{NAME} worked as a court composer in {CITY}",
+        ],
+    },
+    Family {
+        key: "composed",
+        weight: 2.4,
+        templates: &[
+            "{NAME} composed {WORK} in {YEAR}",
+            "{NAME} composed {WORK} for the {CITY} orchestra",
+        ],
+    },
+    Family {
+        key: "piano",
+        weight: 2.2,
+        templates: &[
+            "{NAME} taught piano to the children of a countess",
+            "{NAME} studied piano in {CITY} from {YEAR}",
+            "the piano works of {NAME} were published in {YEAR}",
+            "{NAME} gave piano recitals across europe",
+        ],
+    },
+    Family {
+        key: "instrumentalist",
+        weight: 2.0,
+        templates: &[
+            "the {INSTRUMENT} virtuoso {NAME} toured {CITY} in {YEAR}",
+            "{NAME} played {INSTRUMENT} in the royal orchestra",
+            "{NAME} was principal {INSTRUMENT} of the {CITY} philharmonic",
+        ],
+    },
+    Family {
+        key: "singer",
+        weight: 1.7,
+        templates: &[
+            "the singer {NAME} debuted at the {CITY} opera in {YEAR}",
+            "{NAME} sang the lead role in {WORK}",
+        ],
+    },
+    Family {
+        key: "album",
+        weight: 1.5,
+        templates: &[
+            "{NAME} released an album recorded in {CITY}",
+            "the debut album by {NAME} appeared in {YEAR}",
+        ],
+    },
+    Family {
+        key: "conductor",
+        weight: 1.3,
+        templates: &[
+            "{NAME} conducted the {CITY} symphony from {YEAR}",
+            "as conductor , {NAME} premiered {WORK}",
+        ],
+    },
+    Family {
+        key: "band",
+        weight: 1.1,
+        templates: &[
+            "{NAME} founded a band in {CITY} in {YEAR}",
+            "the band led by {NAME} toured until {YEAR}",
+        ],
+    },
+    Family {
+        key: "songwriter",
+        weight: 0.9,
+        templates: &[
+            "{NAME} wrote songs for the {CITY} stage",
+            "the songwriter {NAME} penned {WORK}",
+        ],
+    },
+    Family {
+        key: "opera",
+        weight: 0.8,
+        templates: &[
+            "the opera by {NAME} premiered in {CITY}",
+            "{NAME} finished an opera based on a folk tale",
+        ],
+    },
+];
+
+static NEG: &[Family] = &[
+    Family {
+        key: "painter",
+        weight: 2.6,
+        templates: &[
+            "the painter {NAME} exhibited in {CITY} in {YEAR}",
+            "{NAME} painted portraits of the court in {CITY}",
+            "a mural by {NAME} was restored in {YEAR}",
+        ],
+    },
+    Family {
+        key: "scientist",
+        weight: 2.4,
+        templates: &[
+            "{NAME} published a study of {FIELD} in {YEAR}",
+            "the {FIELD} professor {NAME} lectured in {CITY}",
+            "{NAME} was awarded a prize for {FIELD} in {YEAR}",
+        ],
+    },
+    Family {
+        key: "athlete",
+        weight: 2.2,
+        templates: &[
+            "{NAME} played for {TEAM} until {YEAR}",
+            "{NAME} captained {TEAM} in the {YEAR} season",
+            "the striker {NAME} signed with {TEAM}",
+        ],
+    },
+    Family {
+        key: "actor",
+        weight: 1.8,
+        templates: &[
+            "{NAME} performed on the {CITY} stage in a drama",
+            "the actor {NAME} starred in a silent film in {YEAR}",
+        ],
+    },
+    Family {
+        key: "writer",
+        weight: 1.7,
+        templates: &[
+            "{NAME} wrote a novel set in {CITY}",
+            "the essays of {NAME} appeared in {YEAR}",
+        ],
+    },
+    Family {
+        key: "politician",
+        weight: 1.5,
+        templates: &[
+            "{NAME} was elected mayor of {CITY} in {YEAR}",
+            "{NAME} served in parliament from {YEAR}",
+        ],
+    },
+    Family {
+        key: "architect",
+        weight: 1.2,
+        templates: &[
+            "{NAME} designed a bridge completed in {YEAR}",
+            "the {CITY} hall was designed by {NAME}",
+        ],
+    },
+    Family {
+        key: "explorer",
+        weight: 1.0,
+        templates: &[
+            "{NAME} mapped the coast near {CITY} in {YEAR}",
+            "the expedition of {NAME} reached the interior in {YEAR}",
+        ],
+    },
+    Family {
+        key: "chef",
+        weight: 0.9,
+        templates: &[
+            "{NAME} opened a restaurant in {CITY} in {YEAR}",
+            "the chef {NAME} earned two stars in {YEAR}",
+        ],
+    },
+    Family {
+        key: "generic-history",
+        weight: 1.6,
+        templates: &[
+            "the {CITY} archive was founded in {YEAR}",
+            "a flood damaged {CITY} in {YEAR}",
+            "the {CITY} university opened its {FIELD} faculty in {YEAR}",
+        ],
+    },
+];
+
+pub fn spec() -> Spec {
+    Spec {
+        name: "musicians",
+        task: Task::Entities,
+        positive_rate: 0.10,
+        pos_families: POS,
+        neg_families: NEG,
+        banks: BANKS,
+        keywords: &[
+            "composer", "piano", "orchestra", "opera", "album", "band", "symphony", "violin",
+            "singer", "conducted",
+        ],
+        seed_rules: &[
+            "composer",
+            "piano",
+            "taught piano to the children of a countess",
+        ],
+    }
+}
+
+/// Generate the dataset at `n` sentences (paper size: 15 800).
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    spec().generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_grammar::Heuristic;
+
+    #[test]
+    fn matches_table1_statistics() {
+        let d = generate(15_800, 42);
+        let s = d.stats();
+        assert_eq!(s.sentences, 15_800);
+        assert!((s.positive_pct - 10.0).abs() < 0.2, "pct {}", s.positive_pct);
+        assert_eq!(s.task, Task::Entities);
+    }
+
+    #[test]
+    fn composer_is_precise_high_coverage() {
+        let d = generate(10_000, 42);
+        let cov = Heuristic::phrase(&d.corpus, "composer").unwrap().coverage(&d.corpus);
+        let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!(pos as f64 / cov.len() as f64 >= 0.9);
+        assert!(cov.len() > 100, "coverage {}", cov.len());
+    }
+
+    #[test]
+    fn bare_played_is_imprecise() {
+        let d = generate(10_000, 42);
+        let cov = Heuristic::phrase(&d.corpus, "played").unwrap().coverage(&d.corpus);
+        let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
+        let prec = pos as f64 / cov.len() as f64;
+        assert!(prec < 0.8, "'played' should mix athletes and musicians: {prec}");
+    }
+
+    #[test]
+    fn wrote_is_imprecise_but_wrote_songs_precise() {
+        let d = generate(10_000, 42);
+        let wrote = Heuristic::phrase(&d.corpus, "wrote").unwrap().coverage(&d.corpus);
+        let wrote_pos = wrote.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!((wrote_pos as f64) / (wrote.len() as f64) < 0.8);
+        let songs = Heuristic::phrase(&d.corpus, "wrote songs").unwrap().coverage(&d.corpus);
+        let songs_pos = songs.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!(songs_pos as f64 / songs.len() as f64 >= 0.9);
+    }
+
+    #[test]
+    fn piano_seed_rules_have_coverage() {
+        let d = generate(15_800, 42);
+        for rule in d.seed_rules.iter() {
+            let h = Heuristic::phrase(&d.corpus, rule).unwrap();
+            assert!(
+                h.coverage(&d.corpus).len() >= 2,
+                "seed rule {rule:?} must cover at least two sentences"
+            );
+        }
+    }
+}

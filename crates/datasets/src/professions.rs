@@ -1,0 +1,247 @@
+//! The `professions` dataset (ClueWeb style): positives mention a
+//! profession. Paper scale: 1M sentences, 1.1% positive — the stress test
+//! for indexing and the incremental re-scoring optimization (§4.5). The
+//! default experiment scale is 200K (pass `1_000_000` for the full run).
+//!
+//! The paper's example TreeMatch heuristic for this dataset is
+//! `/is/NOUN ∧ job`; templates like "her job is a {PROF}" exercise it.
+
+use crate::gen::{Bank, Family, Spec};
+use crate::{Dataset, Task};
+
+static BANKS: &[Bank] = &[
+    (
+        "PROF",
+        &[
+            "teacher", "nurse", "engineer", "scientist", "lawyer", "carpenter", "plumber",
+            "architect", "journalist", "librarian", "surgeon", "electrician", "accountant",
+            "pharmacist", "translator", "firefighter", "pilot", "veterinarian", "economist",
+            "geologist",
+        ],
+    ),
+    ("NAME", &["jordan", "casey", "riley", "morgan", "avery", "quinn", "reese", "rowan", "sasha", "devon"]),
+    (
+        "ORG",
+        &[
+            "the county hospital", "a local firm", "the high school", "the city lab",
+            "a shipping company", "the regional clinic", "a design studio", "the daily gazette",
+            "a construction outfit", "the public library",
+        ],
+    ),
+    ("CITY", &["austin", "denver", "portland", "madison", "raleigh", "tucson", "omaha", "boise"]),
+    (
+        "TOPIC",
+        &[
+            "the weather", "the playoffs", "a new phone", "the election", "gas prices",
+            "a recipe", "the traffic", "a movie", "the garden", "holiday plans",
+        ],
+    ),
+    ("NUM", &["two", "three", "five", "seven", "ten", "a dozen"]),
+];
+
+static POS: &[Family] = &[
+    Family {
+        key: "worked-as",
+        weight: 3.0,
+        templates: &[
+            "{NAME} worked as a {PROF} at {ORG}",
+            "{NAME} worked as a {PROF} in {CITY} for years",
+            "before that , {NAME} worked as a {PROF}",
+        ],
+    },
+    Family {
+        key: "job-is",
+        weight: 2.4,
+        templates: &[
+            "her job is a {PROF} position at {ORG}",
+            "his job is a {PROF} role in {CITY}",
+            "the job is a {PROF} post with benefits",
+        ],
+    },
+    Family {
+        key: "is-a-prof",
+        weight: 2.2,
+        templates: &[
+            "{NAME} is a {PROF} at {ORG}",
+            "{NAME} is a licensed {PROF} in {CITY}",
+            "my neighbor is a {PROF}",
+        ],
+    },
+    Family {
+        key: "hired",
+        weight: 1.8,
+        templates: &[
+            "{ORG} hired a new {PROF} last month",
+            "{NAME} was hired as a {PROF} by {ORG}",
+        ],
+    },
+    Family {
+        key: "career",
+        weight: 1.5,
+        templates: &[
+            "{NAME} built a career as a {PROF}",
+            "a career as a {PROF} takes training",
+        ],
+    },
+    Family {
+        key: "retired",
+        weight: 1.2,
+        templates: &[
+            "{NAME} retired after decades as a {PROF}",
+            "the {PROF} retired from {ORG} in {CITY}",
+        ],
+    },
+    Family {
+        key: "trained",
+        weight: 1.0,
+        templates: &[
+            "{NAME} trained as a {PROF} in {CITY}",
+            "it takes years to train as a {PROF}",
+        ],
+    },
+    Family {
+        key: "profession-of",
+        weight: 0.8,
+        templates: &[
+            "the profession of {PROF} is in demand",
+            "{NAME} chose the profession of {PROF}",
+        ],
+    },
+];
+
+static NEG: &[Family] = &[
+    Family {
+        key: "chatter",
+        weight: 3.0,
+        templates: &[
+            "everyone was talking about {TOPIC} today",
+            "{NAME} posted about {TOPIC} again",
+            "i can not believe {TOPIC} this week",
+            "{TOPIC} was the only news in {CITY}",
+        ],
+    },
+    Family {
+        key: "commerce",
+        weight: 2.6,
+        templates: &[
+            "the store in {CITY} sells {NUM} kinds of bread",
+            "shipping takes {NUM} days to {CITY}",
+            "prices rose {NUM} percent last quarter",
+        ],
+    },
+    Family {
+        key: "weather",
+        weight: 2.2,
+        templates: &[
+            "rain is expected in {CITY} for {NUM} days",
+            "the forecast for {CITY} looks clear",
+        ],
+    },
+    Family {
+        key: "sports",
+        weight: 2.0,
+        templates: &[
+            "{CITY} won by {NUM} points last night",
+            "the {CITY} game went to overtime",
+        ],
+    },
+    Family {
+        key: "travel",
+        weight: 1.7,
+        templates: &[
+            "{NAME} drove from {CITY} to {CITY} overnight",
+            "the flight to {CITY} was delayed {NUM} hours",
+        ],
+    },
+    Family {
+        key: "food",
+        weight: 1.5,
+        templates: &[
+            "the diner in {CITY} serves breakfast all day",
+            "{NAME} tried {NUM} new restaurants in {CITY}",
+        ],
+    },
+    Family {
+        key: "job-nearmiss",
+        weight: 1.1,
+        templates: &[
+            "the print job is stuck in the queue again",
+            "a paint job like that costs {NUM} hundred",
+            "the repair job on the deck took {NUM} days",
+        ],
+    },
+    Family {
+        key: "worked-nearmiss",
+        weight: 1.0,
+        templates: &[
+            "{NAME} worked on the garden all weekend",
+            "the trick worked on the second try",
+        ],
+    },
+];
+
+pub fn spec() -> Spec {
+    Spec {
+        name: "professions",
+        task: Task::Entities,
+        positive_rate: 0.011,
+        pos_families: POS,
+        neg_families: NEG,
+        banks: BANKS,
+        keywords: &[
+            "job", "worked", "career", "hired", "teacher", "nurse", "engineer", "profession",
+            "retired", "trained",
+        ],
+        seed_rules: &["worked as a", "is a teacher", "career as a"],
+    }
+}
+
+/// Generate the dataset at `n` sentences (paper size: 1 000 000; default
+/// experiments use 200 000).
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    spec().generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_grammar::Heuristic;
+
+    #[test]
+    fn matches_table1_statistics() {
+        let d = generate(50_000, 42);
+        let s = d.stats();
+        assert!((s.positive_pct - 1.1).abs() < 0.1, "pct {}", s.positive_pct);
+        assert_eq!(s.task, Task::Entities);
+    }
+
+    #[test]
+    fn worked_as_precise_bare_job_imprecise() {
+        let d = generate(40_000, 42);
+        let wa = Heuristic::phrase(&d.corpus, "worked as a").unwrap().coverage(&d.corpus);
+        let wa_pos = wa.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!(wa_pos as f64 / wa.len() as f64 >= 0.95);
+        let job = Heuristic::phrase(&d.corpus, "job").unwrap().coverage(&d.corpus);
+        let job_pos = job.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!((job_pos as f64) / (job.len() as f64) < 0.8, "'job' has near-miss negatives");
+    }
+
+    #[test]
+    fn treematch_job_pattern_fires() {
+        let d = generate(5_000, 42);
+        // The paper's professions heuristic style: a NOUN child under "is"
+        // plus "job" nearby in the tree.
+        let h = Heuristic::tree(&d.corpus, "is/NOUN").unwrap();
+        assert!(!h.coverage(&d.corpus).is_empty());
+    }
+
+    #[test]
+    fn severe_imbalance() {
+        let d = generate(30_000, 42);
+        // A 25-sentence random sample rarely contains even one positive —
+        // the imbalanced-setting motivation from the paper's introduction.
+        let sample = d.seed_sample(25, 9);
+        let pos = sample.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!(pos <= 3);
+    }
+}

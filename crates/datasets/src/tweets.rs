@@ -1,0 +1,285 @@
+//! The `tweets` dataset (Wang et al. intent benchmark): classify tweet
+//! intent into categories; the paper evaluates the Food intent (11.4%
+//! positive over 2130 tweets) and reports similar results for Travel and
+//! Career.
+
+use crate::gen::{Bank, Family, Spec};
+use crate::{Dataset, Task};
+
+/// Which intent is the positive class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Intent {
+    Food,
+    Travel,
+    Career,
+}
+
+impl Intent {
+    pub fn name(self) -> &'static str {
+        match self {
+            Intent::Food => "food",
+            Intent::Travel => "travel",
+            Intent::Career => "career",
+        }
+    }
+}
+
+static BANKS: &[Bank] = &[
+    (
+        "FOOD",
+        &[
+            "tacos", "pizza", "ramen", "sushi", "wings", "pancakes", "dumplings", "bbq",
+            "pho", "burritos", "ice cream", "fried chicken",
+        ],
+    ),
+    ("MEAL", &["lunch", "dinner", "brunch", "breakfast", "a late snack"]),
+    ("CITY", &["austin", "nyc", "chicago", "seattle", "miami", "denver", "la", "portland"]),
+    ("PLACE", &["the beach", "the mountains", "the coast", "the lake", "the desert"]),
+    ("JOB", &["internship", "job", "gig", "position", "role"]),
+    ("COMPANY", &["the startup", "a big firm", "the lab", "the agency", "the studio"]),
+    ("MOOD", &["so bad", "right now", "today", "tonight", "all week", "again"]),
+    ("SHOW", &["the finale", "that new show", "the game", "the concert", "the match"]),
+];
+
+static FOOD_FAMS: &[Family] = &[
+    Family {
+        key: "craving",
+        weight: 3.0,
+        templates: &[
+            "craving {FOOD} {MOOD}",
+            "seriously craving {FOOD} {MOOD}",
+            "been craving {FOOD} since monday",
+        ],
+    },
+    Family {
+        key: "grab-meal",
+        weight: 2.4,
+        templates: &[
+            "anyone want to grab {MEAL} downtown ?",
+            "who wants to grab {FOOD} for {MEAL} ?",
+            "lets grab {FOOD} after class",
+        ],
+    },
+    Family {
+        key: "where-eat",
+        weight: 2.0,
+        templates: &[
+            "where can i find good {FOOD} in {CITY} ?",
+            "best {FOOD} spot in {CITY} ? asking for me",
+            "need a {MEAL} place near campus",
+        ],
+    },
+    Family {
+        key: "hungry",
+        weight: 1.6,
+        templates: &[
+            "so hungry i could eat {FOOD} forever",
+            "starving , someone bring {FOOD}",
+        ],
+    },
+    Family {
+        key: "cooking",
+        weight: 1.2,
+        templates: &[
+            "making {FOOD} from scratch tonight",
+            "trying a new {FOOD} recipe for {MEAL}",
+        ],
+    },
+];
+
+static TRAVEL_FAMS: &[Family] = &[
+    Family {
+        key: "trip-plan",
+        weight: 2.6,
+        templates: &[
+            "planning a trip to {CITY} next month",
+            "booked flights to {CITY} for spring break",
+            "road trip to {PLACE} this weekend",
+        ],
+    },
+    Family {
+        key: "wanderlust",
+        weight: 1.8,
+        templates: &[
+            "i need a vacation at {PLACE} {MOOD}",
+            "take me back to {CITY} already",
+        ],
+    },
+    Family {
+        key: "travel-tips",
+        weight: 1.4,
+        templates: &[
+            "any tips for visiting {CITY} on a budget ?",
+            "what should i pack for {PLACE} ?",
+        ],
+    },
+];
+
+static CAREER_FAMS: &[Family] = &[
+    Family {
+        key: "job-hunt",
+        weight: 2.6,
+        templates: &[
+            "just applied for an {JOB} at {COMPANY}",
+            "interview for the {JOB} tomorrow , wish me luck",
+            "anyone hiring for a summer {JOB} in {CITY} ?",
+        ],
+    },
+    Family {
+        key: "job-news",
+        weight: 1.8,
+        templates: &[
+            "got the {JOB} at {COMPANY} !",
+            "first day at {COMPANY} went great",
+        ],
+    },
+    Family {
+        key: "career-advice",
+        weight: 1.3,
+        templates: &[
+            "how do you negotiate salary for a first {JOB} ?",
+            "resume tips for a {JOB} application ?",
+        ],
+    },
+];
+
+static CHATTER_FAMS: &[Family] = &[
+    Family {
+        key: "tv",
+        weight: 2.4,
+        templates: &[
+            "cannot believe {SHOW} ended like that",
+            "watching {SHOW} {MOOD}",
+            "no spoilers for {SHOW} please",
+        ],
+    },
+    Family {
+        key: "mood",
+        weight: 2.0,
+        templates: &[
+            "monday is not my day {MOOD}",
+            "feeling great {MOOD} honestly",
+            "why is the wifi down {MOOD}",
+        ],
+    },
+    Family {
+        key: "sports-chat",
+        weight: 1.6,
+        templates: &[
+            "what a game by {CITY} last night",
+            "refs ruined {SHOW} for everyone",
+        ],
+    },
+    Family {
+        key: "study",
+        weight: 1.4,
+        templates: &[
+            "finals week is destroying me {MOOD}",
+            "library till midnight {MOOD}",
+        ],
+    },
+];
+
+/// Generate with a chosen positive intent. The other two intents plus
+/// generic chatter form the negative mixture — so intent families overlap
+/// in tone but not in signature tokens.
+pub fn generate_intent(n: usize, intent: Intent, seed: u64) -> Dataset {
+    // Leak-free static assembly: pick families per intent.
+    let (pos, negs): (&'static [Family], [&'static [Family]; 3]) = match intent {
+        Intent::Food => (FOOD_FAMS, [TRAVEL_FAMS, CAREER_FAMS, CHATTER_FAMS]),
+        Intent::Travel => (TRAVEL_FAMS, [FOOD_FAMS, CAREER_FAMS, CHATTER_FAMS]),
+        Intent::Career => (CAREER_FAMS, [FOOD_FAMS, TRAVEL_FAMS, CHATTER_FAMS]),
+    };
+    // The Spec API wants a single &'static [Family] for negatives; build a
+    // leaked, de-duplicated list once per (intent) using a static cache.
+    let neg: &'static [Family] = cached_negs(intent, negs);
+    let spec = Spec {
+        name: match intent {
+            Intent::Food => "tweets-food",
+            Intent::Travel => "tweets-travel",
+            Intent::Career => "tweets-career",
+        },
+        task: Task::Intents,
+        positive_rate: 0.114,
+        pos_families: pos,
+        neg_families: neg,
+        banks: BANKS,
+        keywords: match intent {
+            Intent::Food => {
+                &["craving", "eat", "lunch", "dinner", "pizza", "hungry", "recipe", "grab", "spot", "tacos"]
+            }
+            Intent::Travel => {
+                &["trip", "vacation", "flights", "visit", "pack", "travel", "beach", "booked", "road", "break"]
+            }
+            Intent::Career => {
+                &["job", "interview", "hiring", "resume", "internship", "salary", "applied", "career", "offer", "work"]
+            }
+        },
+        seed_rules: match intent {
+            Intent::Food => &["craving", "grab lunch"],
+            Intent::Travel => &["trip to", "vacation"],
+            Intent::Career => &["applied for", "interview"],
+        },
+    };
+    spec.generate(n, seed)
+}
+
+fn cached_negs(intent: Intent, negs: [&'static [Family]; 3]) -> &'static [Family] {
+    use std::sync::OnceLock;
+    static FOOD: OnceLock<Vec<Family>> = OnceLock::new();
+    static TRAVEL: OnceLock<Vec<Family>> = OnceLock::new();
+    static CAREER: OnceLock<Vec<Family>> = OnceLock::new();
+    let cell = match intent {
+        Intent::Food => &FOOD,
+        Intent::Travel => &TRAVEL,
+        Intent::Career => &CAREER,
+    };
+    cell.get_or_init(|| negs.iter().flat_map(|f| f.iter().copied()).collect())
+}
+
+/// Default: the Food intent at the paper's 2130 tweets.
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    generate_intent(n, Intent::Food, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_grammar::Heuristic;
+
+    #[test]
+    fn matches_table1_statistics() {
+        let d = generate(2130, 42);
+        let s = d.stats();
+        assert_eq!(s.sentences, 2130);
+        assert!((s.positive_pct - 11.4).abs() < 0.3, "pct {}", s.positive_pct);
+    }
+
+    #[test]
+    fn craving_is_precise() {
+        let d = generate(2130, 42);
+        let cov = Heuristic::phrase(&d.corpus, "craving").unwrap().coverage(&d.corpus);
+        let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
+        assert!(pos as f64 / cov.len() as f64 >= 0.95);
+    }
+
+    #[test]
+    fn all_three_intents_generate() {
+        for intent in [Intent::Food, Intent::Travel, Intent::Career] {
+            let d = generate_intent(1000, intent, 7);
+            let pct = 100.0 * d.positives() as f64 / d.len() as f64;
+            assert!((pct - 11.4).abs() < 0.5, "{intent:?}: {pct}");
+            assert!(d.seed_rules.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn intents_do_not_share_positive_signatures() {
+        let food = generate_intent(2000, Intent::Food, 7);
+        // "craving" never appears in travel/career positives of the same
+        // underlying distribution: check against food negatives.
+        let cov = Heuristic::phrase(&food.corpus, "craving").unwrap().coverage(&food.corpus);
+        let neg_hits = cov.iter().filter(|&&i| !food.labels[i as usize]).count();
+        assert!(neg_hits <= cov.len() / 10);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-question measurement series.
+
+use serde::{Deserialize, Serialize};
+
+/// A measurement curve: y-values sampled at integer x-positions (question
+/// counts, seed-set sizes, epochs, …).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    pub label: String,
+    pub xs: Vec<usize>,
+    pub ys: Vec<f64>,
+}
+
+impl Curve {
+    pub fn new(label: impl Into<String>) -> Curve {
+        Curve { label: label.into(), xs: Vec::new(), ys: Vec::new() }
+    }
+
+    pub fn push(&mut self, x: usize, y: f64) {
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Step-function value at `x` (the last y with `xs ≤ x`), or `default`
+    /// before the first sample. Curves are assumed x-sorted.
+    pub fn value_at(&self, x: usize, default: f64) -> f64 {
+        let mut v = default;
+        for (&cx, &cy) in self.xs.iter().zip(&self.ys) {
+            if cx > x {
+                break;
+            }
+            v = cy;
+        }
+        v
+    }
+
+    /// Resample onto an x-grid as a step function.
+    pub fn resample(&self, grid: &[usize], default: f64) -> Curve {
+        let mut out = Curve::new(self.label.clone());
+        for &x in grid {
+            out.push(x, self.value_at(x, default));
+        }
+        out
+    }
+
+    /// Pointwise mean of several curves over a common grid.
+    pub fn mean(label: impl Into<String>, curves: &[Curve], grid: &[usize], default: f64) -> Curve {
+        let mut out = Curve::new(label);
+        if curves.is_empty() {
+            return out;
+        }
+        for &x in grid {
+            let sum: f64 = curves.iter().map(|c| c.value_at(x, default)).sum();
+            out.push(x, sum / curves.len() as f64);
+        }
+        out
+    }
+
+    /// Final y value (0.0 for empty curves).
+    pub fn last(&self) -> f64 {
+        self.ys.last().copied().unwrap_or(0.0)
+    }
+
+    /// Smallest x at which the curve reaches `target`, if ever.
+    pub fn first_reaching(&self, target: f64) -> Option<usize> {
+        self.xs.iter().zip(&self.ys).find(|(_, &y)| y >= target).map(|(&x, _)| x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(points: &[(usize, f64)]) -> Curve {
+        let mut out = Curve::new("t");
+        for &(x, y) in points {
+            out.push(x, y);
+        }
+        out
+    }
+
+    #[test]
+    fn step_semantics() {
+        let curve = c(&[(1, 0.2), (5, 0.6), (10, 0.9)]);
+        assert_eq!(curve.value_at(0, 0.0), 0.0);
+        assert_eq!(curve.value_at(1, 0.0), 0.2);
+        assert_eq!(curve.value_at(4, 0.0), 0.2);
+        assert_eq!(curve.value_at(7, 0.0), 0.6);
+        assert_eq!(curve.value_at(100, 0.0), 0.9);
+    }
+
+    #[test]
+    fn resample_and_mean() {
+        let a = c(&[(1, 0.0), (10, 1.0)]);
+        let b = c(&[(1, 1.0), (10, 1.0)]);
+        let grid = [0, 5, 10];
+        let m = Curve::mean("m", &[a, b], &grid, 0.0);
+        assert_eq!(m.ys, vec![0.0, 0.5, 1.0]);
+        assert_eq!(m.xs, vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn first_reaching_target() {
+        let curve = c(&[(5, 0.3), (10, 0.75), (20, 0.9)]);
+        assert_eq!(curve.first_reaching(0.75), Some(10));
+        assert_eq!(curve.first_reaching(0.95), None);
+        assert_eq!(curve.last(), 0.9);
+    }
+
+    #[test]
+    fn empty_curve() {
+        let curve = Curve::new("e");
+        assert_eq!(curve.last(), 0.0);
+        assert_eq!(curve.value_at(5, 0.7), 0.7);
+        assert!(curve.is_empty());
+    }
+}

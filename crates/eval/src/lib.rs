@@ -1,0 +1,16 @@
+//! Metrics, curves and report rendering for the Darwin experiments (§4).
+//!
+//! * [`metrics`] — precision / recall / F1 / rule coverage,
+//! * [`curves`] — per-question series with grid resampling and multi-seed
+//!   averaging (the x-axes of Figures 7–10, 12–13),
+//! * [`report`] — ASCII tables for stdout plus CSV emission under
+//!   `target/experiments/` so every table and figure is regenerable and
+//!   archivable.
+
+pub mod curves;
+pub mod metrics;
+pub mod report;
+
+pub use curves::Curve;
+pub use metrics::{coverage, f1_score, precision_recall_f1, PrecisionRecallF1};
+pub use report::{csv_path, write_csv, Table};

@@ -1,0 +1,117 @@
+//! Classification and coverage metrics.
+
+/// Precision, recall and F1 bundle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrecisionRecallF1 {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Metrics for boolean predictions against ground truth.
+pub fn precision_recall_f1(predicted: &[bool], truth: &[bool]) -> PrecisionRecallF1 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fne = 0usize;
+    for (&p, &t) in predicted.iter().zip(truth) {
+        match (p, t) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fne += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fne == 0 { 0.0 } else { tp as f64 / (tp + fne) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrecisionRecallF1 { precision, recall, f1 }
+}
+
+/// F1 of probabilistic scores at a threshold.
+pub fn f1_score(scores: &[f32], truth: &[bool], threshold: f32) -> f64 {
+    let predicted: Vec<bool> = scores.iter().map(|&s| s >= threshold).collect();
+    precision_recall_f1(&predicted, truth).f1
+}
+
+/// Rule coverage (the paper's headline metric): the fraction of all
+/// positive instances contained in the discovered positive set `p`.
+pub fn coverage(p: &[u32], truth: &[bool]) -> f64 {
+    let total = truth.iter().filter(|&&t| t).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let found = p.iter().filter(|&&i| truth[i as usize]).count();
+    found as f64 / total as f64
+}
+
+/// Precision of a discovered positive set.
+pub fn set_precision(p: &[u32], truth: &[bool]) -> f64 {
+    if p.is_empty() {
+        return 0.0;
+    }
+    p.iter().filter(|&&i| truth[i as usize]).count() as f64 / p.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = vec![true, false, true, false];
+        let m = precision_recall_f1(&t, &t);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_predictions() {
+        let truth = vec![true, true, false, false];
+        let pred = vec![true, false, true, false];
+        let m = precision_recall_f1(&pred, &truth);
+        assert!((m.precision - 0.5).abs() < 1e-9);
+        assert!((m.recall - 0.5).abs() < 1e-9);
+        assert!((m.f1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let m = precision_recall_f1(&[false, false], &[true, true]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        let m2 = precision_recall_f1(&[], &[]);
+        assert_eq!(m2.f1, 0.0);
+    }
+
+    #[test]
+    fn f1_threshold_sweep() {
+        let scores = vec![0.9, 0.8, 0.2, 0.1];
+        let truth = vec![true, true, false, false];
+        assert_eq!(f1_score(&scores, &truth, 0.5), 1.0);
+        assert!(f1_score(&scores, &truth, 0.85) < 1.0);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let truth = vec![true, true, true, false, true];
+        assert_eq!(coverage(&[0, 1], &truth), 0.5);
+        assert_eq!(coverage(&[0, 1, 2, 4], &truth), 1.0);
+        assert_eq!(coverage(&[3], &truth), 0.0);
+        assert_eq!(coverage(&[], &truth), 0.0);
+        assert_eq!(coverage(&[0], &[false, false]), 0.0, "no positives at all");
+    }
+
+    #[test]
+    fn set_precision_counts() {
+        let truth = vec![true, false, true];
+        assert_eq!(set_precision(&[0, 1], &truth), 0.5);
+        assert_eq!(set_precision(&[], &truth), 0.0);
+    }
+}

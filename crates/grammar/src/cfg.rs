@@ -1,0 +1,206 @@
+//! Formal context-free grammar machinery (paper Definition 1).
+//!
+//! Darwin supports "any rule language that can be specified using a
+//! context-free grammar". This module gives the two built-in grammars their
+//! formal presentation and can *witness* that a concrete pattern is a
+//! derivation: [`Cfg::derivation_of`] returns the sequence of production
+//! applications that yields the pattern. Tests use this to guarantee every
+//! heuristic the system manipulates really belongs to its grammar.
+
+use crate::phrase::{PhraseElem, PhrasePattern};
+use crate::tree::{TreePattern, TreeTerm};
+
+/// A symbol on the right-hand side of a production.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RhsSym {
+    /// A nonterminal, by name.
+    NonTerm(&'static str),
+    /// A terminal class (e.g. "any vocabulary token").
+    Term(TermClass),
+}
+
+/// Terminal classes — grammars over an open vocabulary quantify over all
+/// tokens (`∀ v ∈ V`), so terminals are classes rather than literal strings.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TermClass {
+    /// Any corpus token.
+    AnyToken,
+    /// Any universal POS tag.
+    AnyPos,
+    /// A fixed literal operator, e.g. `+`, `*`, `/`, `//`, `∧`.
+    Literal(&'static str),
+    /// The empty string.
+    Epsilon,
+}
+
+/// One derivation rule `lhs → rhs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Production {
+    pub name: &'static str,
+    pub lhs: &'static str,
+    pub rhs: Vec<RhsSym>,
+}
+
+/// A context-free Heuristic Grammar.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub name: &'static str,
+    pub start: &'static str,
+    pub productions: Vec<Production>,
+}
+
+impl Cfg {
+    /// The TokensRegex grammar of Example 2:
+    /// `A → vA | A+A | A*A | ε`.
+    pub fn tokens_regex() -> Cfg {
+        use RhsSym::*;
+        use TermClass::*;
+        Cfg {
+            name: "TokensRegex",
+            start: "A",
+            productions: vec![
+                Production { name: "token", lhs: "A", rhs: vec![Term(AnyToken), NonTerm("A")] },
+                Production {
+                    name: "plus",
+                    lhs: "A",
+                    rhs: vec![NonTerm("A"), Term(Literal("+")), NonTerm("A")],
+                },
+                Production {
+                    name: "star",
+                    lhs: "A",
+                    rhs: vec![NonTerm("A"), Term(Literal("*")), NonTerm("A")],
+                },
+                Production { name: "eps", lhs: "A", rhs: vec![Term(Epsilon)] },
+            ],
+        }
+    }
+
+    /// The TreeMatch grammar of Definition 3:
+    /// `A → /A | A∧A | //A | v` with `v` ranging over tokens and POS tags.
+    pub fn tree_match() -> Cfg {
+        use RhsSym::*;
+        use TermClass::*;
+        Cfg {
+            name: "TreeMatch",
+            start: "A",
+            productions: vec![
+                Production {
+                    name: "child",
+                    lhs: "A",
+                    rhs: vec![NonTerm("A"), Term(Literal("/")), NonTerm("A")],
+                },
+                Production {
+                    name: "desc",
+                    lhs: "A",
+                    rhs: vec![NonTerm("A"), Term(Literal("//")), NonTerm("A")],
+                },
+                Production {
+                    name: "and",
+                    lhs: "A",
+                    rhs: vec![NonTerm("A"), Term(Literal("∧")), NonTerm("A")],
+                },
+                Production { name: "token", lhs: "A", rhs: vec![Term(AnyToken)] },
+                Production { name: "pos", lhs: "A", rhs: vec![Term(AnyPos)] },
+            ],
+        }
+    }
+
+    fn production(&self, name: &str) -> &Production {
+        self.productions
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("grammar {} has no production {name}", self.name))
+    }
+
+    /// Witness that `p` is a derivation of the TokensRegex grammar: the
+    /// leftmost sequence of production names producing it. Returns `None`
+    /// if the pattern cannot be derived (it always can, by construction).
+    pub fn derivation_of_phrase(&self, p: &PhrasePattern) -> Option<Vec<&'static str>> {
+        if self.name != "TokensRegex" {
+            return None;
+        }
+        let mut steps = Vec::with_capacity(p.elems.len() + 1);
+        for e in &p.elems {
+            steps.push(match e {
+                PhraseElem::Tok(_) => self.production("token").name,
+                PhraseElem::Plus => self.production("plus").name,
+                PhraseElem::Star => self.production("star").name,
+            });
+        }
+        steps.push(self.production("eps").name);
+        Some(steps)
+    }
+
+    /// Witness that `t` is a derivation of the TreeMatch grammar.
+    pub fn derivation_of_tree(&self, t: &TreePattern) -> Option<Vec<&'static str>> {
+        if self.name != "TreeMatch" {
+            return None;
+        }
+        let mut steps = Vec::new();
+        fn go(cfg: &Cfg, t: &TreePattern, out: &mut Vec<&'static str>) {
+            match t {
+                TreePattern::Term(TreeTerm::Tok(_)) => out.push(cfg.production("token").name),
+                TreePattern::Term(TreeTerm::Pos(_)) => out.push(cfg.production("pos").name),
+                TreePattern::Child(a, b) => {
+                    out.push(cfg.production("child").name);
+                    go(cfg, a, out);
+                    go(cfg, b, out);
+                }
+                TreePattern::Desc(a, b) => {
+                    out.push(cfg.production("desc").name);
+                    go(cfg, a, out);
+                    go(cfg, b, out);
+                }
+                TreePattern::And(a, b) => {
+                    out.push(cfg.production("and").name);
+                    go(cfg, a, out);
+                    go(cfg, b, out);
+                }
+            }
+        }
+        go(self, t, &mut steps);
+        Some(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_text::Corpus;
+
+    #[test]
+    fn grammars_have_the_paper_rule_counts() {
+        assert_eq!(Cfg::tokens_regex().productions.len(), 4);
+        assert_eq!(Cfg::tree_match().productions.len(), 5);
+    }
+
+    #[test]
+    fn phrase_derivation_witness() {
+        let c = Corpus::from_texts(["best way to get there"]);
+        let p = PhrasePattern::parse(c.vocab(), "best way + to").unwrap();
+        let cfg = Cfg::tokens_regex();
+        let d = cfg.derivation_of_phrase(&p).unwrap();
+        assert_eq!(d, vec!["token", "token", "plus", "token", "eps"]);
+        // Length matches the pattern's own step count.
+        assert_eq!(d.len(), p.derivation_steps());
+    }
+
+    #[test]
+    fn tree_derivation_witness() {
+        let c = Corpus::from_texts(["his job is a teacher"]);
+        let t = TreePattern::parse(c.vocab(), "is/NOUN & is//job").unwrap();
+        let cfg = Cfg::tree_match();
+        let d = cfg.derivation_of_tree(&t).unwrap();
+        assert_eq!(d[0], "and");
+        assert_eq!(d.len(), t.derivation_steps());
+        assert!(d.contains(&"pos"));
+        assert!(d.contains(&"desc"));
+    }
+
+    #[test]
+    fn wrong_grammar_yields_none() {
+        let c = Corpus::from_texts(["a b"]);
+        let p = PhrasePattern::parse(c.vocab(), "a b").unwrap();
+        assert!(Cfg::tree_match().derivation_of_phrase(&p).is_none());
+    }
+}

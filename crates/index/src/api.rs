@@ -1,0 +1,313 @@
+//! Unified index facade consumed by the Darwin pipeline.
+
+use crate::phrase_index::{NodeId, PhraseIndex};
+use crate::sketch::TreeSketchConfig;
+use crate::tree_index::{PatId, TreeIndex};
+use darwin_grammar::{Heuristic, PhrasePattern};
+use darwin_text::Corpus;
+
+/// A handle to a heuristic materialized in the index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum RuleRef {
+    /// The `*` heuristic matching every sentence (Algorithm 2 starts here).
+    Root,
+    /// A node of the TokensRegex trie.
+    Phrase(NodeId),
+    /// A pattern of the TreeMatch table.
+    Tree(PatId),
+}
+
+/// Index construction parameters.
+#[derive(Clone, Debug)]
+pub struct IndexConfig {
+    /// Maximum phrase length (the paper sets the maximum derivation depth
+    /// to 10 for generating derivation sketches, §4.1).
+    pub max_phrase_len: usize,
+    /// Drop phrases occurring in fewer sentences than this (1 = keep all).
+    pub min_count: usize,
+    /// Also build the TreeMatch pattern index.
+    pub enable_tree: bool,
+    /// TreeMatch enumeration bounds.
+    pub tree: TreeSketchConfig,
+    /// Worker threads for construction.
+    pub threads: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            max_phrase_len: 10,
+            min_count: 2,
+            enable_tree: true,
+            tree: TreeSketchConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// A configuration suited to unit tests and tiny corpora: short
+    /// phrases, no pruning.
+    pub fn small() -> IndexConfig {
+        IndexConfig { max_phrase_len: 4, min_count: 1, ..Default::default() }
+    }
+
+    /// Phrase-only indexing (TreeMatch off).
+    pub fn phrase_only() -> IndexConfig {
+        IndexConfig { enable_tree: false, ..Default::default() }
+    }
+}
+
+/// The combined heuristic index: one sub-index per registered grammar.
+pub struct IndexSet {
+    phrase: PhraseIndex,
+    tree: Option<TreeIndex>,
+    all_ids: Vec<u32>,
+}
+
+impl IndexSet {
+    /// Build all enabled sub-indexes over `corpus`.
+    pub fn build(corpus: &Corpus, cfg: &IndexConfig) -> IndexSet {
+        let mut phrase = if cfg.threads > 1 {
+            PhraseIndex::build_parallel(corpus, cfg.max_phrase_len, cfg.threads)
+        } else {
+            PhraseIndex::build(corpus, cfg.max_phrase_len)
+        };
+        if cfg.min_count > 1 {
+            phrase.prune(cfg.min_count);
+        }
+        let tree = cfg.enable_tree.then(|| TreeIndex::build(corpus, &cfg.tree));
+        let all_ids = (0..corpus.len() as u32).collect();
+        IndexSet { phrase, tree, all_ids }
+    }
+
+    /// The phrase sub-index.
+    pub fn phrase_index(&self) -> &PhraseIndex {
+        &self.phrase
+    }
+
+    /// The TreeMatch sub-index, if enabled.
+    pub fn tree_index(&self) -> Option<&TreeIndex> {
+        self.tree.as_ref()
+    }
+
+    /// Number of indexed sentences.
+    pub fn sentences(&self) -> usize {
+        self.all_ids.len()
+    }
+
+    /// Total number of indexed heuristics (excluding the root).
+    pub fn rules(&self) -> usize {
+        self.phrase.len() - 1 + self.tree.as_ref().map_or(0, |t| t.len())
+    }
+
+    /// Coverage set `C_r`: sorted ids of sentences satisfying the rule.
+    pub fn coverage(&self, r: RuleRef) -> &[u32] {
+        match r {
+            RuleRef::Root => &self.all_ids,
+            RuleRef::Phrase(n) => self.phrase.postings(n),
+            RuleRef::Tree(p) => self.tree.as_ref().expect("tree index enabled").postings(p),
+        }
+    }
+
+    /// `|C_r|` without materializing anything.
+    pub fn count(&self, r: RuleRef) -> usize {
+        match r {
+            RuleRef::Root => self.all_ids.len(),
+            RuleRef::Phrase(n) => self.phrase.count(n),
+            RuleRef::Tree(p) => self.tree.as_ref().expect("tree index enabled").count(p),
+        }
+    }
+
+    /// One-derivation-step specializations of `r`.
+    pub fn children(&self, r: RuleRef) -> Vec<RuleRef> {
+        match r {
+            RuleRef::Root => {
+                let mut out: Vec<RuleRef> = self
+                    .phrase
+                    .children(crate::phrase_index::ROOT)
+                    .map(RuleRef::Phrase)
+                    .collect();
+                if let Some(t) = &self.tree {
+                    out.extend(t.roots().iter().map(|&p| RuleRef::Tree(p)));
+                }
+                out
+            }
+            RuleRef::Phrase(n) => self.phrase.children(n).map(RuleRef::Phrase).collect(),
+            RuleRef::Tree(p) => self
+                .tree
+                .as_ref()
+                .expect("tree index enabled")
+                .children(p)
+                .iter()
+                .map(|&c| RuleRef::Tree(c))
+                .collect(),
+        }
+    }
+
+    /// One-derivation-step generalizations of `r`.
+    pub fn parents(&self, r: RuleRef) -> Vec<RuleRef> {
+        match r {
+            RuleRef::Root => Vec::new(),
+            RuleRef::Phrase(n) => match self.phrase.parent(n) {
+                Some(crate::phrase_index::ROOT) => vec![RuleRef::Root],
+                Some(p) => vec![RuleRef::Phrase(p)],
+                None => Vec::new(),
+            },
+            RuleRef::Tree(p) => {
+                let t = self.tree.as_ref().expect("tree index enabled");
+                let pars = t.parents(p);
+                if pars.is_empty() {
+                    vec![RuleRef::Root]
+                } else {
+                    pars.iter().map(|&q| RuleRef::Tree(q)).collect()
+                }
+            }
+        }
+    }
+
+    /// Materialize the heuristic a ref denotes.
+    pub fn heuristic(&self, r: RuleRef) -> Heuristic {
+        match r {
+            RuleRef::Root => Heuristic::Phrase(PhrasePattern { elems: Vec::new() }),
+            RuleRef::Phrase(n) => {
+                Heuristic::Phrase(PhrasePattern::from_tokens(self.phrase.phrase(n)))
+            }
+            RuleRef::Tree(p) => {
+                Heuristic::Tree(self.tree.as_ref().expect("tree index enabled").pattern(p).clone())
+            }
+        }
+    }
+
+    /// Find the indexed handle for a heuristic, if it is in index range
+    /// (contiguous phrases within depth; enumerated tree patterns).
+    pub fn resolve(&self, h: &Heuristic) -> Option<RuleRef> {
+        match h {
+            Heuristic::Phrase(p) if p.is_empty() => Some(RuleRef::Root),
+            Heuristic::Phrase(p) if p.is_contiguous() => {
+                let syms: Vec<_> = p.tokens().collect();
+                self.phrase.lookup(&syms).map(RuleRef::Phrase)
+            }
+            Heuristic::Phrase(_) => None,
+            Heuristic::Tree(t) => self.tree.as_ref()?.lookup(t).map(RuleRef::Tree),
+        }
+    }
+
+    /// All rule handles (excluding the root), phrases first.
+    pub fn all_rules(&self) -> impl Iterator<Item = RuleRef> + '_ {
+        let phrases = self.phrase.node_ids().map(RuleRef::Phrase);
+        let trees = self
+            .tree
+            .iter()
+            .flat_map(|t| t.pat_ids())
+            .map(RuleRef::Tree);
+        phrases.chain(trees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::from_texts([
+            "what is the best way to get to sfo airport",
+            "is there a bart from sfo to the hotel",
+            "what is the best way to check in there",
+            "the storm caused the outage",
+            "lightning caused the fire downtown",
+        ])
+    }
+
+    #[test]
+    fn resolve_and_coverage_agree_with_brute_force() {
+        let c = corpus();
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        let h = Heuristic::phrase(&c, "best way to").unwrap();
+        let r = idx.resolve(&h).expect("indexed");
+        assert_eq!(idx.coverage(r), &h.coverage(&c)[..]);
+        assert_eq!(idx.count(r), 2);
+    }
+
+    #[test]
+    fn root_matches_everything() {
+        let c = corpus();
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        assert_eq!(idx.coverage(RuleRef::Root).len(), c.len());
+        assert!(idx.parents(RuleRef::Root).is_empty());
+        let h = idx.heuristic(RuleRef::Root);
+        assert_eq!(idx.resolve(&h), Some(RuleRef::Root));
+    }
+
+    #[test]
+    fn children_of_root_include_both_grammars() {
+        let c = corpus();
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        let kids = idx.children(RuleRef::Root);
+        assert!(kids.iter().any(|r| matches!(r, RuleRef::Phrase(_))));
+        assert!(kids.iter().any(|r| matches!(r, RuleRef::Tree(_))));
+    }
+
+    #[test]
+    fn parents_lead_back_to_root() {
+        let c = corpus();
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        // Walk up from a deep phrase.
+        let h = Heuristic::phrase(&c, "best way to").unwrap();
+        let mut cur = idx.resolve(&h).unwrap();
+        let mut steps = 0;
+        while cur != RuleRef::Root {
+            let pars = idx.parents(cur);
+            assert!(!pars.is_empty());
+            cur = pars[0];
+            steps += 1;
+            assert!(steps < 20, "must reach root");
+        }
+        assert_eq!(steps, 3);
+    }
+
+    #[test]
+    fn heuristic_roundtrip_through_resolve() {
+        let c = corpus();
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        for r in idx.all_rules().take(300) {
+            let h = idx.heuristic(r);
+            assert_eq!(idx.resolve(&h), Some(r), "{}", h.display(c.vocab()));
+        }
+    }
+
+    #[test]
+    fn gapped_phrase_is_not_indexed_but_matchable() {
+        let c = corpus();
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        let h = Heuristic::phrase(&c, "caused + fire").unwrap();
+        assert_eq!(idx.resolve(&h), None);
+        assert_eq!(h.coverage(&c), vec![4]);
+    }
+
+    #[test]
+    fn min_count_prunes_phrases() {
+        let c = corpus();
+        let pruned = IndexSet::build(&c, &IndexConfig { min_count: 2, ..IndexConfig::small() });
+        let h = Heuristic::phrase(&c, "bart").unwrap();
+        assert_eq!(pruned.resolve(&h), None, "singleton phrase pruned");
+        let h2 = Heuristic::phrase(&c, "caused the").unwrap();
+        assert!(pruned.resolve(&h2).is_some(), "count-2 phrase kept");
+    }
+
+    #[test]
+    fn phrase_only_config_disables_tree() {
+        let c = corpus();
+        let idx = IndexSet::build(&c, &IndexConfig { enable_tree: false, ..IndexConfig::small() });
+        assert!(idx.tree_index().is_none());
+        assert!(idx.children(RuleRef::Root).iter().all(|r| matches!(r, RuleRef::Phrase(_))));
+    }
+
+    #[test]
+    fn rules_count_is_consistent() {
+        let c = corpus();
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        assert_eq!(idx.rules(), idx.all_rules().count());
+        assert_eq!(idx.sentences(), 5);
+    }
+}

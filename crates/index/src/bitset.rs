@@ -1,0 +1,177 @@
+//! Dense id set over `u32` sentence ids.
+//!
+//! The pipeline constantly asks "is sentence `s` already in the positive set
+//! `P`?" and "how many of this rule's postings are new?"; a bit vector makes
+//! both O(1)/O(postings) with no hashing.
+
+/// A fixed-universe bit set. The universe size is given at construction and
+/// grows on demand when inserting beyond it.
+#[derive(Clone, Debug, Default)]
+pub struct IdSet {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl IdSet {
+    /// An empty set sized for ids `0..universe`.
+    pub fn with_universe(universe: usize) -> IdSet {
+        IdSet { blocks: vec![0; universe.div_ceil(64)], len: 0 }
+    }
+
+    /// Build from a slice of ids.
+    pub fn from_ids(ids: &[u32], universe: usize) -> IdSet {
+        let mut s = IdSet::with_universe(universe);
+        for &i in ids {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Insert; returns true if the id was newly added.
+    pub fn insert(&mut self, id: u32) -> bool {
+        let (b, m) = (id as usize / 64, 1u64 << (id % 64));
+        if b >= self.blocks.len() {
+            self.blocks.resize(b + 1, 0);
+        }
+        let newly = self.blocks[b] & m == 0;
+        if newly {
+            self.blocks[b] |= m;
+            self.len += 1;
+        }
+        newly
+    }
+
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        let (b, m) = (id as usize / 64, 1u64 << (id % 64));
+        self.blocks.get(b).is_some_and(|&w| w & m != 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+        self.len = 0;
+    }
+
+    /// Insert every id from `ids`; returns how many were new.
+    pub fn extend_from_slice(&mut self, ids: &[u32]) -> usize {
+        ids.iter().filter(|&&i| self.insert(i)).count()
+    }
+
+    /// How many ids in `ids` are members (ids need not be unique; each
+    /// occurrence counts).
+    pub fn count_in(&self, ids: &[u32]) -> usize {
+        ids.iter().filter(|&&i| self.contains(i)).count()
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let t = w.trailing_zeros();
+                w &= w - 1;
+                Some(bi as u32 * 64 + t)
+            })
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &IdSet) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        let mut len = 0usize;
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            *b |= other.blocks.get(i).copied().unwrap_or(0);
+            len += b.count_ones() as usize;
+        }
+        self.len = len;
+    }
+}
+
+impl FromIterator<u32> for IdSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut s = IdSet::default();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = IdSet::with_universe(100);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(99));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn grows_past_universe() {
+        let mut s = IdSet::with_universe(10);
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let ids = [5u32, 1, 64, 63, 128, 200];
+        let s = IdSet::from_ids(&ids, 256);
+        let got: Vec<u32> = s.iter().collect();
+        assert_eq!(got, vec![1, 5, 63, 64, 128, 200]);
+    }
+
+    #[test]
+    fn count_in_and_extend() {
+        let mut s = IdSet::with_universe(50);
+        assert_eq!(s.extend_from_slice(&[1, 2, 3, 2]), 3);
+        assert_eq!(s.count_in(&[1, 2, 9]), 2);
+        assert_eq!(s.count_in(&[2, 2]), 2, "occurrences count");
+    }
+
+    #[test]
+    fn union() {
+        let mut a = IdSet::from_ids(&[1, 2], 10);
+        let b = IdSet::from_ids(&[2, 300], 10);
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(300));
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut s = IdSet::from_ids(&[1, 2, 3], 10);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.insert(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: IdSet = (0u32..5).collect();
+        assert_eq!(s.len(), 5);
+    }
+}

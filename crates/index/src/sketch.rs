@@ -1,0 +1,251 @@
+//! Derivation sketches (paper §3.1, Figure 5).
+//!
+//! A derivation sketch enumerates, for one sentence, the heuristics the
+//! sentence satisfies, bounded by a fixed number of derivation steps. For
+//! TokensRegex that is simply every contiguous n-gram up to the depth bound;
+//! for TreeMatch the compact sketch is the dependency parse itself, from
+//! which we enumerate a bounded pattern family (the full space is
+//! exponential — paper §3.1 "TreeMatch Grammar").
+
+use crate::fx::FxHashSet;
+use darwin_grammar::{TreePattern, TreeTerm};
+use darwin_text::{PosTag, Sentence, Sym};
+
+/// Enumerate every contiguous n-gram of `sentence` with length in
+/// `1..=max_len`, deduplicated (an n-gram occurring twice in a sentence is
+/// reported once — the index counts sentences, not occurrences).
+pub fn phrase_sketch(sentence: &Sentence, max_len: usize) -> Vec<Vec<Sym>> {
+    let toks = &sentence.tokens;
+    let mut seen: FxHashSet<&[Sym]> = FxHashSet::default();
+    let mut out = Vec::new();
+    for start in 0..toks.len() {
+        for len in 1..=max_len.min(toks.len() - start) {
+            let gram = &toks[start..start + len];
+            if seen.insert(gram) {
+                out.push(gram.to_vec());
+            }
+        }
+    }
+    out
+}
+
+/// Bounds for TreeMatch pattern enumeration.
+#[derive(Clone, Debug)]
+pub struct TreeSketchConfig {
+    /// Enumerate `a ∧ b` conjunctions of child constraints.
+    pub include_and: bool,
+    /// Skip punctuation nodes entirely.
+    pub skip_punct: bool,
+    /// Hard cap on patterns per sentence. This is a safety valve for
+    /// pathological inputs only — if it ever truncates, index postings
+    /// under-approximate true coverage, so it defaults far above what any
+    /// real sentence produces (the paper caps derivation depth for the
+    /// same reason).
+    pub max_patterns: usize,
+}
+
+impl Default for TreeSketchConfig {
+    fn default() -> Self {
+        TreeSketchConfig { include_and: true, skip_punct: true, max_patterns: 4096 }
+    }
+}
+
+/// Enumerate the bounded TreeMatch pattern family satisfied by `sentence`:
+///
+/// * terminals: `tok`, and `POS` for content tags,
+/// * one-edge patterns: `a/b` and `a//b` for each tree edge, with each side
+///   a token or (content) POS terminal,
+/// * two-edge descendants: `a//c` for grandparent pairs,
+/// * conjunctions: `(x/b ∧ x/c)` for sibling child constraints.
+///
+/// Each reported pattern is also returned with the `(token, tag)` evidence
+/// needed to register token→POS generalization edges.
+pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePattern> {
+    let n = sentence.len();
+    let mut out: Vec<TreePattern> = Vec::new();
+    let mut seen: FxHashSet<TreePattern> = FxHashSet::default();
+    let mut push = |p: TreePattern, out: &mut Vec<TreePattern>| {
+        if out.len() < cfg.max_patterns && seen.insert(p.clone()) {
+            out.push(p);
+        }
+    };
+
+    let usable = |i: usize| !(cfg.skip_punct && sentence.tags[i] == PosTag::Punct);
+    // Determiners and punctuation carry no pattern signal: a rule anchored
+    // on "the" can never be a precise labeling heuristic, and enumerating
+    // such patterns floods the candidate pool (the paper's diversity
+    // constraints in §3.2.1 serve the same purpose).
+    let anchorable = |i: usize| usable(i) && sentence.tags[i] != PosTag::Det;
+    let terms = |i: usize| -> Vec<TreeTerm> {
+        let mut t = vec![TreeTerm::Tok(sentence.tokens[i])];
+        if sentence.tags[i].is_content() {
+            t.push(TreeTerm::Pos(sentence.tags[i]));
+        }
+        t
+    };
+
+    for i in 0..n {
+        if !usable(i) {
+            continue;
+        }
+        for t in terms(i) {
+            push(TreePattern::Term(t), &mut out);
+        }
+        let children: Vec<usize> = sentence.children(i).filter(|&c| anchorable(c)).collect();
+        // Direct-edge Child patterns.
+        for &c in &children {
+            for a in terms(i) {
+                for b in terms(c) {
+                    // Skip the doubly-generic POS/POS patterns: they match
+                    // nearly everything and drown the index.
+                    if matches!(a, TreeTerm::Pos(_)) && matches!(b, TreeTerm::Pos(_)) {
+                        continue;
+                    }
+                    push(
+                        TreePattern::child(TreePattern::Term(a), TreePattern::Term(b)),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        // Descendant patterns over the full transitive closure, so that the
+        // index's postings for `a//b` exactly equal the pattern's coverage
+        // at any depth.
+        for d in sentence.descendants(i) {
+            if !anchorable(d) {
+                continue;
+            }
+            for a in terms(i) {
+                for b in terms(d) {
+                    if matches!(a, TreeTerm::Pos(_)) && matches!(b, TreeTerm::Pos(_)) {
+                        continue;
+                    }
+                    push(TreePattern::desc(TreePattern::Term(a), TreePattern::Term(b)), &mut out);
+                }
+            }
+        }
+        // Conjunctions of two child constraints on the same head token:
+        // `(h/b1 ∧ h/b2)`. The pattern holds whenever *some* child matches
+        // b1 and *some* child matches b2 (possibly the same child), so we
+        // enumerate unordered pairs of the distinct terms matched by any
+        // child — complete and canonical (b1 < b2 by the derived ordering).
+        if cfg.include_and && !children.is_empty() {
+            let head = TreeTerm::Tok(sentence.tokens[i]);
+            let mut child_terms: Vec<TreeTerm> = Vec::new();
+            for &c in &children {
+                child_terms.extend(terms(c));
+            }
+            child_terms.sort_unstable();
+            child_terms.dedup();
+            for x in 0..child_terms.len() {
+                for y in x + 1..child_terms.len() {
+                    let (b1, b2) = (child_terms[x], child_terms[y]);
+                    if matches!(b1, TreeTerm::Pos(_)) && matches!(b2, TreeTerm::Pos(_)) {
+                        continue;
+                    }
+                    let left = TreePattern::child(TreePattern::Term(head), TreePattern::Term(b1));
+                    let right = TreePattern::child(TreePattern::Term(head), TreePattern::Term(b2));
+                    push(TreePattern::and(left, right), &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Token→POS generalization evidence: every `(token, tag)` occurrence of
+/// the sentence. The tree index uses this both to create
+/// `Term(tok) → Term(POS)` hierarchy edges (content tags only) and to
+/// detect tag-ambiguous tokens, for which such an edge would not be
+/// coverage-monotone — so *all* occurrences must be reported, not just the
+/// content-tagged ones.
+pub fn term_generalizations(sentence: &Sentence) -> impl Iterator<Item = (Sym, PosTag)> + '_ {
+    sentence.tokens.iter().zip(&sentence.tags).map(|(s, t)| (*s, *t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_text::Corpus;
+
+    #[test]
+    fn phrase_sketch_counts() {
+        let c = Corpus::from_texts(["a b c"]);
+        let s = c.sentence(0);
+        // 3 unigrams + 2 bigrams + 1 trigram.
+        assert_eq!(phrase_sketch(s, 3).len(), 6);
+        assert_eq!(phrase_sketch(s, 2).len(), 5);
+        assert_eq!(phrase_sketch(s, 1).len(), 3);
+    }
+
+    #[test]
+    fn phrase_sketch_dedupes_repeats() {
+        let c = Corpus::from_texts(["to get to"]);
+        let s = c.sentence(0);
+        let grams = phrase_sketch(s, 1);
+        assert_eq!(grams.len(), 2, "'to' reported once");
+    }
+
+    #[test]
+    fn every_phrase_gram_matches_its_sentence() {
+        let c = Corpus::from_texts(["what is the best way to get to sfo airport"]);
+        let s = c.sentence(0);
+        for gram in phrase_sketch(s, 4) {
+            let p = darwin_grammar::PhrasePattern::from_tokens(gram);
+            assert!(p.matches(s), "{}", p.display(c.vocab()));
+        }
+    }
+
+    #[test]
+    fn every_tree_pattern_matches_its_sentence() {
+        let c = Corpus::from_texts([
+            "uber is the best way to our hotel",
+            "his job is a teacher at the school",
+        ]);
+        for s in c.sentences() {
+            for p in tree_sketch(s, &TreeSketchConfig::default()) {
+                assert!(p.matches(s), "{}", p.display(c.vocab()));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_sketch_contains_edge_patterns() {
+        let c = Corpus::from_texts(["uber is the best way to our hotel"]);
+        let s = c.sentence(0);
+        let pats = tree_sketch(s, &TreeSketchConfig::default());
+        let want = darwin_grammar::TreePattern::parse(c.vocab(), "is/way").unwrap();
+        assert!(pats.contains(&want), "is/way should be enumerated");
+    }
+
+    #[test]
+    fn tree_sketch_respects_caps() {
+        let c = Corpus::from_texts(["a b c d e f g h i j k l m n o p q r s t"]);
+        let cfg = TreeSketchConfig { max_patterns: 10, ..Default::default() };
+        let pats = tree_sketch(c.sentence(0), &cfg);
+        assert!(pats.len() <= 10);
+    }
+
+    #[test]
+    fn tree_sketch_skips_punct() {
+        let c = Corpus::from_texts(["where is the shuttle ?"]);
+        let pats = tree_sketch(c.sentence(0), &TreeSketchConfig::default());
+        let q = c.vocab().get("?").unwrap();
+        assert!(!pats
+            .iter()
+            .any(|p| matches!(p, TreePattern::Term(TreeTerm::Tok(t)) if *t == q)));
+    }
+
+    #[test]
+    fn generalization_evidence_covers_every_token() {
+        let c = Corpus::from_texts(["the shuttle arrived"]);
+        let ev: Vec<_> = term_generalizations(c.sentence(0)).collect();
+        let shuttle = c.vocab().get("shuttle").unwrap();
+        assert!(ev.iter().any(|(s, t)| *s == shuttle && *t == PosTag::Noun));
+        // Non-content occurrences are reported too (needed for ambiguity
+        // detection), with their actual tags.
+        let the = c.vocab().get("the").unwrap();
+        assert!(ev.iter().any(|(s, t)| *s == the && *t == PosTag::Det));
+        assert_eq!(ev.len(), 3);
+    }
+}

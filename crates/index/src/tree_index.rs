@@ -1,0 +1,279 @@
+//! Pattern-table index over TreeMatch heuristics.
+//!
+//! The TreeMatch grammar generates exponentially many candidates, so the
+//! compact derivation sketch is the dependency parse itself (paper §3.1);
+//! we enumerate the bounded pattern family of [`crate::sketch::tree_sketch`]
+//! and store each pattern with its inverted list, plus *generalization
+//! edges* capturing the subset/superset structure the hierarchy needs:
+//!
+//! * `a/b` is a specialization of both `a` and `a//b`,
+//! * `a//b` is a specialization of `a`,
+//! * `p ∧ q` is a specialization of both `p` and `q`,
+//! * `Term(tok)` is a specialization of `Term(POS-of-tok)` (evidence-based).
+
+use crate::fx::FxHashMap;
+use crate::sketch::{term_generalizations, tree_sketch, TreeSketchConfig};
+use darwin_grammar::{TreePattern, TreeTerm};
+use darwin_text::{Corpus, PosTag, Sentence, Sym};
+
+/// Pattern id within a [`TreeIndex`].
+pub type PatId = u32;
+
+/// Inverted index over the enumerated TreeMatch pattern family.
+pub struct TreeIndex {
+    pats: Vec<TreePattern>,
+    ids: FxHashMap<TreePattern, PatId>,
+    postings: Vec<Vec<u32>>,
+    parents: Vec<Vec<PatId>>,
+    children: Vec<Vec<PatId>>,
+    /// Terminal patterns — children of the root `*` heuristic.
+    roots: Vec<PatId>,
+    /// Observed token→tag evidence for terminal generalization edges.
+    /// `None` marks tokens seen with more than one tag — for those the
+    /// `Term(tok) → Term(POS)` edge would not be coverage-monotone.
+    tok_tags: FxHashMap<Sym, Option<PosTag>>,
+}
+
+impl TreeIndex {
+    /// Build over a corpus.
+    pub fn build(corpus: &Corpus, cfg: &TreeSketchConfig) -> TreeIndex {
+        let mut idx = TreeIndex {
+            pats: Vec::new(),
+            ids: FxHashMap::default(),
+            postings: Vec::new(),
+            parents: Vec::new(),
+            children: Vec::new(),
+            roots: Vec::new(),
+            tok_tags: FxHashMap::default(),
+        };
+        for s in corpus.sentences() {
+            idx.add_sentence(s, cfg);
+        }
+        idx.finalize();
+        idx
+    }
+
+    /// Merge one sentence's sketch. Call [`TreeIndex::finalize`] after the
+    /// last addition to (re)compute hierarchy edges.
+    pub fn add_sentence(&mut self, s: &Sentence, cfg: &TreeSketchConfig) {
+        for p in tree_sketch(s, cfg) {
+            let id = self.intern(p);
+            let postings = &mut self.postings[id as usize];
+            if postings.last() != Some(&s.id) {
+                postings.push(s.id);
+            }
+        }
+        for (tok, tag) in term_generalizations(s) {
+            self.tok_tags
+                .entry(tok)
+                .and_modify(|t| {
+                    if *t != Some(tag) {
+                        *t = None; // ambiguous across sentences
+                    }
+                })
+                .or_insert(Some(tag));
+        }
+    }
+
+    fn intern(&mut self, p: TreePattern) -> PatId {
+        if let Some(&id) = self.ids.get(&p) {
+            return id;
+        }
+        let id = self.pats.len() as PatId;
+        self.ids.insert(p.clone(), id);
+        self.pats.push(p);
+        self.postings.push(Vec::new());
+        id
+    }
+
+    /// Compute generalization edges between interned patterns.
+    pub fn finalize(&mut self) {
+        let n = self.pats.len();
+        self.parents = vec![Vec::new(); n];
+        self.children = vec![Vec::new(); n];
+        self.roots.clear();
+        for id in 0..n as PatId {
+            let pars = self.structural_parents(&self.pats[id as usize]);
+            if pars.is_empty() {
+                self.roots.push(id);
+            }
+            for p in pars {
+                self.parents[id as usize].push(p);
+                self.children[p as usize].push(id);
+            }
+        }
+    }
+
+    /// Parents (strict generalizations, one derivation step away) of `p`
+    /// that exist in the table.
+    fn structural_parents(&self, p: &TreePattern) -> Vec<PatId> {
+        let mut out = Vec::new();
+        let push = |q: &TreePattern, out: &mut Vec<PatId>| {
+            if let Some(&id) = self.ids.get(q) {
+                out.push(id);
+            }
+        };
+        match p {
+            TreePattern::Term(TreeTerm::Tok(t)) => {
+                // Only unambiguous content tags yield a sound edge.
+                if let Some(Some(tag)) = self.tok_tags.get(t) {
+                    if tag.is_content() {
+                        push(&TreePattern::term_pos(*tag), &mut out);
+                    }
+                }
+            }
+            TreePattern::Term(TreeTerm::Pos(_)) => {}
+            TreePattern::Child(a, b) => {
+                push(a, &mut out);
+                push(&TreePattern::Desc(a.clone(), b.clone()), &mut out);
+            }
+            TreePattern::Desc(a, _) => {
+                push(a, &mut out);
+            }
+            TreePattern::And(a, b) => {
+                push(a, &mut out);
+                push(b, &mut out);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.pats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pats.is_empty()
+    }
+
+    pub fn pattern(&self, id: PatId) -> &TreePattern {
+        &self.pats[id as usize]
+    }
+
+    pub fn lookup(&self, p: &TreePattern) -> Option<PatId> {
+        self.ids.get(p).copied()
+    }
+
+    pub fn postings(&self, id: PatId) -> &[u32] {
+        &self.postings[id as usize]
+    }
+
+    pub fn count(&self, id: PatId) -> usize {
+        self.postings[id as usize].len()
+    }
+
+    pub fn parents(&self, id: PatId) -> &[PatId] {
+        &self.parents[id as usize]
+    }
+
+    pub fn children(&self, id: PatId) -> &[PatId] {
+        &self.children[id as usize]
+    }
+
+    /// Terminal patterns (the children of the `*` root heuristic).
+    pub fn roots(&self) -> &[PatId] {
+        &self.roots
+    }
+
+    pub fn pat_ids(&self) -> impl Iterator<Item = PatId> {
+        0..self.pats.len() as PatId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::from_texts([
+            "uber is the best way to our hotel",
+            "his job is a teacher at the school",
+            "the storm caused the outage in the city",
+            "lightning caused the fire",
+        ])
+    }
+
+    #[test]
+    fn postings_are_correct_coverage() {
+        let c = corpus();
+        let idx = TreeIndex::build(&c, &TreeSketchConfig::default());
+        // Every indexed pattern's postings equal its brute-force coverage.
+        for id in idx.pat_ids().take(500) {
+            let p = idx.pattern(id).clone();
+            let brute: Vec<u32> =
+                c.sentences().iter().filter(|s| p.matches(s)).map(|s| s.id).collect();
+            assert_eq!(idx.postings(id), &brute[..], "{}", p.display(c.vocab()));
+        }
+    }
+
+    #[test]
+    fn child_pattern_has_desc_and_head_parents() {
+        let c = corpus();
+        let idx = TreeIndex::build(&c, &TreeSketchConfig::default());
+        let child = TreePattern::parse(c.vocab(), "caused/storm").unwrap();
+        let id = idx.lookup(&child).expect("caused/storm indexed");
+        let parents: Vec<&TreePattern> =
+            idx.parents(id).iter().map(|&p| idx.pattern(p)).collect();
+        let head = TreePattern::parse(c.vocab(), "caused").unwrap();
+        let desc = TreePattern::parse(c.vocab(), "caused//storm").unwrap();
+        assert!(parents.contains(&&head));
+        assert!(parents.contains(&&desc));
+    }
+
+    #[test]
+    fn parent_coverage_superset_of_child() {
+        let c = corpus();
+        let idx = TreeIndex::build(&c, &TreeSketchConfig::default());
+        for id in idx.pat_ids() {
+            for &par in idx.parents(id) {
+                let pp = idx.postings(par);
+                for s in idx.postings(id) {
+                    assert!(
+                        pp.contains(s),
+                        "{} should cover everything {} covers",
+                        idx.pattern(par).display(c.vocab()),
+                        idx.pattern(id).display(c.vocab())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn token_terminal_generalizes_to_pos() {
+        let c = corpus();
+        let idx = TreeIndex::build(&c, &TreeSketchConfig::default());
+        let tok = TreePattern::parse(c.vocab(), "storm").unwrap();
+        let id = idx.lookup(&tok).expect("storm indexed");
+        let noun = TreePattern::term_pos(PosTag::Noun);
+        let has_noun_parent = idx.parents(id).iter().any(|&p| idx.pattern(p) == &noun);
+        assert!(has_noun_parent, "Term(storm) should generalize to Term(NOUN)");
+    }
+
+    #[test]
+    fn roots_have_no_parents_and_children_inverse_holds() {
+        let c = corpus();
+        let idx = TreeIndex::build(&c, &TreeSketchConfig::default());
+        assert!(!idx.roots().is_empty());
+        for &r in idx.roots() {
+            assert!(idx.parents(r).is_empty());
+        }
+        for id in idx.pat_ids() {
+            for &p in idx.parents(id) {
+                assert!(idx.children(p).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_pattern_counts_both_sentences() {
+        let c = corpus();
+        let idx = TreeIndex::build(&c, &TreeSketchConfig::default());
+        // "caused/NOUN-ish": both cause sentences have "caused" as root verb.
+        let p = TreePattern::parse(c.vocab(), "caused").unwrap();
+        let id = idx.lookup(&p).unwrap();
+        assert_eq!(idx.count(id), 2);
+    }
+}

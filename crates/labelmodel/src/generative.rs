@@ -1,0 +1,276 @@
+//! The EM-trained independent generative label model.
+//!
+//! Snorkel's core modeling assumption: labeling functions are conditionally
+//! independent given the true label `y ∈ {0,1}`. Each LF `j` emits a vote
+//! `λ ∈ {abstain, +, −}` according to a per-class categorical
+//! `θ_j[y][λ]`; the class prior is `π`. EM alternates:
+//!
+//! * **E-step** — posterior `p_i = P(y_i=1 | λ_i·)` by Bayes in log space,
+//! * **M-step** — re-estimate `θ` and `π` from the soft counts, with
+//!   Laplace smoothing.
+//!
+//! The observed-data log-likelihood is non-decreasing across iterations
+//! (a property test asserts this).
+
+#![allow(clippy::needless_range_loop)] // index math mirrors the tensor strides
+
+use crate::lf::{LfMatrix, Vote};
+
+/// EM configuration.
+#[derive(Clone, Debug)]
+pub struct GenerativeConfig {
+    pub iterations: usize,
+    /// Initial class prior P(y = 1).
+    pub init_prior: f64,
+    /// Laplace smoothing mass added to every soft count.
+    pub smoothing: f64,
+    /// Keep the class prior fixed at `init_prior` instead of re-estimating
+    /// it. With positive-only labeling functions the likelihood has a
+    /// degenerate "everything is negative" optimum; fixing the class
+    /// balance (as Snorkel does when it is known) avoids the collapse.
+    pub fix_prior: bool,
+}
+
+impl Default for GenerativeConfig {
+    fn default() -> Self {
+        GenerativeConfig { iterations: 25, init_prior: 0.3, smoothing: 1.0, fix_prior: false }
+    }
+}
+
+/// Fitted model: per-LF emission tables, prior, and item posteriors.
+pub struct GenerativeModel {
+    /// `theta[j][y][v]` with v ∈ {0 abstain, 1 positive, 2 negative}.
+    theta: Vec<[[f64; 3]; 2]>,
+    prior: f64,
+    posteriors: Vec<f64>,
+    log_likelihood: f64,
+}
+
+#[inline]
+fn vote_slot(v: Vote) -> usize {
+    match v {
+        Vote::Abstain => 0,
+        Vote::Positive => 1,
+        Vote::Negative => 2,
+    }
+}
+
+impl GenerativeModel {
+    /// Fit by EM.
+    pub fn fit(m: &LfMatrix, cfg: &GenerativeConfig) -> GenerativeModel {
+        let (n, k) = (m.n_items(), m.n_lfs());
+        // Initialize: LFs are assumed better than random — a positive vote
+        // is likelier under y=1 than under y=0.
+        // theta[j][0] is the y=0 row (positive votes rare), theta[j][1]
+        // the y=1 row (positive votes common).
+        let mut theta: Vec<[[f64; 3]; 2]> = vec![[[0.85, 0.05, 0.10], [0.45, 0.50, 0.05]]; k];
+        let mut prior = cfg.init_prior.clamp(1e-4, 1.0 - 1e-4);
+        let mut post = vec![prior; n];
+
+        let e_step = |theta: &Vec<[[f64; 3]; 2]>, prior: f64, post: &mut Vec<f64>| -> f64 {
+            let mut ll = 0.0;
+            for i in 0..n {
+                let mut lp1 = prior.ln();
+                let mut lp0 = (1.0 - prior).ln();
+                for (j, v) in m.row(i).enumerate() {
+                    let s = vote_slot(v);
+                    lp1 += theta[j][1][s].ln();
+                    lp0 += theta[j][0][s].ln();
+                }
+                let mx = lp1.max(lp0);
+                let z = (lp1 - mx).exp() + (lp0 - mx).exp();
+                post[i] = (lp1 - mx).exp() / z;
+                ll += mx + z.ln();
+            }
+            ll
+        };
+
+        for _ in 0..cfg.iterations.max(1) {
+            let _ = e_step(&theta, prior, &mut post);
+            // M-step with Laplace smoothing.
+            let s = cfg.smoothing;
+            let mut counts = vec![[[s; 3]; 2]; k];
+            let mut pos_mass = s;
+            let mut neg_mass = s;
+            for i in 0..n {
+                pos_mass += post[i];
+                neg_mass += 1.0 - post[i];
+                for (j, v) in m.row(i).enumerate() {
+                    let slot = vote_slot(v);
+                    counts[j][1][slot] += post[i];
+                    counts[j][0][slot] += 1.0 - post[i];
+                }
+            }
+            if !cfg.fix_prior {
+                prior = (pos_mass / (pos_mass + neg_mass)).clamp(1e-4, 1.0 - 1e-4);
+            }
+            for j in 0..k {
+                for y in 0..2 {
+                    let tot: f64 = counts[j][y].iter().sum();
+                    for v in 0..3 {
+                        theta[j][y][v] = (counts[j][y][v] / tot).clamp(1e-6, 1.0);
+                    }
+                }
+            }
+        }
+        // Final E-step so posteriors and likelihood reflect the final
+        // parameters (not the ones from before the last M-step).
+        let ll = e_step(&theta, prior, &mut post);
+
+        GenerativeModel { theta, prior, posteriors: post, log_likelihood: ll }
+    }
+
+    /// Posterior P(y=1) per item.
+    pub fn posteriors(&self) -> &[f64] {
+        &self.posteriors
+    }
+
+    /// Learned class prior.
+    pub fn prior(&self) -> f64 {
+        self.prior
+    }
+
+    /// Final observed-data log-likelihood.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// Estimated precision of LF `j`'s positive votes:
+    /// `P(y=1 | λ_j=+1)` under the learned model.
+    pub fn lf_precision(&self, j: usize) -> f64 {
+        let p_fire_pos = self.theta[j][1][1] * self.prior;
+        let p_fire_neg = self.theta[j][0][1] * (1.0 - self.prior);
+        if p_fire_pos + p_fire_neg == 0.0 {
+            0.0
+        } else {
+            p_fire_pos / (p_fire_pos + p_fire_neg)
+        }
+    }
+
+    /// Hard labels at a threshold.
+    pub fn labels(&self, threshold: f64) -> Vec<bool> {
+        self.posteriors.iter().map(|&p| p >= threshold).collect()
+    }
+
+    /// Observed-data log-likelihood of `m` under the current parameters
+    /// (for convergence tests).
+    pub fn evaluate_ll(&self, m: &LfMatrix) -> f64 {
+        let mut ll = 0.0;
+        for i in 0..m.n_items() {
+            let mut lp1 = self.prior.ln();
+            let mut lp0 = (1.0 - self.prior).ln();
+            for (j, v) in m.row(i).enumerate() {
+                let s = vote_slot(v);
+                lp1 += self.theta[j][1][s].ln();
+                lp0 += self.theta[j][0][s].ln();
+            }
+            let mx = lp1.max(lp0);
+            ll += mx + ((lp1 - mx).exp() + (lp0 - mx).exp()).ln();
+        }
+        ll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic matrix: 100 items, first 30 positive. Three good LFs fire
+    /// mostly on positives, one noisy LF fires everywhere.
+    fn synth() -> (LfMatrix, Vec<bool>) {
+        let n = 100;
+        let truth: Vec<bool> = (0..n).map(|i| i < 30).collect();
+        let mut m = LfMatrix::new(n, 4);
+        for i in 0..n {
+            // Good LFs: fire on positives with prob ~deterministic pattern.
+            if truth[i] {
+                if i % 3 != 0 {
+                    m.set(i, 0, Vote::Positive);
+                }
+                if i % 4 != 0 {
+                    m.set(i, 1, Vote::Positive);
+                }
+                if i % 5 != 0 {
+                    m.set(i, 2, Vote::Positive);
+                }
+            } else if i % 17 == 0 {
+                m.set(i, 0, Vote::Positive); // rare false positive
+            }
+            // Noisy LF: fires on every 2nd item regardless of class.
+            if i % 2 == 0 {
+                m.set(i, 3, Vote::Positive);
+            }
+        }
+        (m, truth)
+    }
+
+    #[test]
+    fn posteriors_in_unit_interval() {
+        let (m, _) = synth();
+        let g = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        assert!(g.posteriors().iter().all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
+    }
+
+    #[test]
+    fn recovers_synthetic_labels() {
+        let (m, truth) = synth();
+        let g = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        let labels = g.labels(0.5);
+        let acc = labels.iter().zip(&truth).filter(|(a, b)| a == b).count();
+        assert!(acc >= 90, "accuracy {acc}/100");
+    }
+
+    #[test]
+    fn good_lfs_rank_above_noisy_lf() {
+        let (m, _) = synth();
+        let g = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        for j in 0..3 {
+            assert!(
+                g.lf_precision(j) > g.lf_precision(3),
+                "LF{j} precision {} vs noisy {}",
+                g.lf_precision(j),
+                g.lf_precision(3)
+            );
+        }
+    }
+
+    #[test]
+    fn em_improves_likelihood_with_iterations() {
+        let (m, _) = synth();
+        let short = GenerativeModel::fit(&m, &GenerativeConfig { iterations: 1, ..Default::default() });
+        let long = GenerativeModel::fit(&m, &GenerativeConfig { iterations: 30, ..Default::default() });
+        assert!(
+            long.log_likelihood() >= short.log_likelihood() - 1e-6,
+            "{} vs {}",
+            long.log_likelihood(),
+            short.log_likelihood()
+        );
+    }
+
+    #[test]
+    fn all_abstain_items_get_near_prior() {
+        // Nobody votes. With enough items (so Laplace smoothing does not
+        // dominate) the per-class abstain rates converge to each other and
+        // abstentions carry no evidence: posterior ≈ prior, same for all.
+        let m = LfMatrix::new(200, 2);
+        let cfg = GenerativeConfig { smoothing: 0.01, ..Default::default() };
+        let g = GenerativeModel::fit(&m, &cfg);
+        for &p in g.posteriors() {
+            assert!((p - g.prior()).abs() < 0.02, "p={p} prior={}", g.prior());
+        }
+        let first = g.posteriors()[0];
+        assert!(g.posteriors().iter().all(|&p| (p - first).abs() < 1e-12));
+    }
+
+    #[test]
+    fn evaluate_ll_matches_final_ll() {
+        let (m, _) = synth();
+        let g = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        let recomputed = g.evaluate_ll(&m);
+        assert!(
+            (recomputed - g.log_likelihood()).abs() < 1e-9,
+            "{recomputed} vs {}",
+            g.log_likelihood()
+        );
+    }
+}

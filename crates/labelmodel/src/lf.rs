@@ -1,0 +1,138 @@
+//! Labeling-function vote matrix.
+
+/// A single labeling-function vote on one item.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(i8)]
+pub enum Vote {
+    Abstain = 0,
+    Positive = 1,
+    Negative = -1,
+}
+
+impl Vote {
+    #[inline]
+    pub fn from_i8(v: i8) -> Vote {
+        match v {
+            1 => Vote::Positive,
+            -1 => Vote::Negative,
+            _ => Vote::Abstain,
+        }
+    }
+}
+
+/// Dense item × LF vote matrix.
+#[derive(Clone, Debug)]
+pub struct LfMatrix {
+    n_items: usize,
+    n_lfs: usize,
+    /// Row-major `n_items × n_lfs`.
+    votes: Vec<i8>,
+}
+
+impl LfMatrix {
+    pub fn new(n_items: usize, n_lfs: usize) -> LfMatrix {
+        LfMatrix { n_items, n_lfs, votes: vec![0; n_items * n_lfs] }
+    }
+
+    /// Build from positive-voting rule coverages: LF `j` labels every item
+    /// of `coverages[j]` positive and abstains elsewhere (Darwin's rules
+    /// capture positives; negatives come from abstention mass).
+    pub fn from_coverages(n_items: usize, coverages: &[&[u32]]) -> LfMatrix {
+        let mut m = LfMatrix::new(n_items, coverages.len());
+        for (j, cov) in coverages.iter().enumerate() {
+            for &i in *cov {
+                m.set(i as usize, j, Vote::Positive);
+            }
+        }
+        m
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    pub fn n_lfs(&self) -> usize {
+        self.n_lfs
+    }
+
+    #[inline]
+    pub fn get(&self, item: usize, lf: usize) -> Vote {
+        Vote::from_i8(self.votes[item * self.n_lfs + lf])
+    }
+
+    #[inline]
+    pub fn set(&mut self, item: usize, lf: usize, v: Vote) {
+        self.votes[item * self.n_lfs + lf] = v as i8;
+    }
+
+    /// Votes for one item.
+    pub fn row(&self, item: usize) -> impl Iterator<Item = Vote> + '_ {
+        self.votes[item * self.n_lfs..(item + 1) * self.n_lfs]
+            .iter()
+            .map(|&v| Vote::from_i8(v))
+    }
+
+    /// Fraction of items with at least one non-abstain vote.
+    pub fn coverage(&self) -> f64 {
+        if self.n_items == 0 {
+            return 0.0;
+        }
+        let covered = (0..self.n_items)
+            .filter(|&i| self.row(i).any(|v| v != Vote::Abstain))
+            .count();
+        covered as f64 / self.n_items as f64
+    }
+
+    /// Mean pairwise overlap: fraction of items where both LFs vote.
+    pub fn overlap(&self, a: usize, b: usize) -> f64 {
+        if self.n_items == 0 {
+            return 0.0;
+        }
+        let both = (0..self.n_items)
+            .filter(|&i| self.get(i, a) != Vote::Abstain && self.get(i, b) != Vote::Abstain)
+            .count();
+        both as f64 / self.n_items as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_coverages_sets_positive_votes() {
+        let m = LfMatrix::from_coverages(5, &[&[0, 2], &[2, 3]]);
+        assert_eq!(m.get(0, 0), Vote::Positive);
+        assert_eq!(m.get(2, 0), Vote::Positive);
+        assert_eq!(m.get(2, 1), Vote::Positive);
+        assert_eq!(m.get(1, 0), Vote::Abstain);
+        assert_eq!(m.n_items(), 5);
+        assert_eq!(m.n_lfs(), 2);
+    }
+
+    #[test]
+    fn coverage_and_overlap() {
+        let m = LfMatrix::from_coverages(4, &[&[0, 1], &[1, 2]]);
+        assert!((m.coverage() - 0.75).abs() < 1e-9);
+        assert!((m.overlap(0, 1) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_get_roundtrip_all_votes() {
+        let mut m = LfMatrix::new(2, 2);
+        m.set(0, 0, Vote::Negative);
+        m.set(0, 1, Vote::Positive);
+        assert_eq!(m.get(0, 0), Vote::Negative);
+        assert_eq!(m.get(0, 1), Vote::Positive);
+        assert_eq!(m.get(1, 0), Vote::Abstain);
+        let row: Vec<Vote> = m.row(0).collect();
+        assert_eq!(row, vec![Vote::Negative, Vote::Positive]);
+    }
+
+    #[test]
+    fn empty_matrix_edge_cases() {
+        let m = LfMatrix::new(0, 3);
+        assert_eq!(m.coverage(), 0.0);
+        assert_eq!(m.overlap(0, 1), 0.0);
+    }
+}

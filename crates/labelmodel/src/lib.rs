@@ -1,0 +1,21 @@
+//! Snorkel-style generative label modeling (de-noising weak labels).
+//!
+//! Darwin forwards its discovered heuristics to Snorkel "to train a high
+//! precision classifier" (paper §2), and §4.5 Table 2 compares a classifier
+//! trained directly on Darwin's labels against one trained on
+//! Snorkel-de-noised labels. This crate implements the core of that
+//! de-noising step: labeling functions vote (or abstain) per item, and an
+//! EM-trained generative model with conditionally independent LFs infers
+//! per-LF reliabilities and a posterior probability per item.
+//!
+//! * [`lf::LfMatrix`] — the item × LF vote matrix,
+//! * [`majority`] — majority-vote baseline,
+//! * [`generative::GenerativeModel`] — the EM model.
+
+pub mod generative;
+pub mod lf;
+pub mod majority;
+
+pub use generative::{GenerativeConfig, GenerativeModel};
+pub use lf::{LfMatrix, Vote};
+pub use majority::majority_vote;

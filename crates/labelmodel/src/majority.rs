@@ -1,0 +1,52 @@
+//! Majority-vote labeling (the de-noising baseline).
+
+use crate::lf::{LfMatrix, Vote};
+
+/// Probabilistic labels by vote counting: items with more positive than
+/// negative votes get 1.0, ties get 0.5, more negative get 0.0; items where
+/// every LF abstains fall back to `prior`.
+pub fn majority_vote(m: &LfMatrix, prior: f64) -> Vec<f64> {
+    (0..m.n_items())
+        .map(|i| {
+            let mut pos = 0i32;
+            let mut neg = 0i32;
+            for v in m.row(i) {
+                match v {
+                    Vote::Positive => pos += 1,
+                    Vote::Negative => neg += 1,
+                    Vote::Abstain => {}
+                }
+            }
+            if pos == 0 && neg == 0 {
+                prior
+            } else if pos > neg {
+                1.0
+            } else if neg > pos {
+                0.0
+            } else {
+                0.5
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_votes() {
+        let mut m = LfMatrix::new(4, 3);
+        // item 0: ++- -> 1.0; item 1: +-- -> 0.0; item 2: +- -> 0.5; item 3: none -> prior.
+        m.set(0, 0, Vote::Positive);
+        m.set(0, 1, Vote::Positive);
+        m.set(0, 2, Vote::Negative);
+        m.set(1, 0, Vote::Positive);
+        m.set(1, 1, Vote::Negative);
+        m.set(1, 2, Vote::Negative);
+        m.set(2, 0, Vote::Positive);
+        m.set(2, 1, Vote::Negative);
+        let p = majority_vote(&m, 0.1);
+        assert_eq!(p, vec![1.0, 0.0, 0.5, 0.1]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Corpus container and (parallel) linguistic preprocessing.
+
+use crate::depparse;
+use crate::pos::Tagger;
+use crate::sentence::Sentence;
+use crate::vocab::{Sym, Vocab};
+
+/// An analyzed corpus: the shared vocabulary plus one [`Sentence`] per input
+/// text, in input order. Sentence ids are their positions.
+pub struct Corpus {
+    vocab: Vocab,
+    sentences: Vec<Sentence>,
+}
+
+impl Corpus {
+    /// Analyze `texts` sequentially (tokenize → intern → tag → parse).
+    pub fn from_texts<I, S>(texts: I) -> Corpus
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let token_lists: Vec<Vec<String>> =
+            texts.into_iter().map(|t| crate::tokenize::tokenize(t.as_ref())).collect();
+        Self::from_token_lists(token_lists, 1)
+    }
+
+    /// Analyze `texts` using `threads` worker threads for the tag/parse
+    /// phase (interning is inherently serial and cheap). Deterministic:
+    /// output is identical to the sequential path.
+    pub fn from_texts_parallel<S: AsRef<str> + Sync>(texts: &[S], threads: usize) -> Corpus {
+        let token_lists: Vec<Vec<String>> = if threads <= 1 || texts.len() < 1024 {
+            texts.iter().map(|t| crate::tokenize::tokenize(t.as_ref())).collect()
+        } else {
+            let mut out: Vec<Vec<Vec<String>>> = Vec::new();
+            let chunk = texts.len().div_ceil(threads);
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = texts
+                    .chunks(chunk)
+                    .map(|c| {
+                        scope.spawn(move |_| {
+                            c.iter()
+                                .map(|t| crate::tokenize::tokenize(t.as_ref()))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    out.push(h.join().expect("tokenizer thread panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            out.into_iter().flatten().collect()
+        };
+        Self::from_token_lists(token_lists, threads)
+    }
+
+    fn from_token_lists(token_lists: Vec<Vec<String>>, threads: usize) -> Corpus {
+        // Phase 1 (serial): intern.
+        let mut vocab = Vocab::new();
+        let sym_lists: Vec<Vec<Sym>> = token_lists
+            .iter()
+            .map(|toks| toks.iter().map(|t| vocab.intern(t)).collect())
+            .collect();
+
+        // Phase 2 (parallel-friendly): tag + parse.
+        let build = |range: std::ops::Range<usize>| -> Vec<Sentence> {
+            range
+                .map(|i| {
+                    let tags = Tagger::tag(&token_lists[i]);
+                    let heads = depparse::parse(&tags);
+                    Sentence { id: i as u32, tokens: sym_lists[i].clone(), tags, heads }
+                })
+                .collect()
+        };
+
+        let n = token_lists.len();
+        let sentences: Vec<Sentence> = if threads <= 1 || n < 1024 {
+            build(0..n)
+        } else {
+            let chunk = n.div_ceil(threads);
+            let mut parts: Vec<Vec<Sentence>> = Vec::new();
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .step_by(chunk)
+                    .map(|start| {
+                        let end = (start + chunk).min(n);
+                        let build = &build;
+                        scope.spawn(move |_| build(start..end))
+                    })
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("analysis thread panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            parts.into_iter().flatten().collect()
+        };
+
+        Corpus { vocab, sentences }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    pub fn sentence(&self, id: u32) -> &Sentence {
+        &self.sentences[id as usize]
+    }
+
+    pub fn sentences(&self) -> &[Sentence] {
+        &self.sentences
+    }
+
+    /// Reconstruct display text for a sentence (tokens joined by spaces).
+    pub fn text(&self, id: u32) -> String {
+        let s = self.sentence(id);
+        let mut out = String::new();
+        for (i, &t) in s.tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.vocab.resolve(t));
+        }
+        out
+    }
+
+    /// Mean sentence length in tokens.
+    pub fn mean_len(&self) -> f64 {
+        if self.sentences.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.sentences.iter().map(|s| s.len()).sum();
+        total as f64 / self.sentences.len() as f64
+    }
+}
+
+impl std::fmt::Debug for Corpus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Corpus({} sentences, {} vocab)", self.len(), self.vocab.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXTS: &[&str] = &[
+        "What is the best way to get to SFO airport?",
+        "Is there a bart from SFO to the hotel?",
+        "What is the best way to check in there?",
+        "Is Uber the fastest way to get to the airport?",
+        "Would Uber Eats be the fastest way to order?",
+        "What is the best way to order food from you?",
+    ];
+
+    #[test]
+    fn builds_example1_corpus() {
+        let c = Corpus::from_texts(TEXTS);
+        assert_eq!(c.len(), 6);
+        assert!(c.vocab().get("bart").is_some());
+        assert!(c.vocab().get("shuttle").is_none());
+        assert_eq!(c.sentence(0).id, 0);
+        assert_eq!(c.text(1), "is there a bart from sfo to the hotel ?");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let texts: Vec<String> =
+            (0..3000).map(|i| format!("sentence number {i} goes to the airport quickly")).collect();
+        let seq = Corpus::from_texts(texts.iter());
+        let par = Corpus::from_texts_parallel(&texts, 4);
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq.vocab().len(), par.vocab().len());
+        for i in 0..seq.len() as u32 {
+            assert_eq!(seq.sentence(i).tokens, par.sentence(i).tokens);
+            assert_eq!(seq.sentence(i).tags, par.sentence(i).tags);
+            assert_eq!(seq.sentence(i).heads, par.sentence(i).heads);
+        }
+    }
+
+    #[test]
+    fn mean_len_sane() {
+        let c = Corpus::from_texts(TEXTS);
+        assert!(c.mean_len() > 5.0 && c.mean_len() < 15.0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::from_texts(Vec::<String>::new());
+        assert!(c.is_empty());
+        assert_eq!(c.mean_len(), 0.0);
+    }
+}

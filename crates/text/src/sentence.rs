@@ -1,0 +1,109 @@
+//! The per-sentence record Darwin operates on.
+
+use crate::pos::PosTag;
+use crate::vocab::Sym;
+
+/// A fully analyzed sentence: interned tokens, universal POS tags, and a
+/// dependency tree encoded as a head array (`heads[i]` is the index of token
+/// `i`'s head; the root points to itself).
+#[derive(Clone, Debug)]
+pub struct Sentence {
+    /// Position of this sentence in its [`crate::Corpus`].
+    pub id: u32,
+    pub tokens: Vec<Sym>,
+    pub tags: Vec<PosTag>,
+    pub heads: Vec<u16>,
+}
+
+impl Sentence {
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Index of the root token (its own head), or `None` for empty sentences.
+    pub fn root(&self) -> Option<usize> {
+        self.heads.iter().enumerate().find(|(i, &h)| *i == h as usize).map(|(i, _)| i)
+    }
+
+    /// Children of token `i` in the dependency tree.
+    pub fn children(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.heads
+            .iter()
+            .enumerate()
+            .filter(move |(c, &h)| h as usize == i && *c != i)
+            .map(|(c, _)| c)
+    }
+
+    /// All proper descendants of token `i` in the dependency tree.
+    pub fn descendants(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack: Vec<usize> = self.children(i).collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children(n));
+        }
+        out
+    }
+
+    /// True if `anc` is a proper ancestor of `node`.
+    pub fn is_ancestor(&self, anc: usize, node: usize) -> bool {
+        let mut cur = node;
+        loop {
+            let h = self.heads[cur] as usize;
+            if h == cur {
+                return false;
+            }
+            if h == anc {
+                return true;
+            }
+            cur = h;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(heads: Vec<u16>) -> Sentence {
+        let n = heads.len();
+        Sentence {
+            id: 0,
+            tokens: (0..n as u32).map(Sym).collect(),
+            tags: vec![PosTag::Noun; n],
+            heads,
+        }
+    }
+
+    #[test]
+    fn root_is_self_headed() {
+        let s = sent(vec![1, 1, 1]);
+        assert_eq!(s.root(), Some(1));
+    }
+
+    #[test]
+    fn children_and_descendants() {
+        // 0 -> 1 <- 2, 3 -> 2 (tree: 1 is root, children {0, 2}; 2 has child 3)
+        let s = sent(vec![1, 1, 1, 2]);
+        let mut c: Vec<usize> = s.children(1).collect();
+        c.sort_unstable();
+        assert_eq!(c, vec![0, 2]);
+        let mut d = s.descendants(1);
+        d.sort_unstable();
+        assert_eq!(d, vec![0, 2, 3]);
+        assert!(s.is_ancestor(1, 3));
+        assert!(!s.is_ancestor(3, 1));
+        assert!(!s.is_ancestor(0, 3));
+    }
+
+    #[test]
+    fn empty_sentence_has_no_root() {
+        let s = sent(vec![]);
+        assert_eq!(s.root(), None);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Tokenization.
+//!
+//! A deterministic, lossless-enough tokenizer for the labeling workloads in
+//! the paper: lowercases, splits on whitespace, splits leading/trailing
+//! punctuation into their own tokens, and keeps word-internal apostrophes and
+//! hyphens (`what's`, `check-in`) as single tokens, mirroring how SpaCy's
+//! tokenizer treats the hotel-concierge questions of Example 1.
+
+/// Tokenize `text` into lowercase tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(text.len() / 5 + 1);
+    for raw in text.split_whitespace() {
+        split_token(raw, &mut out);
+    }
+    out
+}
+
+/// True for characters that should become standalone punctuation tokens.
+fn is_punct(c: char) -> bool {
+    matches!(
+        c,
+        '.' | ',' | '!' | '?' | ';' | ':' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '…'
+            | '“' | '”' | '‘' | '’'
+    ) || (c == '\'' || c == '`')
+}
+
+/// True for characters allowed inside a word token.
+fn is_word_internal(c: char) -> bool {
+    c.is_alphanumeric() || c == '\'' || c == '-'
+}
+
+fn split_token(raw: &str, out: &mut Vec<String>) {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut start = 0;
+    let mut end = chars.len();
+
+    // Peel leading punctuation.
+    while start < end && is_punct(chars[start]) {
+        out.push(chars[start].to_lowercase().collect());
+        start += 1;
+    }
+    // Find trailing punctuation (emitted after the core token).
+    let mut trail = Vec::new();
+    while end > start && is_punct(chars[end - 1]) {
+        trail.push(chars[end - 1].to_lowercase().collect::<String>());
+        end -= 1;
+    }
+    if start < end {
+        let core: String = chars[start..end].iter().collect::<String>().to_lowercase();
+        // Split any remaining non-word-internal characters inside the core.
+        let mut piece = String::new();
+        for c in core.chars() {
+            if is_word_internal(c) {
+                piece.push(c);
+            } else {
+                if !piece.is_empty() {
+                    out.push(std::mem::take(&mut piece));
+                }
+                out.push(c.to_string());
+            }
+        }
+        if !piece.is_empty() {
+            out.push(piece);
+        }
+    }
+    out.extend(trail.into_iter().rev());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn lowercases_and_splits_whitespace() {
+        assert_eq!(toks("Best Way To"), vec!["best", "way", "to"]);
+    }
+
+    #[test]
+    fn splits_trailing_question_mark() {
+        assert_eq!(
+            toks("What is the best way to get to SFO airport?"),
+            vec!["what", "is", "the", "best", "way", "to", "get", "to", "sfo", "airport", "?"]
+        );
+    }
+
+    #[test]
+    fn keeps_internal_apostrophe_and_hyphen() {
+        assert_eq!(toks("what's check-in like?"), vec!["what's", "check-in", "like", "?"]);
+    }
+
+    #[test]
+    fn peels_leading_punctuation() {
+        assert_eq!(toks("\"hello\""), vec!["\"", "hello", "\""]);
+    }
+
+    #[test]
+    fn multiple_trailing_puncts_preserve_order() {
+        assert_eq!(toks("really?!"), vec!["really", "?", "!"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(toks("").is_empty());
+        assert!(toks("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn numbers_survive() {
+        assert_eq!(toks("gate 42 opens"), vec!["gate", "42", "opens"]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(toks("café naïve"), vec!["café", "naïve"]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Using the grammar layer directly: gapped TokensRegex patterns, TreeMatch
+//! patterns over parse trees, formal CFG derivation witnesses, and a
+//! noisy-annotator oracle.
+//!
+//! ```sh
+//! cargo run --release --example custom_grammar
+//! ```
+
+use darwin::core::SampledAnnotatorOracle;
+use darwin::datasets::professions;
+use darwin::grammar::cfg::Cfg;
+use darwin::prelude::*;
+
+fn main() {
+    let data = professions::generate(20_000, 42);
+    println!("{:?}", data.stats());
+    let corpus = &data.corpus;
+
+    // --- TokensRegex with gap operators -------------------------------
+    // `worked + as a` matches "worked for years as a …" as well as
+    // "worked briefly as a …" — one or more arbitrary tokens at the `+`.
+    let gapped = Heuristic::phrase(corpus, "worked * as a").expect("parses");
+    let cov = gapped.coverage(corpus);
+    let pos = cov.iter().filter(|&&i| data.labels[i as usize]).count();
+    println!(
+        "\ngapped rule {:?}: coverage {}, precision {:.2}",
+        gapped.display(corpus.vocab()),
+        cov.len(),
+        pos as f64 / cov.len().max(1) as f64
+    );
+
+    // --- TreeMatch over dependency parses ------------------------------
+    // The paper's professions example: an `is` clause with a NOUN child
+    // and `job` below it.
+    let tree = Heuristic::tree(corpus, "is/NOUN & is//job").expect("parses");
+    let tcov = tree.coverage(corpus);
+    let tpos = tcov.iter().filter(|&&i| data.labels[i as usize]).count();
+    println!(
+        "tree rule {:?}: coverage {}, precision {:.2}",
+        tree.display(corpus.vocab()),
+        tcov.len(),
+        tpos as f64 / tcov.len().max(1) as f64
+    );
+
+    // --- Formal CFG derivations ----------------------------------------
+    let cfg = Cfg::tokens_regex();
+    if let Heuristic::Phrase(p) = &gapped {
+        println!(
+            "derivation of the gapped rule under {}: {:?}",
+            cfg.name,
+            cfg.derivation_of_phrase(p).expect("derivable")
+        );
+    }
+
+    // --- Running the pipeline with a noisy human-like oracle -----------
+    let index = IndexSet::build(
+        corpus,
+        &IndexConfig { max_phrase_len: 4, min_count: 3, ..Default::default() },
+    );
+    let cfg = DarwinConfig { budget: 30, n_candidates: 3000, ..Default::default() };
+    let darwin = Darwin::new(corpus, &index, cfg);
+    // The annotator inspects only 5 sampled matches per question (paper
+    // Figure 2 / §4.5) and therefore sometimes errs.
+    let mut annotator = SampledAnnotatorOracle::new(&data.labels, 5, 7);
+    let run = darwin.run(Seed::Rule(Heuristic::phrase(corpus, "worked as a").unwrap()), &mut annotator);
+    println!(
+        "\nnoisy-annotator run: {} questions, {} accepted, recall {:.2}, precision of P {:.2}",
+        run.questions(),
+        run.accepted.len(),
+        coverage(&run.positives, &data.labels),
+        run.positives.iter().filter(|&&i| data.labels[i as usize]).count() as f64
+            / run.positives.len().max(1) as f64
+    );
+}

@@ -1,0 +1,53 @@
+//! Entity extraction on the `musicians` dataset with the TreeMatch grammar
+//! enabled, comparing all three traversal strategies (paper §4.3).
+//!
+//! ```sh
+//! cargo run --release --example entity_extraction
+//! ```
+
+use darwin::core::TraversalKind;
+use darwin::datasets::musicians;
+use darwin::prelude::*;
+
+fn main() {
+    let n: usize = std::env::var("DARWIN_N").ok().and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let data = musicians::generate(n, 42);
+    println!("{:?}", data.stats());
+
+    let index = IndexSet::build(
+        &data.corpus,
+        &IndexConfig { max_phrase_len: 5, min_count: 2, enable_tree: true, ..Default::default() },
+    );
+    println!("index: {} rules (tree patterns included)", index.rules());
+
+    for kind in [TraversalKind::Local, TraversalKind::Universal, TraversalKind::Hybrid] {
+        let cfg = DarwinConfig {
+            budget: 40,
+            n_candidates: 3000,
+            traversal: kind,
+            ..Default::default()
+        };
+        let darwin = Darwin::new(&data.corpus, &index, cfg);
+        let seed = Heuristic::phrase(&data.corpus, "composer").expect("seed parses");
+        let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);
+        let run = darwin.run(Seed::Rule(seed), &mut oracle);
+        let recall = coverage(&run.positives, &data.labels);
+        println!(
+            "\n{}: {} questions, {} accepted rules, recall {:.2}",
+            kind.name(),
+            run.questions(),
+            run.accepted.len(),
+            recall
+        );
+        // Show any TreeMatch rules that were discovered.
+        let tree_rules: Vec<String> = run
+            .accepted
+            .iter()
+            .filter(|h| h.grammar_name() == "TreeMatch")
+            .map(|h| h.display(data.corpus.vocab()))
+            .collect();
+        if !tree_rules.is_empty() {
+            println!("  TreeMatch rules: {tree_rules:?}");
+        }
+    }
+}

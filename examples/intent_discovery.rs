@@ -1,0 +1,59 @@
+//! Intent discovery on the `directions` dataset (paper Example 1 at full
+//! scale): one seed rule, a 50-question budget, HybridSearch.
+//!
+//! ```sh
+//! cargo run --release --example intent_discovery
+//! ```
+
+use darwin::datasets::directions;
+use darwin::prelude::*;
+
+fn main() {
+    let n: usize = std::env::var("DARWIN_N").ok().and_then(|s| s.parse().ok()).unwrap_or(8000);
+    println!("generating directions dataset ({n} sentences)…");
+    let data = directions::generate(n, 42);
+    let stats = data.stats();
+    println!(
+        "{}: {} sentences, {:.1}% positive ({} positives)",
+        stats.name,
+        stats.sentences,
+        stats.positive_pct,
+        data.positives()
+    );
+
+    println!("building index…");
+    let index = IndexSet::build(
+        &data.corpus,
+        &IndexConfig { max_phrase_len: 6, min_count: 2, ..Default::default() },
+    );
+    println!("  {} heuristics indexed", index.rules());
+
+    let cfg = DarwinConfig { budget: 50, n_candidates: 4000, ..Default::default() };
+    let darwin = Darwin::new(&data.corpus, &index, cfg);
+    let seed = Heuristic::phrase(&data.corpus, data.seed_rules[0]).expect("seed parses");
+    println!("seed rule: {:?}", data.seed_rules[0]);
+
+    let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);
+    let run = darwin.run(Seed::Rule(seed), &mut oracle);
+
+    println!("\ncoverage curve (fraction of all positives discovered):");
+    for q in [5, 10, 20, 30, 40, 50] {
+        let p = run.positives_after(q.min(run.questions()));
+        println!("  after {:>3} questions: {:.2}", q, coverage(&p, &data.labels));
+    }
+
+    println!("\naccepted rules ({}):", run.accepted.len());
+    for rule in run.accepted.iter().take(15) {
+        let cov = rule.coverage(&data.corpus);
+        let pos = cov.iter().filter(|&&i| data.labels[i as usize]).count();
+        println!(
+            "  {:<32} coverage {:>4}  precision {:.2}",
+            rule.display(data.corpus.vocab()),
+            cov.len(),
+            pos as f64 / cov.len().max(1) as f64
+        );
+    }
+
+    let final_cov = coverage(&run.positives, &data.labels);
+    println!("\nfinal: {} positives, recall {:.2}", run.positives.len(), final_cov);
+}

@@ -1,0 +1,85 @@
+//! Quickstart: discover labeling rules on a hotel-concierge corpus built
+//! around the paper's Example 1.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use darwin::prelude::*;
+
+fn main() {
+    // Example 1 of the paper, expanded with template variations so rules
+    // have measurable coverage (a corpus of one-off sentences has nothing
+    // for weak supervision to generalize over).
+    let mut texts: Vec<String> = vec![
+        "What is the best way to get to SFO airport?".into(),
+        "Is there a bart from SFO to the hotel?".into(),
+        "What is the best way to check in there?".into(),
+        "Is Uber the fastest way to get to the airport?".into(),
+        "Would Uber Eats be the fastest way to order?".into(),
+        "What is the best way to order food from you?".into(),
+    ];
+    let mut labels = vec![true, true, false, true, false, false];
+    let places = ["the pier", "union square", "downtown", "the museum", "the stadium"];
+    let foods = ["pizza", "sushi", "breakfast", "dessert", "coffee"];
+    // Mirror the paper's class imbalance: positives are a small minority,
+    // so randomly sampled "presumed negatives" are mostly correct.
+    for i in 0..10 {
+        let p = places[i % places.len()];
+        let f = foods[i % foods.len()];
+        texts.push(format!("What is the best way to get to {p}?"));
+        labels.push(true);
+        if i < 5 {
+            texts.push(format!("Is there a shuttle to {p} tonight?"));
+            labels.push(true);
+            texts.push(format!("Is there a bart from Oakland to {p}?"));
+            labels.push(true);
+        }
+        texts.push(format!("Can I order {f} to the room?"));
+        labels.push(false);
+        texts.push(format!("Is {f} included with the stay tonight?"));
+        labels.push(false);
+        texts.push(format!("What time does the pool open for guests on day {i}?"));
+        labels.push(false);
+        texts.push(format!("Is the gym free for guests on day {i}?"));
+        labels.push(false);
+        texts.push(format!("Can housekeeping bring {i} extra towels?"));
+        labels.push(false);
+        texts.push(format!("The wifi in room {i} stopped working."));
+        labels.push(false);
+        texts.push(format!("Do you have a table for {i} at the restaurant?"));
+        labels.push(false);
+    }
+
+    // 1. Analyze the corpus (tokenize, POS-tag, dependency-parse).
+    let corpus = Corpus::from_texts(&texts);
+
+    // 2. Build the heuristic index (TokensRegex trie + TreeMatch table).
+    let index = IndexSet::build(&corpus, &IndexConfig::small());
+    println!("indexed {} candidate heuristics over {} sentences", index.rules(), corpus.len());
+
+    // 3. Seed Darwin with one labeling rule and let it ask questions.
+    let seed = Heuristic::phrase(&corpus, "best way to get to").expect("seed rule parses");
+    let cfg = DarwinConfig { budget: 15, n_candidates: 1000, ..DarwinConfig::fast() };
+    let darwin = Darwin::new(&corpus, &index, cfg);
+    let mut oracle = GroundTruthOracle::new(&labels, 0.8);
+    let run = darwin.run(Seed::Rule(seed), &mut oracle);
+
+    // 4. Inspect what happened.
+    println!("\nquestions asked: {}", run.questions());
+    for step in &run.trace {
+        println!(
+            "  q{:<2} {:<30} -> {}",
+            step.question,
+            step.rule.display(corpus.vocab()),
+            if step.answer { "YES" } else { "no" }
+        );
+    }
+    println!("\naccepted rules:");
+    for rule in &run.accepted {
+        println!("  {}", rule.display(corpus.vocab()));
+    }
+    let recall = coverage(&run.positives, &labels);
+    println!("\ndiscovered {} positives (recall {:.0}%)", run.positives.len(), 100.0 * recall);
+    assert!(recall >= 0.5, "quickstart should find at least half the positives");
+}

@@ -1,0 +1,69 @@
+//! # Darwin — adaptive rule discovery for labeling text data
+//!
+//! A Rust reproduction of *"Adaptive Rule Discovery for Labeling Text Data"*
+//! (Galhotra, Golshan, Tan — VLDB/SIGMOD 2021). Darwin interactively
+//! discovers labeling heuristics over a text corpus: starting from a single
+//! seed rule, it proposes candidate rules drawn from a context-free rule
+//! grammar, asks an oracle YES/NO questions about them, and accumulates a
+//! set of precise, high-coverage rules for weak supervision.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`text`] — tokenizer, POS tagger, dependency parser, embeddings
+//! * [`grammar`] — TokensRegex and TreeMatch heuristic grammars
+//! * [`index`] — derivation sketches and the trie index (paper §3.1)
+//! * [`classifier`] — from-scratch Kim-CNN and logistic regression
+//! * [`labelmodel`] — Snorkel-style generative de-noising
+//! * [`datasets`] — synthetic versions of the five evaluation corpora
+//! * [`core`] — the Darwin pipeline: candidate generation, hierarchy,
+//!   LocalSearch/UniversalSearch/HybridSearch traversals, oracles
+//! * [`baselines`] — Snuba, active learning, keyword sampling, HighP/HighC
+//! * [`eval`] — metrics, curves and report rendering
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use darwin::prelude::*;
+//!
+//! // A tiny corpus (Example 1 of the paper).
+//! let corpus = Corpus::from_texts([
+//!     "What is the best way to get to SFO airport?",
+//!     "Is there a bart from SFO to the hotel?",
+//!     "What is the best way to check in there?",
+//!     "Is Uber the fastest way to get to the airport?",
+//!     "Would Uber Eats be the fastest way to order?",
+//!     "What is the best way to order food from you?",
+//! ]);
+//! let labels = vec![true, true, false, true, false, false];
+//!
+//! let index = IndexSet::build(&corpus, &IndexConfig::small());
+//! let seed = Heuristic::phrase(&corpus, "best way to get").unwrap();
+//! let mut oracle = GroundTruthOracle::new(&labels, 0.8);
+//! let cfg = DarwinConfig { budget: 5, ..DarwinConfig::fast() };
+//! let run = Darwin::new(&corpus, &index, cfg).run(Seed::Rule(seed), &mut oracle);
+//! assert!(!run.accepted.is_empty());
+//! ```
+
+pub use darwin_baselines as baselines;
+pub use darwin_classifier as classifier;
+pub use darwin_core as core;
+pub use darwin_datasets as datasets;
+pub use darwin_eval as eval;
+pub use darwin_grammar as grammar;
+pub use darwin_index as index;
+pub use darwin_labelmodel as labelmodel;
+pub use darwin_text as text;
+
+/// Commonly used items, one `use` away.
+pub mod prelude {
+    pub use darwin_classifier::{ClassifierKind, TextClassifier};
+    pub use darwin_core::{
+        Darwin, DarwinConfig, GroundTruthOracle, Oracle, RunResult, SampledAnnotatorOracle, Seed,
+        TraversalKind,
+    };
+    pub use darwin_datasets::Dataset;
+    pub use darwin_eval::{coverage, f1_score, Curve};
+    pub use darwin_grammar::Heuristic;
+    pub use darwin_index::{IndexConfig, IndexSet};
+    pub use darwin_text::{Corpus, Embeddings, PosTag, Sentence, Sym, Vocab};
+}

@@ -1,0 +1,184 @@
+//! Property-based tests over the core data structures and invariants
+//! (DESIGN.md §5).
+
+use darwin::grammar::{Heuristic, PhraseElem, PhrasePattern, TreePattern};
+use darwin::index::{IdSet, IndexConfig, IndexSet};
+use darwin::text::{Corpus, PosTag, Sym};
+use proptest::prelude::*;
+
+/// Random lowercase word from a small alphabet (so patterns repeat enough
+/// for the index to have structure).
+fn word() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "the", "a", "shuttle", "bus", "airport", "hotel", "to", "from", "best", "way", "get",
+        "order", "pizza", "is", "there", "caused", "by", "storm", "fire", "composer", "wrote",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn sentence() -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 1..12).prop_map(|ws| ws.join(" "))
+}
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(sentence(), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..Default::default() })]
+
+    /// Index postings must exactly equal brute-force coverage for every
+    /// indexed rule, and child coverage must be a subset of the parent's.
+    #[test]
+    fn index_postings_equal_bruteforce(texts in corpus_strategy()) {
+        let corpus = Corpus::from_texts(texts.iter());
+        let index = IndexSet::build(&corpus, &IndexConfig::small());
+        for rule in index.all_rules().take(400) {
+            let h = index.heuristic(rule);
+            let brute = h.coverage(&corpus);
+            prop_assert_eq!(index.coverage(rule), &brute[..],
+                "rule {}", h.display(corpus.vocab()));
+            for parent in index.parents(rule) {
+                let pc = index.coverage(parent);
+                for s in index.coverage(rule) {
+                    prop_assert!(
+                        parent == darwin::index::RuleRef::Root || pc.contains(s),
+                        "parent coverage must contain child coverage"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every phrase the sketch enumerates matches its source sentence.
+    #[test]
+    fn sketch_patterns_match_source(texts in corpus_strategy()) {
+        let corpus = Corpus::from_texts(texts.iter());
+        for s in corpus.sentences() {
+            for gram in darwin::index::sketch::phrase_sketch(s, 4) {
+                let p = PhrasePattern::from_tokens(gram);
+                prop_assert!(p.matches(s));
+            }
+            for pat in darwin::index::sketch::tree_sketch(s, &Default::default()) {
+                prop_assert!(pat.matches(s), "{}", pat.display(corpus.vocab()));
+            }
+        }
+    }
+
+    /// Phrase parse/display round-trips.
+    #[test]
+    fn phrase_roundtrip(texts in corpus_strategy(), pattern in prop::collection::vec(word(), 1..5)) {
+        let corpus = Corpus::from_texts(texts.iter());
+        // Only use words that are in the vocabulary.
+        let usable: Vec<&String> = pattern.iter()
+            .filter(|w| corpus.vocab().get(w).is_some())
+            .collect();
+        if usable.is_empty() {
+            return Ok(());
+        }
+        let text = usable.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" ");
+        let p = PhrasePattern::parse(corpus.vocab(), &text).unwrap();
+        prop_assert_eq!(p.display(corpus.vocab()), text);
+    }
+
+    /// The dependency parse is always a tree: one root, all nodes reach it.
+    #[test]
+    fn parse_is_always_a_tree(text in sentence()) {
+        let corpus = Corpus::from_texts([text]);
+        let s = corpus.sentence(0);
+        let roots = s.heads.iter().enumerate().filter(|(i, &h)| *i == h as usize).count();
+        prop_assert_eq!(roots, 1);
+        for start in 0..s.len() {
+            let mut cur = start;
+            for _ in 0..=s.len() {
+                let h = s.heads[cur] as usize;
+                if h == cur { break; }
+                cur = h;
+            }
+            prop_assert_eq!(s.heads[cur] as usize, cur);
+        }
+    }
+
+    /// IdSet agrees with a reference HashSet implementation.
+    #[test]
+    fn idset_matches_reference(ops in prop::collection::vec((0u32..500, prop::bool::ANY), 0..200)) {
+        let mut ours = IdSet::with_universe(500);
+        let mut reference = std::collections::HashSet::new();
+        for (id, insert) in ops {
+            if insert {
+                prop_assert_eq!(ours.insert(id), reference.insert(id));
+            } else {
+                prop_assert_eq!(ours.contains(id), reference.contains(&id));
+            }
+        }
+        prop_assert_eq!(ours.len(), reference.len());
+        let mut sorted: Vec<u32> = reference.into_iter().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(ours.iter().collect::<Vec<_>>(), sorted);
+    }
+
+    /// Gap-pattern matching is monotone: adding a Star never removes matches.
+    #[test]
+    fn star_insertion_is_monotone(texts in corpus_strategy(), pattern in prop::collection::vec(word(), 1..4)) {
+        let corpus = Corpus::from_texts(texts.iter());
+        let syms: Vec<Sym> = pattern.iter().filter_map(|w| corpus.vocab().get(w)).collect();
+        if syms.len() < 2 {
+            return Ok(());
+        }
+        let tight = PhrasePattern::from_tokens(syms.clone());
+        let mut elems: Vec<PhraseElem> = Vec::new();
+        for (i, &s) in syms.iter().enumerate() {
+            if i > 0 {
+                elems.push(PhraseElem::Star);
+            }
+            elems.push(PhraseElem::Tok(s));
+        }
+        let loose = PhrasePattern { elems };
+        for s in corpus.sentences() {
+            if tight.matches(s) {
+                prop_assert!(loose.matches(s), "loosening must preserve matches");
+            }
+        }
+    }
+}
+
+/// Non-proptest invariants that complete the DESIGN.md §5 list.
+#[test]
+fn tree_term_generalization_is_sound() {
+    let corpus = Corpus::from_texts(["the storm caused the fire", "lightning caused damage"]);
+    let index = IndexSet::build(&corpus, &IndexConfig::small());
+    let tree = index.tree_index().expect("tree enabled");
+    // Any Term(tok)→Term(POS) edge must be coverage-monotone.
+    for id in tree.pat_ids() {
+        if let TreePattern::Term(darwin::grammar::TreeTerm::Tok(_)) = tree.pattern(id) {
+            for &parent in tree.parents(id) {
+                if let TreePattern::Term(darwin::grammar::TreeTerm::Pos(tag)) = tree.pattern(parent) {
+                    assert!(PosTag::ALL.contains(tag));
+                    let pc = tree.postings(parent);
+                    for s in tree.postings(id) {
+                        assert!(pc.contains(s));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn heuristic_display_is_reparseable_for_index_rules() {
+    let corpus = Corpus::from_texts([
+        "what is the best way to get to the airport",
+        "is there a shuttle to the hotel",
+        "the storm caused the fire downtown",
+    ]);
+    let index = IndexSet::build(&corpus, &IndexConfig::small());
+    for rule in index.all_rules().take(500) {
+        let h = index.heuristic(rule);
+        let text = h.display(corpus.vocab());
+        let reparsed = match &h {
+            Heuristic::Phrase(_) => Heuristic::phrase(&corpus, &text),
+            Heuristic::Tree(_) => Heuristic::tree(&corpus, &text),
+        };
+        assert_eq!(reparsed.unwrap(), h, "{text}");
+    }
+}
