@@ -30,7 +30,11 @@ pub struct ActiveLearning {
 
 impl Default for ActiveLearning {
     fn default() -> Self {
-        ActiveLearning { classifier: ClassifierKind::logreg(), retrain_every: 5, seed: 42 }
+        ActiveLearning {
+            classifier: ClassifierKind::logreg(),
+            retrain_every: 5,
+            seed: 42,
+        }
     }
 }
 
@@ -53,17 +57,24 @@ impl ActiveLearning {
         let mut scores: Vec<f32> = vec![0.5; corpus.len()];
         let mut f1_curve = Curve::new("AL");
 
-        let retrain = |labeled: &Vec<u32>, clf: &mut Box<dyn TextClassifier>, scores: &mut Vec<f32>| {
-            let pos: Vec<u32> =
-                labeled.iter().copied().filter(|&i| labels[i as usize]).collect();
-            let neg: Vec<u32> =
-                labeled.iter().copied().filter(|&i| !labels[i as usize]).collect();
-            if pos.is_empty() || neg.is_empty() {
-                return;
-            }
-            clf.fit(corpus, emb, &pos, &neg);
-            clf.predict_all(corpus, emb, scores);
-        };
+        let retrain =
+            |labeled: &Vec<u32>, clf: &mut Box<dyn TextClassifier>, scores: &mut Vec<f32>| {
+                let pos: Vec<u32> = labeled
+                    .iter()
+                    .copied()
+                    .filter(|&i| labels[i as usize])
+                    .collect();
+                let neg: Vec<u32> = labeled
+                    .iter()
+                    .copied()
+                    .filter(|&i| !labels[i as usize])
+                    .collect();
+                if pos.is_empty() || neg.is_empty() {
+                    return;
+                }
+                clf.fit(corpus, emb, &pos, &neg);
+                clf.predict_all(corpus, emb, scores);
+            };
         retrain(&labeled, &mut clf, &mut scores);
 
         for q in 1..=budget {
@@ -74,7 +85,7 @@ impl ActiveLearning {
                 if labeled.contains(&id) {
                     continue;
                 }
-                let margin = (scores[id as usize] - 0.5).abs() + rng.gen_range(0.0..1e-4);
+                let margin = (scores[id as usize] - 0.5).abs() + rng.gen_range(0.0f32..1e-4);
                 if best.is_none_or(|(_, m)| margin < m) {
                     best = Some((id, margin));
                 }
@@ -88,7 +99,11 @@ impl ActiveLearning {
             }
         }
 
-        ActiveLearningResult { f1_curve, scores, labeled }
+        ActiveLearningResult {
+            f1_curve,
+            scores,
+            labeled,
+        }
     }
 }
 
@@ -114,19 +129,35 @@ mod tests {
     #[test]
     fn improves_with_budget() {
         let (corpus, labels) = fixture();
-        let emb = Embeddings::train(&corpus, &EmbedConfig { dim: 16, ..Default::default() });
+        let emb = Embeddings::train(
+            &corpus,
+            &EmbedConfig {
+                dim: 16,
+                ..Default::default()
+            },
+        );
         let al = ActiveLearning::default();
         let seed: Vec<u32> = vec![0, 1, 3, 4]; // one pos, three neg
         let res = al.run(&corpus, &emb, &seed, &labels, 40);
         assert!(!res.f1_curve.is_empty());
-        assert!(res.f1_curve.last() > 0.6, "final F1 {}", res.f1_curve.last());
+        assert!(
+            res.f1_curve.last() > 0.6,
+            "final F1 {}",
+            res.f1_curve.last()
+        );
         assert_eq!(res.labeled.len(), seed.len() + 40);
     }
 
     #[test]
     fn respects_budget_and_never_relabels() {
         let (corpus, labels) = fixture();
-        let emb = Embeddings::train(&corpus, &EmbedConfig { dim: 8, ..Default::default() });
+        let emb = Embeddings::train(
+            &corpus,
+            &EmbedConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
         let al = ActiveLearning::default();
         let res = al.run(&corpus, &emb, &[0, 1], &labels, 10);
         let mut seen = std::collections::HashSet::new();

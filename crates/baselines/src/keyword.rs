@@ -30,7 +30,11 @@ pub struct KeywordSampling {
 
 impl Default for KeywordSampling {
     fn default() -> Self {
-        KeywordSampling { classifier: ClassifierKind::logreg(), retrain_every: 5, seed: 42 }
+        KeywordSampling {
+            classifier: ClassifierKind::logreg(),
+            retrain_every: 5,
+            seed: 42,
+        }
     }
 }
 
@@ -44,7 +48,10 @@ impl KeywordSampling {
         budget: usize,
     ) -> KeywordSamplingResult {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let keys: Vec<_> = keywords.iter().filter_map(|k| corpus.vocab().get(k)).collect();
+        let keys: Vec<_> = keywords
+            .iter()
+            .filter_map(|k| corpus.vocab().get(k))
+            .collect();
         let mut pool: Vec<u32> = (0..corpus.len() as u32)
             .filter(|&id| corpus.sentence(id).tokens.iter().any(|t| keys.contains(t)))
             .collect();
@@ -60,10 +67,16 @@ impl KeywordSampling {
             labeled.push(pick);
             let q = q + 1;
             if q % self.retrain_every == 0 || q == budget.min(pool.len()) {
-                let pos: Vec<u32> =
-                    labeled.iter().copied().filter(|&i| labels[i as usize]).collect();
-                let neg: Vec<u32> =
-                    labeled.iter().copied().filter(|&i| !labels[i as usize]).collect();
+                let pos: Vec<u32> = labeled
+                    .iter()
+                    .copied()
+                    .filter(|&i| labels[i as usize])
+                    .collect();
+                let neg: Vec<u32> = labeled
+                    .iter()
+                    .copied()
+                    .filter(|&i| !labels[i as usize])
+                    .collect();
                 if !pos.is_empty() && !neg.is_empty() {
                     clf.fit(corpus, emb, &pos, &neg);
                     clf.predict_all(corpus, emb, &mut scores);
@@ -72,7 +85,12 @@ impl KeywordSampling {
             }
         }
 
-        KeywordSamplingResult { f1_curve, scores, labeled, pool_size }
+        KeywordSamplingResult {
+            f1_curve,
+            scores,
+            labeled,
+            pool_size,
+        }
     }
 }
 
@@ -100,10 +118,19 @@ mod tests {
     #[test]
     fn filters_pool_by_keywords() {
         let (corpus, labels) = fixture();
-        let emb = Embeddings::train(&corpus, &EmbedConfig { dim: 8, ..Default::default() });
+        let emb = Embeddings::train(
+            &corpus,
+            &EmbedConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
         let ks = KeywordSampling::default();
         let res = ks.run(&corpus, &emb, &["shuttle", "bus", "airport"], &labels, 30);
-        assert_eq!(res.pool_size, 50, "only transport sentences pass the filter");
+        assert_eq!(
+            res.pool_size, 50,
+            "only transport sentences pass the filter"
+        );
         for &id in &res.labeled {
             let text = corpus.text(id);
             assert!(
@@ -116,7 +143,13 @@ mod tests {
     #[test]
     fn keyword_bias_limits_but_trains_a_classifier() {
         let (corpus, labels) = fixture();
-        let emb = Embeddings::train(&corpus, &EmbedConfig { dim: 16, ..Default::default() });
+        let emb = Embeddings::train(
+            &corpus,
+            &EmbedConfig {
+                dim: 16,
+                ..Default::default()
+            },
+        );
         let ks = KeywordSampling::default();
         let res = ks.run(&corpus, &emb, &["shuttle", "pizza"], &labels, 40);
         assert!(!res.f1_curve.is_empty());
@@ -127,7 +160,13 @@ mod tests {
     #[test]
     fn unknown_keywords_yield_empty_pool() {
         let (corpus, labels) = fixture();
-        let emb = Embeddings::train(&corpus, &EmbedConfig { dim: 8, ..Default::default() });
+        let emb = Embeddings::train(
+            &corpus,
+            &EmbedConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
         let ks = KeywordSampling::default();
         let res = ks.run(&corpus, &emb, &["zeppelin"], &labels, 10);
         assert_eq!(res.pool_size, 0);

@@ -112,8 +112,10 @@ mod tests {
         let index = IndexSet::build(&corpus, &IndexConfig::small());
         // Disable the coverage-fraction guard: this test checks HighC's raw
         // behaviour of grabbing the broadest rule available.
-        let cfg =
-            DarwinConfig { max_coverage_frac: 1.0, ..DarwinConfig::fast().with_budget(1) };
+        let cfg = DarwinConfig {
+            max_coverage_frac: 1.0,
+            ..DarwinConfig::fast().with_budget(1)
+        };
         let darwin = Darwin::new(&corpus, &index, cfg);
         let seed = Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
         let mut oracle = GroundTruthOracle::new(&labels, 0.8);

@@ -34,7 +34,12 @@ pub struct SnubaConfig {
 
 impl Default for SnubaConfig {
     fn default() -> Self {
-        SnubaConfig { max_ngram: 3, max_rules: 60, min_f1: 0.25, diversity: 0.4 }
+        SnubaConfig {
+            max_ngram: 3,
+            max_rules: 60,
+            min_f1: 0.25,
+            diversity: 0.4,
+        }
     }
 }
 
@@ -59,9 +64,16 @@ impl Snuba {
     /// label vector — only the labeled ids are consulted), then apply them
     /// corpus-wide.
     pub fn run(&self, corpus: &Corpus, labeled: &[u32], labels: &[bool]) -> SnubaResult {
-        let pos: Vec<u32> = labeled.iter().copied().filter(|&i| labels[i as usize]).collect();
+        let pos: Vec<u32> = labeled
+            .iter()
+            .copied()
+            .filter(|&i| labels[i as usize])
+            .collect();
         if pos.is_empty() {
-            return SnubaResult { rules: Vec::new(), positives: Vec::new() };
+            return SnubaResult {
+                rules: Vec::new(),
+                positives: Vec::new(),
+            };
         }
         let labeled_set: Vec<u32> = labeled.to_vec();
 
@@ -148,7 +160,10 @@ impl Snuba {
                 union.insert(id);
             }
         }
-        SnubaResult { rules, positives: union.iter().collect() }
+        SnubaResult {
+            rules,
+            positives: union.iter().collect(),
+        }
     }
 }
 
@@ -202,9 +217,7 @@ mod tests {
         }
         // Its union therefore misses most shuttle positives.
         let shuttle_pos: Vec<u32> = (0..d.len() as u32)
-            .filter(|&i| {
-                d.labels[i as usize] && d.corpus.sentence(i).tokens.contains(&shuttle)
-            })
+            .filter(|&i| d.labels[i as usize] && d.corpus.sentence(i).tokens.contains(&shuttle))
             .collect();
         let covered = shuttle_pos
             .iter()
@@ -223,8 +236,10 @@ mod tests {
     #[test]
     fn empty_or_negative_only_seed_yields_nothing() {
         let d = directions::generate(1000, 3);
-        let negatives: Vec<u32> =
-            (0..d.len() as u32).filter(|&i| !d.labels[i as usize]).take(50).collect();
+        let negatives: Vec<u32> = (0..d.len() as u32)
+            .filter(|&i| !d.labels[i as usize])
+            .take(50)
+            .collect();
         let r = Snuba::new(SnubaConfig::default()).run(&d.corpus, &negatives, &d.labels);
         assert!(r.rules.is_empty());
         assert!(r.positives.is_empty());
@@ -242,6 +257,9 @@ mod tests {
         let c_small = cov(&snuba.run(&d.corpus, &small, &d.labels).positives);
         let c_large = cov(&snuba.run(&d.corpus, &large, &d.labels).positives);
         // Allow sampling noise; large seeds must not be dramatically worse.
-        assert!(c_large + 0.12 >= c_small, "small {c_small} vs large {c_large}");
+        assert!(
+            c_large + 0.12 >= c_small,
+            "small {c_small} vs large {c_large}"
+        );
     }
 }

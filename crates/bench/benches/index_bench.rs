@@ -41,7 +41,10 @@ fn bench_index(c: &mut Criterion) {
     let phrase: Vec<_> = {
         let d = directions::generate(100, 42);
         drop(d);
-        ["best", "way", "to"].iter().map(|t| corpus.vocab().get(t).unwrap()).collect()
+        ["best", "way", "to"]
+            .iter()
+            .map(|t| corpus.vocab().get(t).unwrap())
+            .collect()
     };
     g.bench_function("phrase_lookup", |b| {
         b.iter(|| idx.lookup(&phrase));
@@ -67,7 +70,17 @@ fn bench_prune(c: &mut Criterion) {
     let mut g = c.benchmark_group("index_prune");
     g.sample_size(10);
     g.bench_function("build_with_min_count2", |b| {
-        b.iter(|| IndexSet::build(&corpus, &IndexConfig { max_phrase_len: 6, min_count: 2, enable_tree: false, ..Default::default() }));
+        b.iter(|| {
+            IndexSet::build(
+                &corpus,
+                &IndexConfig {
+                    max_phrase_len: 6,
+                    min_count: 2,
+                    enable_tree: false,
+                    ..Default::default()
+                },
+            )
+        });
     });
     g.finish();
 }

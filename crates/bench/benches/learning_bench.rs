@@ -12,8 +12,14 @@ use darwin_text::Embeddings;
 fn bench_classifiers(c: &mut Criterion) {
     let d = directions::generate(3000, 42);
     let emb = Embeddings::train(&d.corpus, &EmbedConfig::default());
-    let pos: Vec<u32> = (0..d.len() as u32).filter(|&i| d.labels[i as usize]).take(100).collect();
-    let neg: Vec<u32> = (0..d.len() as u32).filter(|&i| !d.labels[i as usize]).take(300).collect();
+    let pos: Vec<u32> = (0..d.len() as u32)
+        .filter(|&i| d.labels[i as usize])
+        .take(100)
+        .collect();
+    let neg: Vec<u32> = (0..d.len() as u32)
+        .filter(|&i| !d.labels[i as usize])
+        .take(300)
+        .collect();
 
     let mut g = c.benchmark_group("classifier");
     g.sample_size(10);
@@ -52,8 +58,9 @@ fn bench_benefit(c: &mut Criterion) {
 }
 
 fn bench_labelmodel(c: &mut Criterion) {
-    let coverages: Vec<Vec<u32>> =
-        (0..20).map(|j| (0..1000u32).filter(|i| (i + j) % 7 == 0).collect()).collect();
+    let coverages: Vec<Vec<u32>> = (0..20)
+        .map(|j| (0..1000u32).filter(|i| (i + j) % 7 == 0).collect())
+        .collect();
     let refs: Vec<&[u32]> = coverages.iter().map(|v| v.as_slice()).collect();
     let m = LfMatrix::from_coverages(1000, &refs);
     c.bench_function("generative_em_1000x20", |b| {

@@ -15,20 +15,45 @@ fn bench_matching(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("matching");
     g.bench_function("phrase_contiguous_3k", |b| {
-        b.iter(|| corpus.sentences().iter().filter(|s| contiguous.matches(s)).count());
+        b.iter(|| {
+            corpus
+                .sentences()
+                .iter()
+                .filter(|s| contiguous.matches(s))
+                .count()
+        });
     });
     g.bench_function("phrase_gapped_3k", |b| {
-        b.iter(|| corpus.sentences().iter().filter(|s| gapped.matches(s)).count());
+        b.iter(|| {
+            corpus
+                .sentences()
+                .iter()
+                .filter(|s| gapped.matches(s))
+                .count()
+        });
     });
     g.bench_function("tree_pattern_3k", |b| {
-        b.iter(|| corpus.sentences().iter().filter(|s| tree.matches(s)).count());
+        b.iter(|| {
+            corpus
+                .sentences()
+                .iter()
+                .filter(|s| tree.matches(s))
+                .count()
+        });
     });
     g.finish();
 }
 
 fn bench_candidates(c: &mut Criterion) {
     let d = directions::generate(5000, 42);
-    let index = IndexSet::build(&d.corpus, &IndexConfig { max_phrase_len: 6, min_count: 2, ..Default::default() });
+    let index = IndexSet::build(
+        &d.corpus,
+        &IndexConfig {
+            max_phrase_len: 6,
+            min_count: 2,
+            ..Default::default()
+        },
+    );
     let seed = Heuristic::phrase(&d.corpus, "best way to get to").unwrap();
     let p = IdSet::from_ids(&seed.coverage(&d.corpus), d.len());
 

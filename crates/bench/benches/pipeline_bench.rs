@@ -13,7 +13,11 @@ fn bench_traversal_step(c: &mut Criterion) {
     let d = directions::generate(3000, 42);
     let index = IndexSet::build(
         &d.corpus,
-        &IndexConfig { max_phrase_len: 6, min_count: 2, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 6,
+            min_count: 2,
+            ..Default::default()
+        },
     );
     let seed = Heuristic::phrase(&d.corpus, "best way to get to").unwrap();
     let p = IdSet::from_ids(&seed.coverage(&d.corpus), d.len());
@@ -27,6 +31,7 @@ fn bench_traversal_step(c: &mut Criterion) {
         scores: &scores,
         queried: &queried,
         benefit_threshold: 0.5,
+        store: None,
     };
     c.bench_function("universal_select_2000_candidates", |b| {
         let mut us = UniversalSearch::new();
@@ -38,13 +43,21 @@ fn bench_pipeline(c: &mut Criterion) {
     let d = directions::generate(2000, 42);
     let index = IndexSet::build(
         &d.corpus,
-        &IndexConfig { max_phrase_len: 5, min_count: 2, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 5,
+            min_count: 2,
+            ..Default::default()
+        },
     );
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.bench_function("end_to_end_2k_budget10", |b| {
         b.iter(|| {
-            let cfg = DarwinConfig { budget: 10, n_candidates: 1000, ..Default::default() };
+            let cfg = DarwinConfig {
+                budget: 10,
+                n_candidates: 1000,
+                ..Default::default()
+            };
             let darwin = Darwin::new(&d.corpus, &index, cfg);
             let seed = Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap();
             let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);

@@ -1,9 +1,7 @@
 //! One function per paper table/figure. See DESIGN.md §3 for the index.
 
 use crate::support::{checkpoints, coverage_curve, prepare, scaled, Prepared};
-use darwin_baselines::{
-    ActiveLearning, HighC, HighP, KeywordSampling, Snuba, SnubaConfig,
-};
+use darwin_baselines::{ActiveLearning, HighC, HighP, KeywordSampling, Snuba, SnubaConfig};
 use darwin_classifier::ClassifierKind;
 use darwin_core::{
     Darwin, DarwinConfig, GroundTruthOracle, SampledAnnotatorOracle, Seed, TraversalKind,
@@ -20,7 +18,10 @@ use std::time::Instant;
 /// Table 1 — dataset statistics.
 pub fn table1_datasets() {
     let profession_n = scaled(200_000);
-    let mut t = Table::new("Table 1: dataset statistics", &["dataset", "#sentences", "%positives", "labeling"]);
+    let mut t = Table::new(
+        "Table 1: dataset statistics",
+        &["dataset", "#sentences", "%positives", "labeling"],
+    );
     for d in [
         cause_effect::generate(scaled(10_700), 42),
         musicians::generate(scaled(15_800), 42),
@@ -37,7 +38,8 @@ pub fn table1_datasets() {
         ]);
     }
     println!("{}", t.render());
-    t.to_csv(&darwin_eval::csv_path("table1_datasets")).expect("csv");
+    t.to_csv(&darwin_eval::csv_path("table1_datasets"))
+        .expect("csv");
 }
 
 fn snuba_coverage(data: &Dataset, sample: &[u32]) -> f64 {
@@ -48,12 +50,19 @@ fn snuba_coverage(data: &Dataset, sample: &[u32]) -> f64 {
 fn darwin_from_sample(prep: &Prepared, sample: &[u32], budget: usize) -> f64 {
     // Darwin initialized with the positive instances present in the sample
     // (Figure 7/8 protocol: both systems get the same labeled sentences).
-    let pos: Vec<u32> =
-        sample.iter().copied().filter(|&i| prep.data.labels[i as usize]).collect();
+    let pos: Vec<u32> = sample
+        .iter()
+        .copied()
+        .filter(|&i| prep.data.labels[i as usize])
+        .collect();
     if pos.is_empty() {
         return 0.0;
     }
-    let cfg = DarwinConfig { budget, n_candidates: 4000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget,
+        n_candidates: 4000,
+        ..Default::default()
+    };
     let darwin = prep.darwin(cfg);
     let mut oracle = GroundTruthOracle::new(&prep.data.labels, 0.8);
     let run = darwin.run(Seed::Positives(pos), &mut oracle);
@@ -91,7 +100,10 @@ pub fn fig7_seed_size() {
             snuba.push(s, sc / REPS as f64);
             darwin.push(s, dc / REPS as f64);
         }
-        print_curves(&format!("Figure 7 ({name}): coverage vs #seed sentences"), &[&snuba, &darwin]);
+        print_curves(
+            &format!("Figure 7 ({name}): coverage vs #seed sentences"),
+            &[&snuba, &darwin],
+        );
         curves.push(snuba);
         curves.push(darwin);
     }
@@ -105,7 +117,10 @@ pub fn fig7_seed_size() {
         .map(|(d, s)| if *s > 0.0 { (d - s) / s } else { 1.0 })
         .sum::<f64>()
         / s1000.len() as f64;
-    println!("headline: Darwin finds {:.0}% more positives than Snuba@1000 labels (avg)\n", 100.0 * gain);
+    println!(
+        "headline: Darwin finds {:.0}% more positives than Snuba@1000 labels (avg)\n",
+        100.0 * gain
+    );
     write_csv("fig7_seed_size", &curves).expect("csv");
 }
 
@@ -141,7 +156,9 @@ pub fn fig8_biased_seed() {
             darwin.push(s, dc / REPS as f64);
         }
         print_curves(
-            &format!("Figure 8 ({name}, biased seed without {excl:?}): coverage vs #seed sentences"),
+            &format!(
+                "Figure 8 ({name}, biased seed without {excl:?}): coverage vs #seed sentences"
+            ),
             &[&snuba, &darwin],
         );
         curves.push(snuba);
@@ -155,13 +172,33 @@ pub fn fig8_biased_seed() {
 pub fn fig9_coverage() {
     let mut all = Vec::new();
     for (name, prep, budget) in [
-        ("musicians", prepare(musicians::generate, scaled(15_800), 42), 100usize),
-        ("cause-effect", prepare(cause_effect::generate, scaled(10_700), 42), 100),
-        ("directions", prepare(directions::generate, scaled(15_300), 42), 50),
-        ("food-tweets", prepare(tweets::generate, scaled(2_130), 42), 100),
+        (
+            "musicians",
+            prepare(musicians::generate, scaled(15_800), 42),
+            100usize,
+        ),
+        (
+            "cause-effect",
+            prepare(cause_effect::generate, scaled(10_700), 42),
+            100,
+        ),
+        (
+            "directions",
+            prepare(directions::generate, scaled(15_300), 42),
+            50,
+        ),
+        (
+            "food-tweets",
+            prepare(tweets::generate, scaled(2_130), 42),
+            100,
+        ),
     ] {
         let mut curves = Vec::new();
-        for kind in [TraversalKind::Hybrid, TraversalKind::Universal, TraversalKind::Local] {
+        for kind in [
+            TraversalKind::Hybrid,
+            TraversalKind::Universal,
+            TraversalKind::Local,
+        ] {
             let cfg = DarwinConfig {
                 budget,
                 n_candidates: 4000,
@@ -172,12 +209,20 @@ pub fn fig9_coverage() {
             curves.push(curve);
         }
         // HighP baseline.
-        let cfg = DarwinConfig { budget, n_candidates: 4000, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget,
+            n_candidates: 4000,
+            ..Default::default()
+        };
         let darwin = prep.darwin(cfg);
         let seed = Heuristic::phrase(&prep.data.corpus, prep.data.seed_rules[0]).unwrap();
         let mut oracle = GroundTruthOracle::new(&prep.data.labels, 0.8);
         let run = darwin.run_with(Seed::Rule(seed), &mut oracle, |_| Box::new(HighP));
-        curves.push(coverage_curve(&run, &prep.data.labels, format!("{name}/highP")));
+        curves.push(coverage_curve(
+            &run,
+            &prep.data.labels,
+            format!("{name}/highP"),
+        ));
 
         let refs: Vec<&Curve> = curves.iter().collect();
         print_curves(&format!("Figure 9 ({name}): coverage vs #questions"), &refs);
@@ -191,16 +236,36 @@ pub fn fig9_coverage() {
 pub fn fig9_fscore() {
     let mut all = Vec::new();
     for (name, prep, budget) in [
-        ("musicians", prepare(musicians::generate, scaled(15_800), 42), 100usize),
-        ("cause-effect", prepare(cause_effect::generate, scaled(10_700), 42), 100),
-        ("directions", prepare(directions::generate, scaled(15_300), 42), 50),
-        ("food-tweets", prepare(tweets::generate, scaled(2_130), 42), 100),
+        (
+            "musicians",
+            prepare(musicians::generate, scaled(15_800), 42),
+            100usize,
+        ),
+        (
+            "cause-effect",
+            prepare(cause_effect::generate, scaled(10_700), 42),
+            100,
+        ),
+        (
+            "directions",
+            prepare(directions::generate, scaled(15_300), 42),
+            50,
+        ),
+        (
+            "food-tweets",
+            prepare(tweets::generate, scaled(2_130), 42),
+            100,
+        ),
     ] {
         let cps = checkpoints(budget);
         let kind = ClassifierKind::logreg();
         let mut curves = Vec::new();
 
-        let cfg = DarwinConfig { budget, n_candidates: 4000, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget,
+            n_candidates: 4000,
+            ..Default::default()
+        };
         let (run, _) = prep.run_coverage(cfg.clone(), "_");
         curves.push(prep.fscore_curve(&run, format!("{name}/Darwin(HS)"), &cps, &kind));
 
@@ -257,8 +322,12 @@ pub fn fig10_professions() {
     let budget = 100;
     let mut curves = Vec::new();
     for kind in [TraversalKind::Local, TraversalKind::Universal] {
-        let cfg =
-            DarwinConfig { budget, n_candidates: 4000, traversal: kind, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget,
+            n_candidates: 4000,
+            traversal: kind,
+            ..Default::default()
+        };
         let (_, curve) = prep.run_coverage(cfg, format!("professions/{}", kind.name()));
         curves.push(curve);
     }
@@ -267,7 +336,11 @@ pub fn fig10_professions() {
 
     let cps = checkpoints(budget);
     let kind = ClassifierKind::logreg();
-    let cfg = DarwinConfig { budget, n_candidates: 4000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget,
+        n_candidates: 4000,
+        ..Default::default()
+    };
     let (run, _) = prep.run_coverage(cfg.clone(), "_");
     let mut fcurves = vec![prep.fscore_curve(&run, "professions/Darwin(HS)", &cps, &kind)];
 
@@ -310,10 +383,24 @@ pub fn fig10_professions() {
 /// Figure 11 — example HybridSearch traversals.
 pub fn fig11_traversals() {
     for (name, prep, seed_rule, budget) in [
-        ("cause-effect", prepare(cause_effect::generate, scaled(10_700), 42), "has been caused by", 25usize),
-        ("directions", prepare(directions::generate, scaled(15_300), 42), "best way to get to", 25),
+        (
+            "cause-effect",
+            prepare(cause_effect::generate, scaled(10_700), 42),
+            "has been caused by",
+            25usize,
+        ),
+        (
+            "directions",
+            prepare(directions::generate, scaled(15_300), 42),
+            "best way to get to",
+            25,
+        ),
     ] {
-        let cfg = DarwinConfig { budget, n_candidates: 4000, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget,
+            n_candidates: 4000,
+            ..Default::default()
+        };
         let darwin = prep.darwin(cfg);
         let seed = Heuristic::phrase(&prep.data.corpus, seed_rule).unwrap();
         let mut oracle = GroundTruthOracle::new(&prep.data.labels, 0.8);
@@ -329,7 +416,10 @@ pub fn fig11_traversals() {
         }
         println!(
             "  accepted chain: {:?}\n",
-            run.accepted.iter().map(|h| h.display(prep.data.corpus.vocab())).collect::<Vec<_>>()
+            run.accepted
+                .iter()
+                .map(|h| h.display(prep.data.corpus.vocab()))
+                .collect::<Vec<_>>()
         );
     }
 }
@@ -341,12 +431,32 @@ pub fn table2_snorkel() {
         &["dataset", "Darwin", "Darwin+Snorkel"],
     );
     for (name, prep, budget) in [
-        ("musicians", prepare(musicians::generate, scaled(15_800), 42), 100usize),
-        ("cause-effect", prepare(cause_effect::generate, scaled(10_700), 42), 100),
-        ("directions", prepare(directions::generate, scaled(15_300), 42), 50),
-        ("food-tweets", prepare(tweets::generate, scaled(2_130), 42), 100),
+        (
+            "musicians",
+            prepare(musicians::generate, scaled(15_800), 42),
+            100usize,
+        ),
+        (
+            "cause-effect",
+            prepare(cause_effect::generate, scaled(10_700), 42),
+            100,
+        ),
+        (
+            "directions",
+            prepare(directions::generate, scaled(15_300), 42),
+            50,
+        ),
+        (
+            "food-tweets",
+            prepare(tweets::generate, scaled(2_130), 42),
+            100,
+        ),
     ] {
-        let cfg = DarwinConfig { budget, n_candidates: 4000, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget,
+            n_candidates: 4000,
+            ..Default::default()
+        };
         let (run, _) = prep.run_coverage(cfg, "_");
         let kind = ClassifierKind::logreg();
         let cps = [budget];
@@ -355,8 +465,11 @@ pub fn table2_snorkel() {
 
         // Darwin+Snorkel: rules -> generative label model -> probabilistic
         // labels -> classifier.
-        let coverages: Vec<Vec<u32>> =
-            run.accepted.iter().map(|h| h.coverage(&prep.data.corpus)).collect();
+        let coverages: Vec<Vec<u32>> = run
+            .accepted
+            .iter()
+            .map(|h| h.coverage(&prep.data.corpus))
+            .collect();
         let refs: Vec<&[u32]> = coverages.iter().map(|c| c.as_slice()).collect();
         let matrix = LfMatrix::from_coverages(prep.data.len(), &refs);
         // Data-driven prior: with precise positive-only LFs, the covered
@@ -377,8 +490,9 @@ pub fn table2_snorkel() {
         // posteriors are under-determined here — a single reliable vote
         // may not push past 0.5 in absolute terms — but the learned per-LF
         // reliabilities are well identified by the overlaps.
-        let reliable: Vec<bool> =
-            (0..matrix.n_lfs()).map(|j| model.lf_precision(j) >= 0.5).collect();
+        let reliable: Vec<bool> = (0..matrix.n_lfs())
+            .map(|j| model.lf_precision(j) >= 0.5)
+            .collect();
         let denoised_pos: Vec<u32> = (0..matrix.n_items())
             .filter(|&i| {
                 matrix
@@ -395,11 +509,14 @@ pub fn table2_snorkel() {
             trace: vec![],
             scores: vec![],
         };
-        let snorkel = prep.fscore_curve(&denoised_run, "snorkel", &cps, &kind).last();
+        let snorkel = prep
+            .fscore_curve(&denoised_run, "snorkel", &cps, &kind)
+            .last();
         t.row(&[name.into(), format!("{raw:.2}"), format!("{snorkel:.2}")]);
     }
     println!("{}", t.render());
-    t.to_csv(&darwin_eval::csv_path("table2_snorkel")).expect("csv");
+    t.to_csv(&darwin_eval::csv_path("table2_snorkel"))
+        .expect("csv");
 }
 
 /// Figure 12 — sensitivity to HybridSearch's τ and to the seed rule
@@ -409,7 +526,12 @@ pub fn fig12_sensitivity() {
     let budget = 100;
     let mut curves = Vec::new();
     for tau in [3usize, 5, 7, 9] {
-        let cfg = DarwinConfig { budget, n_candidates: 4000, tau, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget,
+            n_candidates: 4000,
+            tau,
+            ..Default::default()
+        };
         let (_, curve) = prep.run_coverage(cfg, format!("tau={tau}"));
         curves.push(curve);
     }
@@ -418,15 +540,26 @@ pub fn fig12_sensitivity() {
 
     let mut seed_curves = Vec::new();
     for (i, rule) in prep.data.seed_rules.clone().iter().enumerate() {
-        let cfg = DarwinConfig { budget, n_candidates: 4000, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget,
+            n_candidates: 4000,
+            ..Default::default()
+        };
         let darwin = prep.darwin(cfg);
         let seed = Heuristic::phrase(&prep.data.corpus, rule).unwrap();
         let mut oracle = GroundTruthOracle::new(&prep.data.labels, 0.8);
         let run = darwin.run(Seed::Rule(seed), &mut oracle);
-        seed_curves.push(coverage_curve(&run, &prep.data.labels, format!("Rule {}", i + 1)));
+        seed_curves.push(coverage_curve(
+            &run,
+            &prep.data.labels,
+            format!("Rule {}", i + 1),
+        ));
     }
     let refs: Vec<&Curve> = seed_curves.iter().collect();
-    print_curves("Figure 12b (musicians): sensitivity to the seed rule", &refs);
+    print_curves(
+        "Figure 12b (musicians): sensitivity to the seed rule",
+        &refs,
+    );
     curves.extend(seed_curves);
     write_csv("fig12_sensitivity", &curves).expect("csv");
 }
@@ -436,7 +569,11 @@ pub fn fig13_candidates() {
     let prep = prepare(musicians::generate, scaled(15_800), 42);
     let mut curves = Vec::new();
     for k in [5_000usize, 10_000, 20_000] {
-        let cfg = DarwinConfig { budget: 100, n_candidates: k, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget: 100,
+            n_candidates: k,
+            ..Default::default()
+        };
         let (_, curve) = prep.run_coverage(cfg, format!("{}K", k / 1000));
         curves.push(curve);
     }
@@ -463,7 +600,11 @@ pub fn fig14_epochs() {
         println!("epochs {epochs:>2}: {q} questions to 75% coverage");
     }
     // The logistic-regression comparison point from the ablation list.
-    let cfg = DarwinConfig { budget: 100, n_candidates: 3000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 100,
+        n_candidates: 3000,
+        ..Default::default()
+    };
     let (run, cov) = prep.run_coverage(cfg, "_");
     let q = cov.first_reaching(0.75).unwrap_or(run.questions().max(100));
     println!("logreg    : {q} questions to 75% coverage");
@@ -483,7 +624,12 @@ pub fn efficiency() {
     let t1 = Instant::now();
     let index = IndexSet::build(
         &data.corpus,
-        &IndexConfig { max_phrase_len: 4, min_count: 3, threads: 8, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 4,
+            min_count: 3,
+            threads: 8,
+            ..Default::default()
+        },
     );
     println!(
         "index construction: {:.1}s ({} rules) [paper: < 5 min]",
@@ -506,8 +652,7 @@ pub fn efficiency() {
             incremental_scoring: incremental,
             ..Default::default()
         };
-        let darwin =
-            Darwin::with_embeddings(&data.corpus, &index, cfg, emb.clone());
+        let darwin = Darwin::with_embeddings(&data.corpus, &index, cfg, emb.clone());
         let seed = Heuristic::phrase(&data.corpus, data.seed_rules[0]).unwrap();
         let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);
         let t2 = Instant::now();
@@ -533,9 +678,17 @@ pub fn annotator_noise() {
         &["oracle", "recall", "precision of P", "false YES"],
     );
     // Perfect oracle reference.
-    let cfg = DarwinConfig { budget, n_candidates: 4000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget,
+        n_candidates: 4000,
+        ..Default::default()
+    };
     let (run, _) = prep.run_coverage(cfg.clone(), "_");
-    let p_prec = run.positives.iter().filter(|&&i| prep.data.labels[i as usize]).count() as f64
+    let p_prec = run
+        .positives
+        .iter()
+        .filter(|&&i| prep.data.labels[i as usize])
+        .count() as f64
         / run.positives.len().max(1) as f64;
     t.row(&[
         "ground truth".into(),
@@ -555,7 +708,11 @@ pub fn annotator_noise() {
             .iter()
             .filter(|h| gt.precision(&h.coverage(&prep.data.corpus)) < 0.8)
             .count();
-        let prec = run.positives.iter().filter(|&&i| prep.data.labels[i as usize]).count() as f64
+        let prec = run
+            .positives
+            .iter()
+            .filter(|&&i| prep.data.labels[i as usize])
+            .count() as f64
             / run.positives.len().max(1) as f64;
         t.row(&[
             format!("annotator k={k}"),
@@ -565,23 +722,38 @@ pub fn annotator_noise() {
         ]);
     }
     println!("{}", t.render());
-    t.to_csv(&darwin_eval::csv_path("annotator_noise")).expect("csv");
+    t.to_csv(&darwin_eval::csv_path("annotator_noise"))
+        .expect("csv");
 
     // Benefit-threshold ablation (Algorithm 4 line 8).
-    let mut bt = Table::new("Benefit-threshold ablation (directions)", &["threshold", "recall"]);
+    let mut bt = Table::new(
+        "Benefit-threshold ablation (directions)",
+        &["threshold", "recall"],
+    );
     for thr in [0.0f64, 0.25, 0.5, 0.75] {
-        let cfg2 = DarwinConfig { benefit_threshold: thr, ..cfg.clone() };
+        let cfg2 = DarwinConfig {
+            benefit_threshold: thr,
+            ..cfg.clone()
+        };
         let (run, _) = prep.run_coverage(cfg2, "_");
-        bt.row(&[format!("{thr:.2}"), format!("{:.2}", coverage(&run.positives, &prep.data.labels))]);
+        bt.row(&[
+            format!("{thr:.2}"),
+            format!("{:.2}", coverage(&run.positives, &prep.data.labels)),
+        ]);
     }
     println!("{}", bt.render());
-    bt.to_csv(&darwin_eval::csv_path("benefit_threshold")).expect("csv");
+    bt.to_csv(&darwin_eval::csv_path("benefit_threshold"))
+        .expect("csv");
 }
 
 /// Footnote 10 — HighC sanity check: most suggestions are rejected.
 pub fn highc_footnote() {
     let prep = prepare(directions::generate, scaled(8_000), 42);
-    let cfg = DarwinConfig { budget: 30, n_candidates: 4000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 30,
+        n_candidates: 4000,
+        ..Default::default()
+    };
     let darwin = prep.darwin(cfg);
     let seed = Heuristic::phrase(&prep.data.corpus, prep.data.seed_rules[0]).unwrap();
     let mut oracle = GroundTruthOracle::new(&prep.data.labels, 0.8);
@@ -602,7 +774,11 @@ fn print_curves(title: &str, curves: &[&Curve]) {
     // Thin the grid for readability.
     let grid: Vec<usize> = if xs.len() > 12 {
         let step = xs.len().div_ceil(12);
-        xs.iter().copied().step_by(step).chain(xs.last().copied()).collect()
+        xs.iter()
+            .copied()
+            .step_by(step)
+            .chain(xs.last().copied())
+            .collect()
     } else {
         xs
     };

@@ -14,7 +14,10 @@ use std::time::Instant;
 
 /// Global scale factor from `DARWIN_SCALE` (default 1.0 = paper sizes).
 pub fn scale() -> f64 {
-    std::env::var("DARWIN_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("DARWIN_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Scale a corpus size, keeping a sensible floor.
@@ -33,7 +36,11 @@ pub struct Prepared {
 /// trie manageable while still indexing every rule the traversals need;
 /// the paper's depth-10 sketches are supported via `IndexConfig`).
 pub fn experiment_index_config() -> IndexConfig {
-    IndexConfig { max_phrase_len: 6, min_count: 2, ..Default::default() }
+    IndexConfig {
+        max_phrase_len: 6,
+        min_count: 2,
+        ..Default::default()
+    }
 }
 
 /// Generate, analyze and index a dataset.
@@ -135,7 +142,11 @@ mod tests {
     #[test]
     fn prepare_and_run_small() {
         let prep = prepare(directions::generate, 1500, 7);
-        let cfg = DarwinConfig { budget: 8, n_candidates: 1500, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget: 8,
+            n_candidates: 1500,
+            ..Default::default()
+        };
         let (run, curve) = prep.run_coverage(cfg, "t");
         assert!(!curve.is_empty());
         assert!(run.questions() <= 8);

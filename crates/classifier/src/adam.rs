@@ -15,13 +15,23 @@ pub struct Param {
 impl Param {
     /// Zero-initialized parameters (biases).
     pub fn zeros(n: usize) -> Param {
-        Param { w: vec![0.0; n], g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+        Param {
+            w: vec![0.0; n],
+            g: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Uniform Glorot-style initialization in `[-scale, scale]`.
     pub fn uniform(n: usize, scale: f32, rng: &mut SmallRng) -> Param {
         let w = (0..n).map(|_| rng.gen_range(-scale..scale)).collect();
-        Param { w, g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+        Param {
+            w,
+            g: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -70,11 +70,11 @@ pub struct KimCnn {
 
 /// Forward-pass scratch space, reused across samples.
 struct Scratch {
-    x: Vec<f32>,       // max_len × dim
-    feat: Vec<f32>,    // total_filters
-    argmax: Vec<usize>,// total_filters — pooling winners
-    h: Vec<f32>,       // hidden (post-ReLU)
-    hpre: Vec<f32>,    // hidden (pre-ReLU)
+    x: Vec<f32>,        // max_len × dim
+    feat: Vec<f32>,     // total_filters
+    argmax: Vec<usize>, // total_filters — pooling winners
+    h: Vec<f32>,        // hidden (post-ReLU)
+    hpre: Vec<f32>,     // hidden (pre-ReLU)
 }
 
 impl KimCnn {
@@ -89,12 +89,27 @@ impl KimCnn {
                 Param::uniform(cfg.filters * w * dim, (6.0 / fan_in).sqrt(), &mut rng)
             })
             .collect();
-        let conv_b = cfg.widths.iter().map(|_| Param::zeros(cfg.filters)).collect();
+        let conv_b = cfg
+            .widths
+            .iter()
+            .map(|_| Param::zeros(cfg.filters))
+            .collect();
         let fc1_w = Param::uniform(cfg.hidden * total, (6.0 / total as f32).sqrt(), &mut rng);
         let fc1_b = Param::zeros(cfg.hidden);
         let fc2_w = Param::uniform(cfg.hidden, (6.0 / cfg.hidden as f32).sqrt(), &mut rng);
         let fc2_b = Param::zeros(1);
-        KimCnn { cfg, dim, conv_w, conv_b, fc1_w, fc1_b, fc2_w, fc2_b, seed, step: 0 }
+        KimCnn {
+            cfg,
+            dim,
+            conv_w,
+            conv_b,
+            fc1_w,
+            fc1_b,
+            fc2_w,
+            fc2_b,
+            seed,
+            step: 0,
+        }
     }
 
     pub fn config(&self) -> &CnnConfig {
@@ -307,10 +322,19 @@ mod tests {
         let mut texts = Vec::new();
         for i in 0..60 {
             texts.push(format!("what is the best way to get to terminal {}", i % 7));
-            texts.push(format!("please order {} pizzas with cheese and olives", i % 5));
+            texts.push(format!(
+                "please order {} pizzas with cheese and olives",
+                i % 5
+            ));
         }
         let c = Corpus::from_texts(texts.iter());
-        let e = Embeddings::train(&c, &EmbedConfig { dim: 12, ..Default::default() });
+        let e = Embeddings::train(
+            &c,
+            &EmbedConfig {
+                dim: 12,
+                ..Default::default()
+            },
+        );
         let pos = (0..120).filter(|i| i % 2 == 0).collect();
         let neg = (0..120).filter(|i| i % 2 == 1).collect();
         (c, e, pos, neg)
@@ -319,12 +343,23 @@ mod tests {
     #[test]
     fn learns_separable_task() {
         let (c, e, pos, neg) = toy();
-        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 6, ..Default::default() }, 3);
+        let mut cnn = KimCnn::new(
+            e.dim(),
+            CnnConfig {
+                epochs: 6,
+                ..Default::default()
+            },
+            3,
+        );
         cnn.fit(&c, &e, &pos[..30], &neg[..30]);
         let acc = pos[30..]
             .iter()
             .map(|&i| (cnn.predict(&c, &e, i) > 0.5) as usize)
-            .chain(neg[30..].iter().map(|&i| (cnn.predict(&c, &e, i) <= 0.5) as usize))
+            .chain(
+                neg[30..]
+                    .iter()
+                    .map(|&i| (cnn.predict(&c, &e, i) <= 0.5) as usize),
+            )
             .sum::<usize>();
         assert!(acc >= 54, "accuracy {acc}/60");
     }
@@ -332,7 +367,14 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let (c, e, pos, neg) = toy();
-        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 4, ..Default::default() }, 5);
+        let mut cnn = KimCnn::new(
+            e.dim(),
+            CnnConfig {
+                epochs: 4,
+                ..Default::default()
+            },
+            5,
+        );
         let before = cnn.loss(&c, &e, &pos, &neg);
         cnn.fit(&c, &e, &pos, &neg);
         let after = cnn.loss(&c, &e, &pos, &neg);
@@ -343,8 +385,22 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (c, e, pos, neg) = toy();
-        let mut a = KimCnn::new(e.dim(), CnnConfig { epochs: 2, ..Default::default() }, 11);
-        let mut b = KimCnn::new(e.dim(), CnnConfig { epochs: 2, ..Default::default() }, 11);
+        let mut a = KimCnn::new(
+            e.dim(),
+            CnnConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            11,
+        );
+        let mut b = KimCnn::new(
+            e.dim(),
+            CnnConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            11,
+        );
         a.fit(&c, &e, &pos[..10], &neg[..10]);
         b.fit(&c, &e, &pos[..10], &neg[..10]);
         for id in 0..10u32 {
@@ -355,7 +411,14 @@ mod tests {
     #[test]
     fn probabilities_in_unit_interval() {
         let (c, e, pos, neg) = toy();
-        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 2, ..Default::default() }, 1);
+        let mut cnn = KimCnn::new(
+            e.dim(),
+            CnnConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            1,
+        );
         cnn.fit(&c, &e, &pos[..5], &neg[..5]);
         for id in 0..c.len() as u32 {
             let p = cnn.predict(&c, &e, id);
@@ -367,7 +430,14 @@ mod tests {
     fn gradient_check_fc2() {
         // Numeric vs analytic gradient on the final layer for one sample.
         let (c, e, _, _) = toy();
-        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 1, ..Default::default() }, 9);
+        let mut cnn = KimCnn::new(
+            e.dim(),
+            CnnConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            9,
+        );
         let mut s = cnn.scratch();
         let id = 0u32;
         let y = 1.0;
@@ -400,8 +470,21 @@ mod tests {
     #[test]
     fn short_sentence_shorter_than_widest_filter() {
         let c = Corpus::from_texts(["hi", "the shuttle to the airport now leaves"]);
-        let e = Embeddings::train(&c, &EmbedConfig { dim: 8, ..Default::default() });
-        let mut cnn = KimCnn::new(e.dim(), CnnConfig { epochs: 2, ..Default::default() }, 4);
+        let e = Embeddings::train(
+            &c,
+            &EmbedConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        let mut cnn = KimCnn::new(
+            e.dim(),
+            CnnConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            4,
+        );
         cnn.fit(&c, &e, &[0], &[1]);
         assert!(cnn.predict(&c, &e, 0).is_finite());
     }

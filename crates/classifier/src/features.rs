@@ -72,7 +72,13 @@ mod tests {
             "pizza with extra cheese",
             "",
         ]);
-        let e = Embeddings::train(&c, &EmbedConfig { dim: 8, ..Default::default() });
+        let e = Embeddings::train(
+            &c,
+            &EmbedConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
         (c, e)
     }
 

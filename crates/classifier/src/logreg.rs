@@ -31,7 +31,12 @@ pub struct LogRegConfig {
 
 impl Default for LogRegConfig {
     fn default() -> Self {
-        LogRegConfig { epochs: 12, lr: 0.05, l2: 1e-4, l2_bow: 6e-3 }
+        LogRegConfig {
+            epochs: 12,
+            lr: 0.05,
+            l2: 1e-4,
+            l2_bow: 6e-3,
+        }
     }
 }
 
@@ -47,7 +52,13 @@ pub struct LogReg {
 impl LogReg {
     pub fn new(emb: &Embeddings, cfg: LogRegConfig, seed: u64) -> LogReg {
         let dim = logreg_dim(emb);
-        LogReg { cfg, w: Param::zeros(dim), dim, seed, step: 0 }
+        LogReg {
+            cfg,
+            w: Param::zeros(dim),
+            dim,
+            seed,
+            step: 0,
+        }
     }
 
     fn score(&self, f: &[f32]) -> f32 {
@@ -91,7 +102,11 @@ impl TextClassifier for LogReg {
                 self.w.zero_grad();
                 let emb_dim = self.dim - crate::features::BOW_BUCKETS - 1;
                 for i in 0..self.dim {
-                    let l2 = if i < emb_dim { self.cfg.l2 } else { self.cfg.l2_bow };
+                    let l2 = if i < emb_dim {
+                        self.cfg.l2
+                    } else {
+                        self.cfg.l2_bow
+                    };
                     self.w.g[i] = d * f[i] + l2 * self.w.w[i];
                 }
                 self.step += 1;
@@ -128,7 +143,13 @@ mod tests {
             texts.push(format!("the pasta with sauce number {}", i % 9));
         }
         let c = Corpus::from_texts(texts.iter());
-        let e = Embeddings::train(&c, &EmbedConfig { dim: 12, ..Default::default() });
+        let e = Embeddings::train(
+            &c,
+            &EmbedConfig {
+                dim: 12,
+                ..Default::default()
+            },
+        );
         (c, e)
     }
 
@@ -142,7 +163,11 @@ mod tests {
         let acc: usize = pos[25..]
             .iter()
             .map(|&i| (lr.predict(&c, &e, i) > 0.5) as usize)
-            .chain(neg[25..].iter().map(|&i| (lr.predict(&c, &e, i) <= 0.5) as usize))
+            .chain(
+                neg[25..]
+                    .iter()
+                    .map(|&i| (lr.predict(&c, &e, i) <= 0.5) as usize),
+            )
             .sum();
         assert!(acc >= 45, "accuracy {acc}/50");
     }

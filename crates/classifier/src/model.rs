@@ -36,7 +36,10 @@ impl ClassifierKind {
 
     /// CNN with an explicit number of training epochs (Figure 14 sweeps this).
     pub fn cnn_with_epochs(epochs: usize) -> ClassifierKind {
-        ClassifierKind::Cnn(CnnConfig { epochs, ..Default::default() })
+        ClassifierKind::Cnn(CnnConfig {
+            epochs,
+            ..Default::default()
+        })
     }
 
     pub fn logreg() -> ClassifierKind {
@@ -66,7 +69,13 @@ mod tests {
             texts.push(format!("order a pizza with {i} toppings"));
         }
         let c = Corpus::from_texts(texts.iter());
-        let e = Embeddings::train(&c, &EmbedConfig { dim: 16, ..Default::default() });
+        let e = Embeddings::train(
+            &c,
+            &EmbedConfig {
+                dim: 16,
+                ..Default::default()
+            },
+        );
         let pos: Vec<u32> = (0..80).filter(|i| i % 2 == 0).collect();
         let neg: Vec<u32> = (0..80).filter(|i| i % 2 == 1).collect();
         for kind in [ClassifierKind::cnn_with_epochs(6), ClassifierKind::logreg()] {
@@ -91,7 +100,13 @@ mod tests {
     #[test]
     fn predict_all_matches_predict() {
         let c = Corpus::from_texts(["a b c", "d e f", "a d"]);
-        let e = Embeddings::train(&c, &EmbedConfig { dim: 8, ..Default::default() });
+        let e = Embeddings::train(
+            &c,
+            &EmbedConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
         let mut clf = ClassifierKind::logreg().build(&e, 1);
         clf.fit(&c, &e, &[0], &[1]);
         let mut all = Vec::new();

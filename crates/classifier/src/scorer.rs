@@ -10,6 +10,19 @@ use crate::model::TextClassifier;
 use darwin_text::{Corpus, Embeddings};
 
 /// Cached per-sentence positive probabilities with selective refresh.
+///
+/// Downstream consumers that maintain score-derived aggregates (the
+/// incremental benefit engine) follow the cache through two signals after
+/// each [`ScoreCache::refresh`]:
+///
+/// * [`ScoreCache::last_refresh_was_full`] — a full pass means "most
+///   scores moved; rebuild your aggregates from scratch".
+/// * [`ScoreCache::last_changes`] — after an *incremental* pass, the exact
+///   `(id, old, new)` journal of scores that moved, so aggregates can be
+///   patched by delta instead of rebuilt.
+///
+/// [`ScoreCache::epoch`] counts the full passes — a staleness check for
+/// consumers that sync less often than every refresh.
 pub struct ScoreCache {
     scores: Vec<f32>,
     round: u32,
@@ -20,6 +33,9 @@ pub struct ScoreCache {
     /// When false, every refresh is a full pass (ablation switch).
     pub incremental: bool,
     refreshed_last_round: usize,
+    epoch: u64,
+    last_was_full: bool,
+    changes: Vec<(u32, f32, f32)>,
 }
 
 impl ScoreCache {
@@ -31,12 +47,18 @@ impl ScoreCache {
             full_every: 3,
             incremental: true,
             refreshed_last_round: 0,
+            epoch: 0,
+            last_was_full: false,
+            changes: Vec::new(),
         }
     }
 
     /// Disable the optimization (used by the efficiency ablation).
     pub fn full_only(n_sentences: usize) -> ScoreCache {
-        ScoreCache { incremental: false, ..ScoreCache::new(n_sentences) }
+        ScoreCache {
+            incremental: false,
+            ..ScoreCache::new(n_sentences)
+        }
     }
 
     /// Current scores, one per sentence.
@@ -54,21 +76,48 @@ impl ScoreCache {
         self.refreshed_last_round
     }
 
+    /// Retrain epoch: how many full passes have happened. Aggregates keyed
+    /// to an older epoch must be rebuilt, not patched.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the most recent [`ScoreCache::refresh`] was a full pass.
+    pub fn last_refresh_was_full(&self) -> bool {
+        self.last_was_full
+    }
+
+    /// The `(id, old, new)` score movements of the most recent
+    /// *incremental* refresh (empty after a full pass — everything may have
+    /// moved; consult [`ScoreCache::epoch`] instead).
+    pub fn last_changes(&self) -> &[(u32, f32, f32)] {
+        &self.changes
+    }
+
     /// Refresh scores from a (re)trained classifier.
     pub fn refresh(&mut self, clf: &dyn TextClassifier, corpus: &Corpus, emb: &Embeddings) {
         self.round += 1;
-        let full =
-            !self.incremental || self.round == 1 || self.round.is_multiple_of(self.full_every.max(1));
+        let full = !self.incremental
+            || self.round == 1
+            || self.round.is_multiple_of(self.full_every.max(1));
+        self.changes.clear();
+        self.last_was_full = full;
         if full {
             let mut out = Vec::with_capacity(self.scores.len());
             clf.predict_all(corpus, emb, &mut out);
             self.scores = out;
             self.refreshed_last_round = self.scores.len();
+            self.epoch += 1;
         } else {
             let mut n = 0;
             for id in 0..self.scores.len() {
                 if self.scores[id] >= self.threshold {
-                    self.scores[id] = clf.predict(corpus, emb, id as u32);
+                    let new = clf.predict(corpus, emb, id as u32);
+                    let old = self.scores[id];
+                    if new != old {
+                        self.changes.push((id as u32, old, new));
+                        self.scores[id] = new;
+                    }
                     n += 1;
                 }
             }
@@ -94,7 +143,13 @@ mod tests {
             })
             .collect();
         let c = Corpus::from_texts(texts.iter());
-        let e = Embeddings::train(&c, &EmbedConfig { dim: 8, ..Default::default() });
+        let e = Embeddings::train(
+            &c,
+            &EmbedConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
         (c, e)
     }
 
@@ -121,7 +176,10 @@ mod tests {
         cache.refresh(clf.as_ref(), &c, &e); // round 2: incremental
         assert!(cache.last_refresh_size() <= full_n);
         // Negatives (scoring < 0.3 after training) were skipped.
-        assert!(cache.last_refresh_size() < c.len(), "some sentences skipped");
+        assert!(
+            cache.last_refresh_size() < c.len(),
+            "some sentences skipped"
+        );
     }
 
     #[test]
@@ -135,6 +193,60 @@ mod tests {
         cache.refresh(clf.as_ref(), &c, &e); // round 2 incremental
         cache.refresh(clf.as_ref(), &c, &e); // round 3 full (3 % 3 == 0)
         assert_eq!(cache.last_refresh_size(), c.len());
+    }
+
+    #[test]
+    fn epoch_bumps_only_on_full_passes() {
+        let (c, e) = setup();
+        let mut clf = ClassifierKind::logreg().build(&e, 1);
+        clf.fit(&c, &e, &[0, 2], &[1, 3]);
+        let mut cache = ScoreCache::new(c.len());
+        cache.full_every = 3;
+        assert_eq!(cache.epoch(), 0);
+        cache.refresh(clf.as_ref(), &c, &e); // round 1: full
+        assert_eq!(cache.epoch(), 1);
+        assert!(cache.last_refresh_was_full());
+        cache.refresh(clf.as_ref(), &c, &e); // round 2: incremental
+        assert_eq!(cache.epoch(), 1);
+        assert!(!cache.last_refresh_was_full());
+        cache.refresh(clf.as_ref(), &c, &e); // round 3: full
+        assert_eq!(cache.epoch(), 2);
+        assert!(
+            cache.last_changes().is_empty(),
+            "journal cleared on full pass"
+        );
+    }
+
+    #[test]
+    fn change_journal_reflects_score_movements() {
+        let (c, e) = setup();
+        let mut clf = ClassifierKind::logreg().build(&e, 1);
+        clf.fit(&c, &e, &[0, 2, 4], &[1, 3, 5]);
+        let mut cache = ScoreCache::new(c.len());
+        cache.full_every = 100;
+        cache.refresh(clf.as_ref(), &c, &e); // round 1: full
+        let before = cache.scores().to_vec();
+        // Retrain with different data so scores actually move.
+        clf.fit(&c, &e, &[0, 2, 4, 6, 8], &[1, 3, 5, 7, 9]);
+        cache.refresh(clf.as_ref(), &c, &e); // round 2: incremental
+        let after = cache.scores();
+        for &(id, old, new) in cache.last_changes() {
+            assert_eq!(before[id as usize], old);
+            assert_eq!(after[id as usize], new);
+            assert_ne!(old, new);
+        }
+        // Every moved score is in the journal.
+        for id in 0..c.len() {
+            if before[id] != after[id] {
+                assert!(
+                    cache
+                        .last_changes()
+                        .iter()
+                        .any(|&(i, _, _)| i as usize == id),
+                    "moved score {id} missing from journal"
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,18 +38,31 @@ impl PartialOrd for Entry {
     }
 }
 
+/// A generated candidate with the statistics best-first search already
+/// computed for it (`overlap` = `|C_r ∩ P|`, `count` = `|C_r|`). The
+/// §3.2.1 hierarchy cleanup decides from these instead of rescanning
+/// coverage; seeding the engine's benefit aggregates from them too is a
+/// still-open ROADMAP item.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    pub rule: RuleRef,
+    pub overlap: usize,
+    pub count: usize,
+}
+
 /// Generate up to `k` candidate heuristics with high coverage over `p`
-/// (Algorithm 2). The returned list is in pop order (best first) and never
-/// contains the root. Rules covering more than `max_count` sentences are
-/// skipped (their subtrees are still explored — children are tighter).
-pub fn generate(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Vec<RuleRef> {
+/// (Algorithm 2), with their search statistics. The returned list is in
+/// pop order (best first) and never contains the root. Rules covering more
+/// than `max_count` sentences are skipped (their subtrees are still
+/// explored — children are tighter).
+pub fn generate_scored(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Vec<Candidate> {
     let mut out = Vec::with_capacity(k.min(1024));
     let mut heap = BinaryHeap::new();
     let mut seen: darwin_index::fx::FxHashSet<RuleRef> = Default::default();
 
     let push_children = |rule: RuleRef,
-                             heap: &mut BinaryHeap<Entry>,
-                             seen: &mut darwin_index::fx::FxHashSet<RuleRef>| {
+                         heap: &mut BinaryHeap<Entry>,
+                         seen: &mut darwin_index::fx::FxHashSet<RuleRef>| {
         for child in index.children(rule) {
             if !seen.insert(child) {
                 continue;
@@ -59,8 +72,11 @@ pub fn generate(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Vec<
             if overlap == 0 {
                 continue; // zero overlap ⇒ the whole subtree is useless
             }
-            heap.push(Entry { overlap, count: postings.len(), rule: child });
-
+            heap.push(Entry {
+                overlap,
+                count: postings.len(),
+                rule: child,
+            });
         }
     };
 
@@ -70,24 +86,34 @@ pub fn generate(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Vec<
         // Over-broad rules are expanded (children may qualify) but not
         // offered as candidates themselves.
         if best.count <= max_count {
-            out.push(best.rule);
+            out.push(Candidate {
+                rule: best.rule,
+                overlap: best.overlap,
+                count: best.count,
+            });
         }
         push_children(best.rule, &mut heap, &mut seen);
     }
     out
 }
 
+/// [`generate_scored`] stripped to the rule handles.
+pub fn generate(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Vec<RuleRef> {
+    generate_scored(index, p, k, max_count)
+        .into_iter()
+        .map(|c| c.rule)
+        .collect()
+}
+
 /// Generate candidates and arrange them into a [`Hierarchy`], applying the
 /// cleanup of §3.2.1: candidates whose coverage adds no new positive
-/// sentences beyond `p` are dropped.
+/// sentences beyond `p` are dropped (decided from the search's own
+/// statistics — no second coverage scan).
 pub fn generate_hierarchy(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Hierarchy {
-    let raw = generate(index, p, k, max_count);
-    let cleaned: Vec<RuleRef> = raw
+    let cleaned: Vec<RuleRef> = generate_scored(index, p, k, max_count)
         .into_iter()
-        .filter(|&r| {
-            let postings = index.coverage(r);
-            postings.len() > p.count_in(postings)
-        })
+        .filter(|c| c.count > c.overlap)
+        .map(|c| c.rule)
         .collect();
     Hierarchy::new(index, cleaned)
 }
@@ -121,11 +147,17 @@ mod tests {
         let cands = generate(&idx, &p, 50, usize::MAX);
         assert!(!cands.is_empty());
         for &r in &cands {
-            assert!(p.count_in(idx.coverage(r)) > 0, "{:?}", idx.heuristic(r).display(c.vocab()));
+            assert!(
+                p.count_in(idx.coverage(r)) > 0,
+                "{:?}",
+                idx.heuristic(r).display(c.vocab())
+            );
         }
         // "shuttle" ranks near the top (overlap 2; bare "the" has overlap 2
         // as well but that's fine — both cover P).
-        let shuttle = idx.resolve(&Heuristic::phrase(&c, "shuttle").unwrap()).unwrap();
+        let shuttle = idx
+            .resolve(&Heuristic::phrase(&c, "shuttle").unwrap())
+            .unwrap();
         assert!(cands.contains(&shuttle));
     }
 
@@ -138,7 +170,10 @@ mod tests {
         // sequence isn't globally sorted; but the first candidate must have
         // the maximum overlap among all root children.
         let first_overlap = p.count_in(idx.coverage(cands[0]));
-        assert_eq!(first_overlap, 3, "a unigram covering all three positives pops first");
+        assert_eq!(
+            first_overlap, 3,
+            "a unigram covering all three positives pops first"
+        );
     }
 
     #[test]
@@ -164,9 +199,13 @@ mod tests {
         // add nothing and must be cleaned; "airport" still adds sentence 5.
         let p = IdSet::from_ids(&[0, 1, 2], c.len());
         let h = generate_hierarchy(&idx, &p, 200, usize::MAX);
-        let shuttle = idx.resolve(&Heuristic::phrase(&c, "shuttle").unwrap()).unwrap();
+        let shuttle = idx
+            .resolve(&Heuristic::phrase(&c, "shuttle").unwrap())
+            .unwrap();
         assert!(!h.contains(shuttle), "'shuttle' adds no new positives");
-        let airport = idx.resolve(&Heuristic::phrase(&c, "airport").unwrap()).unwrap();
+        let airport = idx
+            .resolve(&Heuristic::phrase(&c, "airport").unwrap())
+            .unwrap();
         assert!(h.contains(airport), "'airport' still adds sentence 5");
     }
 }

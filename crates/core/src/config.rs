@@ -51,6 +51,15 @@ pub struct DarwinConfig {
     pub min_negatives: usize,
     /// Use the §4.5 incremental re-scoring optimization.
     pub incremental_scoring: bool,
+    /// Maintain per-rule benefit aggregates by delta (the incremental
+    /// engine) instead of recomputing `benefit()` over every candidate's
+    /// coverage on every question. Both paths select identical rule
+    /// sequences (the engine's sums are exact); `false` keeps the
+    /// full-rescan path as an ablation/reference.
+    pub incremental_benefit: bool,
+    /// Worker threads for the engine's aggregate rebuild after a full
+    /// re-score epoch (1 = sequential).
+    pub threads: usize,
     /// Candidates covering more than this fraction of the corpus are never
     /// generated: on the paper's imbalanced tasks (1–12% positive) such
     /// rules cannot clear the 0.8-precision bar, and asking them wastes
@@ -72,6 +81,8 @@ impl Default for DarwinConfig {
             neg_per_pos: 3,
             min_negatives: 50,
             incremental_scoring: true,
+            incremental_benefit: true,
+            threads: 1,
             max_coverage_frac: 0.4,
             seed: 42,
         }
@@ -81,13 +92,20 @@ impl Default for DarwinConfig {
 impl DarwinConfig {
     /// Small-scale configuration for tests and doc examples.
     pub fn fast() -> DarwinConfig {
-        DarwinConfig { budget: 20, n_candidates: 500, ..Default::default() }
+        DarwinConfig {
+            budget: 20,
+            n_candidates: 500,
+            ..Default::default()
+        }
     }
 
     /// The paper's configuration: Kim CNN benefit classifier, 10K
     /// candidates, HybridSearch.
     pub fn paper() -> DarwinConfig {
-        DarwinConfig { classifier: ClassifierKind::cnn(), ..Default::default() }
+        DarwinConfig {
+            classifier: ClassifierKind::cnn(),
+            ..Default::default()
+        }
     }
 
     pub fn with_traversal(mut self, t: TraversalKind) -> Self {

@@ -1,0 +1,704 @@
+//! The incremental question-loop engine.
+//!
+//! Algorithm 1's loop used to live three times in this crate — once in
+//! [`crate::pipeline`], once in [`crate::parallel`], and implicitly under
+//! every baseline selector — and each copy recomputed `benefit()` over
+//! every candidate's full coverage on every oracle question, an
+//! O(|rules| × |coverage|) rescan. This module is the single shared loop,
+//! and it maintains per-rule benefit aggregates *by delta*:
+//!
+//! * when `P` gains sentence ids, only the rules covering those ids (found
+//!   via [`IndexSet::rules_covering`], the inverted postings) change
+//!   benefit — each loses the ids' score contributions;
+//! * when the classifier re-scores a few sentences incrementally, the
+//!   `(id, old, new)` journal from [`ScoreCache::last_changes`] patches the
+//!   same way;
+//! * when the classifier does a *full* re-score ([`ScoreCache::epoch`]
+//!   bumps), sums are rebuilt from scratch — in parallel when
+//!   [`crate::DarwinConfig::threads`] > 1.
+//!
+//! Selection then reads cached aggregates — O(|rules|) per question instead
+//! of O(|rules| × |coverage|). Because sums are kept in the fixed-point
+//! domain of [`crate::benefit::quantize`], the aggregates are *bit-equal*
+//! to a from-scratch [`benefit`] call at every step, so the incremental
+//! engine asks the exact same question sequence as the rescan path
+//! (`DarwinConfig { incremental_benefit: false, .. }` keeps that path alive
+//! as an ablation and as the reference for the equivalence tests).
+
+use crate::benefit::{quantize, Benefit};
+use crate::candidates::generate_hierarchy;
+use crate::hierarchy::Hierarchy;
+use crate::oracle::Oracle;
+use crate::pipeline::{Darwin, RunResult, Seed, TraceStep};
+use crate::traversal::{Ctx, Strategy};
+use darwin_classifier::{ScoreCache, TextClassifier};
+use darwin_grammar::Heuristic;
+use darwin_index::fx::{FxHashMap, FxHashSet};
+use darwin_index::{IdSet, IndexSet, RuleRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Order-sensitive hash of a sorted coverage set (coverage-duplicate
+/// detection: rules with identical coverage get identical oracle answers).
+pub(crate) fn coverage_hash(cov: &[u32]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = darwin_index::fx::FxHasher::default();
+    cov.hash(&mut h);
+    h.finish()
+}
+
+/// Canonical form for alias detection across grammars: a TreeMatch bare
+/// token terminal matches exactly the sentences containing that token, the
+/// same set as the one-token phrase.
+pub(crate) fn canonical(h: Heuristic) -> Heuristic {
+    use darwin_grammar::{PhrasePattern, TreePattern, TreeTerm};
+    match &h {
+        Heuristic::Tree(TreePattern::Term(TreeTerm::Tok(t))) => {
+            Heuristic::Phrase(PhrasePattern::from_tokens([*t]))
+        }
+        _ => h,
+    }
+}
+
+/// Delta-maintained benefit aggregate for one rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenefitAgg {
+    /// `|C_r ∩ P|` — covered sentences already positive.
+    pub covered_pos: usize,
+    /// `|C_r \ P|` — new instances the rule would add.
+    pub new_instances: usize,
+    /// `Σ quantize(p_s)` over `C_r \ P` (fixed-point, order-independent).
+    pub sum_q: i64,
+}
+
+impl BenefitAgg {
+    /// The aggregate as a [`Benefit`] (what selection compares).
+    pub fn benefit(&self) -> Benefit {
+        Benefit {
+            sum_q: self.sum_q,
+            new_instances: self.new_instances,
+        }
+    }
+}
+
+/// Per-rule benefit aggregates, patched by delta as `P` grows and scores
+/// move, rebuilt only on full re-score epochs.
+#[derive(Default)]
+pub struct BenefitStore {
+    aggs: FxHashMap<RuleRef, BenefitAgg>,
+}
+
+impl BenefitStore {
+    pub fn new() -> BenefitStore {
+        BenefitStore::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.aggs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.aggs.is_empty()
+    }
+
+    pub fn contains(&self, r: RuleRef) -> bool {
+        self.aggs.contains_key(&r)
+    }
+
+    /// The cached aggregate for `r`, if tracked.
+    pub fn agg(&self, r: RuleRef) -> Option<&BenefitAgg> {
+        self.aggs.get(&r)
+    }
+
+    /// The cached benefit for `r`, if tracked.
+    pub fn benefit_of(&self, r: RuleRef) -> Option<Benefit> {
+        self.aggs.get(&r).map(BenefitAgg::benefit)
+    }
+
+    fn compute(index: &IndexSet, p: &IdSet, scores: &[f32], r: RuleRef) -> BenefitAgg {
+        let mut agg = BenefitAgg {
+            covered_pos: 0,
+            new_instances: 0,
+            sum_q: 0,
+        };
+        for &s in index.coverage(r) {
+            if p.contains(s) {
+                agg.covered_pos += 1;
+            } else {
+                agg.new_instances += 1;
+                agg.sum_q += quantize(scores[s as usize]);
+            }
+        }
+        agg
+    }
+
+    /// Ensure every rule in `rules` has an aggregate, computing missing
+    /// ones from scratch (in parallel when `threads > 1`).
+    pub fn track<I>(
+        &mut self,
+        rules: I,
+        index: &IndexSet,
+        p: &IdSet,
+        scores: &[f32],
+        threads: usize,
+    ) where
+        I: IntoIterator<Item = RuleRef>,
+    {
+        let missing: Vec<RuleRef> = rules
+            .into_iter()
+            .filter(|r| !self.aggs.contains_key(r))
+            .collect();
+        for (r, agg) in Self::compute_batch(&missing, index, p, scores, threads) {
+            self.aggs.insert(r, agg);
+        }
+    }
+
+    /// Recompute every tracked aggregate from scratch (after a full
+    /// re-score epoch, when patching would touch nearly every sentence
+    /// anyway).
+    pub fn rebuild(&mut self, index: &IndexSet, p: &IdSet, scores: &[f32], threads: usize) {
+        let mut rules: Vec<RuleRef> = self.aggs.keys().copied().collect();
+        rules.sort_unstable();
+        for (r, agg) in Self::compute_batch(&rules, index, p, scores, threads) {
+            self.aggs.insert(r, agg);
+        }
+    }
+
+    /// Drop aggregates for rules not satisfying `keep` (rules evicted from
+    /// the candidate pool). Safe at any time: untracked rules fall back to
+    /// a from-scratch scan in [`crate::traversal::Ctx::benefit`], which
+    /// returns the same value the aggregate held.
+    pub fn retain(&mut self, keep: impl Fn(RuleRef) -> bool) {
+        self.aggs.retain(|&r, _| keep(r));
+    }
+
+    fn compute_batch(
+        rules: &[RuleRef],
+        index: &IndexSet,
+        p: &IdSet,
+        scores: &[f32],
+        threads: usize,
+    ) -> Vec<(RuleRef, BenefitAgg)> {
+        if threads > 1 && rules.len() >= 64 {
+            use rayon::prelude::*;
+            // One chunk per configured worker: the shim (and real rayon)
+            // won't use more threads than there are chunks, so the
+            // configured count is an effective upper bound.
+            let chunk = rules.len().div_ceil(threads);
+            rules
+                .par_chunks(chunk)
+                .map(|rs| {
+                    rs.iter()
+                        .map(|&r| (r, Self::compute(index, p, scores, r)))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            rules
+                .iter()
+                .map(|&r| (r, Self::compute(index, p, scores, r)))
+                .collect()
+        }
+    }
+
+    /// `P` grew by `new_ids` (none previously positive): every tracked rule
+    /// covering one of them absorbs it — the id's score contribution moves
+    /// out of the benefit sum. Must be called with the scores the sums
+    /// currently reflect (i.e. *before* the post-answer retrain).
+    pub fn on_positives_added(&mut self, new_ids: &[u32], index: &IndexSet, scores: &[f32]) {
+        for &id in new_ids {
+            let q = quantize(scores[id as usize]);
+            for r in index.rules_covering(id) {
+                if let Some(agg) = self.aggs.get_mut(&r) {
+                    agg.covered_pos += 1;
+                    agg.new_instances -= 1;
+                    agg.sum_q -= q;
+                }
+            }
+        }
+    }
+
+    /// The classifier incrementally re-scored some sentences: patch every
+    /// tracked rule covering a moved id that is still outside `P`.
+    pub fn on_scores_changed(&mut self, changes: &[(u32, f32, f32)], p: &IdSet, index: &IndexSet) {
+        for &(id, old, new) in changes {
+            if p.contains(id) {
+                continue; // contributes nothing while positive
+            }
+            let dq = quantize(new) - quantize(old);
+            if dq == 0 {
+                continue;
+            }
+            for r in index.rules_covering(id) {
+                if let Some(agg) = self.aggs.get_mut(&r) {
+                    agg.sum_q += dq;
+                }
+            }
+        }
+    }
+}
+
+/// The mutable run state every strategy and flavor of the loop shares.
+pub struct EngineState {
+    /// The discovered positive set `P`.
+    pub p: IdSet,
+    /// Rules already submitted to the oracle (or skipped as duplicates).
+    pub queried: FxHashSet<RuleRef>,
+    /// Rules the oracle confirmed (includes the seed rule when given).
+    pub accepted: Vec<Heuristic>,
+    /// Rules the oracle rejected.
+    pub rejected: Vec<Heuristic>,
+    /// Per-question history.
+    pub trace: Vec<TraceStep>,
+    asked: FxHashSet<Heuristic>,
+    asked_coverages: FxHashSet<u64>,
+}
+
+/// Which loop flavor an [`Engine`] serves. The two differ in RNG stream
+/// and in the parallel loop's always-incremental score cache. One
+/// deliberate unification vs. the pre-engine loops: both flavors now mark
+/// a resolved seed rule as queried, so the parallel batch selector can no
+/// longer re-offer the seed to an annotator (the sequential loop always
+/// excluded it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineFlavor {
+    /// One annotator, retrain after every YES (`Darwin::run*`).
+    Sequential,
+    /// Batched annotators, retrain once per round (`Darwin::run_parallel`).
+    Parallel,
+}
+
+/// The step-driven question loop: owns the classifier, score cache,
+/// hierarchy and benefit aggregates; strategies pull questions from it.
+pub struct Engine<'a> {
+    darwin: &'a Darwin<'a>,
+    /// Shared run state (positives, queried, accepted/rejected, trace).
+    pub state: EngineState,
+    clf: Box<dyn TextClassifier>,
+    cache: ScoreCache,
+    rng: StdRng,
+    hierarchy: Hierarchy,
+    store: Option<BenefitStore>,
+    seed_refs: Vec<RuleRef>,
+    max_count: usize,
+}
+
+impl<'a> Engine<'a> {
+    /// Build the engine: apply the seed, train the initial classifier and
+    /// generate the first hierarchy (Algorithm 1 lines 1–6).
+    pub fn new(darwin: &'a Darwin<'a>, seed: Seed, flavor: EngineFlavor) -> Engine<'a> {
+        let corpus = darwin.corpus();
+        let index = darwin.index();
+        let cfg = darwin.config();
+        let n = corpus.len();
+
+        let mut state = EngineState {
+            p: IdSet::with_universe(n),
+            queried: FxHashSet::default(),
+            accepted: Vec::new(),
+            rejected: Vec::new(),
+            trace: Vec::new(),
+            asked: FxHashSet::default(),
+            asked_coverages: FxHashSet::default(),
+        };
+        let mut seed_refs: Vec<RuleRef> = Vec::new();
+
+        match &seed {
+            Seed::Rule(h) => {
+                let cov: Vec<u32> = match index.resolve(h) {
+                    Some(r) => {
+                        seed_refs.push(r);
+                        state.queried.insert(r);
+                        index.coverage(r).to_vec()
+                    }
+                    None => h.coverage(corpus),
+                };
+                state.p.extend_from_slice(&cov);
+                state.accepted.push(h.clone());
+                state.asked.insert(canonical(h.clone()));
+                if let Some(r) = seed_refs.first() {
+                    state
+                        .asked_coverages
+                        .insert(coverage_hash(index.coverage(*r)));
+                }
+            }
+            Seed::Positives(ids) => {
+                state.p.extend_from_slice(ids);
+            }
+        }
+
+        let clf = cfg.classifier.build(darwin.embeddings(), cfg.seed);
+        let cache = match flavor {
+            EngineFlavor::Sequential if !cfg.incremental_scoring => ScoreCache::full_only(n),
+            _ => ScoreCache::new(n),
+        };
+        let salt = match flavor {
+            EngineFlavor::Sequential => 0xDA,
+            EngineFlavor::Parallel => 0x9A11,
+        };
+        let rng = StdRng::seed_from_u64(cfg.seed ^ salt);
+        let max_count = (cfg.max_coverage_frac * n as f64).ceil() as usize;
+
+        let mut engine = Engine {
+            darwin,
+            state,
+            clf,
+            cache,
+            rng,
+            hierarchy: Hierarchy::new(index, Vec::new()),
+            store: None,
+            seed_refs,
+            max_count,
+        };
+        engine.retrain_and_sync();
+        engine.regen_hierarchy();
+        if cfg.incremental_benefit {
+            let mut store = BenefitStore::new();
+            store.track(
+                engine.hierarchy.rules().iter().copied(),
+                index,
+                &engine.state.p,
+                engine.cache.scores(),
+                cfg.threads,
+            );
+            engine.store = Some(store);
+        }
+        engine
+    }
+
+    /// The seed heuristics' rule handles (what strategies are seeded with).
+    pub fn seed_refs(&self) -> &[RuleRef] {
+        &self.seed_refs
+    }
+
+    /// Questions asked so far.
+    pub fn questions(&self) -> usize {
+        self.state.trace.len()
+    }
+
+    /// Current classifier scores.
+    pub fn scores(&self) -> &[f32] {
+        self.cache.scores()
+    }
+
+    /// The current candidate hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The benefit aggregates (`None` when running in rescan mode).
+    pub fn store(&self) -> Option<&BenefitStore> {
+        self.store.as_ref()
+    }
+
+    /// Read-only selection view over the current state.
+    pub fn ctx(&self) -> Ctx<'_> {
+        Ctx {
+            index: self.darwin.index(),
+            hierarchy: &self.hierarchy,
+            p: &self.state.p,
+            scores: self.cache.scores(),
+            queried: &self.state.queried,
+            benefit_threshold: self.darwin.config().benefit_threshold,
+            store: self.store.as_ref(),
+        }
+    }
+
+    /// Pull the next question from `strategy`, skipping cross-grammar
+    /// aliases and coverage duplicates without consuming budget (Definition
+    /// 4: the oracle's answer depends only on `C_r`, so asking two rules
+    /// with identical coverage wastes a query).
+    pub fn select(&mut self, strategy: &mut dyn Strategy) -> Option<RuleRef> {
+        let index = self.darwin.index();
+        for _ in 0..256 {
+            let pick = {
+                let ctx = self.ctx();
+                strategy.select(&ctx).or_else(|| {
+                    // Fallback: the most promising remaining candidate.
+                    ctx.most_promising(self.hierarchy.rules().iter().copied())
+                })
+            };
+            let r = pick?;
+            self.state.queried.insert(r);
+            if !self.state.asked.insert(canonical(index.heuristic(r))) {
+                continue;
+            }
+            if !self
+                .state
+                .asked_coverages
+                .insert(coverage_hash(index.coverage(r)))
+            {
+                continue;
+            }
+            return Some(r);
+        }
+        None
+    }
+
+    /// Record an oracle answer: on YES grow `P`, patch the benefit
+    /// aggregates by delta, and log the trace step. Does *not* retrain —
+    /// the sequential loop retrains per YES, the parallel loop once per
+    /// round. Returns the answer (what the loops key retraining on).
+    pub fn record(&mut self, rule: RuleRef, answer: bool) -> bool {
+        let index = self.darwin.index();
+        let h = index.heuristic(rule);
+        let cov = index.coverage(rule);
+        let mut new_ids: Vec<u32> = Vec::new();
+        if answer {
+            new_ids = cov
+                .iter()
+                .copied()
+                .filter(|&s| !self.state.p.contains(s))
+                .collect();
+            if let Some(store) = &mut self.store {
+                // Scores are still pre-retrain here — exactly what the sums
+                // reflect.
+                store.on_positives_added(&new_ids, index, self.cache.scores());
+            }
+            self.state.p.extend_from_slice(cov);
+            self.state.accepted.push(h.clone());
+        } else {
+            self.state.rejected.push(h.clone());
+        }
+        self.state.trace.push(TraceStep {
+            question: self.state.trace.len() + 1,
+            rule: h,
+            answer,
+            new_positive_ids: new_ids,
+            p_size: self.state.p.len(),
+        });
+        answer
+    }
+
+    /// Retrain the classifier on `P` vs. sampled presumed negatives,
+    /// refresh the score cache, and bring the benefit aggregates back in
+    /// sync — patched from the score journal after an incremental pass,
+    /// rebuilt (in parallel when configured) after a full epoch.
+    pub fn retrain_and_sync(&mut self) {
+        let darwin = self.darwin;
+        let corpus = darwin.corpus();
+        let cfg = darwin.config();
+        let pos: Vec<u32> = self.state.p.iter().collect();
+        if pos.is_empty() {
+            return;
+        }
+        let n = corpus.len() as u32;
+        // Cap the sample at a third of the corpus: sampling presumed
+        // negatives too densely would sweep in most undiscovered positives
+        // and teach the classifier to reject exactly the sentences Darwin
+        // still needs to find.
+        let want = (pos.len() * cfg.neg_per_pos)
+            .max(cfg.min_negatives)
+            .min(corpus.len() / 3)
+            .min(corpus.len().saturating_sub(pos.len()));
+        let mut neg: Vec<u32> = Vec::with_capacity(want);
+        let mut guard = 0;
+        while neg.len() < want && guard < want * 20 {
+            let id = self.rng.gen_range(0..n);
+            if !self.state.p.contains(id) {
+                neg.push(id);
+            }
+            guard += 1;
+        }
+        self.clf.fit(corpus, darwin.embeddings(), &pos, &neg);
+        self.cache.refresh(&*self.clf, corpus, darwin.embeddings());
+
+        if let Some(store) = &mut self.store {
+            if self.cache.last_refresh_was_full() {
+                store.rebuild(
+                    darwin.index(),
+                    &self.state.p,
+                    self.cache.scores(),
+                    cfg.threads,
+                );
+            } else {
+                store.on_scores_changed(self.cache.last_changes(), &self.state.p, darwin.index());
+            }
+        }
+    }
+
+    /// Regenerate the candidate hierarchy around the grown positive set
+    /// (§3.7) and start tracking aggregates for rules new to the pool.
+    /// Already-tracked rules keep their delta-maintained aggregates —
+    /// `RuleRef`s are stable index handles, so nothing is recomputed for
+    /// them.
+    pub fn regen_hierarchy(&mut self) {
+        let darwin = self.darwin;
+        let cfg = darwin.config();
+        self.hierarchy = generate_hierarchy(
+            darwin.index(),
+            &self.state.p,
+            cfg.n_candidates,
+            self.max_count,
+        );
+        if let Some(store) = &mut self.store {
+            // Evict rules that left the pool — without this the store (and
+            // every full-epoch rebuild) grows with the union of all pools
+            // ever generated. Rules that re-enter later are simply
+            // recomputed; selection reads the same values either way.
+            let hierarchy = &self.hierarchy;
+            store.retain(|r| hierarchy.contains(r));
+            store.track(
+                hierarchy.rules().iter().copied(),
+                darwin.index(),
+                &self.state.p,
+                self.cache.scores(),
+                cfg.threads,
+            );
+        }
+    }
+
+    /// One sequential question: select, ask, feed back, apply (retraining
+    /// and regenerating the hierarchy on YES). Returns `false` when the
+    /// strategy has nothing left to ask.
+    pub fn step(&mut self, strategy: &mut dyn Strategy, oracle: &mut dyn Oracle) -> bool {
+        let Some(rule) = self.select(strategy) else {
+            return false;
+        };
+        let index = self.darwin.index();
+        let h = index.heuristic(rule);
+        let cov = index.coverage(rule);
+        let answer = oracle.ask(self.darwin.corpus(), &h, cov);
+        {
+            let ctx = self.ctx();
+            strategy.feedback(rule, answer, &ctx);
+        }
+        self.record(rule, answer);
+        if answer {
+            // Score update (§3.7): retrain, refresh scores, regenerate the
+            // hierarchy around the grown positive set.
+            self.retrain_and_sync();
+            self.regen_hierarchy();
+        }
+        true
+    }
+
+    /// Consume the engine into a [`RunResult`].
+    pub fn finish(self) -> RunResult {
+        RunResult {
+            accepted: self.state.accepted,
+            rejected: self.state.rejected,
+            positives: self.state.p.iter().collect(),
+            trace: self.state.trace,
+            scores: self.cache.scores().to_vec(),
+        }
+    }
+
+    /// Verify every tracked aggregate against a from-scratch recomputation
+    /// (test/diagnostic hook; the property tests drive this).
+    pub fn store_is_consistent(&self) -> bool {
+        let Some(store) = &self.store else {
+            return true;
+        };
+        let index = self.darwin.index();
+        store.aggs.iter().all(|(&r, agg)| {
+            *agg == BenefitStore::compute(index, &self.state.p, self.cache.scores(), r)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benefit::benefit;
+    use darwin_index::{IndexConfig, IndexSet};
+    use darwin_text::Corpus;
+
+    fn setup() -> (Corpus, IndexSet) {
+        let c = Corpus::from_texts([
+            "the shuttle to the airport leaves hourly",
+            "is there a shuttle to the airport tonight",
+            "a bus to the airport runs daily",
+            "order pizza to the room please",
+            "the pool opens at nine daily",
+        ]);
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        (c, idx)
+    }
+
+    fn scratch(index: &IndexSet, p: &IdSet, scores: &[f32], r: RuleRef) -> BenefitAgg {
+        BenefitStore::compute(index, p, scores, r)
+    }
+
+    #[test]
+    fn track_matches_scratch_benefit() {
+        let (c, idx) = setup();
+        let p = IdSet::from_ids(&[0, 1], c.len());
+        let scores = vec![0.9, 0.9, 0.8, 0.2, 0.1];
+        let mut store = BenefitStore::new();
+        let rules: Vec<RuleRef> = idx.all_rules().collect();
+        store.track(rules.iter().copied(), &idx, &p, &scores, 1);
+        for &r in &rules {
+            assert_eq!(
+                store.benefit_of(r).unwrap(),
+                benefit(idx.coverage(r), &p, &scores)
+            );
+        }
+    }
+
+    #[test]
+    fn positive_delta_matches_scratch() {
+        let (c, idx) = setup();
+        let mut p = IdSet::from_ids(&[0], c.len());
+        let scores = vec![0.9, 0.9, 0.8, 0.2, 0.1];
+        let mut store = BenefitStore::new();
+        let rules: Vec<RuleRef> = idx.all_rules().collect();
+        store.track(rules.iter().copied(), &idx, &p, &scores, 1);
+
+        // P gains sentences 1 and 2.
+        let new_ids = [1u32, 2];
+        store.on_positives_added(&new_ids, &idx, &scores);
+        p.extend_from_slice(&new_ids);
+
+        for &r in &rules {
+            assert_eq!(
+                store.agg(r).copied().unwrap(),
+                scratch(&idx, &p, &scores, r),
+                "{:?}",
+                idx.heuristic(r)
+            );
+        }
+    }
+
+    #[test]
+    fn score_delta_matches_scratch() {
+        let (c, idx) = setup();
+        let p = IdSet::from_ids(&[0, 1], c.len());
+        let mut scores = vec![0.9, 0.9, 0.8, 0.2, 0.1];
+        let mut store = BenefitStore::new();
+        let rules: Vec<RuleRef> = idx.all_rules().collect();
+        store.track(rules.iter().copied(), &idx, &p, &scores, 1);
+
+        // Re-score: one id outside P, one inside P (must be ignored).
+        let changes = [(2u32, 0.8f32, 0.3f32), (1u32, 0.9f32, 0.5f32)];
+        store.on_scores_changed(&changes, &p, &idx);
+        scores[2] = 0.3;
+        scores[1] = 0.5;
+
+        for &r in &rules {
+            assert_eq!(
+                store.agg(r).copied().unwrap(),
+                scratch(&idx, &p, &scores, r)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_rebuild_equals_sequential() {
+        let (c, idx) = setup();
+        let p = IdSet::from_ids(&[0, 3], c.len());
+        let scores = vec![0.6, 0.7, 0.8, 0.9, 0.4];
+        let rules: Vec<RuleRef> = idx.all_rules().collect();
+        let mut seq = BenefitStore::new();
+        seq.track(rules.iter().copied(), &idx, &p, &scores, 1);
+        let mut par = BenefitStore::new();
+        par.track(rules.iter().copied(), &idx, &p, &scores, 4);
+        par.rebuild(&idx, &p, &scores, 4);
+        for &r in &rules {
+            assert_eq!(seq.agg(r), par.agg(r));
+        }
+    }
+}

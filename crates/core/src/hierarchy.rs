@@ -43,8 +43,11 @@ impl Hierarchy {
     /// expanding the hierarchy on the fly as §3.4 describes).
     pub fn parents(&self, index: &IndexSet, r: RuleRef) -> Vec<RuleRef> {
         let all = index.parents(r);
-        let inside: Vec<RuleRef> =
-            all.iter().copied().filter(|p| self.set.contains(p)).collect();
+        let inside: Vec<RuleRef> = all
+            .iter()
+            .copied()
+            .filter(|p| self.set.contains(p))
+            .collect();
         if inside.is_empty() {
             all
         } else {
@@ -55,8 +58,11 @@ impl Hierarchy {
     /// Children of `r`, same fallback policy as [`Hierarchy::parents`].
     pub fn children(&self, index: &IndexSet, r: RuleRef) -> Vec<RuleRef> {
         let all = index.children(r);
-        let inside: Vec<RuleRef> =
-            all.iter().copied().filter(|c| self.set.contains(c)).collect();
+        let inside: Vec<RuleRef> = all
+            .iter()
+            .copied()
+            .filter(|c| self.set.contains(c))
+            .collect();
         if inside.is_empty() {
             all
         } else {
@@ -89,7 +95,9 @@ mod tests {
         let p = IdSet::from_ids(&[0, 1, 2], c.len());
         let h = crate::candidates::generate_hierarchy(&idx, &p, 1000, usize::MAX);
         assert!(!h.is_empty());
-        let shuttle_to = idx.resolve(&Heuristic::phrase(&c, "shuttle to").unwrap()).unwrap();
+        let shuttle_to = idx
+            .resolve(&Heuristic::phrase(&c, "shuttle to").unwrap())
+            .unwrap();
         if h.contains(shuttle_to) {
             // Its parent "shuttle" covers a superset.
             let parents = h.parents(&idx, shuttle_to);
@@ -107,7 +115,9 @@ mod tests {
     fn off_pool_fallback_returns_index_edges() {
         let (c, idx) = setup();
         let h = Hierarchy::new(&idx, vec![]);
-        let shuttle = idx.resolve(&Heuristic::phrase(&c, "shuttle").unwrap()).unwrap();
+        let shuttle = idx
+            .resolve(&Heuristic::phrase(&c, "shuttle").unwrap())
+            .unwrap();
         // Pool is empty, so edges fall back to the index.
         assert!(!h.children(&idx, RuleRef::Root).is_empty());
         assert_eq!(h.parents(&idx, shuttle), vec![RuleRef::Root]);

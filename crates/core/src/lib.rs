@@ -10,11 +10,15 @@
 //!    [`traversal::LocalSearch`], [`traversal::UniversalSearch`] or
 //!    [`traversal::HybridSearch`] (Algorithms 3–5), guided by a *benefit*
 //!    score computed from a classifier trained on the positives found so
-//!    far ([`benefit`]),
+//!    far ([`benefit`]) and maintained incrementally by the [`engine`]
+//!    (per-rule aggregates patched by delta as `P` grows and scores move,
+//!    instead of a per-question rescan of every candidate's coverage),
 //! 3. asks the [`oracle::Oracle`] a YES/NO question about the selected
 //!    heuristic, and
 //! 4. on YES, grows the positive set, retrains the classifier and updates
-//!    all scores ([`pipeline`], Algorithm 1).
+//!    all scores ([`pipeline`], Algorithm 1 — the loop itself is
+//!    [`engine::Engine::step`], shared by the sequential, parallel and
+//!    baseline runners).
 //!
 //! The output is the accepted rule set, the discovered positives, the
 //! trained classifier scores, and a per-question trace from which the
@@ -23,6 +27,7 @@
 pub mod benefit;
 pub mod candidates;
 pub mod config;
+pub mod engine;
 pub mod hierarchy;
 pub mod oracle;
 pub mod parallel;
@@ -30,6 +35,7 @@ pub mod pipeline;
 pub mod traversal;
 
 pub use config::{DarwinConfig, TraversalKind};
+pub use engine::{BenefitAgg, BenefitStore, Engine, EngineFlavor, EngineState};
 pub use oracle::{GroundTruthOracle, Oracle, SampledAnnotatorOracle};
 pub use parallel::MajorityOracle;
 pub use pipeline::{Darwin, RunResult, Seed, TraceStep};

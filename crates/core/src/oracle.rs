@@ -36,7 +36,11 @@ pub struct GroundTruthOracle<'a> {
 
 impl<'a> GroundTruthOracle<'a> {
     pub fn new(labels: &'a [bool], threshold: f64) -> Self {
-        GroundTruthOracle { labels, threshold, queries: 0 }
+        GroundTruthOracle {
+            labels,
+            threshold,
+            queries: 0,
+        }
     }
 
     /// Precision of an id set under the ground truth.
@@ -44,7 +48,10 @@ impl<'a> GroundTruthOracle<'a> {
         if coverage.is_empty() {
             return 0.0;
         }
-        let pos = coverage.iter().filter(|&&i| self.labels[i as usize]).count();
+        let pos = coverage
+            .iter()
+            .filter(|&&i| self.labels[i as usize])
+            .count();
         pos as f64 / coverage.len() as f64
     }
 }
@@ -100,8 +107,10 @@ impl Oracle for SampledAnnotatorOracle<'_> {
             return false;
         }
         let k = self.k.min(coverage.len());
-        let sample: Vec<u32> =
-            coverage.choose_multiple(&mut self.rng, k).copied().collect();
+        let sample: Vec<u32> = coverage
+            .choose_multiple(&mut self.rng, k)
+            .copied()
+            .collect();
         let pos = sample.iter().filter(|&&i| self.labels[i as usize]).count();
         let needed = (self.accept_ratio * k as f64).ceil() as usize;
         pos >= needed.max(1)
@@ -181,6 +190,11 @@ mod tests {
             }
             yes as f64 / 300.0
         };
-        assert!(err_rate(25) < err_rate(5), "k=25 {} vs k=5 {}", err_rate(25), err_rate(5));
+        assert!(
+            err_rate(25) < err_rate(5),
+            "k=25 {} vs k=5 {}",
+            err_rate(25),
+            err_rate(5)
+        );
     }
 }

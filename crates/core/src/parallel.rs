@@ -11,12 +11,11 @@
 //! question, which is what makes the wall-clock win of parallel annotation
 //! real.
 
-use crate::benefit::benefit;
-use crate::candidates::generate_hierarchy;
+use crate::engine::{Engine, EngineFlavor};
 use crate::oracle::Oracle;
-use crate::pipeline::{Darwin, RunResult, Seed, TraceStep};
+use crate::pipeline::{Darwin, RunResult, Seed};
+use crate::traversal::Ctx;
 use darwin_grammar::Heuristic;
-use darwin_index::fx::FxHashSet;
 use darwin_index::{IdSet, RuleRef};
 use darwin_text::Corpus;
 
@@ -30,8 +29,14 @@ pub struct MajorityOracle<'a> {
 
 impl<'a> MajorityOracle<'a> {
     pub fn new(members: Vec<Box<dyn Oracle + 'a>>) -> Self {
-        assert!(!members.is_empty(), "majority oracle needs at least one member");
-        MajorityOracle { members, queries: 0 }
+        assert!(
+            !members.is_empty(),
+            "majority oracle needs at least one member"
+        );
+        MajorityOracle {
+            members,
+            queries: 0,
+        }
     }
 
     /// Cost in cents under the paper's crowdsourcing model (2¢ per member
@@ -72,128 +77,86 @@ impl Darwin<'_> {
         assert!(!annotators.is_empty(), "need at least one annotator");
         let corpus = self.corpus();
         let index = self.index();
-        let cfg = self.config().clone();
-        let n = corpus.len();
+        let mut engine = Engine::new(self, seed, EngineFlavor::Parallel);
 
-        let mut p = IdSet::with_universe(n);
-        let mut accepted: Vec<Heuristic> = Vec::new();
-        match &seed {
-            Seed::Rule(h) => {
-                let cov = match index.resolve(h) {
-                    Some(r) => index.coverage(r).to_vec(),
-                    None => h.coverage(corpus),
-                };
-                p.extend_from_slice(&cov);
-                accepted.push(h.clone());
+        for round in 0..rounds {
+            // Re-center the candidate pool on the grown positive set at
+            // each round boundary (the engine already built the pool for
+            // round 0).
+            if round > 0 {
+                engine.regen_hierarchy();
             }
-            Seed::Positives(ids) => {
-                p.extend_from_slice(ids);
-            }
-        }
-
-        let mut clf = cfg.classifier.build(self.embeddings(), cfg.seed);
-        let mut cache = darwin_classifier::ScoreCache::new(n);
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed ^ 0x9A11);
-        self.retrain_for_parallel(&mut *clf, &mut cache, &p, &mut rng);
-
-        let max_count = (cfg.max_coverage_frac * n as f64).ceil() as usize;
-        let mut queried: FxHashSet<RuleRef> = FxHashSet::default();
-        let mut rejected: Vec<Heuristic> = Vec::new();
-        let mut trace: Vec<TraceStep> = Vec::new();
-        let mut question = 0usize;
-
-        for _round in 0..rounds {
-            let hierarchy = generate_hierarchy(index, &p, cfg.n_candidates, max_count);
-            let batch = select_diverse_batch(
-                index,
-                hierarchy.rules(),
-                &p,
-                cache.scores(),
-                &queried,
-                annotators.len(),
-            );
+            let batch = {
+                let ctx = engine.ctx();
+                select_diverse_batch(&ctx, annotators.len())
+            };
             if batch.is_empty() {
                 break;
             }
             let mut grew = false;
             for (rule, annotator) in batch.iter().zip(annotators.iter_mut()) {
-                queried.insert(*rule);
-                question += 1;
+                engine.state.queried.insert(*rule);
                 let h = index.heuristic(*rule);
                 let cov = index.coverage(*rule);
                 let answer = annotator.ask(corpus, &h, cov);
-                let mut new_ids = Vec::new();
-                if answer {
-                    new_ids = cov.iter().copied().filter(|&s| !p.contains(s)).collect();
-                    p.extend_from_slice(cov);
-                    accepted.push(h.clone());
-                    grew = true;
-                } else {
-                    rejected.push(h.clone());
-                }
-                trace.push(TraceStep {
-                    question,
-                    rule: h,
-                    answer,
-                    new_positive_ids: new_ids,
-                    p_size: p.len(),
-                });
+                grew |= engine.record(*rule, answer);
             }
             if grew {
-                self.retrain_for_parallel(&mut *clf, &mut cache, &p, &mut rng);
+                // One classifier update per round instead of per question —
+                // the wall-clock win of parallel annotation.
+                engine.retrain_and_sync();
             }
         }
-
-        RunResult {
-            accepted,
-            rejected,
-            positives: p.iter().collect(),
-            trace,
-            scores: cache.scores().to_vec(),
-        }
+        engine.finish()
     }
 }
 
 /// Greedy diverse batch: repeatedly take the most beneficial rule whose
 /// *new* coverage overlaps every already-picked rule's new coverage by at
 /// most half — annotators should not be shown near-duplicates.
-fn select_diverse_batch(
-    index: &darwin_index::IndexSet,
-    pool: &[RuleRef],
-    p: &IdSet,
-    scores: &[f32],
-    queried: &FxHashSet<RuleRef>,
-    k: usize,
-) -> Vec<RuleRef> {
+fn select_diverse_batch(ctx: &Ctx<'_>, k: usize) -> Vec<RuleRef> {
     // Same gating as the sequential traversals: rules whose benefit per
-    // new instance clears the 0.5 bar rank first (by total benefit);
+    // new instance clears the threshold rank first (by total benefit);
     // everything else ranks by expected precision. Without this, batches
-    // fill with broad rules the oracle is certain to reject.
-    let mut scored: Vec<(RuleRef, bool, f64, f64)> = pool
+    // fill with broad rules the oracle is certain to reject. Benefits come
+    // from the engine's delta-maintained aggregates via `ctx`.
+    let mut scored: Vec<(RuleRef, bool, i64, f64)> = ctx
+        .hierarchy
+        .rules()
         .iter()
         .copied()
-        .filter(|r| !queried.contains(r))
+        .filter(|r| !ctx.queried.contains(r))
         .map(|r| {
-            let b = benefit(index.coverage(r), p, scores);
-            (r, b.average() > 0.5, b.total, b.average())
+            let b = ctx.benefit(r);
+            (r, b.average() > ctx.benefit_threshold, b.sum_q, b.average())
         })
-        .filter(|(_, _, total, _)| *total > 0.0)
+        .filter(|(_, _, sum_q, _)| *sum_q > 0)
         .collect();
     scored.sort_by(|a, b| {
         b.1.cmp(&a.1)
-            .then_with(|| if a.1 { b.2.total_cmp(&a.2) } else { b.3.total_cmp(&a.3) })
+            .then_with(|| {
+                if a.1 {
+                    b.2.cmp(&a.2)
+                } else {
+                    b.3.total_cmp(&a.3)
+                }
+            })
             .then_with(|| a.0.cmp(&b.0))
     });
-    let scored: Vec<(RuleRef, f64)> = scored.into_iter().map(|(r, _, t, _)| (r, t)).collect();
 
     let mut batch: Vec<RuleRef> = Vec::with_capacity(k);
-    let mut covered = IdSet::with_universe(scores.len());
-    for (rule, _) in scored {
+    let mut covered = IdSet::with_universe(ctx.scores.len());
+    for (rule, ..) in scored {
         if batch.len() == k {
             break;
         }
-        let new: Vec<u32> =
-            index.coverage(rule).iter().copied().filter(|&s| !p.contains(s)).collect();
+        let new: Vec<u32> = ctx
+            .index
+            .coverage(rule)
+            .iter()
+            .copied()
+            .filter(|&s| !ctx.p.contains(s))
+            .collect();
         if new.is_empty() {
             continue;
         }
@@ -237,8 +200,7 @@ mod tests {
         let (corpus, labels) = fixture();
         let index = IndexSet::build(&corpus, &IndexConfig::small());
         let darwin = Darwin::new(&corpus, &index, DarwinConfig::fast());
-        let seed =
-            Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
+        let seed = Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
         let mut a = GroundTruthOracle::new(&labels, 0.8);
         let mut b = GroundTruthOracle::new(&labels, 0.8);
         let mut c = GroundTruthOracle::new(&labels, 0.8);
@@ -249,7 +211,11 @@ mod tests {
         // The per-round batches contain distinct rules.
         let mut seen = std::collections::HashSet::new();
         for t in &run.trace {
-            assert!(seen.insert(t.rule.clone()), "duplicate question {:?}", t.rule);
+            assert!(
+                seen.insert(t.rule.clone()),
+                "duplicate question {:?}",
+                t.rule
+            );
         }
     }
 
@@ -258,8 +224,7 @@ mod tests {
         let (corpus, labels) = fixture();
         let index = IndexSet::build(&corpus, &IndexConfig::small());
         let darwin = Darwin::new(&corpus, &index, DarwinConfig::fast());
-        let seed =
-            Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
+        let seed = Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
         let mut a = GroundTruthOracle::new(&labels, 0.8);
         let mut b = GroundTruthOracle::new(&labels, 0.8);
         let mut annotators: Vec<&mut dyn Oracle> = vec![&mut a, &mut b];
@@ -284,11 +249,18 @@ mod tests {
         let mut crowd = MajorityOracle::new(vec![m1, m2, m3]);
         let rule = Heuristic::phrase(&corpus, "shuttle").unwrap();
         let cov = rule.coverage(&corpus);
-        assert!(crowd.ask(&corpus, &rule, &cov), "precise rule accepted by majority");
+        assert!(
+            crowd.ask(&corpus, &rule, &cov),
+            "precise rule accepted by majority"
+        );
         let junk = Heuristic::phrase(&corpus, "the").unwrap();
         let jcov = junk.coverage(&corpus);
         assert!(!crowd.ask(&corpus, &junk, &jcov));
         assert_eq!(crowd.queries(), 2);
-        assert_eq!(crowd.cost_cents(), 2 * 3 * 2, "paper cost model: 2¢ × 3 members");
+        assert_eq!(
+            crowd.cost_cents(),
+            2 * 3 * 2,
+            "paper cost model: 2¢ × 3 members"
+        );
     }
 }

@@ -1,18 +1,18 @@
 //! The end-to-end Darwin pipeline (paper Algorithm 1).
+//!
+//! The question loop itself lives in [`crate::engine`]; this module owns
+//! the run-level API ([`Darwin`], [`Seed`], [`RunResult`]) and maps the
+//! configured traversal strategy onto the engine.
 
-use crate::candidates::generate_hierarchy;
 use crate::config::{DarwinConfig, TraversalKind};
-use crate::hierarchy::Hierarchy;
+use crate::engine::{Engine, EngineFlavor};
 use crate::oracle::Oracle;
-use crate::traversal::{Ctx, HybridSearch, LocalSearch, Strategy, UniversalSearch};
-use darwin_classifier::{ScoreCache, TextClassifier};
+use crate::traversal::{HybridSearch, LocalSearch, Strategy, UniversalSearch};
 use darwin_grammar::Heuristic;
 use darwin_index::fx::FxHashSet;
-use darwin_index::{IdSet, IndexSet, RuleRef};
+use darwin_index::{IndexSet, RuleRef};
 use darwin_text::embed::EmbedConfig;
 use darwin_text::{Corpus, Embeddings};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// How a run is initialized (Algorithm 1 accepts either).
 #[derive(Clone, Debug)]
@@ -61,41 +61,31 @@ impl RunResult {
         if q == 0 {
             seed_size
         } else {
-            self.trace.get(q.min(self.trace.len()) - 1).map(|t| t.p_size).unwrap_or(seed_size)
+            self.trace
+                .get(q.min(self.trace.len()) - 1)
+                .map(|t| t.p_size)
+                .unwrap_or(seed_size)
         }
     }
 
     /// Reconstruct the positive id set after `q` questions.
     pub fn positives_after(&self, q: usize) -> Vec<u32> {
-        let gained: FxHashSet<u32> =
-            self.trace.iter().skip(q).flat_map(|t| t.new_positive_ids.iter().copied()).collect();
-        self.positives.iter().copied().filter(|id| !gained.contains(id)).collect()
+        let gained: FxHashSet<u32> = self
+            .trace
+            .iter()
+            .skip(q)
+            .flat_map(|t| t.new_positive_ids.iter().copied())
+            .collect();
+        self.positives
+            .iter()
+            .copied()
+            .filter(|id| !gained.contains(id))
+            .collect()
     }
 
     /// Number of oracle questions asked.
     pub fn questions(&self) -> usize {
         self.trace.len()
-    }
-}
-
-/// Order-sensitive hash of a sorted coverage set.
-fn coverage_hash(cov: &[u32]) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = darwin_index::fx::FxHasher::default();
-    cov.hash(&mut h);
-    h.finish()
-}
-
-/// Canonical form for alias detection across grammars: a TreeMatch bare
-/// token terminal matches exactly the sentences containing that token, the
-/// same set as the one-token phrase.
-fn canonical(h: Heuristic) -> Heuristic {
-    use darwin_grammar::{PhrasePattern, TreePattern, TreeTerm};
-    match &h {
-        Heuristic::Tree(TreePattern::Term(TreeTerm::Tok(t))) => {
-            Heuristic::Phrase(PhrasePattern::from_tokens([*t]))
-        }
-        _ => h,
     }
 }
 
@@ -110,8 +100,19 @@ pub struct Darwin<'a> {
 impl<'a> Darwin<'a> {
     /// Create the system, training word embeddings over the corpus.
     pub fn new(corpus: &'a Corpus, index: &'a IndexSet, cfg: DarwinConfig) -> Darwin<'a> {
-        let emb = Embeddings::train(corpus, &EmbedConfig { seed: cfg.seed, ..Default::default() });
-        Darwin { corpus, index, emb, cfg }
+        let emb = Embeddings::train(
+            corpus,
+            &EmbedConfig {
+                seed: cfg.seed,
+                ..Default::default()
+            },
+        );
+        Darwin {
+            corpus,
+            index,
+            emb,
+            cfg,
+        }
     }
 
     /// Create with pre-trained embeddings (reuse across runs of the same
@@ -122,7 +123,12 @@ impl<'a> Darwin<'a> {
         cfg: DarwinConfig,
         emb: Embeddings,
     ) -> Darwin<'a> {
-        Darwin { corpus, index, emb, cfg }
+        Darwin {
+            corpus,
+            index,
+            emb,
+            cfg,
+        }
     }
 
     pub fn config(&self) -> &DarwinConfig {
@@ -133,23 +139,19 @@ impl<'a> Darwin<'a> {
         &self.emb
     }
 
-    pub fn corpus(&self) -> &Corpus {
+    pub fn corpus(&self) -> &'a Corpus {
         self.corpus
     }
 
-    pub fn index(&self) -> &IndexSet {
+    pub fn index(&self) -> &'a IndexSet {
         self.index
     }
 
-    /// Shared retraining path for the parallel-discovery mode.
-    pub(crate) fn retrain_for_parallel(
-        &self,
-        clf: &mut dyn TextClassifier,
-        cache: &mut ScoreCache,
-        p: &IdSet,
-        rng: &mut StdRng,
-    ) {
-        self.retrain(clf, cache, p, rng);
+    /// A step-driven engine over this system — for callers that want to
+    /// drive the question loop themselves (inspect state between
+    /// questions, interleave with other work).
+    pub fn engine(&self, seed: Seed) -> Engine<'_> {
+        Engine::new(self, seed, EngineFlavor::Sequential)
     }
 
     /// Run with the configured traversal strategy.
@@ -164,176 +166,21 @@ impl<'a> Darwin<'a> {
     }
 
     /// Run with a custom selection strategy (how the HighP/HighC baselines
-    /// plug in).
+    /// plug in). The loop itself is [`Engine::step`].
     pub fn run_with(
         &self,
         seed: Seed,
         oracle: &mut dyn Oracle,
         make_strategy: impl FnOnce(&[RuleRef]) -> Box<dyn Strategy>,
     ) -> RunResult {
-        let n = self.corpus.len();
-        let mut p = IdSet::with_universe(n);
-        let mut accepted: Vec<Heuristic> = Vec::new();
-        let mut queried: FxHashSet<RuleRef> = FxHashSet::default();
-        let mut seed_refs: Vec<RuleRef> = Vec::new();
-
-        match &seed {
-            Seed::Rule(h) => {
-                let cov: Vec<u32> = match self.index.resolve(h) {
-                    Some(r) => {
-                        seed_refs.push(r);
-                        queried.insert(r);
-                        self.index.coverage(r).to_vec()
-                    }
-                    None => h.coverage(self.corpus),
-                };
-                p.extend_from_slice(&cov);
-                accepted.push(h.clone());
-            }
-            Seed::Positives(ids) => {
-                p.extend_from_slice(ids);
-            }
-        }
-
-        // Algorithm 1 line 4: initial classifier over the seed positives.
-        let mut clf = self.cfg.classifier.build(&self.emb, self.cfg.seed);
-        let mut cache = if self.cfg.incremental_scoring {
-            ScoreCache::new(n)
-        } else {
-            ScoreCache::full_only(n)
-        };
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xDA);
-        self.retrain(&mut *clf, &mut cache, &p, &mut rng);
-
-        let max_count = (self.cfg.max_coverage_frac * n as f64).ceil() as usize;
-        let mut hierarchy = generate_hierarchy(self.index, &p, self.cfg.n_candidates, max_count);
-        let mut strategy = make_strategy(&seed_refs);
-        let mut rejected: Vec<Heuristic> = Vec::new();
-        let mut trace: Vec<TraceStep> = Vec::new();
-
-        // Cross-grammar dedup: the same heuristic can be reachable as a
-        // phrase-trie node and a TreeMatch terminal (e.g. a bare token);
-        // never ask the oracle about both. Coverage dedup: two rules with
-        // identical coverage sets get identical oracle answers (Definition
-        // 4 — the answer depends only on C_r), so asking both wastes
-        // budget.
-        let mut asked: FxHashSet<Heuristic> = FxHashSet::default();
-        let mut asked_coverages: FxHashSet<u64> = FxHashSet::default();
-        if let Seed::Rule(h) = &seed {
-            asked.insert(canonical(h.clone()));
-            if let Some(r) = seed_refs.first() {
-                asked_coverages.insert(coverage_hash(self.index.coverage(*r)));
-            }
-        }
-
-        for question in 1..=self.cfg.budget {
-            // Select, skipping alias/coverage duplicates without consuming
-            // budget.
-            let mut rule = None;
-            for _ in 0..256 {
-                let pick = {
-                    let ctx = self.ctx(&hierarchy, &p, &cache, &queried);
-                    strategy.select(&ctx).or_else(|| {
-                        // Fallback: the most promising remaining candidate.
-                        ctx.most_promising(hierarchy.rules().iter().copied())
-                    })
-                };
-                let Some(r) = pick else { break };
-                queried.insert(r);
-                if !asked.insert(canonical(self.index.heuristic(r))) {
-                    continue;
-                }
-                if !asked_coverages.insert(coverage_hash(self.index.coverage(r))) {
-                    continue;
-                }
-                rule = Some(r);
+        let mut engine = self.engine(seed);
+        let mut strategy = make_strategy(engine.seed_refs());
+        for _ in 0..self.cfg.budget {
+            if !engine.step(&mut *strategy, oracle) {
                 break;
             }
-            let Some(rule) = rule else { break };
-
-            let h = self.index.heuristic(rule);
-            let cov = self.index.coverage(rule);
-            let answer = oracle.ask(self.corpus, &h, cov);
-
-            {
-                let ctx = self.ctx(&hierarchy, &p, &cache, &queried);
-                strategy.feedback(rule, answer, &ctx);
-            }
-
-            let mut new_ids: Vec<u32> = Vec::new();
-            if answer {
-                new_ids = cov.iter().copied().filter(|&s| !p.contains(s)).collect();
-                p.extend_from_slice(cov);
-                accepted.push(h.clone());
-                // Score update (§3.7): retrain, refresh scores, regenerate
-                // the hierarchy around the grown positive set.
-                self.retrain(&mut *clf, &mut cache, &p, &mut rng);
-                hierarchy = generate_hierarchy(self.index, &p, self.cfg.n_candidates, max_count);
-            } else {
-                rejected.push(h.clone());
-            }
-            trace.push(TraceStep { question, rule: h, answer, new_positive_ids: new_ids, p_size: p.len() });
         }
-
-        RunResult {
-            accepted,
-            rejected,
-            positives: p.iter().collect(),
-            trace,
-            scores: cache.scores().to_vec(),
-        }
-    }
-
-    fn ctx<'b>(
-        &'b self,
-        hierarchy: &'b Hierarchy,
-        p: &'b IdSet,
-        cache: &'b ScoreCache,
-        queried: &'b FxHashSet<RuleRef>,
-    ) -> Ctx<'b> {
-        Ctx {
-            index: self.index,
-            hierarchy,
-            p,
-            scores: cache.scores(),
-            queried,
-            benefit_threshold: self.cfg.benefit_threshold,
-        }
-    }
-
-    /// Train on P vs. randomly sampled presumed negatives and refresh the
-    /// score cache.
-    fn retrain(
-        &self,
-        clf: &mut dyn TextClassifier,
-        cache: &mut ScoreCache,
-        p: &IdSet,
-        rng: &mut StdRng,
-    ) {
-        let pos: Vec<u32> = p.iter().collect();
-        if pos.is_empty() {
-            return;
-        }
-        let n = self.corpus.len() as u32;
-        // Cap the sample at a third of the corpus: sampling presumed
-        // negatives too densely would sweep in most undiscovered positives
-        // and teach the classifier to reject exactly the sentences Darwin
-        // still needs to find.
-        let want = (pos.len() * self.cfg.neg_per_pos)
-            .max(self.cfg.min_negatives)
-            .min(self.corpus.len() / 3)
-            .min(self.corpus.len().saturating_sub(pos.len()));
-        let mut neg: Vec<u32> = Vec::with_capacity(want);
-        let mut guard = 0;
-        while neg.len() < want && guard < want * 20 {
-            let id = rng.gen_range(0..n);
-            if !p.contains(id) {
-                neg.push(id);
-            }
-            guard += 1;
-        }
-        clf.fit(self.corpus, &self.emb, &pos, &neg);
-        cache.refresh(&*clf, self.corpus, &self.emb);
+        engine.finish()
     }
 }
 
@@ -386,27 +233,43 @@ mod tests {
 
     fn recall(run: &RunResult, labels: &[bool]) -> f64 {
         let total = labels.iter().filter(|&&l| l).count();
-        let found = run.positives.iter().filter(|&&i| labels[i as usize]).count();
+        let found = run
+            .positives
+            .iter()
+            .filter(|&&i| labels[i as usize])
+            .count();
         found as f64 / total as f64
     }
 
     #[test]
     fn hybrid_discovers_most_positives() {
         let (run, labels) = run_kind(TraversalKind::Hybrid);
-        assert!(recall(&run, &labels) > 0.8, "recall {}", recall(&run, &labels));
+        assert!(
+            recall(&run, &labels) > 0.8,
+            "recall {}",
+            recall(&run, &labels)
+        );
         assert!(run.accepted.len() >= 2, "accepted {:?}", run.accepted.len());
     }
 
     #[test]
     fn all_strategies_make_progress() {
-        for kind in [TraversalKind::Local, TraversalKind::Universal, TraversalKind::Hybrid] {
+        for kind in [
+            TraversalKind::Local,
+            TraversalKind::Universal,
+            TraversalKind::Hybrid,
+        ] {
             let (run, labels) = run_kind(kind);
             let seed_only = 12; // the seed rule's coverage (shuttle family)
             assert!(
                 run.positives.len() > seed_only,
                 "{kind:?} never grew P beyond the seed"
             );
-            assert!(recall(&run, &labels) > 0.4, "{kind:?} recall {}", recall(&run, &labels));
+            assert!(
+                recall(&run, &labels) > 0.4,
+                "{kind:?} recall {}",
+                recall(&run, &labels)
+            );
         }
     }
 
@@ -475,7 +338,11 @@ mod tests {
         // Two positive sentences instead of a rule.
         let run = darwin.run(Seed::Positives(vec![0, 4]), &mut oracle);
         assert!(run.positives.len() > 2, "grew beyond the seed pair");
-        let precision = run.positives.iter().filter(|&&i| labels[i as usize]).count() as f64
+        let precision = run
+            .positives
+            .iter()
+            .filter(|&&i| labels[i as usize])
+            .count() as f64
             / run.positives.len() as f64;
         assert!(precision > 0.7, "precision {precision}");
     }
@@ -491,5 +358,4 @@ mod tests {
             assert_eq!(x.rule, y.rule);
         }
     }
-
 }

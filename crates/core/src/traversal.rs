@@ -16,6 +16,7 @@
 //!   consecutive failures (a NO answer, or nothing qualifying to ask).
 
 use crate::benefit::{benefit, Benefit};
+use crate::engine::BenefitStore;
 use crate::hierarchy::Hierarchy;
 use darwin_index::fx::FxHashSet;
 use darwin_index::{IdSet, IndexSet, RuleRef};
@@ -28,11 +29,21 @@ pub struct Ctx<'a> {
     pub scores: &'a [f32],
     pub queried: &'a FxHashSet<RuleRef>,
     pub benefit_threshold: f64,
+    /// Delta-maintained benefit aggregates. When present, [`Ctx::benefit`]
+    /// is an O(1) lookup for tracked rules; when absent (rescan mode), it
+    /// recomputes from raw coverage. Both paths return bit-identical
+    /// values — see [`crate::benefit`].
+    pub store: Option<&'a BenefitStore>,
 }
 
 impl Ctx<'_> {
-    /// Benefit of a rule under the current state.
+    /// Benefit of a rule under the current state: cached aggregate when
+    /// tracked, from-scratch coverage scan otherwise (off-pool rules
+    /// LocalSearch walks to are the untracked case).
     pub fn benefit(&self, r: RuleRef) -> Benefit {
+        if let Some(b) = self.store.and_then(|s| s.benefit_of(r)) {
+            return b;
+        }
         benefit(self.index.coverage(r), self.p, self.scores)
     }
 
@@ -48,9 +59,7 @@ impl Ctx<'_> {
             .filter(|&r| self.selectable(r))
             .map(|r| (r, self.benefit(r)))
             .filter(|(_, b)| b.new_instances > 0)
-            .max_by(|(ra, a), (rb, b)| {
-                a.total.total_cmp(&b.total).then_with(|| rb.cmp(ra))
-            })
+            .max_by(|(ra, a), (rb, b)| a.sum_q.cmp(&b.sum_q).then_with(|| rb.cmp(ra)))
             .map(|(r, _)| r)
     }
 
@@ -67,7 +76,7 @@ impl Ctx<'_> {
             .max_by(|(ra, a), (rb, b)| {
                 a.average()
                     .total_cmp(&b.average())
-                    .then(a.total.total_cmp(&b.total))
+                    .then(a.sum_q.cmp(&b.sum_q))
                     .then_with(|| rb.cmp(ra))
             })
             .map(|(r, _)| r)
@@ -96,7 +105,9 @@ impl LocalSearch {
     /// `seeds` are the rule handles of the seed heuristics (may be empty —
     /// the frontier then bootstraps from the hierarchy's best candidate).
     pub fn new(seeds: Vec<RuleRef>) -> LocalSearch {
-        LocalSearch { local: seeds.into_iter().collect() }
+        LocalSearch {
+            local: seeds.into_iter().collect(),
+        }
     }
 
     fn bootstrap(&mut self, ctx: &Ctx) {
@@ -115,8 +126,12 @@ impl Strategy for LocalSearch {
         // Seeds may start queried-out (the seed rule itself); expand them
         // so the frontier is never silently empty.
         if self.local.iter().all(|r| !ctx.selectable(*r)) {
-            let stale: Vec<RuleRef> =
-                self.local.iter().copied().filter(|&r| ctx.queried.contains(&r)).collect();
+            let stale: Vec<RuleRef> = self
+                .local
+                .iter()
+                .copied()
+                .filter(|&r| ctx.queried.contains(&r))
+                .collect();
             for r in stale {
                 for p in ctx.hierarchy.parents(ctx.index, r) {
                     self.local.insert(p);
@@ -294,17 +309,23 @@ mod tests {
 
     fn fixture() -> Fixture {
         let corpus = Corpus::from_texts([
-            "the shuttle to the airport leaves hourly",    // 0 pos
-            "is there a shuttle to the airport tonight",   // 1 pos
-            "a bus to the airport runs daily",             // 2 pos (undiscovered)
-            "order pizza to the room please",              // 3 neg
-            "the pool opens at nine daily",                // 4 neg
+            "the shuttle to the airport leaves hourly",  // 0 pos
+            "is there a shuttle to the airport tonight", // 1 pos
+            "a bus to the airport runs daily",           // 2 pos (undiscovered)
+            "order pizza to the room please",            // 3 neg
+            "the pool opens at nine daily",              // 4 neg
         ]);
         let index = IndexSet::build(&corpus, &IndexConfig::small());
         let p = IdSet::from_ids(&[0, 1], corpus.len());
         // Classifier thinks sentence 2 is promising, 3–4 are not.
         let scores = vec![0.9, 0.9, 0.8, 0.1, 0.1];
-        Fixture { corpus, index, p, scores, queried: FxHashSet::default() }
+        Fixture {
+            corpus,
+            index,
+            p,
+            scores,
+            queried: FxHashSet::default(),
+        }
     }
 
     fn ctx<'a>(f: &'a Fixture, h: &'a Hierarchy) -> Ctx<'a> {
@@ -315,6 +336,7 @@ mod tests {
             scores: &f.scores,
             queried: &f.queried,
             benefit_threshold: 0.5,
+            store: None,
         }
     }
 
@@ -325,7 +347,11 @@ mod tests {
         let mut us = UniversalSearch::new();
         let pick = us.select(&ctx(&f, &h)).expect("something to ask");
         // The picked rule must cover sentence 2 (the only promising new one).
-        assert!(f.index.coverage(pick).contains(&2), "{:?}", f.index.heuristic(pick));
+        assert!(
+            f.index.coverage(pick).contains(&2),
+            "{:?}",
+            f.index.heuristic(pick)
+        );
         let b = ctx(&f, &h).benefit(pick);
         assert!(b.average() > 0.5);
     }
@@ -352,7 +378,10 @@ mod tests {
         let c = ctx(&f, &h);
         // YES -> parents enter the frontier.
         ls.feedback(shuttle_to, true, &c);
-        let parent = f.index.resolve(&Heuristic::phrase(&f.corpus, "shuttle to").unwrap()).unwrap();
+        let parent = f
+            .index
+            .resolve(&Heuristic::phrase(&f.corpus, "shuttle to").unwrap())
+            .unwrap();
         assert!(ls.local.contains(&parent));
         assert!(!ls.local.contains(&shuttle_to));
         // NO on the parent -> children re-enter.
@@ -412,6 +441,7 @@ mod tests {
                 scores: &f.scores,
                 queried: &queried,
                 benefit_threshold: 0.5,
+                store: None,
             };
             match us.select(&c) {
                 Some(r) => assert!(queried.insert(r), "rule {r:?} re-asked"),

@@ -15,22 +15,68 @@ static BANKS: &[Bank] = &[
     (
         "EVENT",
         &[
-            "the outage", "the flood", "the fire", "the delay", "the crash", "the shortage",
-            "the epidemic", "the collapse", "the blackout", "the landslide", "the recession",
-            "the explosion", "the famine", "the erosion",
+            "the outage",
+            "the flood",
+            "the fire",
+            "the delay",
+            "the crash",
+            "the shortage",
+            "the epidemic",
+            "the collapse",
+            "the blackout",
+            "the landslide",
+            "the recession",
+            "the explosion",
+            "the famine",
+            "the erosion",
         ],
     ),
     (
         "AGENT",
         &[
-            "the storm", "lightning", "a gas leak", "the earthquake", "heavy rain", "a virus",
-            "the drought", "a short circuit", "the strike", "overheating", "a software bug",
-            "the frost", "high winds", "corrosion",
+            "the storm",
+            "lightning",
+            "a gas leak",
+            "the earthquake",
+            "heavy rain",
+            "a virus",
+            "the drought",
+            "a short circuit",
+            "the strike",
+            "overheating",
+            "a software bug",
+            "the frost",
+            "high winds",
+            "corrosion",
         ],
     ),
-    ("NAME", &["marlowe", "okafor", "petrov", "tanaka", "silva", "keller", "moreau", "novak"]),
-    ("THING", &["the novel", "the mural", "the bridge", "the cathedral", "the portrait", "the score"]),
-    ("PLACE", &["the valley", "the coast", "the station", "the harbor", "the old town"]),
+    (
+        "NAME",
+        &[
+            "marlowe", "okafor", "petrov", "tanaka", "silva", "keller", "moreau", "novak",
+        ],
+    ),
+    (
+        "THING",
+        &[
+            "the novel",
+            "the mural",
+            "the bridge",
+            "the cathedral",
+            "the portrait",
+            "the score",
+        ],
+    ),
+    (
+        "PLACE",
+        &[
+            "the valley",
+            "the coast",
+            "the station",
+            "the harbor",
+            "the old town",
+        ],
+    ),
 ];
 
 static POS: &[Family] = &[
@@ -113,7 +159,10 @@ static POS: &[Family] = &[
     Family {
         key: "stems-from",
         weight: 0.7,
-        templates: &["{EVENT} stems from {AGENT}", "{EVENT} in {PLACE} stems from {AGENT}"],
+        templates: &[
+            "{EVENT} stems from {AGENT}",
+            "{EVENT} in {PLACE} stems from {AGENT}",
+        ],
     },
 ];
 
@@ -200,8 +249,16 @@ pub fn spec() -> Spec {
         neg_families: NEG,
         banks: BANKS,
         keywords: &[
-            "caused", "cause", "triggered", "led", "resulted", "due", "because", "induces",
-            "blamed", "effect",
+            "caused",
+            "cause",
+            "triggered",
+            "led",
+            "resulted",
+            "due",
+            "because",
+            "induces",
+            "blamed",
+            "effect",
         ],
         seed_rules: &["has been caused by", "caused by", "triggered by"],
     }
@@ -218,7 +275,9 @@ mod tests {
     use darwin_grammar::Heuristic;
 
     fn precision(d: &Dataset, rule: &str) -> (f64, usize) {
-        let cov = Heuristic::phrase(&d.corpus, rule).unwrap().coverage(&d.corpus);
+        let cov = Heuristic::phrase(&d.corpus, rule)
+            .unwrap()
+            .coverage(&d.corpus);
         let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
         (pos as f64 / cov.len().max(1) as f64, cov.len())
     }
@@ -228,7 +287,11 @@ mod tests {
         let d = generate(10_700, 42);
         let s = d.stats();
         assert_eq!(s.sentences, 10_700);
-        assert!((s.positive_pct - 12.2).abs() < 0.2, "pct {}", s.positive_pct);
+        assert!(
+            (s.positive_pct - 12.2).abs() < 0.2,
+            "pct {}",
+            s.positive_pct
+        );
         assert_eq!(s.task, Task::Relations);
     }
 

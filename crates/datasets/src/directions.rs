@@ -17,22 +17,77 @@ static BANKS: &[Bank] = &[
     (
         "PLACE",
         &[
-            "the airport", "the hotel", "downtown", "the pier", "union square", "the stadium",
-            "the museum", "the convention center", "the city center", "the train station",
-            "the ferry building", "the mall", "the beach", "the aquarium", "the park",
-            "the theater", "chinatown", "the wharf", "the university", "the gardens",
+            "the airport",
+            "the hotel",
+            "downtown",
+            "the pier",
+            "union square",
+            "the stadium",
+            "the museum",
+            "the convention center",
+            "the city center",
+            "the train station",
+            "the ferry building",
+            "the mall",
+            "the beach",
+            "the aquarium",
+            "the park",
+            "the theater",
+            "chinatown",
+            "the wharf",
+            "the university",
+            "the gardens",
         ],
     ),
-    ("CITY", &["sfo", "oakland", "berkeley", "san jose", "palo alto", "sausalito", "daly city"]),
+    (
+        "CITY",
+        &[
+            "sfo",
+            "oakland",
+            "berkeley",
+            "san jose",
+            "palo alto",
+            "sausalito",
+            "daly city",
+        ],
+    ),
     (
         "FOOD",
         &[
-            "pizza", "sushi", "breakfast", "dinner", "room service", "a burger", "pasta",
-            "dessert", "coffee", "sandwiches",
+            "pizza",
+            "sushi",
+            "breakfast",
+            "dinner",
+            "room service",
+            "a burger",
+            "pasta",
+            "dessert",
+            "coffee",
+            "sandwiches",
         ],
     ),
-    ("TIME", &["tonight", "tomorrow", "this evening", "at noon", "in the morning", "right now"]),
-    ("SERVICE", &["the spa", "the gym", "the pool", "laundry service", "housekeeping", "the bar"]),
+    (
+        "TIME",
+        &[
+            "tonight",
+            "tomorrow",
+            "this evening",
+            "at noon",
+            "in the morning",
+            "right now",
+        ],
+    ),
+    (
+        "SERVICE",
+        &[
+            "the spa",
+            "the gym",
+            "the pool",
+            "laundry service",
+            "housekeeping",
+            "the bar",
+        ],
+    ),
 ];
 
 static POS: &[Family] = &[
@@ -289,7 +344,15 @@ pub fn spec() -> Spec {
         neg_families: NEG,
         banks: BANKS,
         keywords: &[
-            "way", "get", "shuttle", "bus", "taxi", "directions", "airport", "train", "walk",
+            "way",
+            "get",
+            "shuttle",
+            "bus",
+            "taxi",
+            "directions",
+            "airport",
+            "train",
+            "walk",
             "far",
         ],
         seed_rules: &["best way to get to", "shuttle to", "how do i get to"],
@@ -311,7 +374,11 @@ mod tests {
         let d = generate(15_300, 42);
         let s = d.stats();
         assert_eq!(s.sentences, 15_300);
-        assert!((s.positive_pct - 3.8).abs() < 0.15, "pct {}", s.positive_pct);
+        assert!(
+            (s.positive_pct - 3.8).abs() < 0.15,
+            "pct {}",
+            s.positive_pct
+        );
         assert_eq!(s.task, Task::Intents);
     }
 
@@ -332,7 +399,10 @@ mod tests {
         let cov = h.coverage(&d.corpus);
         let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
         let prec = pos as f64 / cov.len() as f64;
-        assert!(prec < 0.8, "bare 'best way to' must fail the oracle: {prec}");
+        assert!(
+            prec < 0.8,
+            "bare 'best way to' must fail the oracle: {prec}"
+        );
     }
 
     #[test]
@@ -353,9 +423,14 @@ mod tests {
     #[test]
     fn uber_is_imprecise_uber_to_is_precise() {
         let d = generate(10_000, 42);
-        let uber = Heuristic::phrase(&d.corpus, "uber").unwrap().coverage(&d.corpus);
+        let uber = Heuristic::phrase(&d.corpus, "uber")
+            .unwrap()
+            .coverage(&d.corpus);
         let pos = uber.iter().filter(|&&i| d.labels[i as usize]).count();
-        assert!((pos as f64) / (uber.len() as f64) < 0.8, "'uber' alone too precise");
+        assert!(
+            (pos as f64) / (uber.len() as f64) < 0.8,
+            "'uber' alone too precise"
+        );
     }
 
     #[test]

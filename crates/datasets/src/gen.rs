@@ -50,8 +50,22 @@ impl Spec {
 
         let mut family_names: Vec<&'static str> = Vec::new();
         let mut rows: Vec<(String, bool, u16)> = Vec::with_capacity(n);
-        self.sample_mixture(self.pos_families, n_pos, true, &mut family_names, &mut rows, &mut rng);
-        self.sample_mixture(self.neg_families, n_neg, false, &mut family_names, &mut rows, &mut rng);
+        self.sample_mixture(
+            self.pos_families,
+            n_pos,
+            true,
+            &mut family_names,
+            &mut rows,
+            &mut rng,
+        );
+        self.sample_mixture(
+            self.neg_families,
+            n_neg,
+            false,
+            &mut family_names,
+            &mut rows,
+            &mut rng,
+        );
         rows.shuffle(&mut rng);
 
         let corpus = Corpus::from_texts_parallel(
@@ -103,7 +117,9 @@ impl Spec {
 
         for _ in 0..count {
             let x = rng.gen_range(0.0..total);
-            let fi = cumulative.partition_point(|&c| c <= x).min(families.len() - 1);
+            let fi = cumulative
+                .partition_point(|&c| c <= x)
+                .min(families.len() - 1);
             let fam = &families[fi];
             let tmpl = fam.templates[rng.gen_range(0..fam.templates.len())];
             rows.push((self.fill(tmpl, rng), label, base + fi as u16));
@@ -134,7 +150,10 @@ impl Spec {
 
 fn num_threads(n: usize) -> usize {
     if n >= 50_000 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8)
     } else {
         1
     }
@@ -155,11 +174,22 @@ mod tests {
 
     static BANKS: &[Bank] = &[("X", &["alpha", "beta"]), ("Y", &["one", "two", "three"])];
     static POS: &[Family] = &[
-        Family { key: "p1", weight: 3.0, templates: &["good {X} thing", "nice {X} stuff"] },
-        Family { key: "p2", weight: 1.0, templates: &["great {Y} item"] },
+        Family {
+            key: "p1",
+            weight: 3.0,
+            templates: &["good {X} thing", "nice {X} stuff"],
+        },
+        Family {
+            key: "p2",
+            weight: 1.0,
+            templates: &["great {Y} item"],
+        },
     ];
-    static NEG: &[Family] =
-        &[Family { key: "n1", weight: 1.0, templates: &["bad {X} thing about {Y}"] }];
+    static NEG: &[Family] = &[Family {
+        key: "n1",
+        weight: 1.0,
+        templates: &["bad {X} thing about {Y}"],
+    }];
 
     fn spec() -> Spec {
         Spec {
@@ -218,8 +248,16 @@ mod tests {
     #[test]
     fn earlier_families_dominate() {
         let d = spec().generate(2000, 4);
-        let p1 = d.family.iter().filter(|&&f| d.family_names[f as usize] == "p1").count();
-        let p2 = d.family.iter().filter(|&&f| d.family_names[f as usize] == "p2").count();
+        let p1 = d
+            .family
+            .iter()
+            .filter(|&&f| d.family_names[f as usize] == "p1")
+            .count();
+        let p2 = d
+            .family
+            .iter()
+            .filter(|&&f| d.family_names[f as usize] == "p2")
+            .count();
         assert!(p1 > p2 * 2, "p1={p1} p2={p2}");
     }
 }

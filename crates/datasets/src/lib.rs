@@ -129,8 +129,9 @@ impl Dataset {
     /// "if we employ expert to sample positives" variant).
     pub fn positive_seed_sample(&self, n_pos: usize, seed: u64) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut pos: Vec<u32> =
-            (0..self.len() as u32).filter(|&i| self.labels[i as usize]).collect();
+        let mut pos: Vec<u32> = (0..self.len() as u32)
+            .filter(|&i| self.labels[i as usize])
+            .collect();
         pos.shuffle(&mut rng);
         pos.truncate(n_pos);
         pos
@@ -146,7 +147,9 @@ impl Dataset {
     /// presumed negatives for classifier training).
     pub fn random_negatives(&self, n: usize, seed: u64) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x4E47);
-        (0..n).map(|_| rng.gen_range(0..self.len() as u32)).collect()
+        (0..n)
+            .map(|_| rng.gen_range(0..self.len() as u32))
+            .collect()
     }
 }
 

@@ -15,27 +15,76 @@ static BANKS: &[Bank] = &[
     (
         "NAME",
         &[
-            "holst", "elgar", "varga", "lindqvist", "okafor", "marini", "petrov", "tanaka",
-            "moreau", "silva", "novak", "keller", "ibanez", "fontaine", "olsen", "drummond",
-            "castile", "werner", "alvarez", "kimura",
+            "holst",
+            "elgar",
+            "varga",
+            "lindqvist",
+            "okafor",
+            "marini",
+            "petrov",
+            "tanaka",
+            "moreau",
+            "silva",
+            "novak",
+            "keller",
+            "ibanez",
+            "fontaine",
+            "olsen",
+            "drummond",
+            "castile",
+            "werner",
+            "alvarez",
+            "kimura",
         ],
     ),
     (
         "WORK",
         &[
-            "the fourth symphony", "a nocturne in g minor", "the chamber suite", "an early opera",
-            "the string quartet", "a piano concerto", "the folk cycle", "a choral mass",
-            "the second sonata", "a ballet score",
+            "the fourth symphony",
+            "a nocturne in g minor",
+            "the chamber suite",
+            "an early opera",
+            "the string quartet",
+            "a piano concerto",
+            "the folk cycle",
+            "a choral mass",
+            "the second sonata",
+            "a ballet score",
         ],
     ),
-    ("CITY", &["vienna", "prague", "leipzig", "milan", "lisbon", "krakow", "bergen", "kyoto"]),
-    ("YEAR", &["1781", "1804", "1837", "1862", "1891", "1910", "1924", "1947", "1969", "1983"]),
+    (
+        "CITY",
+        &[
+            "vienna", "prague", "leipzig", "milan", "lisbon", "krakow", "bergen", "kyoto",
+        ],
+    ),
+    (
+        "YEAR",
+        &[
+            "1781", "1804", "1837", "1862", "1891", "1910", "1924", "1947", "1969", "1983",
+        ],
+    ),
     (
         "INSTRUMENT",
-        &["piano", "violin", "cello", "flute", "organ", "guitar", "clarinet", "harp"],
+        &[
+            "piano", "violin", "cello", "flute", "organ", "guitar", "clarinet", "harp",
+        ],
     ),
-    ("FIELD", &["physics", "chemistry", "botany", "geology", "astronomy", "medicine"]),
-    ("TEAM", &["united", "rovers", "city", "athletic", "wanderers"]),
+    (
+        "FIELD",
+        &[
+            "physics",
+            "chemistry",
+            "botany",
+            "geology",
+            "astronomy",
+            "medicine",
+        ],
+    ),
+    (
+        "TEAM",
+        &["united", "rovers", "city", "athletic", "wanderers"],
+    ),
 ];
 
 static POS: &[Family] = &[
@@ -222,8 +271,16 @@ pub fn spec() -> Spec {
         neg_families: NEG,
         banks: BANKS,
         keywords: &[
-            "composer", "piano", "orchestra", "opera", "album", "band", "symphony", "violin",
-            "singer", "conducted",
+            "composer",
+            "piano",
+            "orchestra",
+            "opera",
+            "album",
+            "band",
+            "symphony",
+            "violin",
+            "singer",
+            "conducted",
         ],
         seed_rules: &[
             "composer",
@@ -248,14 +305,20 @@ mod tests {
         let d = generate(15_800, 42);
         let s = d.stats();
         assert_eq!(s.sentences, 15_800);
-        assert!((s.positive_pct - 10.0).abs() < 0.2, "pct {}", s.positive_pct);
+        assert!(
+            (s.positive_pct - 10.0).abs() < 0.2,
+            "pct {}",
+            s.positive_pct
+        );
         assert_eq!(s.task, Task::Entities);
     }
 
     #[test]
     fn composer_is_precise_high_coverage() {
         let d = generate(10_000, 42);
-        let cov = Heuristic::phrase(&d.corpus, "composer").unwrap().coverage(&d.corpus);
+        let cov = Heuristic::phrase(&d.corpus, "composer")
+            .unwrap()
+            .coverage(&d.corpus);
         let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
         assert!(pos as f64 / cov.len() as f64 >= 0.9);
         assert!(cov.len() > 100, "coverage {}", cov.len());
@@ -264,19 +327,28 @@ mod tests {
     #[test]
     fn bare_played_is_imprecise() {
         let d = generate(10_000, 42);
-        let cov = Heuristic::phrase(&d.corpus, "played").unwrap().coverage(&d.corpus);
+        let cov = Heuristic::phrase(&d.corpus, "played")
+            .unwrap()
+            .coverage(&d.corpus);
         let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
         let prec = pos as f64 / cov.len() as f64;
-        assert!(prec < 0.8, "'played' should mix athletes and musicians: {prec}");
+        assert!(
+            prec < 0.8,
+            "'played' should mix athletes and musicians: {prec}"
+        );
     }
 
     #[test]
     fn wrote_is_imprecise_but_wrote_songs_precise() {
         let d = generate(10_000, 42);
-        let wrote = Heuristic::phrase(&d.corpus, "wrote").unwrap().coverage(&d.corpus);
+        let wrote = Heuristic::phrase(&d.corpus, "wrote")
+            .unwrap()
+            .coverage(&d.corpus);
         let wrote_pos = wrote.iter().filter(|&&i| d.labels[i as usize]).count();
         assert!((wrote_pos as f64) / (wrote.len() as f64) < 0.8);
-        let songs = Heuristic::phrase(&d.corpus, "wrote songs").unwrap().coverage(&d.corpus);
+        let songs = Heuristic::phrase(&d.corpus, "wrote songs")
+            .unwrap()
+            .coverage(&d.corpus);
         let songs_pos = songs.iter().filter(|&&i| d.labels[i as usize]).count();
         assert!(songs_pos as f64 / songs.len() as f64 >= 0.9);
     }

@@ -13,27 +13,69 @@ static BANKS: &[Bank] = &[
     (
         "PROF",
         &[
-            "teacher", "nurse", "engineer", "scientist", "lawyer", "carpenter", "plumber",
-            "architect", "journalist", "librarian", "surgeon", "electrician", "accountant",
-            "pharmacist", "translator", "firefighter", "pilot", "veterinarian", "economist",
+            "teacher",
+            "nurse",
+            "engineer",
+            "scientist",
+            "lawyer",
+            "carpenter",
+            "plumber",
+            "architect",
+            "journalist",
+            "librarian",
+            "surgeon",
+            "electrician",
+            "accountant",
+            "pharmacist",
+            "translator",
+            "firefighter",
+            "pilot",
+            "veterinarian",
+            "economist",
             "geologist",
         ],
     ),
-    ("NAME", &["jordan", "casey", "riley", "morgan", "avery", "quinn", "reese", "rowan", "sasha", "devon"]),
+    (
+        "NAME",
+        &[
+            "jordan", "casey", "riley", "morgan", "avery", "quinn", "reese", "rowan", "sasha",
+            "devon",
+        ],
+    ),
     (
         "ORG",
         &[
-            "the county hospital", "a local firm", "the high school", "the city lab",
-            "a shipping company", "the regional clinic", "a design studio", "the daily gazette",
-            "a construction outfit", "the public library",
+            "the county hospital",
+            "a local firm",
+            "the high school",
+            "the city lab",
+            "a shipping company",
+            "the regional clinic",
+            "a design studio",
+            "the daily gazette",
+            "a construction outfit",
+            "the public library",
         ],
     ),
-    ("CITY", &["austin", "denver", "portland", "madison", "raleigh", "tucson", "omaha", "boise"]),
+    (
+        "CITY",
+        &[
+            "austin", "denver", "portland", "madison", "raleigh", "tucson", "omaha", "boise",
+        ],
+    ),
     (
         "TOPIC",
         &[
-            "the weather", "the playoffs", "a new phone", "the election", "gas prices",
-            "a recipe", "the traffic", "a movie", "the garden", "holiday plans",
+            "the weather",
+            "the playoffs",
+            "a new phone",
+            "the election",
+            "gas prices",
+            "a recipe",
+            "the traffic",
+            "a movie",
+            "the garden",
+            "holiday plans",
         ],
     ),
     ("NUM", &["two", "three", "five", "seven", "ten", "a dozen"]),
@@ -189,8 +231,16 @@ pub fn spec() -> Spec {
         neg_families: NEG,
         banks: BANKS,
         keywords: &[
-            "job", "worked", "career", "hired", "teacher", "nurse", "engineer", "profession",
-            "retired", "trained",
+            "job",
+            "worked",
+            "career",
+            "hired",
+            "teacher",
+            "nurse",
+            "engineer",
+            "profession",
+            "retired",
+            "trained",
         ],
         seed_rules: &["worked as a", "is a teacher", "career as a"],
     }
@@ -218,12 +268,19 @@ mod tests {
     #[test]
     fn worked_as_precise_bare_job_imprecise() {
         let d = generate(40_000, 42);
-        let wa = Heuristic::phrase(&d.corpus, "worked as a").unwrap().coverage(&d.corpus);
+        let wa = Heuristic::phrase(&d.corpus, "worked as a")
+            .unwrap()
+            .coverage(&d.corpus);
         let wa_pos = wa.iter().filter(|&&i| d.labels[i as usize]).count();
         assert!(wa_pos as f64 / wa.len() as f64 >= 0.95);
-        let job = Heuristic::phrase(&d.corpus, "job").unwrap().coverage(&d.corpus);
+        let job = Heuristic::phrase(&d.corpus, "job")
+            .unwrap()
+            .coverage(&d.corpus);
         let job_pos = job.iter().filter(|&&i| d.labels[i as usize]).count();
-        assert!((job_pos as f64) / (job.len() as f64) < 0.8, "'job' has near-miss negatives");
+        assert!(
+            (job_pos as f64) / (job.len() as f64) < 0.8,
+            "'job' has near-miss negatives"
+        );
     }
 
     #[test]

@@ -28,17 +28,72 @@ static BANKS: &[Bank] = &[
     (
         "FOOD",
         &[
-            "tacos", "pizza", "ramen", "sushi", "wings", "pancakes", "dumplings", "bbq",
-            "pho", "burritos", "ice cream", "fried chicken",
+            "tacos",
+            "pizza",
+            "ramen",
+            "sushi",
+            "wings",
+            "pancakes",
+            "dumplings",
+            "bbq",
+            "pho",
+            "burritos",
+            "ice cream",
+            "fried chicken",
         ],
     ),
-    ("MEAL", &["lunch", "dinner", "brunch", "breakfast", "a late snack"]),
-    ("CITY", &["austin", "nyc", "chicago", "seattle", "miami", "denver", "la", "portland"]),
-    ("PLACE", &["the beach", "the mountains", "the coast", "the lake", "the desert"]),
+    (
+        "MEAL",
+        &["lunch", "dinner", "brunch", "breakfast", "a late snack"],
+    ),
+    (
+        "CITY",
+        &[
+            "austin", "nyc", "chicago", "seattle", "miami", "denver", "la", "portland",
+        ],
+    ),
+    (
+        "PLACE",
+        &[
+            "the beach",
+            "the mountains",
+            "the coast",
+            "the lake",
+            "the desert",
+        ],
+    ),
     ("JOB", &["internship", "job", "gig", "position", "role"]),
-    ("COMPANY", &["the startup", "a big firm", "the lab", "the agency", "the studio"]),
-    ("MOOD", &["so bad", "right now", "today", "tonight", "all week", "again"]),
-    ("SHOW", &["the finale", "that new show", "the game", "the concert", "the match"]),
+    (
+        "COMPANY",
+        &[
+            "the startup",
+            "a big firm",
+            "the lab",
+            "the agency",
+            "the studio",
+        ],
+    ),
+    (
+        "MOOD",
+        &[
+            "so bad",
+            "right now",
+            "today",
+            "tonight",
+            "all week",
+            "again",
+        ],
+    ),
+    (
+        "SHOW",
+        &[
+            "the finale",
+            "that new show",
+            "the game",
+            "the concert",
+            "the match",
+        ],
+    ),
 ];
 
 static FOOD_FAMS: &[Family] = &[
@@ -205,15 +260,26 @@ pub fn generate_intent(n: usize, intent: Intent, seed: u64) -> Dataset {
         neg_families: neg,
         banks: BANKS,
         keywords: match intent {
-            Intent::Food => {
-                &["craving", "eat", "lunch", "dinner", "pizza", "hungry", "recipe", "grab", "spot", "tacos"]
-            }
-            Intent::Travel => {
-                &["trip", "vacation", "flights", "visit", "pack", "travel", "beach", "booked", "road", "break"]
-            }
-            Intent::Career => {
-                &["job", "interview", "hiring", "resume", "internship", "salary", "applied", "career", "offer", "work"]
-            }
+            Intent::Food => &[
+                "craving", "eat", "lunch", "dinner", "pizza", "hungry", "recipe", "grab", "spot",
+                "tacos",
+            ],
+            Intent::Travel => &[
+                "trip", "vacation", "flights", "visit", "pack", "travel", "beach", "booked",
+                "road", "break",
+            ],
+            Intent::Career => &[
+                "job",
+                "interview",
+                "hiring",
+                "resume",
+                "internship",
+                "salary",
+                "applied",
+                "career",
+                "offer",
+                "work",
+            ],
         },
         seed_rules: match intent {
             Intent::Food => &["craving", "grab lunch"],
@@ -252,13 +318,19 @@ mod tests {
         let d = generate(2130, 42);
         let s = d.stats();
         assert_eq!(s.sentences, 2130);
-        assert!((s.positive_pct - 11.4).abs() < 0.3, "pct {}", s.positive_pct);
+        assert!(
+            (s.positive_pct - 11.4).abs() < 0.3,
+            "pct {}",
+            s.positive_pct
+        );
     }
 
     #[test]
     fn craving_is_precise() {
         let d = generate(2130, 42);
-        let cov = Heuristic::phrase(&d.corpus, "craving").unwrap().coverage(&d.corpus);
+        let cov = Heuristic::phrase(&d.corpus, "craving")
+            .unwrap()
+            .coverage(&d.corpus);
         let pos = cov.iter().filter(|&&i| d.labels[i as usize]).count();
         assert!(pos as f64 / cov.len() as f64 >= 0.95);
     }
@@ -278,7 +350,9 @@ mod tests {
         let food = generate_intent(2000, Intent::Food, 7);
         // "craving" never appears in travel/career positives of the same
         // underlying distribution: check against food negatives.
-        let cov = Heuristic::phrase(&food.corpus, "craving").unwrap().coverage(&food.corpus);
+        let cov = Heuristic::phrase(&food.corpus, "craving")
+            .unwrap()
+            .coverage(&food.corpus);
         let neg_hits = cov.iter().filter(|&&i| !food.labels[i as usize]).count();
         assert!(neg_hits <= cov.len() / 10);
     }

@@ -1,10 +1,8 @@
 //! Per-question measurement series.
 
-use serde::{Deserialize, Serialize};
-
 /// A measurement curve: y-values sampled at integer x-positions (question
 /// counts, seed-set sizes, epochs, …).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Curve {
     pub label: String,
     pub xs: Vec<usize>,
@@ -13,7 +11,11 @@ pub struct Curve {
 
 impl Curve {
     pub fn new(label: impl Into<String>) -> Curve {
-        Curve { label: label.into(), xs: Vec::new(), ys: Vec::new() }
+        Curve {
+            label: label.into(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, x: usize, y: f64) {
@@ -71,7 +73,11 @@ impl Curve {
 
     /// Smallest x at which the curve reaches `target`, if ever.
     pub fn first_reaching(&self, target: f64) -> Option<usize> {
-        self.xs.iter().zip(&self.ys).find(|(_, &y)| y >= target).map(|(&x, _)| x)
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .find(|(_, &y)| y >= target)
+            .map(|(&x, _)| x)
     }
 }
 

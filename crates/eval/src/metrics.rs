@@ -22,14 +22,26 @@ pub fn precision_recall_f1(predicted: &[bool], truth: &[bool]) -> PrecisionRecal
             (false, false) => {}
         }
     }
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fne == 0 { 0.0 } else { tp as f64 / (tp + fne) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fne == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fne) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    PrecisionRecallF1 { precision, recall, f1 }
+    PrecisionRecallF1 {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// F1 of probabilistic scores at a threshold.

@@ -59,7 +59,11 @@ impl Cfg {
             name: "TokensRegex",
             start: "A",
             productions: vec![
-                Production { name: "token", lhs: "A", rhs: vec![Term(AnyToken), NonTerm("A")] },
+                Production {
+                    name: "token",
+                    lhs: "A",
+                    rhs: vec![Term(AnyToken), NonTerm("A")],
+                },
                 Production {
                     name: "plus",
                     lhs: "A",
@@ -70,7 +74,11 @@ impl Cfg {
                     lhs: "A",
                     rhs: vec![NonTerm("A"), Term(Literal("*")), NonTerm("A")],
                 },
-                Production { name: "eps", lhs: "A", rhs: vec![Term(Epsilon)] },
+                Production {
+                    name: "eps",
+                    lhs: "A",
+                    rhs: vec![Term(Epsilon)],
+                },
             ],
         }
     }
@@ -99,8 +107,16 @@ impl Cfg {
                     lhs: "A",
                     rhs: vec![NonTerm("A"), Term(Literal("∧")), NonTerm("A")],
                 },
-                Production { name: "token", lhs: "A", rhs: vec![Term(AnyToken)] },
-                Production { name: "pos", lhs: "A", rhs: vec![Term(AnyPos)] },
+                Production {
+                    name: "token",
+                    lhs: "A",
+                    rhs: vec![Term(AnyToken)],
+                },
+                Production {
+                    name: "pos",
+                    lhs: "A",
+                    rhs: vec![Term(AnyPos)],
+                },
             ],
         }
     }

@@ -43,7 +43,10 @@ pub enum Heuristic {
 impl Heuristic {
     /// Parse a TokensRegex heuristic, e.g. `"best way to"` or `"caused + by"`.
     pub fn phrase(corpus: &Corpus, text: &str) -> Result<Heuristic, ParseError> {
-        Ok(Heuristic::Phrase(PhrasePattern::parse(corpus.vocab(), text)?))
+        Ok(Heuristic::Phrase(PhrasePattern::parse(
+            corpus.vocab(),
+            text,
+        )?))
     }
 
     /// Parse a TreeMatch heuristic, e.g. `"is/NOUN & is//job"`.

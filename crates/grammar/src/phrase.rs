@@ -34,7 +34,9 @@ pub struct PhrasePattern {
 impl PhrasePattern {
     /// A pure-literal phrase (the common case; what the index stores).
     pub fn from_tokens(tokens: impl IntoIterator<Item = Sym>) -> PhrasePattern {
-        PhrasePattern { elems: tokens.into_iter().map(PhraseElem::Tok).collect() }
+        PhrasePattern {
+            elems: tokens.into_iter().map(PhraseElem::Tok).collect(),
+        }
     }
 
     /// The literal tokens, ignoring gaps.
@@ -85,7 +87,9 @@ impl PhrasePattern {
                 "+" => PhraseElem::Plus,
                 "*" => PhraseElem::Star,
                 tok => PhraseElem::Tok(
-                    vocab.get(tok).ok_or_else(|| super::ParseError::UnknownToken(tok.into()))?,
+                    vocab
+                        .get(tok)
+                        .ok_or_else(|| super::ParseError::UnknownToken(tok.into()))?,
                 ),
             });
         }
@@ -166,7 +170,10 @@ mod tests {
     fn phrase_must_be_contiguous() {
         let c = setup();
         let p = pat(&c, "best way sfo");
-        assert!(!p.matches(c.sentence(0)), "tokens present but not contiguous");
+        assert!(
+            !p.matches(c.sentence(0)),
+            "tokens present but not contiguous"
+        );
     }
 
     #[test]
@@ -174,7 +181,10 @@ mod tests {
         let c = setup();
         let gap = pat(&c, "caused + by");
         assert!(gap.matches(c.sentence(3)), "caused mostly by");
-        assert!(!gap.matches(c.sentence(4)), "caused by is adjacent; + needs a gap");
+        assert!(
+            !gap.matches(c.sentence(4)),
+            "caused by is adjacent; + needs a gap"
+        );
         let star = pat(&c, "caused * by");
         assert!(star.matches(c.sentence(3)));
         assert!(star.matches(c.sentence(4)));
@@ -186,7 +196,10 @@ mod tests {
         for s in ["best way to", "caused + by", "caused * by the", "sfo"] {
             let p = pat(&c, s);
             assert_eq!(p.display(c.vocab()), s);
-            assert_eq!(PhrasePattern::parse(c.vocab(), &p.display(c.vocab())).unwrap(), p);
+            assert_eq!(
+                PhrasePattern::parse(c.vocab(), &p.display(c.vocab())).unwrap(),
+                p
+            );
         }
     }
 
@@ -197,7 +210,10 @@ mod tests {
             PhrasePattern::parse(c.vocab(), "zeppelin rides"),
             Err(super::super::ParseError::UnknownToken(_))
         ));
-        assert!(matches!(PhrasePattern::parse(c.vocab(), "  "), Err(super::super::ParseError::Empty)));
+        assert!(matches!(
+            PhrasePattern::parse(c.vocab(), "  "),
+            Err(super::super::ParseError::Empty)
+        ));
     }
 
     #[test]

@@ -95,7 +95,11 @@ impl TreePattern {
     /// are POS tags, everything else is a vocabulary token.
     pub fn parse(vocab: &Vocab, input: &str) -> Result<TreePattern, super::ParseError> {
         let toks = lex(input)?;
-        let mut p = Parser { toks: &toks, pos: 0, vocab };
+        let mut p = Parser {
+            toks: &toks,
+            pos: 0,
+            vocab,
+        };
         let pat = p.parse_and()?;
         if p.pos != p.toks.len() {
             return Err(super::ParseError::Syntax(format!(
@@ -114,7 +118,11 @@ impl TreePattern {
                 TreePattern::Term(TreeTerm::Pos(t)) => out.push_str(t.name()),
                 TreePattern::Child(a, b) | TreePattern::Desc(a, b) => {
                     go(a, vocab, true, out);
-                    out.push_str(if matches!(p, TreePattern::Child(..)) { "/" } else { "//" });
+                    out.push_str(if matches!(p, TreePattern::Child(..)) {
+                        "/"
+                    } else {
+                        "//"
+                    });
                     // Right operand of a path must be atomic or parenthesized.
                     if matches!(**b, TreePattern::Term(_)) {
                         go(b, vocab, true, out);
@@ -301,7 +309,10 @@ mod tests {
         // and "best" a child of "way".
         assert!(pat(&c, "is/way").matches(c.sentence(0)));
         assert!(pat(&c, "way/best").matches(c.sentence(0)));
-        assert!(!pat(&c, "best/way").matches(c.sentence(0)), "edge direction matters");
+        assert!(
+            !pat(&c, "best/way").matches(c.sentence(0)),
+            "edge direction matters"
+        );
     }
 
     #[test]
@@ -354,7 +365,10 @@ mod tests {
     #[test]
     fn parse_errors() {
         let c = setup();
-        assert!(matches!(TreePattern::parse(c.vocab(), ""), Err(crate::ParseError::Empty)));
+        assert!(matches!(
+            TreePattern::parse(c.vocab(), ""),
+            Err(crate::ParseError::Empty)
+        ));
         assert!(matches!(
             TreePattern::parse(c.vocab(), "zeppelin"),
             Err(crate::ParseError::UnknownToken(_))

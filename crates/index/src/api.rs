@@ -1,10 +1,12 @@
 //! Unified index facade consumed by the Darwin pipeline.
 
+use crate::inverted::InvertedIndex;
 use crate::phrase_index::{NodeId, PhraseIndex};
 use crate::sketch::TreeSketchConfig;
 use crate::tree_index::{PatId, TreeIndex};
 use darwin_grammar::{Heuristic, PhrasePattern};
 use darwin_text::Corpus;
+use std::sync::OnceLock;
 
 /// A handle to a heuristic materialized in the index.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -49,12 +51,19 @@ impl IndexConfig {
     /// A configuration suited to unit tests and tiny corpora: short
     /// phrases, no pruning.
     pub fn small() -> IndexConfig {
-        IndexConfig { max_phrase_len: 4, min_count: 1, ..Default::default() }
+        IndexConfig {
+            max_phrase_len: 4,
+            min_count: 1,
+            ..Default::default()
+        }
     }
 
     /// Phrase-only indexing (TreeMatch off).
     pub fn phrase_only() -> IndexConfig {
-        IndexConfig { enable_tree: false, ..Default::default() }
+        IndexConfig {
+            enable_tree: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -63,6 +72,9 @@ pub struct IndexSet {
     phrase: PhraseIndex,
     tree: Option<TreeIndex>,
     all_ids: Vec<u32>,
+    /// Sentence → rules transpose, built on first use (the question loop
+    /// needs it; index-only workloads never pay for it).
+    inverted: OnceLock<InvertedIndex>,
 }
 
 impl IndexSet {
@@ -78,7 +90,26 @@ impl IndexSet {
         }
         let tree = cfg.enable_tree.then(|| TreeIndex::build(corpus, &cfg.tree));
         let all_ids = (0..corpus.len() as u32).collect();
-        IndexSet { phrase, tree, all_ids }
+        IndexSet {
+            phrase,
+            tree,
+            all_ids,
+            inverted: OnceLock::new(),
+        }
+    }
+
+    /// The sentence → covering-rules transpose (built and cached on first
+    /// call).
+    pub fn inverted(&self) -> &InvertedIndex {
+        self.inverted.get_or_init(|| InvertedIndex::build(self))
+    }
+
+    /// All indexed rules whose coverage contains sentence `id`, in
+    /// [`IndexSet::all_rules`] order. This is the delta primitive of the
+    /// incremental benefit engine: when `P` gains `id` (or `id` is
+    /// re-scored), exactly these rules' benefit aggregates change.
+    pub fn rules_covering(&self, id: u32) -> impl Iterator<Item = RuleRef> + '_ {
+        self.inverted().rules_covering(id).iter().copied()
     }
 
     /// The phrase sub-index.
@@ -173,9 +204,13 @@ impl IndexSet {
             RuleRef::Phrase(n) => {
                 Heuristic::Phrase(PhrasePattern::from_tokens(self.phrase.phrase(n)))
             }
-            RuleRef::Tree(p) => {
-                Heuristic::Tree(self.tree.as_ref().expect("tree index enabled").pattern(p).clone())
-            }
+            RuleRef::Tree(p) => Heuristic::Tree(
+                self.tree
+                    .as_ref()
+                    .expect("tree index enabled")
+                    .pattern(p)
+                    .clone(),
+            ),
         }
     }
 
@@ -288,7 +323,13 @@ mod tests {
     #[test]
     fn min_count_prunes_phrases() {
         let c = corpus();
-        let pruned = IndexSet::build(&c, &IndexConfig { min_count: 2, ..IndexConfig::small() });
+        let pruned = IndexSet::build(
+            &c,
+            &IndexConfig {
+                min_count: 2,
+                ..IndexConfig::small()
+            },
+        );
         let h = Heuristic::phrase(&c, "bart").unwrap();
         assert_eq!(pruned.resolve(&h), None, "singleton phrase pruned");
         let h2 = Heuristic::phrase(&c, "caused the").unwrap();
@@ -298,9 +339,18 @@ mod tests {
     #[test]
     fn phrase_only_config_disables_tree() {
         let c = corpus();
-        let idx = IndexSet::build(&c, &IndexConfig { enable_tree: false, ..IndexConfig::small() });
+        let idx = IndexSet::build(
+            &c,
+            &IndexConfig {
+                enable_tree: false,
+                ..IndexConfig::small()
+            },
+        );
         assert!(idx.tree_index().is_none());
-        assert!(idx.children(RuleRef::Root).iter().all(|r| matches!(r, RuleRef::Phrase(_))));
+        assert!(idx
+            .children(RuleRef::Root)
+            .iter()
+            .all(|r| matches!(r, RuleRef::Phrase(_))));
     }
 
     #[test]

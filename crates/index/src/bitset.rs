@@ -15,7 +15,10 @@ pub struct IdSet {
 impl IdSet {
     /// An empty set sized for ids `0..universe`.
     pub fn with_universe(universe: usize) -> IdSet {
-        IdSet { blocks: vec![0; universe.div_ceil(64)], len: 0 }
+        IdSet {
+            blocks: vec![0; universe.div_ceil(64)],
+            len: 0,
+        }
     }
 
     /// Build from a slice of ids.

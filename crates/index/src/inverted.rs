@@ -1,0 +1,135 @@
+//! Sentence → covering-rules inverted postings.
+//!
+//! The forward index answers "which sentences does rule `r` cover?"
+//! ([`crate::IndexSet::coverage`]). The incremental benefit engine needs the
+//! transpose: "which rules cover sentence `s`?" — when the positive set `P`
+//! gains a handful of sentence ids, or the classifier re-scores a few
+//! sentences, only the rules covering those ids change benefit, and the
+//! engine patches exactly those aggregates instead of rescanning every
+//! rule's coverage (the same delta principle as incremental view
+//! maintenance under updates).
+//!
+//! Stored as CSR: one contiguous `RuleRef` arena plus per-sentence offsets.
+//! Within a sentence's slice, rules appear in [`crate::IndexSet::all_rules`]
+//! order (phrases in node order, then tree patterns), which makes every
+//! delta walk deterministic.
+
+use crate::api::{IndexSet, RuleRef};
+
+/// Transposed coverage: for each sentence id, the rules whose coverage
+/// contains it.
+pub struct InvertedIndex {
+    offsets: Vec<usize>,
+    rules: Vec<RuleRef>,
+}
+
+impl InvertedIndex {
+    /// Transpose the forward postings of `index` (the root is excluded — it
+    /// covers everything and carries no benefit signal).
+    pub fn build(index: &IndexSet) -> InvertedIndex {
+        let n = index.sentences();
+        // Offsets are usize: the corpus-wide sum of coverages can pass u32
+        // range long before any single posting list does.
+        let mut counts = vec![0usize; n];
+        for r in index.all_rules() {
+            for &s in index.coverage(r) {
+                counts[s as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut rules = vec![RuleRef::Root; acc];
+        for r in index.all_rules() {
+            for &s in index.coverage(r) {
+                let slot = &mut cursor[s as usize];
+                rules[*slot] = r;
+                *slot += 1;
+            }
+        }
+        InvertedIndex { offsets, rules }
+    }
+
+    /// Rules covering sentence `id`, in [`IndexSet::all_rules`] order.
+    pub fn rules_covering(&self, id: u32) -> &[RuleRef] {
+        let lo = self.offsets[id as usize];
+        let hi = self.offsets[id as usize + 1];
+        &self.rules[lo..hi]
+    }
+
+    /// Number of sentences the transpose covers.
+    pub fn sentences(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total postings across all sentences (== total forward postings).
+    pub fn postings_len(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::IndexConfig;
+    use darwin_text::Corpus;
+
+    fn setup() -> (Corpus, IndexSet) {
+        let c = Corpus::from_texts([
+            "the shuttle to the airport leaves hourly",
+            "is there a shuttle to the airport tonight",
+            "a bus to the airport runs daily",
+            "order pizza to the room please",
+        ]);
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        (c, idx)
+    }
+
+    #[test]
+    fn transpose_agrees_with_forward_postings() {
+        let (c, idx) = setup();
+        let inv = InvertedIndex::build(&idx);
+        assert_eq!(inv.sentences(), c.len());
+        // Every forward posting appears in the transpose...
+        for r in idx.all_rules() {
+            for &s in idx.coverage(r) {
+                assert!(
+                    inv.rules_covering(s).contains(&r),
+                    "rule {:?} covers {s} but transpose misses it",
+                    r
+                );
+            }
+        }
+        // ...and the transpose contains nothing extra.
+        let forward_total: usize = idx.all_rules().map(|r| idx.coverage(r).len()).sum();
+        assert_eq!(inv.postings_len(), forward_total);
+    }
+
+    #[test]
+    fn per_sentence_rules_are_unique_and_cover() {
+        let (c, idx) = setup();
+        let inv = InvertedIndex::build(&idx);
+        for s in 0..c.len() as u32 {
+            let rules = inv.rules_covering(s);
+            let mut seen = crate::fx::FxHashSet::default();
+            for &r in rules {
+                assert!(seen.insert(r), "duplicate rule {r:?} for sentence {s}");
+                assert!(idx.coverage(r).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_excluded() {
+        let (_, idx) = setup();
+        let inv = InvertedIndex::build(&idx);
+        for s in 0..inv.sentences() as u32 {
+            assert!(!inv.rules_covering(s).contains(&RuleRef::Root));
+        }
+    }
+}

@@ -14,18 +14,23 @@
 //!   structural generalization edges,
 //! * [`api`] — [`IndexSet`]: the unified view the Darwin pipeline consumes
 //!   ([`RuleRef`] = a node in either index; children/parents/coverage),
+//! * [`inverted`] — the sentence → covering-rules transpose
+//!   ([`IndexSet::rules_covering`]), the delta primitive of the
+//!   incremental benefit engine,
 //! * [`bitset`] — a dense id set used throughout the pipeline,
 //! * [`fx`] — the FxHash hasher (integer-keyed maps are hot here).
 
 pub mod api;
 pub mod bitset;
 pub mod fx;
+pub mod inverted;
 pub mod phrase_index;
 pub mod sketch;
 pub mod tree_index;
 
 pub use api::{IndexConfig, IndexSet, RuleRef};
 pub use bitset::IdSet;
+pub use inverted::InvertedIndex;
 pub use phrase_index::PhraseIndex;
 pub use sketch::TreeSketchConfig;
 pub use tree_index::TreeIndex;

@@ -48,7 +48,11 @@ impl PhraseIndex {
             postings: Vec::new(),
             children: FxHashMap::default(),
         };
-        PhraseIndex { nodes: vec![root], max_len, sentences: 0 }
+        PhraseIndex {
+            nodes: vec![root],
+            max_len,
+            sentences: 0,
+        }
     }
 
     /// Build sequentially by merging each sentence's derivation sketch.
@@ -69,11 +73,11 @@ impl PhraseIndex {
         }
         let chunk = sents.len().div_ceil(threads);
         let mut parts: Vec<PhraseIndex> = Vec::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = sents
                 .chunks(chunk)
                 .map(|c| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut idx = PhraseIndex::new(max_len);
                         for s in c {
                             idx.add_sentence(s);
@@ -85,8 +89,7 @@ impl PhraseIndex {
             for h in handles {
                 parts.push(h.join().expect("index build thread panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut iter = parts.into_iter();
         let mut acc = iter.next().expect("at least one chunk");
@@ -106,7 +109,9 @@ impl PhraseIndex {
         while let Some((on, sn)) = queue.pop() {
             // Move postings over.
             let other_node = &other.nodes[on as usize];
-            self.nodes[sn as usize].postings.extend_from_slice(&other_node.postings);
+            self.nodes[sn as usize]
+                .postings
+                .extend_from_slice(&other_node.postings);
             for (&sym, &oc) in &other_node.children {
                 let sc = self.child_or_insert(sn, sym);
                 queue.push((oc, sc));
@@ -277,8 +282,10 @@ mod tests {
     }
 
     fn node_by_text(c: &Corpus, idx: &PhraseIndex, text: &str) -> NodeId {
-        let syms: Vec<Sym> =
-            text.split_whitespace().map(|t| c.vocab().get(t).expect("token in vocab")).collect();
+        let syms: Vec<Sym> = text
+            .split_whitespace()
+            .map(|t| c.vocab().get(t).expect("token in vocab"))
+            .collect();
         idx.lookup(&syms).expect("phrase indexed")
     }
 
@@ -343,7 +350,13 @@ mod tests {
     #[test]
     fn parallel_build_matches_sequential() {
         let texts: Vec<String> = (0..5000)
-            .map(|i| format!("sentence {} about the way to airport gate {}", i % 97, i % 13))
+            .map(|i| {
+                format!(
+                    "sentence {} about the way to airport gate {}",
+                    i % 97,
+                    i % 13
+                )
+            })
             .collect();
         let c = Corpus::from_texts(texts.iter());
         let seq = PhraseIndex::build(&c, 4);
@@ -360,8 +373,11 @@ mod tests {
 
     #[test]
     fn incremental_add_matches_batch() {
-        let texts =
-            ["the shuttle to the airport", "the bus to the hotel", "the shuttle to the hotel"];
+        let texts = [
+            "the shuttle to the airport",
+            "the bus to the hotel",
+            "the shuttle to the hotel",
+        ];
         let c = Corpus::from_texts(texts);
         let batch = PhraseIndex::build(&c, 3);
         let mut inc = PhraseIndex::new(3);

@@ -46,7 +46,11 @@ pub struct TreeSketchConfig {
 
 impl Default for TreeSketchConfig {
     fn default() -> Self {
-        TreeSketchConfig { include_and: true, skip_punct: true, max_patterns: 4096 }
+        TreeSketchConfig {
+            include_and: true,
+            skip_punct: true,
+            max_patterns: 4096,
+        }
     }
 }
 
@@ -120,7 +124,10 @@ pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePatte
                     if matches!(a, TreeTerm::Pos(_)) && matches!(b, TreeTerm::Pos(_)) {
                         continue;
                     }
-                    push(TreePattern::desc(TreePattern::Term(a), TreePattern::Term(b)), &mut out);
+                    push(
+                        TreePattern::desc(TreePattern::Term(a), TreePattern::Term(b)),
+                        &mut out,
+                    );
                 }
             }
         }
@@ -160,7 +167,11 @@ pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePatte
 /// coverage-monotone — so *all* occurrences must be reported, not just the
 /// content-tagged ones.
 pub fn term_generalizations(sentence: &Sentence) -> impl Iterator<Item = (Sym, PosTag)> + '_ {
-    sentence.tokens.iter().zip(&sentence.tags).map(|(s, t)| (*s, *t))
+    sentence
+        .tokens
+        .iter()
+        .zip(&sentence.tags)
+        .map(|(s, t)| (*s, *t))
 }
 
 #[cfg(test)]
@@ -221,7 +232,10 @@ mod tests {
     #[test]
     fn tree_sketch_respects_caps() {
         let c = Corpus::from_texts(["a b c d e f g h i j k l m n o p q r s t"]);
-        let cfg = TreeSketchConfig { max_patterns: 10, ..Default::default() };
+        let cfg = TreeSketchConfig {
+            max_patterns: 10,
+            ..Default::default()
+        };
         let pats = tree_sketch(c.sentence(0), &cfg);
         assert!(pats.len() <= 10);
     }

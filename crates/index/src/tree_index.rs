@@ -202,8 +202,12 @@ mod tests {
         // Every indexed pattern's postings equal its brute-force coverage.
         for id in idx.pat_ids().take(500) {
             let p = idx.pattern(id).clone();
-            let brute: Vec<u32> =
-                c.sentences().iter().filter(|s| p.matches(s)).map(|s| s.id).collect();
+            let brute: Vec<u32> = c
+                .sentences()
+                .iter()
+                .filter(|s| p.matches(s))
+                .map(|s| s.id)
+                .collect();
             assert_eq!(idx.postings(id), &brute[..], "{}", p.display(c.vocab()));
         }
     }
@@ -214,8 +218,7 @@ mod tests {
         let idx = TreeIndex::build(&c, &TreeSketchConfig::default());
         let child = TreePattern::parse(c.vocab(), "caused/storm").unwrap();
         let id = idx.lookup(&child).expect("caused/storm indexed");
-        let parents: Vec<&TreePattern> =
-            idx.parents(id).iter().map(|&p| idx.pattern(p)).collect();
+        let parents: Vec<&TreePattern> = idx.parents(id).iter().map(|&p| idx.pattern(p)).collect();
         let head = TreePattern::parse(c.vocab(), "caused").unwrap();
         let desc = TreePattern::parse(c.vocab(), "caused//storm").unwrap();
         assert!(parents.contains(&&head));
@@ -249,7 +252,10 @@ mod tests {
         let id = idx.lookup(&tok).expect("storm indexed");
         let noun = TreePattern::term_pos(PosTag::Noun);
         let has_noun_parent = idx.parents(id).iter().any(|&p| idx.pattern(p) == &noun);
-        assert!(has_noun_parent, "Term(storm) should generalize to Term(NOUN)");
+        assert!(
+            has_noun_parent,
+            "Term(storm) should generalize to Term(NOUN)"
+        );
     }
 
     #[test]

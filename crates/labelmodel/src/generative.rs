@@ -33,7 +33,12 @@ pub struct GenerativeConfig {
 
 impl Default for GenerativeConfig {
     fn default() -> Self {
-        GenerativeConfig { iterations: 25, init_prior: 0.3, smoothing: 1.0, fix_prior: false }
+        GenerativeConfig {
+            iterations: 25,
+            init_prior: 0.3,
+            smoothing: 1.0,
+            fix_prior: false,
+        }
     }
 }
 
@@ -117,7 +122,12 @@ impl GenerativeModel {
         // parameters (not the ones from before the last M-step).
         let ll = e_step(&theta, prior, &mut post);
 
-        GenerativeModel { theta, prior, posteriors: post, log_likelihood: ll }
+        GenerativeModel {
+            theta,
+            prior,
+            posteriors: post,
+            log_likelihood: ll,
+        }
     }
 
     /// Posterior P(y=1) per item.
@@ -208,7 +218,10 @@ mod tests {
     fn posteriors_in_unit_interval() {
         let (m, _) = synth();
         let g = GenerativeModel::fit(&m, &GenerativeConfig::default());
-        assert!(g.posteriors().iter().all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
+        assert!(g
+            .posteriors()
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
     }
 
     #[test]
@@ -237,8 +250,20 @@ mod tests {
     #[test]
     fn em_improves_likelihood_with_iterations() {
         let (m, _) = synth();
-        let short = GenerativeModel::fit(&m, &GenerativeConfig { iterations: 1, ..Default::default() });
-        let long = GenerativeModel::fit(&m, &GenerativeConfig { iterations: 30, ..Default::default() });
+        let short = GenerativeModel::fit(
+            &m,
+            &GenerativeConfig {
+                iterations: 1,
+                ..Default::default()
+            },
+        );
+        let long = GenerativeModel::fit(
+            &m,
+            &GenerativeConfig {
+                iterations: 30,
+                ..Default::default()
+            },
+        );
         assert!(
             long.log_likelihood() >= short.log_likelihood() - 1e-6,
             "{} vs {}",
@@ -253,7 +278,10 @@ mod tests {
         // dominate) the per-class abstain rates converge to each other and
         // abstentions carry no evidence: posterior ≈ prior, same for all.
         let m = LfMatrix::new(200, 2);
-        let cfg = GenerativeConfig { smoothing: 0.01, ..Default::default() };
+        let cfg = GenerativeConfig {
+            smoothing: 0.01,
+            ..Default::default()
+        };
         let g = GenerativeModel::fit(&m, &cfg);
         for &p in g.posteriors() {
             assert!((p - g.prior()).abs() < 0.02, "p={p} prior={}", g.prior());

@@ -31,7 +31,11 @@ pub struct LfMatrix {
 
 impl LfMatrix {
     pub fn new(n_items: usize, n_lfs: usize) -> LfMatrix {
-        LfMatrix { n_items, n_lfs, votes: vec![0; n_items * n_lfs] }
+        LfMatrix {
+            n_items,
+            n_lfs,
+            votes: vec![0; n_items * n_lfs],
+        }
     }
 
     /// Build from positive-voting rule coverages: LF `j` labels every item

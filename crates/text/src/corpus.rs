@@ -19,8 +19,10 @@ impl Corpus {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let token_lists: Vec<Vec<String>> =
-            texts.into_iter().map(|t| crate::tokenize::tokenize(t.as_ref())).collect();
+        let token_lists: Vec<Vec<String>> = texts
+            .into_iter()
+            .map(|t| crate::tokenize::tokenize(t.as_ref()))
+            .collect();
         Self::from_token_lists(token_lists, 1)
     }
 
@@ -29,15 +31,18 @@ impl Corpus {
     /// output is identical to the sequential path.
     pub fn from_texts_parallel<S: AsRef<str> + Sync>(texts: &[S], threads: usize) -> Corpus {
         let token_lists: Vec<Vec<String>> = if threads <= 1 || texts.len() < 1024 {
-            texts.iter().map(|t| crate::tokenize::tokenize(t.as_ref())).collect()
+            texts
+                .iter()
+                .map(|t| crate::tokenize::tokenize(t.as_ref()))
+                .collect()
         } else {
             let mut out: Vec<Vec<Vec<String>>> = Vec::new();
             let chunk = texts.len().div_ceil(threads);
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = texts
                     .chunks(chunk)
                     .map(|c| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             c.iter()
                                 .map(|t| crate::tokenize::tokenize(t.as_ref()))
                                 .collect::<Vec<_>>()
@@ -47,8 +52,7 @@ impl Corpus {
                 for h in handles {
                     out.push(h.join().expect("tokenizer thread panicked"));
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
             out.into_iter().flatten().collect()
         };
         Self::from_token_lists(token_lists, threads)
@@ -68,7 +72,12 @@ impl Corpus {
                 .map(|i| {
                     let tags = Tagger::tag(&token_lists[i]);
                     let heads = depparse::parse(&tags);
-                    Sentence { id: i as u32, tokens: sym_lists[i].clone(), tags, heads }
+                    Sentence {
+                        id: i as u32,
+                        tokens: sym_lists[i].clone(),
+                        tags,
+                        heads,
+                    }
                 })
                 .collect()
         };
@@ -79,20 +88,19 @@ impl Corpus {
         } else {
             let chunk = n.div_ceil(threads);
             let mut parts: Vec<Vec<Sentence>> = Vec::new();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..n)
                     .step_by(chunk)
                     .map(|start| {
                         let end = (start + chunk).min(n);
                         let build = &build;
-                        scope.spawn(move |_| build(start..end))
+                        scope.spawn(move || build(start..end))
                     })
                     .collect();
                 for h in handles {
                     parts.push(h.join().expect("analysis thread panicked"));
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
             parts.into_iter().flatten().collect()
         };
 
@@ -144,7 +152,12 @@ impl Corpus {
 
 impl std::fmt::Debug for Corpus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Corpus({} sentences, {} vocab)", self.len(), self.vocab.len())
+        write!(
+            f,
+            "Corpus({} sentences, {} vocab)",
+            self.len(),
+            self.vocab.len()
+        )
     }
 }
 
@@ -173,8 +186,9 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let texts: Vec<String> =
-            (0..3000).map(|i| format!("sentence number {i} goes to the airport quickly")).collect();
+        let texts: Vec<String> = (0..3000)
+            .map(|i| format!("sentence number {i} goes to the airport quickly"))
+            .collect();
         let seq = Corpus::from_texts(texts.iter());
         let par = Corpus::from_texts_parallel(&texts, 4);
         assert_eq!(seq.len(), par.len());

@@ -45,9 +45,7 @@ pub fn parse(tags: &[PosTag]) -> Vec<u16> {
             PosTag::Adp => prev_matching(tags, i, n, &[PosTag::Noun, PosTag::Propn, PosTag::Verb])
                 .unwrap_or(root),
             PosTag::Noun | PosTag::Propn | PosTag::Pron => attach_nominal(tags, i, root),
-            PosTag::Adv | PosTag::Part => {
-                nearest_verb(tags, i).unwrap_or(root)
-            }
+            PosTag::Adv | PosTag::Part => nearest_verb(tags, i).unwrap_or(root),
             PosTag::Verb => root,
             PosTag::Punct | PosTag::Conj | PosTag::X => root,
         };
@@ -176,14 +174,22 @@ mod tests {
     fn always_a_tree() {
         // Every token must reach the root; exactly one self-loop.
         for words in [
-            vec!["what", "is", "the", "best", "way", "to", "get", "to", "sfo", "airport", "?"],
-            vec!["is", "there", "a", "bart", "from", "sfo", "to", "the", "hotel", "?"],
+            vec![
+                "what", "is", "the", "best", "way", "to", "get", "to", "sfo", "airport", "?",
+            ],
+            vec![
+                "is", "there", "a", "bart", "from", "sfo", "to", "the", "hotel", "?",
+            ],
             vec!["the"],
             vec!["?", "?", "?"],
             vec!["shuttle", "to", "the", "airport"],
         ] {
             let (_, heads) = parse_words(&words);
-            let roots = heads.iter().enumerate().filter(|(i, &h)| *i == h as usize).count();
+            let roots = heads
+                .iter()
+                .enumerate()
+                .filter(|(i, &h)| *i == h as usize)
+                .count();
             assert_eq!(roots, 1, "words={words:?} heads={heads:?}");
             for start in 0..heads.len() {
                 let mut cur = start;

@@ -38,7 +38,13 @@ pub struct EmbedConfig {
 
 impl Default for EmbedConfig {
     fn default() -> Self {
-        EmbedConfig { dim: 32, window: 2, passes: 2, self_weight: 0.4, seed: 0xDA21 }
+        EmbedConfig {
+            dim: 32,
+            window: 2,
+            passes: 2,
+            self_weight: 0.4,
+            seed: 0xDA21,
+        }
     }
 }
 
@@ -108,8 +114,8 @@ impl Embeddings {
                 let inv = 1.0 / ctx_cnt[w];
                 let row = w * dim;
                 for d in 0..dim {
-                    table[row + d] =
-                        cfg.self_weight * table[row + d] + (1.0 - cfg.self_weight) * ctx_sum[row + d] * inv;
+                    table[row + d] = cfg.self_weight * table[row + d]
+                        + (1.0 - cfg.self_weight) * ctx_sum[row + d] * inv;
                 }
                 normalize(&mut table[row..row + dim]);
             }

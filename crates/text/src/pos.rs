@@ -79,7 +79,10 @@ impl PosTag {
     /// Content-word tags: useful as pattern terminals; function words and
     /// punctuation rarely make good rule anchors on their own.
     pub fn is_content(self) -> bool {
-        matches!(self, PosTag::Noun | PosTag::Verb | PosTag::Adj | PosTag::Propn | PosTag::Adv)
+        matches!(
+            self,
+            PosTag::Noun | PosTag::Verb | PosTag::Adj | PosTag::Propn | PosTag::Adv
+        )
     }
 }
 
@@ -92,7 +95,11 @@ impl fmt::Display for PosTag {
 impl FromStr for PosTag {
     type Err = ();
     fn from_str(s: &str) -> Result<Self, ()> {
-        PosTag::ALL.iter().copied().find(|t| t.name() == s).ok_or(())
+        PosTag::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == s)
+            .ok_or(())
     }
 }
 
@@ -109,30 +116,174 @@ const PREPOSITIONS: &[&str] = &[
     "without", "towards", "toward", "off", "onto", "upon", "per", "than", "as",
 ];
 const PRONOUNS: &[&str] = &[
-    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "my", "your",
-    "his", "its", "our", "their", "mine", "yours", "myself", "yourself", "there", "who", "whom",
-    "anyone", "someone", "something", "anything", "everyone", "everything", "nothing",
+    "i",
+    "you",
+    "he",
+    "she",
+    "it",
+    "we",
+    "they",
+    "me",
+    "him",
+    "her",
+    "us",
+    "them",
+    "my",
+    "your",
+    "his",
+    "its",
+    "our",
+    "their",
+    "mine",
+    "yours",
+    "myself",
+    "yourself",
+    "there",
+    "who",
+    "whom",
+    "anyone",
+    "someone",
+    "something",
+    "anything",
+    "everyone",
+    "everything",
+    "nothing",
 ];
-const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "so", "yet", "if", "because", "while", "when", "although", "whether"];
+const CONJUNCTIONS: &[&str] = &[
+    "and", "or", "but", "nor", "so", "yet", "if", "because", "while", "when", "although", "whether",
+];
 const AUX_VERBS: &[&str] = &[
     "is", "am", "are", "was", "were", "be", "been", "being", "do", "does", "did", "have", "has",
     "had", "will", "would", "can", "could", "shall", "should", "may", "might", "must", "get",
     "got", "gets", "getting",
 ];
 const COMMON_VERBS: &[&str] = &[
-    "go", "goes", "going", "went", "gone", "take", "takes", "took", "taken", "taking", "make",
-    "makes", "made", "making", "come", "comes", "came", "coming", "see", "saw", "seen", "know",
-    "knew", "known", "think", "thought", "want", "wants", "wanted", "need", "needs", "needed",
-    "find", "found", "give", "gave", "given", "tell", "told", "ask", "asked", "work", "worked",
-    "works", "call", "called", "try", "tried", "use", "used", "order", "check", "book", "reach",
-    "visit", "leave", "left", "arrive", "arrived", "cause", "caused", "causes", "causing",
-    "trigger", "triggered", "triggers", "lead", "leads", "led", "result", "resulted", "results",
-    "induce", "induced", "induces", "play", "played", "plays", "playing", "perform", "performed",
-    "performs", "compose", "composed", "composes", "write", "wrote", "written", "writes", "sing",
-    "sang", "sung", "sings", "teach", "taught", "teaches", "release", "released", "releases",
-    "record", "recorded", "craving", "crave", "eat", "ate", "eaten", "eating", "walk", "drive",
-    "ride", "fly", "travel", "stay", "recommend", "recommended", "apply", "applied", "hire",
-    "hired", "hiring", "produced", "produces", "produce", "directed", "directs", "direct",
+    "go",
+    "goes",
+    "going",
+    "went",
+    "gone",
+    "take",
+    "takes",
+    "took",
+    "taken",
+    "taking",
+    "make",
+    "makes",
+    "made",
+    "making",
+    "come",
+    "comes",
+    "came",
+    "coming",
+    "see",
+    "saw",
+    "seen",
+    "know",
+    "knew",
+    "known",
+    "think",
+    "thought",
+    "want",
+    "wants",
+    "wanted",
+    "need",
+    "needs",
+    "needed",
+    "find",
+    "found",
+    "give",
+    "gave",
+    "given",
+    "tell",
+    "told",
+    "ask",
+    "asked",
+    "work",
+    "worked",
+    "works",
+    "call",
+    "called",
+    "try",
+    "tried",
+    "use",
+    "used",
+    "order",
+    "check",
+    "book",
+    "reach",
+    "visit",
+    "leave",
+    "left",
+    "arrive",
+    "arrived",
+    "cause",
+    "caused",
+    "causes",
+    "causing",
+    "trigger",
+    "triggered",
+    "triggers",
+    "lead",
+    "leads",
+    "led",
+    "result",
+    "resulted",
+    "results",
+    "induce",
+    "induced",
+    "induces",
+    "play",
+    "played",
+    "plays",
+    "playing",
+    "perform",
+    "performed",
+    "performs",
+    "compose",
+    "composed",
+    "composes",
+    "write",
+    "wrote",
+    "written",
+    "writes",
+    "sing",
+    "sang",
+    "sung",
+    "sings",
+    "teach",
+    "taught",
+    "teaches",
+    "release",
+    "released",
+    "releases",
+    "record",
+    "recorded",
+    "craving",
+    "crave",
+    "eat",
+    "ate",
+    "eaten",
+    "eating",
+    "walk",
+    "drive",
+    "ride",
+    "fly",
+    "travel",
+    "stay",
+    "recommend",
+    "recommended",
+    "apply",
+    "applied",
+    "hire",
+    "hired",
+    "hiring",
+    "produced",
+    "produces",
+    "produce",
+    "directed",
+    "directs",
+    "direct",
 ];
 const ADVERBS: &[&str] = &[
     "very", "too", "also", "just", "now", "then", "here", "soon", "already", "still", "again",
@@ -140,14 +291,66 @@ const ADVERBS: &[&str] = &[
     "tonight", "far", "away", "back", "downtown", "nearby", "how", "where", "why", "not",
 ];
 const ADJECTIVES: &[&str] = &[
-    "best", "good", "great", "new", "old", "big", "small", "fast", "fastest", "slow", "cheap",
-    "cheapest", "easy", "easiest", "quick", "quickest", "nice", "famous", "popular", "major",
-    "severe", "local", "public", "private", "free", "open", "closed", "available", "late",
-    "early", "long", "short", "main", "several", "many", "few", "much", "more", "most", "other",
-    "own", "same", "different", "able", "hungry", "delicious", "spicy", "italian", "chinese",
-    "mexican", "japanese", "french", "nearest", "closest", "what", "which",
+    "best",
+    "good",
+    "great",
+    "new",
+    "old",
+    "big",
+    "small",
+    "fast",
+    "fastest",
+    "slow",
+    "cheap",
+    "cheapest",
+    "easy",
+    "easiest",
+    "quick",
+    "quickest",
+    "nice",
+    "famous",
+    "popular",
+    "major",
+    "severe",
+    "local",
+    "public",
+    "private",
+    "free",
+    "open",
+    "closed",
+    "available",
+    "late",
+    "early",
+    "long",
+    "short",
+    "main",
+    "several",
+    "many",
+    "few",
+    "much",
+    "more",
+    "most",
+    "other",
+    "own",
+    "same",
+    "different",
+    "able",
+    "hungry",
+    "delicious",
+    "spicy",
+    "italian",
+    "chinese",
+    "mexican",
+    "japanese",
+    "french",
+    "nearest",
+    "closest",
+    "what",
+    "which",
 ];
-const PARTICLES: &[&str] = &["to", "up", "down", "out", "'s", "n't", "'re", "'ve", "'ll", "'d", "'m"];
+const PARTICLES: &[&str] = &[
+    "to", "up", "down", "out", "'s", "n't", "'re", "'ve", "'ll", "'d", "'m",
+];
 
 /// Suffix → tag heuristics applied to otherwise-unknown words.
 const SUFFIX_RULES: &[(&str, PosTag)] = &[
@@ -185,7 +388,11 @@ impl Tagger {
             // "to" + verb => PART; otherwise ADP.
             if tokens[i].as_ref() == "to" {
                 let next_is_verb = tags.get(i + 1).is_some_and(|&t| t == PosTag::Verb);
-                tags[i] = if next_is_verb { PosTag::Part } else { PosTag::Adp };
+                tags[i] = if next_is_verb {
+                    PosTag::Part
+                } else {
+                    PosTag::Adp
+                };
             }
         }
         for i in 0..tags.len() {

@@ -26,7 +26,11 @@ impl Sentence {
 
     /// Index of the root token (its own head), or `None` for empty sentences.
     pub fn root(&self) -> Option<usize> {
-        self.heads.iter().enumerate().find(|(i, &h)| *i == h as usize).map(|(i, _)| i)
+        self.heads
+            .iter()
+            .enumerate()
+            .find(|(i, &h)| *i == h as usize)
+            .map(|(i, _)| i)
     }
 
     /// Children of token `i` in the dependency tree.

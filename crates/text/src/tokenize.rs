@@ -19,8 +19,23 @@ pub fn tokenize(text: &str) -> Vec<String> {
 fn is_punct(c: char) -> bool {
     matches!(
         c,
-        '.' | ',' | '!' | '?' | ';' | ':' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '…'
-            | '“' | '”' | '‘' | '’'
+        '.' | ','
+            | '!'
+            | '?'
+            | ';'
+            | ':'
+            | '('
+            | ')'
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '"'
+            | '…'
+            | '“'
+            | '”'
+            | '‘'
+            | '’'
     ) || (c == '\'' || c == '`')
 }
 
@@ -89,7 +104,10 @@ mod tests {
 
     #[test]
     fn keeps_internal_apostrophe_and_hyphen() {
-        assert_eq!(toks("what's check-in like?"), vec!["what's", "check-in", "like", "?"]);
+        assert_eq!(
+            toks("what's check-in like?"),
+            vec!["what's", "check-in", "like", "?"]
+        );
     }
 
     #[test]

@@ -55,20 +55,34 @@ fn main() {
     // --- Running the pipeline with a noisy human-like oracle -----------
     let index = IndexSet::build(
         corpus,
-        &IndexConfig { max_phrase_len: 4, min_count: 3, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 4,
+            min_count: 3,
+            ..Default::default()
+        },
     );
-    let cfg = DarwinConfig { budget: 30, n_candidates: 3000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 30,
+        n_candidates: 3000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(corpus, &index, cfg);
     // The annotator inspects only 5 sampled matches per question (paper
     // Figure 2 / §4.5) and therefore sometimes errs.
     let mut annotator = SampledAnnotatorOracle::new(&data.labels, 5, 7);
-    let run = darwin.run(Seed::Rule(Heuristic::phrase(corpus, "worked as a").unwrap()), &mut annotator);
+    let run = darwin.run(
+        Seed::Rule(Heuristic::phrase(corpus, "worked as a").unwrap()),
+        &mut annotator,
+    );
     println!(
         "\nnoisy-annotator run: {} questions, {} accepted, recall {:.2}, precision of P {:.2}",
         run.questions(),
         run.accepted.len(),
         coverage(&run.positives, &data.labels),
-        run.positives.iter().filter(|&&i| data.labels[i as usize]).count() as f64
+        run.positives
+            .iter()
+            .filter(|&&i| data.labels[i as usize])
+            .count() as f64
             / run.positives.len().max(1) as f64
     );
 }

@@ -10,17 +10,29 @@ use darwin::datasets::musicians;
 use darwin::prelude::*;
 
 fn main() {
-    let n: usize = std::env::var("DARWIN_N").ok().and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let n: usize = std::env::var("DARWIN_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6000);
     let data = musicians::generate(n, 42);
     println!("{:?}", data.stats());
 
     let index = IndexSet::build(
         &data.corpus,
-        &IndexConfig { max_phrase_len: 5, min_count: 2, enable_tree: true, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 5,
+            min_count: 2,
+            enable_tree: true,
+            ..Default::default()
+        },
     );
     println!("index: {} rules (tree patterns included)", index.rules());
 
-    for kind in [TraversalKind::Local, TraversalKind::Universal, TraversalKind::Hybrid] {
+    for kind in [
+        TraversalKind::Local,
+        TraversalKind::Universal,
+        TraversalKind::Hybrid,
+    ] {
         let cfg = DarwinConfig {
             budget: 40,
             n_candidates: 3000,

@@ -9,7 +9,10 @@ use darwin::datasets::directions;
 use darwin::prelude::*;
 
 fn main() {
-    let n: usize = std::env::var("DARWIN_N").ok().and_then(|s| s.parse().ok()).unwrap_or(8000);
+    let n: usize = std::env::var("DARWIN_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8000);
     println!("generating directions dataset ({n} sentences)…");
     let data = directions::generate(n, 42);
     let stats = data.stats();
@@ -24,11 +27,19 @@ fn main() {
     println!("building index…");
     let index = IndexSet::build(
         &data.corpus,
-        &IndexConfig { max_phrase_len: 6, min_count: 2, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 6,
+            min_count: 2,
+            ..Default::default()
+        },
     );
     println!("  {} heuristics indexed", index.rules());
 
-    let cfg = DarwinConfig { budget: 50, n_candidates: 4000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 50,
+        n_candidates: 4000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let seed = Heuristic::phrase(&data.corpus, data.seed_rules[0]).expect("seed parses");
     println!("seed rule: {:?}", data.seed_rules[0]);
@@ -39,7 +50,11 @@ fn main() {
     println!("\ncoverage curve (fraction of all positives discovered):");
     for q in [5, 10, 20, 30, 40, 50] {
         let p = run.positives_after(q.min(run.questions()));
-        println!("  after {:>3} questions: {:.2}", q, coverage(&p, &data.labels));
+        println!(
+            "  after {:>3} questions: {:.2}",
+            q,
+            coverage(&p, &data.labels)
+        );
     }
 
     println!("\naccepted rules ({}):", run.accepted.len());
@@ -55,5 +70,9 @@ fn main() {
     }
 
     let final_cov = coverage(&run.positives, &data.labels);
-    println!("\nfinal: {} positives, recall {:.2}", run.positives.len(), final_cov);
+    println!(
+        "\nfinal: {} positives, recall {:.2}",
+        run.positives.len(),
+        final_cov
+    );
 }

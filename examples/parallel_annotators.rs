@@ -16,9 +16,17 @@ fn main() {
     let data = directions::generate(6000, 42);
     let index = IndexSet::build(
         &data.corpus,
-        &IndexConfig { max_phrase_len: 5, min_count: 2, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 5,
+            min_count: 2,
+            ..Default::default()
+        },
     );
-    let cfg = DarwinConfig { budget: 30, n_candidates: 3000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 30,
+        n_candidates: 3000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let seed = Heuristic::phrase(&data.corpus, data.seed_rules[0]).unwrap();
 
@@ -36,7 +44,10 @@ fn main() {
     );
     // Wall-clock accounting: 10 rounds of concurrent annotation at the
     // paper's 23 s per answer ≈ 4 minutes of human time for ~30 answers.
-    println!("  ≈ {} s of wall-clock annotation time at 23 s/answer", 10 * 23);
+    println!(
+        "  ≈ {} s of wall-clock annotation time at 23 s/answer",
+        10 * 23
+    );
 
     // --- crowd oracle: majority of three noisy workers ------------------
     let w1 = Box::new(SampledAnnotatorOracle::new(&data.labels, 5, 1));

@@ -20,7 +20,13 @@ fn main() {
         "What is the best way to order food from you?".into(),
     ];
     let mut labels = vec![true, true, false, true, false, false];
-    let places = ["the pier", "union square", "downtown", "the museum", "the stadium"];
+    let places = [
+        "the pier",
+        "union square",
+        "downtown",
+        "the museum",
+        "the stadium",
+    ];
     let foods = ["pizza", "sushi", "breakfast", "dessert", "coffee"];
     // Mirror the paper's class imbalance: positives are a small minority,
     // so randomly sampled "presumed negatives" are mostly correct.
@@ -39,7 +45,9 @@ fn main() {
         labels.push(false);
         texts.push(format!("Is {f} included with the stay tonight?"));
         labels.push(false);
-        texts.push(format!("What time does the pool open for guests on day {i}?"));
+        texts.push(format!(
+            "What time does the pool open for guests on day {i}?"
+        ));
         labels.push(false);
         texts.push(format!("Is the gym free for guests on day {i}?"));
         labels.push(false);
@@ -56,11 +64,19 @@ fn main() {
 
     // 2. Build the heuristic index (TokensRegex trie + TreeMatch table).
     let index = IndexSet::build(&corpus, &IndexConfig::small());
-    println!("indexed {} candidate heuristics over {} sentences", index.rules(), corpus.len());
+    println!(
+        "indexed {} candidate heuristics over {} sentences",
+        index.rules(),
+        corpus.len()
+    );
 
     // 3. Seed Darwin with one labeling rule and let it ask questions.
     let seed = Heuristic::phrase(&corpus, "best way to get to").expect("seed rule parses");
-    let cfg = DarwinConfig { budget: 15, n_candidates: 1000, ..DarwinConfig::fast() };
+    let cfg = DarwinConfig {
+        budget: 15,
+        n_candidates: 1000,
+        ..DarwinConfig::fast()
+    };
     let darwin = Darwin::new(&corpus, &index, cfg);
     let mut oracle = GroundTruthOracle::new(&labels, 0.8);
     let run = darwin.run(Seed::Rule(seed), &mut oracle);
@@ -80,6 +96,13 @@ fn main() {
         println!("  {}", rule.display(corpus.vocab()));
     }
     let recall = coverage(&run.positives, &labels);
-    println!("\ndiscovered {} positives (recall {:.0}%)", run.positives.len(), 100.0 * recall);
-    assert!(recall >= 0.5, "quickstart should find at least half the positives");
+    println!(
+        "\ndiscovered {} positives (recall {:.0}%)",
+        run.positives.len(),
+        100.0 * recall
+    );
+    assert!(
+        recall >= 0.5,
+        "quickstart should find at least half the positives"
+    );
 }

@@ -12,16 +12,27 @@ use darwin::labelmodel::{GenerativeConfig, GenerativeModel, LfMatrix};
 use darwin::prelude::*;
 
 fn main() {
-    let n: usize = std::env::var("DARWIN_N").ok().and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let n: usize = std::env::var("DARWIN_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6000);
     let data = cause_effect::generate(n, 42);
     println!("{:?}", data.stats());
 
     let index = IndexSet::build(
         &data.corpus,
-        &IndexConfig { max_phrase_len: 5, min_count: 2, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 5,
+            min_count: 2,
+            ..Default::default()
+        },
     );
 
-    let cfg = DarwinConfig { budget: 40, n_candidates: 3000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 40,
+        n_candidates: 3000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let seed = Heuristic::phrase(&data.corpus, "has been caused by").expect("seed parses");
     let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);
@@ -36,12 +47,18 @@ fn main() {
             if step.answer { "YES" } else { "no" }
         );
     }
-    println!("\nrecall of discovered positives: {:.2}", coverage(&run.positives, &data.labels));
+    println!(
+        "\nrecall of discovered positives: {:.2}",
+        coverage(&run.positives, &data.labels)
+    );
 
     // De-noise the accepted rules with the generative label model and
     // compare raw-union labels against de-noised labels.
-    let coverages: Vec<Vec<u32>> =
-        run.accepted.iter().map(|h| h.coverage(&data.corpus)).collect();
+    let coverages: Vec<Vec<u32>> = run
+        .accepted
+        .iter()
+        .map(|h| h.coverage(&data.corpus))
+        .collect();
     let refs: Vec<&[u32]> = coverages.iter().map(|c| c.as_slice()).collect();
     let matrix = LfMatrix::from_coverages(data.corpus.len(), &refs);
     let model = GenerativeModel::fit(&matrix, &GenerativeConfig::default());

@@ -1,0 +1,167 @@
+//! The incremental engine's defining guarantee: delta-maintained benefit
+//! aggregates select the *exact same rule sequence* as the pre-refactor
+//! full-rescan path, on every traversal strategy and on the baseline
+//! selectors. `DarwinConfig { incremental_benefit: false, .. }` keeps the
+//! rescan path alive as the reference; the engine's fixed-point sums make
+//! the two bit-comparable (see `darwin_core::benefit`).
+
+use darwin::baselines::{HighC, HighP};
+use darwin::prelude::*;
+use darwin_core::{DarwinConfig, Oracle, RunResult};
+use darwin_datasets::directions;
+
+fn run_mode(incremental: bool, kind: TraversalKind, make: Option<MakeStrategy>) -> RunResult {
+    let d = directions::generate(800, 42);
+    let index = IndexSet::build(
+        &d.corpus,
+        &IndexConfig {
+            max_phrase_len: 4,
+            min_count: 2,
+            ..Default::default()
+        },
+    );
+    let cfg = DarwinConfig {
+        budget: 20,
+        n_candidates: 1500,
+        incremental_benefit: incremental,
+        ..DarwinConfig::fast().with_traversal(kind)
+    };
+    let darwin = Darwin::new(&d.corpus, &index, cfg);
+    let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
+    let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);
+    match make {
+        None => darwin.run(seed, &mut oracle),
+        Some(f) => darwin.run_with(seed, &mut oracle, |_| f()),
+    }
+}
+
+fn assert_equivalent(a: &RunResult, b: &RunResult, label: &str) {
+    assert_eq!(
+        a.trace.len(),
+        b.trace.len(),
+        "{label}: question counts differ"
+    );
+    for (x, y) in a.trace.iter().zip(&b.trace) {
+        assert_eq!(
+            x.rule, y.rule,
+            "{label}: question {} asked a different rule",
+            x.question
+        );
+        assert_eq!(
+            x.answer, y.answer,
+            "{label}: question {} got a different answer",
+            x.question
+        );
+        assert_eq!(
+            x.new_positive_ids, y.new_positive_ids,
+            "{label}: question {} grew P differently",
+            x.question
+        );
+    }
+    assert_eq!(
+        a.positives, b.positives,
+        "{label}: final positive sets differ"
+    );
+    assert_eq!(a.scores, b.scores, "{label}: final scores differ");
+}
+
+#[test]
+fn traversals_select_identical_sequences() {
+    for kind in [
+        TraversalKind::Local,
+        TraversalKind::Universal,
+        TraversalKind::Hybrid,
+    ] {
+        let rescan = run_mode(false, kind, None);
+        let incremental = run_mode(true, kind, None);
+        assert!(
+            rescan.questions() > 0,
+            "{kind:?}: reference run asked nothing"
+        );
+        assert_equivalent(&rescan, &incremental, &format!("{kind:?}"));
+    }
+}
+
+type MakeStrategy = fn() -> Box<dyn darwin_core::Strategy>;
+
+#[test]
+fn baseline_selectors_select_identical_sequences() {
+    let cases: [(&str, MakeStrategy); 2] =
+        [("HighP", || Box::new(HighP)), ("HighC", || Box::new(HighC))];
+    for (label, make) in cases {
+        let rescan = run_mode(false, TraversalKind::Hybrid, Some(make));
+        let incremental = run_mode(true, TraversalKind::Hybrid, Some(make));
+        assert_equivalent(&rescan, &incremental, label);
+    }
+}
+
+#[test]
+fn parallel_rounds_select_identical_sequences() {
+    let run = |incremental: bool| {
+        let d = directions::generate(600, 7);
+        let index = IndexSet::build(
+            &d.corpus,
+            &IndexConfig {
+                max_phrase_len: 4,
+                min_count: 2,
+                ..Default::default()
+            },
+        );
+        let cfg = DarwinConfig {
+            budget: 20,
+            n_candidates: 1200,
+            incremental_benefit: incremental,
+            ..DarwinConfig::fast()
+        };
+        let darwin = Darwin::new(&d.corpus, &index, cfg);
+        let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
+        let mut a = GroundTruthOracle::new(&d.labels, 0.8);
+        let mut b = GroundTruthOracle::new(&d.labels, 0.8);
+        let mut c = GroundTruthOracle::new(&d.labels, 0.8);
+        let mut annotators: Vec<&mut dyn Oracle> = vec![&mut a, &mut b, &mut c];
+        darwin.run_parallel(seed, &mut annotators, 4)
+    };
+    let rescan = run(false);
+    let incremental = run(true);
+    assert_equivalent(&rescan, &incremental, "parallel");
+}
+
+/// Drive the engine step by step and verify the delta-maintained aggregates
+/// never drift from a from-scratch recomputation mid-run.
+#[test]
+fn aggregates_stay_consistent_through_a_run() {
+    let d = directions::generate(500, 11);
+    let index = IndexSet::build(
+        &d.corpus,
+        &IndexConfig {
+            max_phrase_len: 4,
+            min_count: 2,
+            ..Default::default()
+        },
+    );
+    let cfg = DarwinConfig {
+        budget: 15,
+        n_candidates: 1000,
+        ..DarwinConfig::fast()
+    };
+    let darwin = Darwin::new(&d.corpus, &index, cfg);
+    let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
+    let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);
+    let mut engine = darwin.engine(seed);
+    let mut strategy = darwin_core::traversal::HybridSearch::new(engine.seed_refs().to_vec(), 5);
+    assert!(
+        engine.store_is_consistent(),
+        "inconsistent before the first question"
+    );
+    for _ in 0..15 {
+        if !engine.step(&mut strategy, &mut oracle) {
+            break;
+        }
+        assert!(
+            engine.store_is_consistent(),
+            "aggregates drifted after question {}",
+            engine.questions()
+        );
+    }
+    assert!(engine.questions() > 3, "run ended suspiciously early");
+}

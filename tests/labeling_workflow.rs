@@ -12,20 +12,41 @@ fn rules_to_labelmodel_to_classifier() {
     let data = musicians::generate(3000, 9);
     let index = IndexSet::build(
         &data.corpus,
-        &IndexConfig { max_phrase_len: 5, min_count: 2, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 5,
+            min_count: 2,
+            ..Default::default()
+        },
     );
-    let cfg = DarwinConfig { budget: 30, n_candidates: 2500, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 30,
+        n_candidates: 2500,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let seed = Heuristic::phrase(&data.corpus, "composer").unwrap();
     let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);
     let run = darwin.run(Seed::Rule(seed), &mut oracle);
     assert!(run.accepted.len() >= 2);
 
-    // Build the LF matrix from accepted rules and de-noise.
-    let coverages: Vec<Vec<u32>> = run.accepted.iter().map(|h| h.coverage(&data.corpus)).collect();
+    // Build the LF matrix from accepted rules and de-noise. Darwin's
+    // accepted rules are positive-only labeling functions, so the class
+    // prior must be fixed — a free prior lets EM collapse to the
+    // "everything is negative" optimum (see `GenerativeConfig::fix_prior`).
+    let coverages: Vec<Vec<u32>> = run
+        .accepted
+        .iter()
+        .map(|h| h.coverage(&data.corpus))
+        .collect();
     let refs: Vec<&[u32]> = coverages.iter().map(|c| c.as_slice()).collect();
     let matrix = LfMatrix::from_coverages(data.len(), &refs);
-    let model = GenerativeModel::fit(&matrix, &GenerativeConfig::default());
+    let model = GenerativeModel::fit(
+        &matrix,
+        &GenerativeConfig {
+            fix_prior: true,
+            ..Default::default()
+        },
+    );
 
     // De-noised positives remain mostly correct.
     let denoised: Vec<u32> = model
@@ -36,7 +57,10 @@ fn rules_to_labelmodel_to_classifier() {
         .map(|(i, _)| i as u32)
         .collect();
     assert!(!denoised.is_empty());
-    let precision = denoised.iter().filter(|&&i| data.labels[i as usize]).count() as f64
+    let precision = denoised
+        .iter()
+        .filter(|&&i| data.labels[i as usize])
+        .count() as f64
         / denoised.len() as f64;
     assert!(precision >= 0.7, "precision {precision}");
 
@@ -77,9 +101,18 @@ fn active_learning_and_keyword_sampling_contracts() {
     assert!(ks.pool_size > 0);
     assert!(ks.labeled.len() <= 30);
     // Labeled instances all contain a keyword.
-    let keys: Vec<_> = data.keywords.iter().filter_map(|k| data.corpus.vocab().get(k)).collect();
+    let keys: Vec<_> = data
+        .keywords
+        .iter()
+        .filter_map(|k| data.corpus.vocab().get(k))
+        .collect();
     for &id in &ks.labeled {
-        assert!(data.corpus.sentence(id).tokens.iter().any(|t| keys.contains(t)));
+        assert!(data
+            .corpus
+            .sentence(id)
+            .tokens
+            .iter()
+            .any(|t| keys.contains(t)));
     }
 }
 
@@ -90,9 +123,17 @@ fn tweets_other_intents_also_work() {
         let data = generate_intent(1500, intent, 8);
         let index = IndexSet::build(
             &data.corpus,
-            &IndexConfig { max_phrase_len: 4, min_count: 2, ..Default::default() },
+            &IndexConfig {
+                max_phrase_len: 4,
+                min_count: 2,
+                ..Default::default()
+            },
         );
-        let cfg = DarwinConfig { budget: 25, n_candidates: 2000, ..Default::default() };
+        let cfg = DarwinConfig {
+            budget: 25,
+            n_candidates: 2000,
+            ..Default::default()
+        };
         let darwin = Darwin::new(&data.corpus, &index, cfg);
         let seed = Heuristic::phrase(&data.corpus, data.seed_rules[0]).unwrap();
         let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);

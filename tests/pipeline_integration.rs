@@ -11,7 +11,11 @@ fn directions_prepared() -> (darwin::datasets::Dataset, IndexSet) {
     let data = directions::generate(3000, 11);
     let index = IndexSet::build(
         &data.corpus,
-        &IndexConfig { max_phrase_len: 5, min_count: 2, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 5,
+            min_count: 2,
+            ..Default::default()
+        },
     );
     (data, index)
 }
@@ -19,7 +23,11 @@ fn directions_prepared() -> (darwin::datasets::Dataset, IndexSet) {
 #[test]
 fn hybrid_run_reaches_high_coverage_on_directions() {
     let (data, index) = directions_prepared();
-    let cfg = DarwinConfig { budget: 40, n_candidates: 3000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 40,
+        n_candidates: 3000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let seed = Heuristic::phrase(&data.corpus, data.seed_rules[0]).unwrap();
     let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);
@@ -41,12 +49,20 @@ fn hybrid_run_reaches_high_coverage_on_directions() {
 #[test]
 fn p_equals_union_of_accepted_rules() {
     let (data, index) = directions_prepared();
-    let cfg = DarwinConfig { budget: 15, n_candidates: 2000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 15,
+        n_candidates: 2000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let seed = Heuristic::phrase(&data.corpus, data.seed_rules[0]).unwrap();
     let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);
     let run = darwin.run(Seed::Rule(seed), &mut oracle);
-    let mut union: Vec<u32> = run.accepted.iter().flat_map(|h| h.coverage(&data.corpus)).collect();
+    let mut union: Vec<u32> = run
+        .accepted
+        .iter()
+        .flat_map(|h| h.coverage(&data.corpus))
+        .collect();
     union.sort_unstable();
     union.dedup();
     assert_eq!(union, run.positives);
@@ -55,7 +71,11 @@ fn p_equals_union_of_accepted_rules() {
 #[test]
 fn budget_is_a_hard_cap_for_every_strategy() {
     let (data, index) = directions_prepared();
-    for kind in [TraversalKind::Local, TraversalKind::Universal, TraversalKind::Hybrid] {
+    for kind in [
+        TraversalKind::Local,
+        TraversalKind::Universal,
+        TraversalKind::Hybrid,
+    ] {
         let cfg = DarwinConfig {
             budget: 7,
             n_candidates: 1000,
@@ -74,13 +94,21 @@ fn budget_is_a_hard_cap_for_every_strategy() {
 #[test]
 fn noisy_annotator_still_makes_progress() {
     let (data, index) = directions_prepared();
-    let cfg = DarwinConfig { budget: 30, n_candidates: 2000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 30,
+        n_candidates: 2000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let seed = Heuristic::phrase(&data.corpus, data.seed_rules[0]).unwrap();
     let mut annotator = SampledAnnotatorOracle::new(&data.labels, 5, 17);
     let run = darwin.run(Seed::Rule(seed), &mut annotator);
     let recall = coverage(&run.positives, &data.labels);
-    let precision = run.positives.iter().filter(|&&i| data.labels[i as usize]).count() as f64
+    let precision = run
+        .positives
+        .iter()
+        .filter(|&&i| data.labels[i as usize])
+        .count() as f64
         / run.positives.len().max(1) as f64;
     assert!(recall > 0.3, "recall {recall}");
     assert!(precision > 0.6, "precision {precision}");
@@ -89,7 +117,11 @@ fn noisy_annotator_still_makes_progress() {
 #[test]
 fn highp_and_highc_plug_into_the_pipeline() {
     let (data, index) = directions_prepared();
-    let cfg = DarwinConfig { budget: 12, n_candidates: 2000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 12,
+        n_candidates: 2000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let seed = Heuristic::phrase(&data.corpus, data.seed_rules[0]).unwrap();
 
@@ -99,7 +131,12 @@ fn highp_and_highc_plug_into_the_pipeline() {
     let hc = darwin.run_with(Seed::Rule(seed), &mut o2, |_| Box::new(HighC));
     // HighC asks broad rules and gets rejected more often than HighP.
     let rej = |r: &RunResult| r.trace.iter().filter(|t| !t.answer).count();
-    assert!(rej(&hc) >= rej(&hp), "HighC {} vs HighP {}", rej(&hc), rej(&hp));
+    assert!(
+        rej(&hc) >= rej(&hp),
+        "HighC {} vs HighP {}",
+        rej(&hc),
+        rej(&hp)
+    );
 }
 
 #[test]
@@ -107,9 +144,17 @@ fn figure11_cause_effect_recovers_triggered_by() {
     let data = cause_effect::generate(4000, 5);
     let index = IndexSet::build(
         &data.corpus,
-        &IndexConfig { max_phrase_len: 5, min_count: 2, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 5,
+            min_count: 2,
+            ..Default::default()
+        },
     );
-    let cfg = DarwinConfig { budget: 40, n_candidates: 3000, ..Default::default() };
+    let cfg = DarwinConfig {
+        budget: 40,
+        n_candidates: 3000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let seed = Heuristic::phrase(&data.corpus, "has been caused by").unwrap();
     let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);
@@ -119,7 +164,9 @@ fn figure11_cause_effect_recovers_triggered_by() {
     let vocab = data.corpus.vocab();
     let texts: Vec<String> = run.accepted.iter().map(|h| h.display(vocab)).collect();
     assert!(
-        texts.iter().any(|t| !t.contains("caused") && !t.contains("been")),
+        texts
+            .iter()
+            .any(|t| !t.contains("caused") && !t.contains("been")),
         "no generalization beyond the seed family: {texts:?}"
     );
     assert!(coverage(&run.positives, &data.labels) > 0.5);
@@ -130,15 +177,27 @@ fn snuba_misses_what_darwin_finds_with_biased_seed() {
     let data = directions::generate(5000, 3);
     let index = IndexSet::build(
         &data.corpus,
-        &IndexConfig { max_phrase_len: 5, min_count: 2, ..Default::default() },
+        &IndexConfig {
+            max_phrase_len: 5,
+            min_count: 2,
+            ..Default::default()
+        },
     );
     let biased = data.biased_seed_sample(400, "shuttle", 2);
 
     let snuba = Snuba::new(SnubaConfig::default()).run(&data.corpus, &biased, &data.labels);
     let snuba_cov = coverage(&snuba.positives, &data.labels);
 
-    let pos: Vec<u32> = biased.iter().copied().filter(|&i| data.labels[i as usize]).collect();
-    let cfg = DarwinConfig { budget: 60, n_candidates: 3000, ..Default::default() };
+    let pos: Vec<u32> = biased
+        .iter()
+        .copied()
+        .filter(|&i| data.labels[i as usize])
+        .collect();
+    let cfg = DarwinConfig {
+        budget: 60,
+        n_candidates: 3000,
+        ..Default::default()
+    };
     let darwin = Darwin::new(&data.corpus, &index, cfg);
     let mut oracle = GroundTruthOracle::new(&data.labels, 0.8);
     let run = darwin.run(Seed::Positives(pos), &mut oracle);

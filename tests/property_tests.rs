@@ -1,8 +1,11 @@
 //! Property-based tests over the core data structures and invariants
-//! (DESIGN.md §5).
+//! (DESIGN.md §5), plus the incremental benefit engine's delta-maintenance
+//! contract.
 
+use darwin::core::benefit::benefit;
+use darwin::core::BenefitStore;
 use darwin::grammar::{Heuristic, PhraseElem, PhrasePattern, TreePattern};
-use darwin::index::{IdSet, IndexConfig, IndexSet};
+use darwin::index::{IdSet, IndexConfig, IndexSet, RuleRef};
 use darwin::text::{Corpus, PosTag, Sym};
 use proptest::prelude::*;
 
@@ -117,6 +120,63 @@ proptest! {
         prop_assert_eq!(ours.iter().collect::<Vec<_>>(), sorted);
     }
 
+    /// The incremental engine's contract: after ANY random interleaving of
+    /// `P` insertions and score retrains (full-epoch rebuilds and
+    /// incremental patch journals alike), every tracked rule's aggregate
+    /// equals a from-scratch `benefit()` recomputation, bit for bit.
+    #[test]
+    fn benefit_aggregates_equal_scratch_recomputation(
+        texts in corpus_strategy(),
+        // Each op: (sentence selector, score in centi-units, kind selector).
+        ops in prop::collection::vec((0u32..1000, 0u32..100, 0u32..10), 1..60),
+    ) {
+        let corpus = Corpus::from_texts(texts.iter());
+        let index = IndexSet::build(&corpus, &IndexConfig::small());
+        let n = corpus.len();
+        let mut p = IdSet::with_universe(n);
+        let mut scores: Vec<f32> = (0..n).map(|i| (i as f32 * 0.193).fract()).collect();
+
+        let rules: Vec<RuleRef> = index.all_rules().collect();
+        let mut store = BenefitStore::new();
+        store.track(rules.iter().copied(), &index, &p, &scores, 1);
+
+        for (raw_id, centi, kind) in ops {
+            let id = raw_id % n as u32;
+            match kind {
+                // Grow P by one new id (no-op when already positive).
+                0..=4 => {
+                    if !p.contains(id) {
+                        store.on_positives_added(&[id], &index, &scores);
+                        p.insert(id);
+                    }
+                }
+                // Incremental re-score of one sentence (a one-entry
+                // ScoreCache change journal).
+                5..=8 => {
+                    let new = centi as f32 / 100.0;
+                    let old = scores[id as usize];
+                    store.on_scores_changed(&[(id, old, new)], &p, &index);
+                    scores[id as usize] = new;
+                }
+                // Full retrain epoch: every score moves, store rebuilds.
+                _ => {
+                    for (i, s) in scores.iter_mut().enumerate() {
+                        *s = (*s + 0.31 + i as f32 * 0.017).fract();
+                    }
+                    store.rebuild(&index, &p, &scores, 1);
+                }
+            }
+        }
+
+        for &r in &rules {
+            prop_assert_eq!(
+                store.benefit_of(r).unwrap(),
+                benefit(index.coverage(r), &p, &scores),
+                "rule {} drifted", index.heuristic(r).display(corpus.vocab())
+            );
+        }
+    }
+
     /// Gap-pattern matching is monotone: adding a Star never removes matches.
     #[test]
     fn star_insertion_is_monotone(texts in corpus_strategy(), pattern in prop::collection::vec(word(), 1..4)) {
@@ -152,7 +212,8 @@ fn tree_term_generalization_is_sound() {
     for id in tree.pat_ids() {
         if let TreePattern::Term(darwin::grammar::TreeTerm::Tok(_)) = tree.pattern(id) {
             for &parent in tree.parents(id) {
-                if let TreePattern::Term(darwin::grammar::TreeTerm::Pos(tag)) = tree.pattern(parent) {
+                if let TreePattern::Term(darwin::grammar::TreeTerm::Pos(tag)) = tree.pattern(parent)
+                {
                     assert!(PosTag::ALL.contains(tag));
                     let pc = tree.postings(parent);
                     for s in tree.postings(id) {

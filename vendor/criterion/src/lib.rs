@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Provides the benchmark-harness surface the workspace's benches are
+//! written against: [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`/`measurement_time`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark reports min/median/max
+//! wall-clock time per iteration on stdout. No statistical analysis, HTML
+//! reports, or baselines — compare numbers by eye or via the repo's
+//! JSON-emitting bench binaries.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine call
+/// per setup call regardless; the variants exist for call-site
+/// compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    cfg: BenchConfig,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, batching iterations so each sample is long enough to
+    /// measure reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let calib = Instant::now();
+        black_box(f());
+        let single = calib.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~2ms per sample so Instant resolution noise stays small.
+        let iters =
+            (Duration::from_millis(2).as_nanos() / single.as_nanos()).clamp(1, 100_000) as u32;
+        let budget = Instant::now();
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters);
+            if budget.elapsed() > self.cfg.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let budget = Instant::now();
+        for _ in 0..self.cfg.sample_size.max(1) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if budget.elapsed() > self.cfg.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} time: [no samples]");
+        return;
+    }
+    samples.sort_unstable();
+    let fmt = |d: Duration| {
+        let ns = d.as_nanos();
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.3} µs", ns as f64 / 1e3)
+        } else {
+            format!("{ns} ns")
+        }
+    };
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt(samples[0]),
+        fmt(median),
+        fmt(samples[samples.len() - 1])
+    );
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: BenchConfig,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            cfg: self.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &mut b.samples);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group with its own sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: BenchConfig,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            cfg: self.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| ());
+            ran += 1;
+        });
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        g.bench_function("spin", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 16],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for `rayon` (1.x API subset).
+//!
+//! Implements the handful of data-parallel shapes this workspace uses —
+//! [`join`], `par_iter().map(..).collect()`, `par_chunks(..)` — on plain
+//! `std::thread::scope` with one contiguous chunk per worker. Results are
+//! always concatenated in input order, so parallel and sequential execution
+//! produce identical outputs (the engine's determinism guarantee leans on
+//! this). Worker count is `available_parallelism`, bounded by the number of
+//! items; callers control effective parallelism by how much work they
+//! submit per call.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Run two closures, the first on a worker thread, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon-shim worker panicked"), rb)
+    })
+}
+
+fn worker_count(items: usize) -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    avail.min(items).max(1)
+}
+
+/// Map `f` over `0..n` with scoped workers; output preserves index order.
+fn parallel_map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut parts: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data T) + Sync,
+    {
+        parallel_map_indices(self.items.len(), |i| f(&self.items[i]));
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal ops execute the pipeline.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        parallel_map_indices(self.items.len(), |i| (self.f)(&self.items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Chunked views, mirroring `rayon::slice::ParallelSlice::par_chunks`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks {
+            items: self,
+            chunk_size,
+        }
+    }
+}
+
+pub struct ParChunks<'data, T> {
+    items: &'data [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Sync> ParChunks<'data, T> {
+    pub fn map<R, F>(self, f: F) -> ParChunksMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data [T]) -> R + Sync,
+    {
+        ParChunksMap {
+            items: self.items,
+            chunk_size: self.chunk_size,
+            f,
+        }
+    }
+}
+
+pub struct ParChunksMap<'data, T, F> {
+    items: &'data [T],
+    chunk_size: usize,
+    f: F,
+}
+
+impl<'data, T, R, F> ParChunksMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data [T]) -> R + Sync,
+{
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let chunks: Vec<&[T]> = self.items.chunks(self.chunk_size).collect();
+        parallel_map_indices(chunks.len(), |i| (self.f)(chunks[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items() {
+        let v: Vec<u32> = (0..1001).collect();
+        let sums: Vec<u64> = v
+            .par_chunks(100)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u64>(), (0..1001u64).sum());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
