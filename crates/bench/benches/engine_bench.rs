@@ -13,11 +13,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use darwin_core::candidates::generate_hierarchy;
 use darwin_core::traversal::{Ctx, Strategy, UniversalSearch};
-use darwin_core::BenefitStore;
+use darwin_core::ShardedBenefitStore;
 use darwin_datasets::directions;
 use darwin_grammar::Heuristic;
 use darwin_index::fx::FxHashSet;
-use darwin_index::{IdSet, IndexConfig, IndexSet};
+use darwin_index::{IdSet, IndexConfig, IndexSet, ShardMap};
 use std::time::Instant;
 
 struct Fixture {
@@ -26,7 +26,7 @@ struct Fixture {
     scores: Vec<f32>,
     queried: FxHashSet<darwin_index::RuleRef>,
     hierarchy: darwin_core::hierarchy::Hierarchy,
-    store: BenefitStore,
+    store: ShardedBenefitStore,
     n: usize,
 }
 
@@ -48,8 +48,8 @@ fn fixture() -> Fixture {
     let scores: Vec<f32> = (0..n)
         .map(|i| (i as f32 * 0.137).fract() * 0.6 + 0.2)
         .collect();
-    let mut store = BenefitStore::new();
-    store.track(hierarchy.rules().iter().copied(), &index, &p, &scores, 1);
+    let mut store = ShardedBenefitStore::new(ShardMap::new(n, 1));
+    store.track(hierarchy.rules(), &index, &p, &scores, 1);
     Fixture {
         index,
         p,

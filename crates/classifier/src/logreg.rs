@@ -129,6 +129,16 @@ impl TextClassifier for LogReg {
             out.push(self.score(&f));
         }
     }
+
+    fn predict_batch(&self, corpus: &Corpus, emb: &Embeddings, ids: &[u32], out: &mut Vec<f32>) {
+        // Same buffer-reuse fast path as `predict_all`: one feature
+        // allocation per batch instead of per sentence.
+        let mut f = vec![0.0f32; self.dim];
+        for &id in ids {
+            logreg_features(corpus, emb, id, &mut f);
+            out.push(self.score(&f));
+        }
+    }
 }
 
 #[cfg(test)]

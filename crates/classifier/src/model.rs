@@ -5,8 +5,10 @@ use crate::logreg::{LogReg, LogRegConfig};
 use darwin_text::{Corpus, Embeddings};
 
 /// A binary short-text classifier ("Any short text classifier would be
-/// ideal for this task", paper §3.3 footnote).
-pub trait TextClassifier: Send {
+/// ideal for this task", paper §3.3 footnote). `Sync` because prediction
+/// is `&self` and the sharded [`crate::ScoreCache`] fans shard batches out
+/// across threads against one shared classifier.
+pub trait TextClassifier: Send + Sync {
     /// Train from scratch on positive ids vs. negative ids.
     fn fit(&mut self, corpus: &Corpus, emb: &Embeddings, pos: &[u32], neg: &[u32]);
 
@@ -17,6 +19,16 @@ pub trait TextClassifier: Send {
     fn predict_all(&self, corpus: &Corpus, emb: &Embeddings, out: &mut Vec<f32>) {
         out.clear();
         out.extend((0..corpus.len() as u32).map(|id| self.predict(corpus, emb, id)));
+    }
+
+    /// P(positive) for each id in `ids`, appended to `out` in `ids` order.
+    /// This is the unit of work of the sharded [`crate::ScoreCache`]: one
+    /// call per shard, concatenated in shard order, must reproduce
+    /// [`TextClassifier::predict_all`] bit for bit — implementations that
+    /// override either method must keep per-id scores identical across all
+    /// three entry points.
+    fn predict_batch(&self, corpus: &Corpus, emb: &Embeddings, ids: &[u32], out: &mut Vec<f32>) {
+        out.extend(ids.iter().map(|&id| self.predict(corpus, emb, id)));
     }
 }
 

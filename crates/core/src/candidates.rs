@@ -41,8 +41,9 @@ impl PartialOrd for Entry {
 /// A generated candidate with the statistics best-first search already
 /// computed for it (`overlap` = `|C_r ∩ P|`, `count` = `|C_r|`). The
 /// §3.2.1 hierarchy cleanup decides from these instead of rescanning
-/// coverage; seeding the engine's benefit aggregates from them too is a
-/// still-open ROADMAP item.
+/// coverage, and the engine seeds its benefit aggregates from them too
+/// (`BenefitStore::track_scored` takes the counts as given instead of
+/// re-deriving them with a per-posting membership scan).
 #[derive(Clone, Copy, Debug)]
 pub struct Candidate {
     pub rule: RuleRef,
@@ -108,14 +109,26 @@ pub fn generate(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Vec<
 /// Generate candidates and arrange them into a [`Hierarchy`], applying the
 /// cleanup of §3.2.1: candidates whose coverage adds no new positive
 /// sentences beyond `p` are dropped (decided from the search's own
-/// statistics — no second coverage scan).
-pub fn generate_hierarchy(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Hierarchy {
-    let cleaned: Vec<RuleRef> = generate_scored(index, p, k, max_count)
+/// statistics — no second coverage scan). Returns the surviving candidates
+/// alongside the hierarchy, in pool order, so the engine can seed benefit
+/// aggregates from the same statistics.
+pub fn generate_hierarchy_scored(
+    index: &IndexSet,
+    p: &IdSet,
+    k: usize,
+    max_count: usize,
+) -> (Hierarchy, Vec<Candidate>) {
+    let cleaned: Vec<Candidate> = generate_scored(index, p, k, max_count)
         .into_iter()
         .filter(|c| c.count > c.overlap)
-        .map(|c| c.rule)
         .collect();
-    Hierarchy::new(index, cleaned)
+    let rules: Vec<RuleRef> = cleaned.iter().map(|c| c.rule).collect();
+    (Hierarchy::new(index, rules), cleaned)
+}
+
+/// [`generate_hierarchy_scored`] stripped to the hierarchy.
+pub fn generate_hierarchy(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Hierarchy {
+    generate_hierarchy_scored(index, p, k, max_count).0
 }
 
 #[cfg(test)]

@@ -58,8 +58,15 @@ pub struct DarwinConfig {
     /// full-rescan path as an ablation/reference.
     pub incremental_benefit: bool,
     /// Worker threads for the engine's aggregate rebuild after a full
-    /// re-score epoch (1 = sequential).
+    /// re-score epoch and for shard-parallel score refreshes
+    /// (1 = sequential).
     pub threads: usize,
+    /// Corpus shards: sentence ids are partitioned into this many
+    /// contiguous ranges, each with its own score-refresh batches and
+    /// benefit-aggregate partition; selection merges the per-shard
+    /// fragments exactly (fixed-point sums), so every shard count selects
+    /// the identical question sequence. 1 = the unsharded reference path.
+    pub shards: usize,
     /// Candidates covering more than this fraction of the corpus are never
     /// generated: on the paper's imbalanced tasks (1–12% positive) such
     /// rules cannot clear the 0.8-precision bar, and asking them wastes
@@ -83,6 +90,7 @@ impl Default for DarwinConfig {
             incremental_scoring: true,
             incremental_benefit: true,
             threads: 1,
+            shards: 1,
             max_coverage_frac: 0.4,
             seed: 42,
         }
@@ -120,6 +128,16 @@ impl DarwinConfig {
 
     pub fn with_seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

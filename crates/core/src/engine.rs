@@ -17,24 +17,32 @@
 //!   bumps), sums are rebuilt from scratch — in parallel when
 //!   [`crate::DarwinConfig::threads`] > 1.
 //!
-//! Selection then reads cached aggregates — O(|rules|) per question instead
-//! of O(|rules| × |coverage|). Because sums are kept in the fixed-point
-//! domain of [`crate::benefit::quantize`], the aggregates are *bit-equal*
-//! to a from-scratch [`benefit`] call at every step, so the incremental
-//! engine asks the exact same question sequence as the rescan path
+//! With [`crate::DarwinConfig::shards`] > 1 the engine is a *coordinator*:
+//! aggregates are partitioned into per-shard [`BenefitStore`]s (one per
+//! contiguous id range), deltas route to the shard owning the sentence,
+//! and selection reads fragments merged by [`ShardedBenefitStore`] — see
+//! [`crate::shard`] for why the merge is exact.
+//!
+//! Selection then reads cached aggregates — O(|rules| · shards) per
+//! question instead of O(|rules| × |coverage|). Because sums are kept in
+//! the fixed-point domain of [`crate::benefit::quantize`], the aggregates
+//! are *bit-equal* to a from-scratch [`benefit`] call at every step, so
+//! the incremental engine asks the exact same question sequence as the
+//! rescan path at every shard count
 //! (`DarwinConfig { incremental_benefit: false, .. }` keeps that path alive
 //! as an ablation and as the reference for the equivalence tests).
 
 use crate::benefit::{quantize, Benefit};
-use crate::candidates::generate_hierarchy;
+use crate::candidates::generate_hierarchy_scored;
 use crate::hierarchy::Hierarchy;
 use crate::oracle::Oracle;
 use crate::pipeline::{Darwin, RunResult, Seed, TraceStep};
+use crate::shard::ShardedBenefitStore;
 use crate::traversal::{Ctx, Strategy};
 use darwin_classifier::{ScoreCache, TextClassifier};
 use darwin_grammar::Heuristic;
 use darwin_index::fx::{FxHashMap, FxHashSet};
-use darwin_index::{IdSet, IndexSet, RuleRef};
+use darwin_index::{IdSet, IndexSet, RuleRef, ShardMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -83,14 +91,68 @@ impl BenefitAgg {
 
 /// Per-rule benefit aggregates, patched by delta as `P` grows and scores
 /// move, rebuilt only on full re-score epochs.
-#[derive(Default)]
+///
+/// A store covers a *span* of sentence ids: the default ([`BenefitStore::new`])
+/// spans the whole corpus and its aggregates are the global benefit — the
+/// unsharded reference path. [`BenefitStore::for_span`] builds a shard-local
+/// partition whose aggregates count only the span's slice of each rule's
+/// coverage; [`crate::shard::ShardedBenefitStore`] merges those fragments
+/// back into the global benefit exactly (integer fixed-point sums).
 pub struct BenefitStore {
-    aggs: FxHashMap<RuleRef, BenefitAgg>,
+    pub(crate) aggs: FxHashMap<RuleRef, BenefitAgg>,
+    /// Owned id span `[lo, hi)`. The full-span marker is `(0, u32::MAX)`,
+    /// which skips posting-list slicing entirely.
+    lo: u32,
+    hi: u32,
+}
+
+impl Default for BenefitStore {
+    fn default() -> BenefitStore {
+        BenefitStore::new()
+    }
 }
 
 impl BenefitStore {
     pub fn new() -> BenefitStore {
-        BenefitStore::default()
+        BenefitStore {
+            aggs: FxHashMap::default(),
+            lo: 0,
+            hi: u32::MAX,
+        }
+    }
+
+    /// A shard-local store owning ids in `[lo, hi)`: every aggregate is the
+    /// benefit fragment contributed by that range alone.
+    pub fn for_span(lo: u32, hi: u32) -> BenefitStore {
+        BenefitStore {
+            aggs: FxHashMap::default(),
+            lo,
+            hi,
+        }
+    }
+
+    /// The owned id span.
+    pub fn span(&self) -> (u32, u32) {
+        (self.lo, self.hi)
+    }
+
+    fn full_span(&self) -> bool {
+        self.lo == 0 && self.hi == u32::MAX
+    }
+
+    #[inline]
+    fn owns(&self, id: u32) -> bool {
+        self.lo <= id && id < self.hi
+    }
+
+    /// This store's slice of a rule's (sorted) posting list.
+    fn coverage_slice<'a>(&self, index: &'a IndexSet, r: RuleRef) -> &'a [u32] {
+        let cov = index.coverage(r);
+        if self.full_span() {
+            cov
+        } else {
+            darwin_index::shard_slice(cov, self.lo, self.hi)
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -115,13 +177,19 @@ impl BenefitStore {
         self.aggs.get(&r).map(BenefitAgg::benefit)
     }
 
-    fn compute(index: &IndexSet, p: &IdSet, scores: &[f32], r: RuleRef) -> BenefitAgg {
+    pub(crate) fn compute(
+        &self,
+        index: &IndexSet,
+        p: &IdSet,
+        scores: &[f32],
+        r: RuleRef,
+    ) -> BenefitAgg {
         let mut agg = BenefitAgg {
             covered_pos: 0,
             new_instances: 0,
             sum_q: 0,
         };
-        for &s in index.coverage(r) {
+        for &s in self.coverage_slice(index, r) {
             if p.contains(s) {
                 agg.covered_pos += 1;
             } else {
@@ -130,6 +198,37 @@ impl BenefitStore {
             }
         }
         agg
+    }
+
+    /// [`BenefitStore::compute`] seeded from the candidate-generation
+    /// statistics (`overlap` = global `|C_r ∩ P|`, `count` = `|C_r|`),
+    /// which best-first search already paid for: a full-span store takes
+    /// both counters straight from the statistics — only `sum_q` still
+    /// needs the coverage walk. (A span store can't localize the global
+    /// counts and falls back to the span scan; generation never emits
+    /// `overlap == 0` candidates, so there is no zero-overlap shortcut to
+    /// take.)
+    pub(crate) fn compute_scored(
+        &self,
+        index: &IndexSet,
+        p: &IdSet,
+        scores: &[f32],
+        c: &crate::candidates::Candidate,
+    ) -> BenefitAgg {
+        if self.full_span() {
+            let mut sum_q = 0i64;
+            for &s in self.coverage_slice(index, c.rule) {
+                if !p.contains(s) {
+                    sum_q += quantize(scores[s as usize]);
+                }
+            }
+            return BenefitAgg {
+                covered_pos: c.overlap,
+                new_instances: c.count - c.overlap,
+                sum_q,
+            };
+        }
+        self.compute(index, p, scores, c.rule)
     }
 
     /// Ensure every rule in `rules` has an aggregate, computing missing
@@ -148,9 +247,33 @@ impl BenefitStore {
             .into_iter()
             .filter(|r| !self.aggs.contains_key(r))
             .collect();
-        for (r, agg) in Self::compute_batch(&missing, index, p, scores, threads) {
-            self.aggs.insert(r, agg);
-        }
+        let computed = parallel_batch(&missing, threads, |&r| {
+            (r, self.compute(index, p, scores, r))
+        });
+        self.aggs.extend(computed);
+    }
+
+    /// [`BenefitStore::track`] for freshly generated candidates, seeding
+    /// aggregates from the search statistics via
+    /// [`BenefitStore::compute_scored`] instead of recomputing
+    /// `covered_pos` from scratch.
+    pub fn track_scored(
+        &mut self,
+        cands: &[crate::candidates::Candidate],
+        index: &IndexSet,
+        p: &IdSet,
+        scores: &[f32],
+        threads: usize,
+    ) {
+        let missing: Vec<crate::candidates::Candidate> = cands
+            .iter()
+            .filter(|c| !self.aggs.contains_key(&c.rule))
+            .copied()
+            .collect();
+        let computed = parallel_batch(&missing, threads, |c| {
+            (c.rule, self.compute_scored(index, p, scores, c))
+        });
+        self.aggs.extend(computed);
     }
 
     /// Recompute every tracked aggregate from scratch (after a full
@@ -159,9 +282,8 @@ impl BenefitStore {
     pub fn rebuild(&mut self, index: &IndexSet, p: &IdSet, scores: &[f32], threads: usize) {
         let mut rules: Vec<RuleRef> = self.aggs.keys().copied().collect();
         rules.sort_unstable();
-        for (r, agg) in Self::compute_batch(&rules, index, p, scores, threads) {
-            self.aggs.insert(r, agg);
-        }
+        let computed = parallel_batch(&rules, threads, |&r| (r, self.compute(index, p, scores, r)));
+        self.aggs.extend(computed);
     }
 
     /// Drop aggregates for rules not satisfying `keep` (rules evicted from
@@ -172,44 +294,22 @@ impl BenefitStore {
         self.aggs.retain(|&r, _| keep(r));
     }
 
-    fn compute_batch(
-        rules: &[RuleRef],
-        index: &IndexSet,
-        p: &IdSet,
-        scores: &[f32],
-        threads: usize,
-    ) -> Vec<(RuleRef, BenefitAgg)> {
-        if threads > 1 && rules.len() >= 64 {
-            use rayon::prelude::*;
-            // One chunk per configured worker: the shim (and real rayon)
-            // won't use more threads than there are chunks, so the
-            // configured count is an effective upper bound.
-            let chunk = rules.len().div_ceil(threads);
-            rules
-                .par_chunks(chunk)
-                .map(|rs| {
-                    rs.iter()
-                        .map(|&r| (r, Self::compute(index, p, scores, r)))
-                        .collect::<Vec<_>>()
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .flatten()
-                .collect()
-        } else {
-            rules
-                .iter()
-                .map(|&r| (r, Self::compute(index, p, scores, r)))
-                .collect()
-        }
+    /// The tracked rules and their aggregates (diagnostics, benches).
+    pub fn tracked(&self) -> impl Iterator<Item = (RuleRef, &BenefitAgg)> {
+        self.aggs.iter().map(|(&r, agg)| (r, agg))
     }
 
     /// `P` grew by `new_ids` (none previously positive): every tracked rule
     /// covering one of them absorbs it — the id's score contribution moves
     /// out of the benefit sum. Must be called with the scores the sums
-    /// currently reflect (i.e. *before* the post-answer retrain).
+    /// currently reflect (i.e. *before* the post-answer retrain). Ids
+    /// outside this store's span are ignored (they belong to a sibling
+    /// shard).
     pub fn on_positives_added(&mut self, new_ids: &[u32], index: &IndexSet, scores: &[f32]) {
         for &id in new_ids {
+            if !self.owns(id) {
+                continue;
+            }
             let q = quantize(scores[id as usize]);
             for r in index.rules_covering(id) {
                 if let Some(agg) = self.aggs.get_mut(&r) {
@@ -222,11 +322,12 @@ impl BenefitStore {
     }
 
     /// The classifier incrementally re-scored some sentences: patch every
-    /// tracked rule covering a moved id that is still outside `P`.
+    /// tracked rule covering a moved id that is still outside `P`. Ids
+    /// outside this store's span are ignored.
     pub fn on_scores_changed(&mut self, changes: &[(u32, f32, f32)], p: &IdSet, index: &IndexSet) {
         for &(id, old, new) in changes {
-            if p.contains(id) {
-                continue; // contributes nothing while positive
+            if !self.owns(id) || p.contains(id) {
+                continue; // sibling shard's id, or contributes nothing
             }
             let dq = quantize(new) - quantize(old);
             if dq == 0 {
@@ -238,6 +339,33 @@ impl BenefitStore {
                 }
             }
         }
+    }
+}
+
+/// Map `f` over `items`, chunked one-per-worker when `threads > 1` and the
+/// batch is big enough to amortize thread spawns. Output preserves input
+/// order (the engine's determinism guarantee leans on this).
+fn parallel_batch<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads > 1 && items.len() >= 64 {
+        use rayon::prelude::*;
+        // One chunk per configured worker: the shim (and real rayon) won't
+        // use more threads than there are chunks, so the configured count
+        // is an effective upper bound.
+        let chunk = items.len().div_ceil(threads);
+        items
+            .par_chunks(chunk)
+            .map(|part| part.iter().map(&f).collect::<Vec<R>>())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        items.iter().map(&f).collect()
     }
 }
 
@@ -281,7 +409,7 @@ pub struct Engine<'a> {
     cache: ScoreCache,
     rng: StdRng,
     hierarchy: Hierarchy,
-    store: Option<BenefitStore>,
+    store: Option<ShardedBenefitStore>,
     seed_refs: Vec<RuleRef>,
     max_count: usize,
 }
@@ -334,7 +462,9 @@ impl<'a> Engine<'a> {
         let cache = match flavor {
             EngineFlavor::Sequential if !cfg.incremental_scoring => ScoreCache::full_only(n),
             _ => ScoreCache::new(n),
-        };
+        }
+        .with_shards(cfg.shards)
+        .with_threads(cfg.threads);
         let salt = match flavor {
             EngineFlavor::Sequential => 0xDA,
             EngineFlavor::Parallel => 0x9A11,
@@ -354,18 +484,12 @@ impl<'a> Engine<'a> {
             max_count,
         };
         engine.retrain_and_sync();
-        engine.regen_hierarchy();
         if cfg.incremental_benefit {
-            let mut store = BenefitStore::new();
-            store.track(
-                engine.hierarchy.rules().iter().copied(),
-                index,
-                &engine.state.p,
-                engine.cache.scores(),
-                cfg.threads,
-            );
-            engine.store = Some(store);
+            // Created empty: the hierarchy generation below seeds the
+            // partitions from the candidate-search statistics.
+            engine.store = Some(ShardedBenefitStore::new(ShardMap::new(n, cfg.shards)));
         }
+        engine.regen_hierarchy();
         engine
     }
 
@@ -389,8 +513,8 @@ impl<'a> Engine<'a> {
         &self.hierarchy
     }
 
-    /// The benefit aggregates (`None` when running in rescan mode).
-    pub fn store(&self) -> Option<&BenefitStore> {
+    /// The sharded benefit aggregates (`None` when running in rescan mode).
+    pub fn store(&self) -> Option<&ShardedBenefitStore> {
         self.store.as_ref()
     }
 
@@ -413,7 +537,12 @@ impl<'a> Engine<'a> {
     /// with identical coverage wastes a query).
     pub fn select(&mut self, strategy: &mut dyn Strategy) -> Option<RuleRef> {
         let index = self.darwin.index();
-        for _ in 0..256 {
+        // Every alias/duplicate skip marks a previously unqueried rule, so
+        // the loop shrinks the pool and terminates on its own; the stall
+        // counter only guards against a strategy that keeps re-proposing
+        // rules already queried (which would otherwise spin forever).
+        let mut stalls = 0;
+        loop {
             let pick = {
                 let ctx = self.ctx();
                 strategy.select(&ctx).or_else(|| {
@@ -422,7 +551,13 @@ impl<'a> Engine<'a> {
                 })
             };
             let r = pick?;
-            self.state.queried.insert(r);
+            if !self.state.queried.insert(r) {
+                stalls += 1;
+                if stalls >= 256 {
+                    return None;
+                }
+                continue;
+            }
             if !self.state.asked.insert(canonical(index.heuristic(r))) {
                 continue;
             }
@@ -435,7 +570,6 @@ impl<'a> Engine<'a> {
             }
             return Some(r);
         }
-        None
     }
 
     /// Record an oracle answer: on YES grow `P`, patch the benefit
@@ -521,19 +655,22 @@ impl<'a> Engine<'a> {
     }
 
     /// Regenerate the candidate hierarchy around the grown positive set
-    /// (§3.7) and start tracking aggregates for rules new to the pool.
+    /// (§3.7) and start tracking aggregates for rules new to the pool —
+    /// seeded from the candidate search's own `overlap`/`count` statistics
+    /// rather than recomputing `covered_pos` from scratch.
     /// Already-tracked rules keep their delta-maintained aggregates —
     /// `RuleRef`s are stable index handles, so nothing is recomputed for
     /// them.
     pub fn regen_hierarchy(&mut self) {
         let darwin = self.darwin;
         let cfg = darwin.config();
-        self.hierarchy = generate_hierarchy(
+        let (hierarchy, cands) = generate_hierarchy_scored(
             darwin.index(),
             &self.state.p,
             cfg.n_candidates,
             self.max_count,
         );
+        self.hierarchy = hierarchy;
         if let Some(store) = &mut self.store {
             // Evict rules that left the pool — without this the store (and
             // every full-epoch rebuild) grows with the union of all pools
@@ -541,8 +678,8 @@ impl<'a> Engine<'a> {
             // recomputed; selection reads the same values either way.
             let hierarchy = &self.hierarchy;
             store.retain(|r| hierarchy.contains(r));
-            store.track(
-                hierarchy.rules().iter().copied(),
+            store.track_scored(
+                &cands,
                 darwin.index(),
                 &self.state.p,
                 self.cache.scores(),
@@ -588,15 +725,24 @@ impl<'a> Engine<'a> {
     }
 
     /// Verify every tracked aggregate against a from-scratch recomputation
-    /// (test/diagnostic hook; the property tests drive this).
+    /// (test/diagnostic hook; the property tests drive this): each shard
+    /// partition's fragments must equal a span-scratch recomputation, and
+    /// the merged aggregates must equal the global one.
     pub fn store_is_consistent(&self) -> bool {
         let Some(store) = &self.store else {
             return true;
         };
         let index = self.darwin.index();
-        store.aggs.iter().all(|(&r, agg)| {
-            *agg == BenefitStore::compute(index, &self.state.p, self.cache.scores(), r)
-        })
+        let (p, scores) = (&self.state.p, self.cache.scores());
+        let fragments_ok = store.parts().iter().all(|part| {
+            part.tracked()
+                .all(|(r, agg)| *agg == part.compute(index, p, scores, r))
+        });
+        let global = BenefitStore::new();
+        let merge_ok = store.parts()[0]
+            .tracked()
+            .all(|(r, _)| store.agg(r) == Some(global.compute(index, p, scores, r)));
+        fragments_ok && merge_ok
     }
 }
 
@@ -620,7 +766,7 @@ mod tests {
     }
 
     fn scratch(index: &IndexSet, p: &IdSet, scores: &[f32], r: RuleRef) -> BenefitAgg {
-        BenefitStore::compute(index, p, scores, r)
+        BenefitStore::new().compute(index, p, scores, r)
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!    score computed from a classifier trained on the positives found so
 //!    far ([`benefit`]) and maintained incrementally by the [`engine`]
 //!    (per-rule aggregates patched by delta as `P` grows and scores move,
-//!    instead of a per-question rescan of every candidate's coverage),
+//!    instead of a per-question rescan of every candidate's coverage) —
+//!    partitioned across corpus shards and merged exactly at selection
+//!    time when [`DarwinConfig::shards`] > 1 ([`shard`]),
 //! 3. asks the [`oracle::Oracle`] a YES/NO question about the selected
 //!    heuristic, and
 //! 4. on YES, grows the positive set, retrains the classifier and updates
@@ -32,6 +34,7 @@ pub mod hierarchy;
 pub mod oracle;
 pub mod parallel;
 pub mod pipeline;
+pub mod shard;
 pub mod traversal;
 
 pub use config::{DarwinConfig, TraversalKind};
@@ -39,4 +42,5 @@ pub use engine::{BenefitAgg, BenefitStore, Engine, EngineFlavor, EngineState};
 pub use oracle::{GroundTruthOracle, Oracle, SampledAnnotatorOracle};
 pub use parallel::MajorityOracle;
 pub use pipeline::{Darwin, RunResult, Seed, TraceStep};
+pub use shard::ShardedBenefitStore;
 pub use traversal::Strategy;

@@ -113,7 +113,11 @@ impl Darwin<'_> {
 
 /// Greedy diverse batch: repeatedly take the most beneficial rule whose
 /// *new* coverage overlaps every already-picked rule's new coverage by at
-/// most half — annotators should not be shown near-duplicates.
+/// most half — annotators should not be shown near-duplicates. Benefits
+/// arrive through [`Ctx::benefit`], i.e. merged across the engine's shard
+/// partitions when `DarwinConfig::shards` > 1 — the merge is exact, so
+/// batch composition is identical at every shard count (the
+/// `engine_equivalence` suite pins this for parallel rounds too).
 fn select_diverse_batch(ctx: &Ctx<'_>, k: usize) -> Vec<RuleRef> {
     // Same gating as the sequential traversals: rules whose benefit per
     // new instance clears the threshold rank first (by total benefit);

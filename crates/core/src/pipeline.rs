@@ -2,7 +2,10 @@
 //!
 //! The question loop itself lives in [`crate::engine`]; this module owns
 //! the run-level API ([`Darwin`], [`Seed`], [`RunResult`]) and maps the
-//! configured traversal strategy onto the engine.
+//! configured traversal strategy onto the engine. Execution-layer knobs
+//! ([`DarwinConfig::shards`], [`DarwinConfig::threads`]) never change a
+//! run's output — any configuration replays the same trace, so results
+//! are comparable across machines and deployments.
 
 use crate::config::{DarwinConfig, TraversalKind};
 use crate::engine::{Engine, EngineFlavor};

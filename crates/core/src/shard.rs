@@ -1,0 +1,316 @@
+//! The sharded benefit coordinator.
+//!
+//! [`ShardedBenefitStore`] partitions the corpus across `S` shard-local
+//! [`BenefitStore`]s, one per contiguous id range of a
+//! [`darwin_index::ShardMap`]. Each partition maintains, for every tracked
+//! rule, the *fragment* of its benefit aggregate contributed by the
+//! shard's slice of the rule's coverage; the coordinator:
+//!
+//! * **routes deltas to owners** — a YES answer's new positive ids go to
+//!   the shard that owns them ([`ShardedBenefitStore::on_positives_added`]),
+//!   and an incremental re-score journal (sorted by id, the
+//!   `ScoreCache::last_changes` invariant) is sliced into per-shard runs
+//!   with two binary searches per shard
+//!   ([`ShardedBenefitStore::on_scores_changed`]);
+//! * **fans bulk work out across shards** — tracking freshly generated
+//!   rules and the full-epoch rebuild run shard-parallel when
+//!   `threads > 1`, deterministic because each partition owns disjoint
+//!   state and results never interleave;
+//! * **merges fragments exactly at read time** —
+//!   [`ShardedBenefitStore::benefit_of`] sums the per-shard fragments in
+//!   the fixed-point domain of [`crate::benefit::quantize`], where integer
+//!   addition is associative, so the merged benefit is bit-identical to
+//!   the single-store value for any shard count and any delta
+//!   interleaving. Selection over merged fragments therefore asks the
+//!   exact question sequence of the unsharded path.
+//!
+//! `S = 1` constructs one full-span [`BenefitStore`] — the pre-shard
+//! reference path, byte for byte.
+
+use crate::benefit::Benefit;
+use crate::candidates::Candidate;
+use crate::engine::{BenefitAgg, BenefitStore};
+use darwin_index::{IdSet, IndexSet, RuleRef, ShardMap};
+
+/// Per-shard [`BenefitStore`] partitions behind one store-shaped facade.
+pub struct ShardedBenefitStore {
+    map: ShardMap,
+    parts: Vec<BenefitStore>,
+}
+
+impl ShardedBenefitStore {
+    /// One shard-local partition per range of `map`. With one shard the
+    /// single partition is a full-span [`BenefitStore`] — the unsharded
+    /// reference path.
+    pub fn new(map: ShardMap) -> ShardedBenefitStore {
+        let parts = if map.shards() == 1 {
+            vec![BenefitStore::new()]
+        } else {
+            map.ranges()
+                .map(|r| BenefitStore::for_span(r.start, r.end))
+                .collect()
+        };
+        ShardedBenefitStore { map, parts }
+    }
+
+    /// Number of shard partitions.
+    pub fn shards(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The id partition this store coordinates.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard-local partitions, in shard order (diagnostics, benches).
+    pub fn parts(&self) -> &[BenefitStore] {
+        &self.parts
+    }
+
+    /// Number of tracked rules (every partition tracks the same set).
+    pub fn len(&self) -> usize {
+        self.parts[0].len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parts[0].is_empty()
+    }
+
+    pub fn contains(&self, r: RuleRef) -> bool {
+        self.parts[0].contains(r)
+    }
+
+    /// The merged aggregate for `r`: per-shard fragments summed in the
+    /// fixed-point domain — bit-identical to a single full-span store.
+    pub fn agg(&self, r: RuleRef) -> Option<BenefitAgg> {
+        let mut merged = BenefitAgg {
+            covered_pos: 0,
+            new_instances: 0,
+            sum_q: 0,
+        };
+        for part in &self.parts {
+            let frag = part.agg(r)?;
+            merged.covered_pos += frag.covered_pos;
+            merged.new_instances += frag.new_instances;
+            merged.sum_q += frag.sum_q;
+        }
+        Some(merged)
+    }
+
+    /// The merged benefit for `r`, if tracked (what selection reads).
+    pub fn benefit_of(&self, r: RuleRef) -> Option<Benefit> {
+        self.agg(r).map(|a| a.benefit())
+    }
+
+    /// Ensure every rule in `rules` has a fragment in every partition
+    /// (shard-parallel when `threads > 1`).
+    pub fn track(
+        &mut self,
+        rules: &[RuleRef],
+        index: &IndexSet,
+        p: &IdSet,
+        scores: &[f32],
+        threads: usize,
+    ) {
+        self.for_each_part(threads, |part, intra_threads| {
+            part.track(rules.iter().copied(), index, p, scores, intra_threads)
+        });
+    }
+
+    /// [`ShardedBenefitStore::track`] for freshly generated candidates,
+    /// seeding fragments from the search statistics (see
+    /// [`BenefitStore::track_scored`]).
+    pub fn track_scored(
+        &mut self,
+        cands: &[Candidate],
+        index: &IndexSet,
+        p: &IdSet,
+        scores: &[f32],
+        threads: usize,
+    ) {
+        self.for_each_part(threads, |part, intra_threads| {
+            part.track_scored(cands, index, p, scores, intra_threads)
+        });
+    }
+
+    /// Recompute every fragment from scratch after a full re-score epoch
+    /// (shard-parallel when `threads > 1`).
+    pub fn rebuild(&mut self, index: &IndexSet, p: &IdSet, scores: &[f32], threads: usize) {
+        self.for_each_part(threads, |part, intra_threads| {
+            part.rebuild(index, p, scores, intra_threads)
+        });
+    }
+
+    /// Drop fragments for rules not satisfying `keep`, in every partition.
+    pub fn retain(&mut self, keep: impl Fn(RuleRef) -> bool + Sync) {
+        for part in &mut self.parts {
+            part.retain(&keep);
+        }
+    }
+
+    /// Route each new positive id to its owning shard's partition (the
+    /// partition walks the inverted postings for the id). Must be called
+    /// with pre-retrain scores, like [`BenefitStore::on_positives_added`].
+    pub fn on_positives_added(&mut self, new_ids: &[u32], index: &IndexSet, scores: &[f32]) {
+        if self.parts.len() == 1 {
+            return self.parts[0].on_positives_added(new_ids, index, scores);
+        }
+        for &id in new_ids {
+            self.parts[self.map.owner(id)].on_positives_added(&[id], index, scores);
+        }
+    }
+
+    /// Slice an id-sorted change journal into per-shard runs and patch each
+    /// owning partition with its run.
+    pub fn on_scores_changed(&mut self, changes: &[(u32, f32, f32)], p: &IdSet, index: &IndexSet) {
+        if self.parts.len() == 1 {
+            return self.parts[0].on_scores_changed(changes, p, index);
+        }
+        debug_assert!(
+            changes.windows(2).all(|w| w[0].0 <= w[1].0),
+            "change journal must be sorted by id"
+        );
+        for (s, part) in self.parts.iter_mut().enumerate() {
+            let r = self.map.range(s);
+            let a = changes.partition_point(|&(id, _, _)| id < r.start);
+            let b = changes.partition_point(|&(id, _, _)| id < r.end);
+            part.on_scores_changed(&changes[a..b], p, index);
+        }
+    }
+
+    /// Run `op` over every partition — shard-parallel when `threads > 1`
+    /// and there is more than one shard (each worker owns disjoint
+    /// partitions, so order and results are deterministic); a single
+    /// full-span partition instead gets the whole thread budget for its
+    /// intra-store chunking.
+    fn for_each_part(
+        &mut self,
+        threads: usize,
+        op: impl Fn(&mut BenefitStore, usize) + Sync + Send,
+    ) {
+        if self.parts.len() == 1 {
+            return op(&mut self.parts[0], threads);
+        }
+        if threads > 1 {
+            use rayon::prelude::*;
+            // One chunk of shards per configured worker, same bounding
+            // idiom as the engine's batch computation. Leftover width
+            // (threads > shards) is handed to each group as its
+            // intra-store chunking budget, so few-shard configurations
+            // keep the full thread budget of the unsharded path.
+            let chunk = self.parts.len().div_ceil(threads);
+            let groups = self.parts.len().div_ceil(chunk);
+            let intra = (threads / groups).max(1);
+            let mut slots: Vec<&mut BenefitStore> = self.parts.iter_mut().collect();
+            slots.par_chunks_mut(chunk).for_each(|group| {
+                for part in group.iter_mut() {
+                    op(part, intra);
+                }
+            });
+        } else {
+            for part in &mut self.parts {
+                op(part, 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benefit::benefit;
+    use darwin_index::{IndexConfig, IndexSet};
+    use darwin_text::Corpus;
+
+    fn setup() -> (Corpus, IndexSet) {
+        let c = Corpus::from_texts([
+            "the shuttle to the airport leaves hourly",
+            "is there a shuttle to the airport tonight",
+            "a bus to the airport runs daily",
+            "order pizza to the room please",
+            "the pool opens at nine daily",
+            "is there a bus downtown tonight",
+            "the shuttle downtown is free",
+        ]);
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        (c, idx)
+    }
+
+    /// Merged fragments equal the global benefit for every shard count,
+    /// through tracking, positive deltas, journal patches and rebuilds.
+    #[test]
+    fn merge_is_exact_for_every_shard_count() {
+        let (c, idx) = setup();
+        let n = c.len();
+        let rules: Vec<RuleRef> = idx.all_rules().collect();
+        for shards in [1usize, 2, 3, 4, 7] {
+            let mut p = IdSet::from_ids(&[0], n);
+            let mut scores: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).fract()).collect();
+            let mut store = ShardedBenefitStore::new(ShardMap::new(n, shards));
+            store.track(&rules, &idx, &p, &scores, 1);
+
+            let check = |store: &ShardedBenefitStore, p: &IdSet, scores: &[f32], label: &str| {
+                for &r in &rules {
+                    assert_eq!(
+                        store.benefit_of(r).unwrap(),
+                        benefit(idx.coverage(r), p, scores),
+                        "S={shards} {label}: rule {:?}",
+                        idx.heuristic(r)
+                    );
+                }
+            };
+            check(&store, &p, &scores, "after track");
+
+            // P grows across shard boundaries.
+            let new_ids = [1u32, 5, 6];
+            store.on_positives_added(&new_ids, &idx, &scores);
+            p.extend_from_slice(&new_ids);
+            check(&store, &p, &scores, "after positives");
+
+            // Sorted journal spanning several shards; one id inside P.
+            let changes: Vec<(u32, f32, f32)> = vec![
+                (2, scores[2], 0.9),
+                (3, scores[3], 0.05),
+                (5, scores[5], 0.7),
+            ];
+            for &(id, _, new) in &changes {
+                if !p.contains(id) {
+                    scores[id as usize] = new;
+                }
+            }
+            store.on_scores_changed(&changes, &p, &idx);
+            check(&store, &p, &scores, "after journal");
+
+            // Full epoch.
+            for (i, s) in scores.iter_mut().enumerate() {
+                *s = (*s + 0.17 + i as f32 * 0.013).fract();
+            }
+            store.rebuild(&idx, &p, &scores, 4);
+            check(&store, &p, &scores, "after rebuild");
+        }
+    }
+
+    #[test]
+    fn single_shard_is_full_span() {
+        let (c, _) = setup();
+        let store = ShardedBenefitStore::new(ShardMap::new(c.len(), 1));
+        assert_eq!(store.shards(), 1);
+        assert_eq!(store.parts()[0].span(), (0, u32::MAX));
+    }
+
+    #[test]
+    fn retain_applies_to_all_partitions() {
+        let (c, idx) = setup();
+        let rules: Vec<RuleRef> = idx.all_rules().collect();
+        let p = IdSet::from_ids(&[0, 1], c.len());
+        let scores = vec![0.5; c.len()];
+        let mut store = ShardedBenefitStore::new(ShardMap::new(c.len(), 3));
+        store.track(&rules, &idx, &p, &scores, 1);
+        let keep = rules[0];
+        store.retain(|r| r == keep);
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(keep));
+        assert!(store.benefit_of(rules[1]).is_none());
+    }
+}

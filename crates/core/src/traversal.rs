@@ -16,8 +16,8 @@
 //!   consecutive failures (a NO answer, or nothing qualifying to ask).
 
 use crate::benefit::{benefit, Benefit};
-use crate::engine::BenefitStore;
 use crate::hierarchy::Hierarchy;
+use crate::shard::ShardedBenefitStore;
 use darwin_index::fx::FxHashSet;
 use darwin_index::{IdSet, IndexSet, RuleRef};
 
@@ -29,11 +29,12 @@ pub struct Ctx<'a> {
     pub scores: &'a [f32],
     pub queried: &'a FxHashSet<RuleRef>,
     pub benefit_threshold: f64,
-    /// Delta-maintained benefit aggregates. When present, [`Ctx::benefit`]
-    /// is an O(1) lookup for tracked rules; when absent (rescan mode), it
-    /// recomputes from raw coverage. Both paths return bit-identical
-    /// values — see [`crate::benefit`].
-    pub store: Option<&'a BenefitStore>,
+    /// Delta-maintained benefit aggregates, partitioned by shard. When
+    /// present, [`Ctx::benefit`] is an O(shards) fragment merge for
+    /// tracked rules; when absent (rescan mode), it recomputes from raw
+    /// coverage. Both paths return bit-identical values — see
+    /// [`crate::benefit`] and [`crate::shard`].
+    pub store: Option<&'a ShardedBenefitStore>,
 }
 
 impl Ctx<'_> {

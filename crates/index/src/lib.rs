@@ -17,6 +17,9 @@
 //! * [`inverted`] — the sentence → covering-rules transpose
 //!   ([`IndexSet::rules_covering`]), the delta primitive of the
 //!   incremental benefit engine,
+//! * [`shard`] — [`ShardMap`]: contiguous sentence-id partitioning with
+//!   shard-sliced postings, the ownership layer of the sharded execution
+//!   engine,
 //! * [`bitset`] — a dense id set used throughout the pipeline,
 //! * [`fx`] — the FxHash hasher (integer-keyed maps are hot here).
 
@@ -25,6 +28,7 @@ pub mod bitset;
 pub mod fx;
 pub mod inverted;
 pub mod phrase_index;
+pub mod shard;
 pub mod sketch;
 pub mod tree_index;
 
@@ -32,5 +36,6 @@ pub use api::{IndexConfig, IndexSet, RuleRef};
 pub use bitset::IdSet;
 pub use inverted::InvertedIndex;
 pub use phrase_index::PhraseIndex;
+pub use shard::{shard_slice, ShardMap};
 pub use sketch::TreeSketchConfig;
 pub use tree_index::TreeIndex;

@@ -1,0 +1,159 @@
+//! Contiguous sentence-id sharding (the partition layer of the sharded
+//! execution engine).
+//!
+//! A [`ShardMap`] splits the id space `0..n` into `S` contiguous,
+//! near-equal ranges. Contiguity is the property everything downstream
+//! leans on:
+//!
+//! * a shard's slice of any **sorted** posting list is itself contiguous,
+//!   so shard-sliced coverage is two binary searches ([`shard_slice`]), not
+//!   a filter;
+//! * per-shard outputs concatenated in shard order reproduce the id-order
+//!   output of an unsharded pass bit for bit (score refreshes, change
+//!   journals);
+//! * ownership is O(1) arithmetic ([`ShardMap::owner`]), so routing a
+//!   per-sentence delta to its shard costs nothing.
+//!
+//! The map is pure bookkeeping — it holds no postings. `S = 1` degenerates
+//! to a single shard spanning the whole corpus, which is how the unsharded
+//! path stays alive as the equivalence reference.
+
+use std::ops::Range;
+
+/// Slice of a **sorted** posting list restricted to ids in `[lo, hi)`.
+/// Two binary searches; the result borrows from `postings`.
+pub fn shard_slice(postings: &[u32], lo: u32, hi: u32) -> &[u32] {
+    let a = postings.partition_point(|&s| s < lo);
+    let b = postings.partition_point(|&s| s < hi);
+    &postings[a..b]
+}
+
+/// A partition of sentence ids `0..n` into `S` contiguous shards.
+///
+/// Shard `s` owns `[s·c, min((s+1)·c, n))` with `c = ⌈n / S⌉`; when
+/// `S > n` the trailing shards are empty (harmless — they own nothing and
+/// contribute zero to every merge).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    n: u32,
+    shards: usize,
+    chunk: u32,
+}
+
+impl ShardMap {
+    /// Partition `n_sentences` ids into `shards` contiguous ranges
+    /// (`shards` is clamped to at least 1).
+    pub fn new(n_sentences: usize, shards: usize) -> ShardMap {
+        let shards = shards.max(1);
+        let n = u32::try_from(n_sentences).expect("corpus exceeds u32 id space");
+        ShardMap {
+            n,
+            shards,
+            chunk: n.div_ceil(shards as u32).max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of sentence ids partitioned.
+    pub fn sentences(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The shard owning sentence `id`.
+    pub fn owner(&self, id: u32) -> usize {
+        debug_assert!(id < self.n, "id {id} outside universe {}", self.n);
+        (id / self.chunk) as usize
+    }
+
+    /// The id range shard `s` owns (empty for trailing shards of an
+    /// over-partitioned corpus).
+    pub fn range(&self, s: usize) -> Range<u32> {
+        debug_assert!(s < self.shards);
+        let lo = (s as u32).saturating_mul(self.chunk).min(self.n);
+        let hi = lo.saturating_add(self.chunk).min(self.n);
+        lo..hi
+    }
+
+    /// All shard ranges, in shard order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<u32>> + '_ {
+        (0..self.shards).map(|s| self.range(s))
+    }
+
+    /// Shard `s`'s slice of a sorted posting list.
+    pub fn slice<'a>(&self, postings: &'a [u32], s: usize) -> &'a [u32] {
+        let r = self.range(s);
+        shard_slice(postings, r.start, r.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_universe() {
+        for n in [0usize, 1, 5, 7, 100, 101] {
+            for s in [1usize, 2, 3, 4, 7, 16] {
+                let m = ShardMap::new(n, s);
+                assert_eq!(m.shards(), s);
+                let mut cursor = 0u32;
+                for r in m.ranges() {
+                    assert_eq!(r.start, cursor, "n={n} s={s}: gap or overlap");
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, n as u32, "n={n} s={s}: universe not covered");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_agrees_with_ranges() {
+        let m = ShardMap::new(103, 7);
+        for id in 0..103u32 {
+            let s = m.owner(id);
+            assert!(m.range(s).contains(&id));
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let m = ShardMap::new(10, 0);
+        assert_eq!(m.shards(), 1);
+        assert_eq!(m.range(0), 0..10);
+    }
+
+    #[test]
+    fn slices_cover_postings_exactly() {
+        let postings: Vec<u32> = vec![0, 3, 4, 9, 17, 40, 41, 99];
+        let m = ShardMap::new(100, 4);
+        let mut rebuilt = Vec::new();
+        for s in 0..m.shards() {
+            let slice = m.slice(&postings, s);
+            for &id in slice {
+                assert_eq!(m.owner(id), s);
+            }
+            rebuilt.extend_from_slice(slice);
+        }
+        assert_eq!(rebuilt, postings, "shard slices must tile the postings");
+    }
+
+    #[test]
+    fn shard_slice_bounds() {
+        let postings = [2u32, 5, 5, 8, 11];
+        assert_eq!(shard_slice(&postings, 0, 12), &postings[..]);
+        assert_eq!(shard_slice(&postings, 5, 9), &[5, 5, 8][..]);
+        assert_eq!(shard_slice(&postings, 12, 20), &[] as &[u32]);
+    }
+
+    #[test]
+    fn more_shards_than_ids_leaves_trailing_empties() {
+        let m = ShardMap::new(3, 7);
+        let non_empty: usize = m.ranges().filter(|r| !r.is_empty()).count();
+        assert_eq!(non_empty, 3);
+        assert_eq!(m.range(6), 3..3);
+    }
+}

@@ -1,16 +1,39 @@
 //! The incremental engine's defining guarantee: delta-maintained benefit
 //! aggregates select the *exact same rule sequence* as the pre-refactor
 //! full-rescan path, on every traversal strategy and on the baseline
-//! selectors. `DarwinConfig { incremental_benefit: false, .. }` keeps the
-//! rescan path alive as the reference; the engine's fixed-point sums make
-//! the two bit-comparable (see `darwin_core::benefit`).
+//! selectors — and, since the execution layer went sharded, for *every
+//! shard count*: per-shard fragments merged in the fixed-point domain are
+//! bit-identical to the single-store sums, so `DarwinConfig::shards` can
+//! never change a trace. `DarwinConfig { incremental_benefit: false, .. }`
+//! keeps the rescan path alive as the reference; the engine's fixed-point
+//! sums make the paths bit-comparable (see `darwin_core::benefit`).
+//!
+//! `DARWIN_TEST_THREADS` (CI runs 1 and 4) sets the worker-thread count
+//! every run in this suite uses — determinism across thread counts is part
+//! of the contract under test.
 
 use darwin::baselines::{HighC, HighP};
 use darwin::prelude::*;
 use darwin_core::{DarwinConfig, Oracle, RunResult};
 use darwin_datasets::directions;
 
+fn test_threads() -> usize {
+    std::env::var("DARWIN_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
 fn run_mode(incremental: bool, kind: TraversalKind, make: Option<MakeStrategy>) -> RunResult {
+    run_sharded(incremental, kind, make, 1)
+}
+
+fn run_sharded(
+    incremental: bool,
+    kind: TraversalKind,
+    make: Option<MakeStrategy>,
+    shards: usize,
+) -> RunResult {
     let d = directions::generate(800, 42);
     let index = IndexSet::build(
         &d.corpus,
@@ -24,6 +47,8 @@ fn run_mode(incremental: bool, kind: TraversalKind, make: Option<MakeStrategy>) 
         budget: 20,
         n_candidates: 1500,
         incremental_benefit: incremental,
+        shards,
+        threads: test_threads(),
         ..DarwinConfig::fast().with_traversal(kind)
     };
     let darwin = Darwin::new(&d.corpus, &index, cfg);
@@ -82,6 +107,29 @@ fn traversals_select_identical_sequences() {
     }
 }
 
+/// Sharding is an execution detail: on every traversal strategy, S ∈
+/// {2, 4, 7} shards must replay the single-shard trace byte for byte (and
+/// the single-shard incremental trace already equals the rescan reference,
+/// by the test above).
+#[test]
+fn shard_counts_select_identical_sequences() {
+    for kind in [
+        TraversalKind::Local,
+        TraversalKind::Universal,
+        TraversalKind::Hybrid,
+    ] {
+        let reference = run_sharded(true, kind, None, 1);
+        assert!(
+            reference.questions() > 0,
+            "{kind:?}: reference run asked nothing"
+        );
+        for shards in [2usize, 4, 7] {
+            let sharded = run_sharded(true, kind, None, shards);
+            assert_equivalent(&reference, &sharded, &format!("{kind:?} S={shards}"));
+        }
+    }
+}
+
 type MakeStrategy = fn() -> Box<dyn darwin_core::Strategy>;
 
 #[test]
@@ -92,12 +140,16 @@ fn baseline_selectors_select_identical_sequences() {
         let rescan = run_mode(false, TraversalKind::Hybrid, Some(make));
         let incremental = run_mode(true, TraversalKind::Hybrid, Some(make));
         assert_equivalent(&rescan, &incremental, label);
+        // The baselines ride the same sharded engine — shard count must
+        // not change their traces either.
+        let sharded = run_sharded(true, TraversalKind::Hybrid, Some(make), 4);
+        assert_equivalent(&rescan, &sharded, &format!("{label} S=4"));
     }
 }
 
 #[test]
 fn parallel_rounds_select_identical_sequences() {
-    let run = |incremental: bool| {
+    let run = |incremental: bool, shards: usize| {
         let d = directions::generate(600, 7);
         let index = IndexSet::build(
             &d.corpus,
@@ -111,6 +163,8 @@ fn parallel_rounds_select_identical_sequences() {
             budget: 20,
             n_candidates: 1200,
             incremental_benefit: incremental,
+            shards,
+            threads: test_threads(),
             ..DarwinConfig::fast()
         };
         let darwin = Darwin::new(&d.corpus, &index, cfg);
@@ -121,47 +175,58 @@ fn parallel_rounds_select_identical_sequences() {
         let mut annotators: Vec<&mut dyn Oracle> = vec![&mut a, &mut b, &mut c];
         darwin.run_parallel(seed, &mut annotators, 4)
     };
-    let rescan = run(false);
-    let incremental = run(true);
+    let rescan = run(false, 1);
+    let incremental = run(true, 1);
     assert_equivalent(&rescan, &incremental, "parallel");
+    let sharded = run(true, 4);
+    assert_equivalent(&rescan, &sharded, "parallel S=4");
 }
 
 /// Drive the engine step by step and verify the delta-maintained aggregates
-/// never drift from a from-scratch recomputation mid-run.
+/// never drift from a from-scratch recomputation mid-run — per shard
+/// partition *and* after the merge, at 1 and 4 shards.
 #[test]
 fn aggregates_stay_consistent_through_a_run() {
-    let d = directions::generate(500, 11);
-    let index = IndexSet::build(
-        &d.corpus,
-        &IndexConfig {
-            max_phrase_len: 4,
-            min_count: 2,
-            ..Default::default()
-        },
-    );
-    let cfg = DarwinConfig {
-        budget: 15,
-        n_candidates: 1000,
-        ..DarwinConfig::fast()
-    };
-    let darwin = Darwin::new(&d.corpus, &index, cfg);
-    let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
-    let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);
-    let mut engine = darwin.engine(seed);
-    let mut strategy = darwin_core::traversal::HybridSearch::new(engine.seed_refs().to_vec(), 5);
-    assert!(
-        engine.store_is_consistent(),
-        "inconsistent before the first question"
-    );
-    for _ in 0..15 {
-        if !engine.step(&mut strategy, &mut oracle) {
-            break;
-        }
+    for shards in [1usize, 4] {
+        let d = directions::generate(500, 11);
+        let index = IndexSet::build(
+            &d.corpus,
+            &IndexConfig {
+                max_phrase_len: 4,
+                min_count: 2,
+                ..Default::default()
+            },
+        );
+        let cfg = DarwinConfig {
+            budget: 15,
+            n_candidates: 1000,
+            shards,
+            threads: test_threads(),
+            ..DarwinConfig::fast()
+        };
+        let darwin = Darwin::new(&d.corpus, &index, cfg);
+        let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
+        let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);
+        let mut engine = darwin.engine(seed);
+        let mut strategy =
+            darwin_core::traversal::HybridSearch::new(engine.seed_refs().to_vec(), 5);
         assert!(
             engine.store_is_consistent(),
-            "aggregates drifted after question {}",
-            engine.questions()
+            "S={shards}: inconsistent before the first question"
+        );
+        for _ in 0..15 {
+            if !engine.step(&mut strategy, &mut oracle) {
+                break;
+            }
+            assert!(
+                engine.store_is_consistent(),
+                "S={shards}: aggregates drifted after question {}",
+                engine.questions()
+            );
+        }
+        assert!(
+            engine.questions() > 3,
+            "S={shards}: run ended suspiciously early"
         );
     }
-    assert!(engine.questions() > 3, "run ended suspiciously early");
 }

@@ -3,9 +3,9 @@
 //! contract.
 
 use darwin::core::benefit::benefit;
-use darwin::core::BenefitStore;
+use darwin::core::{BenefitStore, ShardedBenefitStore};
 use darwin::grammar::{Heuristic, PhraseElem, PhrasePattern, TreePattern};
-use darwin::index::{IdSet, IndexConfig, IndexSet, RuleRef};
+use darwin::index::{IdSet, IndexConfig, IndexSet, RuleRef, ShardMap};
 use darwin::text::{Corpus, PosTag, Sym};
 use proptest::prelude::*;
 
@@ -177,6 +177,58 @@ proptest! {
         }
     }
 
+    /// The sharded coordinator's contract: after ANY random interleaving
+    /// of deltas, the per-shard fragments merged across ANY shard count
+    /// equal the global from-scratch benefit, bit for bit.
+    #[test]
+    fn sharded_aggregates_equal_scratch_recomputation(
+        texts in corpus_strategy(),
+        shards in prop::sample::select(vec![2usize, 3, 4, 7]),
+        ops in prop::collection::vec((0u32..1000, 0u32..100, 0u32..10), 1..60),
+    ) {
+        let corpus = Corpus::from_texts(texts.iter());
+        let index = IndexSet::build(&corpus, &IndexConfig::small());
+        let n = corpus.len();
+        let mut p = IdSet::with_universe(n);
+        let mut scores: Vec<f32> = (0..n).map(|i| (i as f32 * 0.193).fract()).collect();
+
+        let rules: Vec<RuleRef> = index.all_rules().collect();
+        let mut store = ShardedBenefitStore::new(ShardMap::new(n, shards));
+        store.track(&rules, &index, &p, &scores, 2);
+
+        for (raw_id, centi, kind) in ops {
+            let id = raw_id % n as u32;
+            match kind {
+                0..=4 => {
+                    if !p.contains(id) {
+                        store.on_positives_added(&[id], &index, &scores);
+                        p.insert(id);
+                    }
+                }
+                5..=8 => {
+                    let new = centi as f32 / 100.0;
+                    let old = scores[id as usize];
+                    store.on_scores_changed(&[(id, old, new)], &p, &index);
+                    scores[id as usize] = new;
+                }
+                _ => {
+                    for (i, s) in scores.iter_mut().enumerate() {
+                        *s = (*s + 0.31 + i as f32 * 0.017).fract();
+                    }
+                    store.rebuild(&index, &p, &scores, 2);
+                }
+            }
+        }
+
+        for &r in &rules {
+            prop_assert_eq!(
+                store.benefit_of(r).unwrap(),
+                benefit(index.coverage(r), &p, &scores),
+                "S={}: rule {} drifted", shards, index.heuristic(r).display(corpus.vocab())
+            );
+        }
+    }
+
     /// Gap-pattern matching is monotone: adding a Star never removes matches.
     #[test]
     fn star_insertion_is_monotone(texts in corpus_strategy(), pattern in prop::collection::vec(word(), 1..4)) {
@@ -197,6 +249,77 @@ proptest! {
         for s in corpus.sentences() {
             if tight.matches(s) {
                 prop_assert!(loose.matches(s), "loosening must preserve matches");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..Default::default() })]
+
+    /// Shard determinism over full runs: every (shards, threads) cell of
+    /// the S ∈ {1, 2, 4, 7} × T ∈ {1, 4} matrix replays the exact same
+    /// question trace and lands on the exact same final positive set and
+    /// scores — sharding and threading are execution details, never
+    /// observable in the output.
+    #[test]
+    fn shard_thread_matrix_is_trace_deterministic(
+        n in 200usize..320,
+        dataset_seed in 0u64..1000,
+    ) {
+        use darwin::core::{Darwin, DarwinConfig, GroundTruthOracle, RunResult, Seed};
+        use darwin::datasets::directions;
+        use darwin::text::embed::EmbedConfig;
+        use darwin::text::Embeddings;
+
+        let d = directions::generate(n, dataset_seed);
+        let index = IndexSet::build(
+            &d.corpus,
+            &IndexConfig {
+                max_phrase_len: 4,
+                min_count: 2,
+                ..Default::default()
+            },
+        );
+        let emb = Embeddings::train(
+            &d.corpus,
+            &EmbedConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        );
+
+        let mut reference: Option<(RunResult, String)> = None;
+        for shards in [1usize, 2, 4, 7] {
+            for threads in [1usize, 4] {
+                let cfg = DarwinConfig {
+                    budget: 6,
+                    n_candidates: 400,
+                    shards,
+                    threads,
+                    ..DarwinConfig::fast()
+                };
+                let darwin = Darwin::with_embeddings(&d.corpus, &index, cfg, emb.clone());
+                let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
+                let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);
+                let run = darwin.run(seed, &mut oracle);
+                match &reference {
+                    None => reference = Some((run, format!("S={shards} T={threads}"))),
+                    Some((r, ref_label)) => {
+                        let label = format!("S={shards} T={threads} vs {ref_label}");
+                        prop_assert_eq!(run.trace.len(), r.trace.len(), "{}: question count", &label);
+                        for (x, y) in run.trace.iter().zip(&r.trace) {
+                            prop_assert_eq!(&x.rule, &y.rule, "{}: q{} rule", &label, x.question);
+                            prop_assert_eq!(x.answer, y.answer, "{}: q{} answer", &label, x.question);
+                            prop_assert_eq!(
+                                &x.new_positive_ids, &y.new_positive_ids,
+                                "{}: q{} new positives", &label, x.question
+                            );
+                        }
+                        prop_assert_eq!(&run.positives, &r.positives, "{}: final P", &label);
+                        prop_assert_eq!(&run.scores, &r.scores, "{}: final scores", &label);
+                    }
+                }
             }
         }
     }

@@ -1,7 +1,8 @@
 //! Offline stand-in for `rayon` (1.x API subset).
 //!
 //! Implements the handful of data-parallel shapes this workspace uses —
-//! [`join`], `par_iter().map(..).collect()`, `par_chunks(..)` — on plain
+//! [`join`], `par_iter().map(..).collect()`, `par_chunks(..)`,
+//! `par_chunks_mut(..).for_each(..)` — on plain
 //! `std::thread::scope` with one contiguous chunk per worker. Results are
 //! always concatenated in input order, so parallel and sequential execution
 //! produce identical outputs (the engine's determinism guarantee leans on
@@ -12,7 +13,7 @@
 use std::num::NonZeroUsize;
 
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+    pub use crate::{IntoParallelRefIterator, ParallelSlice, ParallelSliceMut};
 }
 
 /// Run two closures, the first on a worker thread, and return both results.
@@ -199,6 +200,55 @@ where
     }
 }
 
+/// Mutable chunked views, mirroring `rayon::slice::ParallelSliceMut::par_chunks_mut`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            items: self,
+            chunk_size,
+        }
+    }
+}
+
+pub struct ParChunksMut<'data, T> {
+    items: &'data mut [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Send> ParChunksMut<'data, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        let mut chunks: Vec<&'data mut [T]> = self.items.chunks_mut(self.chunk_size).collect();
+        let workers = worker_count(chunks.len());
+        if workers <= 1 {
+            for c in chunks {
+                f(c);
+            }
+            return;
+        }
+        let per = chunks.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            while !chunks.is_empty() {
+                let take = per.min(chunks.len());
+                let group: Vec<&'data mut [T]> = chunks.drain(..take).collect();
+                let f = &f;
+                s.spawn(move || {
+                    for c in group {
+                        f(c);
+                    }
+                });
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -226,6 +276,17 @@ mod tests {
             .collect();
         assert_eq!(sums.len(), 11);
         assert_eq!(sums.iter().sum::<u64>(), (0..1001u64).sum());
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates_every_item() {
+        let mut v: Vec<u32> = (0..1001).collect();
+        v.par_chunks_mut(64).for_each(|c| {
+            for x in c.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert_eq!(v, (1..1002).collect::<Vec<u32>>());
     }
 
     #[test]
