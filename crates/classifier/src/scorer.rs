@@ -44,6 +44,11 @@ fn id_slice(ids: &[u32], lo: u32, hi: u32) -> &[u32] {
 /// [`ScoreCache::epoch`] counts the full passes — a staleness check for
 /// consumers that sync less often than every refresh.
 ///
+/// (One engine cache that does *not* consume this journal, by design: the
+/// incremental candidate frontier. Candidate generation ranks by overlap
+/// with the positive set alone, so its invalidation tracks `P`, never
+/// scores.)
+///
 /// The change journal is sorted by id, and shards are contiguous id
 /// ranges, so a shard's journal is a contiguous run of the flat journal —
 /// [`ScoreCache::changes_in`] hands a shard coordinator its slice with two

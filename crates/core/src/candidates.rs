@@ -6,29 +6,45 @@
 //! collected. Subtrees with zero overlap with `P` are never expanded —
 //! that pruning is what keeps the exponential TreeMatch space tractable.
 
+use crate::frontier::FrontierPool;
 use crate::hierarchy::Hierarchy;
 use darwin_index::{IdSet, IndexSet, RuleRef};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-#[derive(PartialEq)]
+/// Heap entry with its whole priority packed into one `u128` — a single
+/// integer compare per sift step instead of a three-field lexicographic
+/// chain (the walk is heap-bound once posting scans are memoized).
+///
+/// Layout (high → low): `overlap` ascending, then `!count` (on equal
+/// overlap with `P`, prefer the *tighter* rule — fewer total matches ⇒
+/// higher expected precision), then `!dense_id` (prefer the smaller rule
+/// handle, for determinism; the dense numbering orders exactly like
+/// [`RuleRef`]'s derived `Ord`, phrases before trees).
+#[derive(PartialEq, Eq)]
 struct Entry {
-    overlap: usize,
-    /// Tie-break on total coverage: on equal overlap with `P`, prefer the
-    /// *tighter* rule (fewer total matches ⇒ higher expected precision),
-    /// then the rule handle for determinism.
-    count: usize,
+    key: u128,
     rule: RuleRef,
 }
 
-impl Eq for Entry {}
+impl Entry {
+    fn new(overlap: usize, count: usize, dense: u32, rule: RuleRef) -> Entry {
+        let key = ((overlap as u128) << 64) | ((!(count as u32) as u128) << 32) | !dense as u128;
+        Entry { key, rule }
+    }
+
+    fn overlap(&self) -> usize {
+        (self.key >> 64) as usize
+    }
+
+    fn count(&self) -> usize {
+        !((self.key >> 32) as u32) as usize
+    }
+}
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.overlap
-            .cmp(&other.overlap)
-            .then(other.count.cmp(&self.count))
-            .then_with(|| other.rule.cmp(&self.rule))
+        self.key.cmp(&other.key)
     }
 }
 
@@ -46,9 +62,100 @@ impl PartialOrd for Entry {
 /// re-deriving them with a per-posting membership scan).
 #[derive(Clone, Copy, Debug)]
 pub struct Candidate {
+    /// The generated rule's index handle.
     pub rule: RuleRef,
+    /// `|C_r ∩ P|` at generation time.
     pub overlap: usize,
+    /// `|C_r|` — the rule's total coverage.
     pub count: usize,
+}
+
+/// What the best-first walk asks of its backing state — how nodes are
+/// visited and how they expand. [`generate_scored`] answers from the index
+/// directly (bitset seen-set, posting scan per node, derivation edges); a
+/// [`FrontierPool`] answers from memoized statistics and cached adjacency.
+/// One trait with both methods (rather than two closures) because the
+/// incremental source backs both out of the same mutable tables.
+pub(crate) trait WalkSource {
+    /// Visit `r`: `None` when it was already reached in *this* walk (the
+    /// expansion's seen-set), its `(overlap, count, dense_id)` statistics
+    /// otherwise.
+    fn visit(&mut self, r: RuleRef) -> Option<(usize, usize, u32)>;
+    /// Append the one-step specializations of `rule` to `buf` (the walk
+    /// clears it), in the index's child order.
+    fn expand(&mut self, rule: RuleRef, buf: &mut Vec<RuleRef>);
+}
+
+/// The best-first expansion of Algorithm 2 over a [`WalkSource`]. Keeping
+/// the control flow in one place is what makes the incremental path
+/// *structurally* trace-equivalent to the full walk: the two differ only
+/// in where the (identical) numbers come from.
+pub(crate) fn best_first_walk<S: WalkSource>(
+    k: usize,
+    max_count: usize,
+    src: &mut S,
+) -> Vec<Candidate> {
+    fn push_children<S: WalkSource>(
+        rule: RuleRef,
+        heap: &mut BinaryHeap<Entry>,
+        buf: &mut Vec<RuleRef>,
+        src: &mut S,
+    ) {
+        buf.clear();
+        src.expand(rule, buf);
+        for &child in buf.iter() {
+            let Some((overlap, count, dense)) = src.visit(child) else {
+                continue; // already reached in this walk
+            };
+            if overlap == 0 {
+                continue; // zero overlap ⇒ the whole subtree is useless
+            }
+            heap.push(Entry::new(overlap, count, dense, child));
+        }
+    }
+
+    let mut out = Vec::with_capacity(k.min(1024));
+    let mut heap = BinaryHeap::new();
+    let mut buf: Vec<RuleRef> = Vec::new();
+
+    push_children(RuleRef::Root, &mut heap, &mut buf, src);
+    while out.len() < k {
+        let Some(best) = heap.pop() else { break };
+        // Over-broad rules are expanded (children may qualify) but not
+        // offered as candidates themselves.
+        if best.count() <= max_count {
+            out.push(Candidate {
+                rule: best.rule,
+                overlap: best.overlap(),
+                count: best.count(),
+            });
+        }
+        push_children(best.rule, &mut heap, &mut buf, src);
+    }
+    out
+}
+
+/// The from-scratch [`WalkSource`]: a bitset seen-set over the dense rule
+/// numbering and a posting scan per visited node.
+struct ScratchSource<'a> {
+    index: &'a IndexSet,
+    p: &'a IdSet,
+    seen: IdSet,
+}
+
+impl WalkSource for ScratchSource<'_> {
+    fn visit(&mut self, r: RuleRef) -> Option<(usize, usize, u32)> {
+        let dense = self.index.dense_id(r);
+        if !self.seen.insert(dense) {
+            return None;
+        }
+        let postings = self.index.coverage(r);
+        Some((self.p.count_in(postings), postings.len(), dense))
+    }
+
+    fn expand(&mut self, rule: RuleRef, buf: &mut Vec<RuleRef>) {
+        self.index.for_each_child(rule, |c| buf.push(c));
+    }
 }
 
 /// Generate up to `k` candidate heuristics with high coverage over `p`
@@ -57,45 +164,12 @@ pub struct Candidate {
 /// than `max_count` sentences are skipped (their subtrees are still
 /// explored — children are tighter).
 pub fn generate_scored(index: &IndexSet, p: &IdSet, k: usize, max_count: usize) -> Vec<Candidate> {
-    let mut out = Vec::with_capacity(k.min(1024));
-    let mut heap = BinaryHeap::new();
-    let mut seen: darwin_index::fx::FxHashSet<RuleRef> = Default::default();
-
-    let push_children = |rule: RuleRef,
-                         heap: &mut BinaryHeap<Entry>,
-                         seen: &mut darwin_index::fx::FxHashSet<RuleRef>| {
-        for child in index.children(rule) {
-            if !seen.insert(child) {
-                continue;
-            }
-            let postings = index.coverage(child);
-            let overlap = p.count_in(postings);
-            if overlap == 0 {
-                continue; // zero overlap ⇒ the whole subtree is useless
-            }
-            heap.push(Entry {
-                overlap,
-                count: postings.len(),
-                rule: child,
-            });
-        }
+    let mut src = ScratchSource {
+        index,
+        p,
+        seen: IdSet::with_universe(index.dense_rules()),
     };
-
-    push_children(RuleRef::Root, &mut heap, &mut seen);
-    while out.len() < k {
-        let Some(best) = heap.pop() else { break };
-        // Over-broad rules are expanded (children may qualify) but not
-        // offered as candidates themselves.
-        if best.count <= max_count {
-            out.push(Candidate {
-                rule: best.rule,
-                overlap: best.overlap,
-                count: best.count,
-            });
-        }
-        push_children(best.rule, &mut heap, &mut seen);
-    }
-    out
+    best_first_walk(k, max_count, &mut src)
 }
 
 /// [`generate_scored`] stripped to the rule handles.
@@ -118,10 +192,29 @@ pub fn generate_hierarchy_scored(
     k: usize,
     max_count: usize,
 ) -> (Hierarchy, Vec<Candidate>) {
-    let cleaned: Vec<Candidate> = generate_scored(index, p, k, max_count)
-        .into_iter()
-        .filter(|c| c.count > c.overlap)
-        .collect();
+    finish_hierarchy(index, generate_scored(index, p, k, max_count))
+}
+
+/// [`generate_hierarchy_scored`] driven by a persistent [`FrontierPool`]
+/// instead of a from-scratch walk: the pool replays the best-first
+/// expansion from its memoized per-rule statistics (kept exact across YES
+/// answers by [`FrontierPool::note_positives`] deltas), paying posting
+/// scans only for rules the frontier reaches for the first time. Output is
+/// byte-for-byte identical to the from-scratch variant.
+pub fn generate_hierarchy_pooled(
+    index: &IndexSet,
+    p: &IdSet,
+    k: usize,
+    max_count: usize,
+    pool: &mut FrontierPool,
+) -> (Hierarchy, Vec<Candidate>) {
+    finish_hierarchy(index, pool.generate_scored(index, p, k, max_count))
+}
+
+/// The §3.2.1 cleanup + hierarchy assembly shared by the full-walk and
+/// frontier-pooled regeneration paths.
+fn finish_hierarchy(index: &IndexSet, cands: Vec<Candidate>) -> (Hierarchy, Vec<Candidate>) {
+    let cleaned: Vec<Candidate> = cands.into_iter().filter(|c| c.count > c.overlap).collect();
     let rules: Vec<RuleRef> = cleaned.iter().map(|c| c.rule).collect();
     (Hierarchy::new(index, rules), cleaned)
 }

@@ -15,6 +15,7 @@ pub enum TraversalKind {
 }
 
 impl TraversalKind {
+    /// Display name used in experiment reports and figures.
     pub fn name(self) -> &'static str {
         match self {
             TraversalKind::Local => "Darwin(LS)",
@@ -57,6 +58,14 @@ pub struct DarwinConfig {
     /// sequences (the engine's sums are exact); `false` keeps the
     /// full-rescan path as an ablation/reference.
     pub incremental_benefit: bool,
+    /// Keep the best-first expansion state of hierarchy regeneration alive
+    /// across YES answers (a persistent [`crate::FrontierPool`]): each
+    /// regeneration re-scores only the frontier entries whose postings
+    /// intersect the newly-labeled ids and replays the walk from memoized
+    /// statistics, instead of re-scanning every visited rule's postings
+    /// from the index root. Trace-equivalent to the full rescan — `false`
+    /// keeps the from-scratch walk as the ablation/reference path.
+    pub incremental_frontier: bool,
     /// Worker threads for the engine's aggregate rebuild after a full
     /// re-score epoch and for shard-parallel score refreshes
     /// (1 = sequential).
@@ -89,6 +98,7 @@ impl Default for DarwinConfig {
             min_negatives: 50,
             incremental_scoring: true,
             incremental_benefit: true,
+            incremental_frontier: true,
             threads: 1,
             shards: 1,
             max_coverage_frac: 0.4,
@@ -116,28 +126,39 @@ impl DarwinConfig {
         }
     }
 
+    /// Replace the traversal strategy.
     pub fn with_traversal(mut self, t: TraversalKind) -> Self {
         self.traversal = t;
         self
     }
 
+    /// Replace the oracle query budget.
     pub fn with_budget(mut self, b: usize) -> Self {
         self.budget = b;
         self
     }
 
+    /// Replace the RNG seed.
     pub fn with_seed(mut self, s: u64) -> Self {
         self.seed = s;
         self
     }
 
+    /// Replace the shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
         self
     }
 
+    /// Replace the worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Toggle the incremental candidate frontier.
+    pub fn with_incremental_frontier(mut self, on: bool) -> Self {
+        self.incremental_frontier = on;
         self
     }
 }

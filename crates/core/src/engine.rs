@@ -26,14 +26,16 @@
 //! Selection then reads cached aggregates — O(|rules| · shards) per
 //! question instead of O(|rules| × |coverage|). Because sums are kept in
 //! the fixed-point domain of [`crate::benefit::quantize`], the aggregates
-//! are *bit-equal* to a from-scratch [`benefit`] call at every step, so
+//! are *bit-equal* to a from-scratch [`crate::benefit::benefit`] call at
+//! every step, so
 //! the incremental engine asks the exact same question sequence as the
 //! rescan path at every shard count
 //! (`DarwinConfig { incremental_benefit: false, .. }` keeps that path alive
 //! as an ablation and as the reference for the equivalence tests).
 
 use crate::benefit::{quantize, Benefit};
-use crate::candidates::generate_hierarchy_scored;
+use crate::candidates::{generate_hierarchy_pooled, generate_hierarchy_scored};
+use crate::frontier::FrontierPool;
 use crate::hierarchy::Hierarchy;
 use crate::oracle::Oracle;
 use crate::pipeline::{Darwin, RunResult, Seed, TraceStep};
@@ -113,6 +115,7 @@ impl Default for BenefitStore {
 }
 
 impl BenefitStore {
+    /// A full-span store: aggregates are the global benefit.
     pub fn new() -> BenefitStore {
         BenefitStore {
             aggs: FxHashMap::default(),
@@ -155,14 +158,17 @@ impl BenefitStore {
         }
     }
 
+    /// Number of tracked rules.
     pub fn len(&self) -> usize {
         self.aggs.len()
     }
 
+    /// Whether no rule is tracked.
     pub fn is_empty(&self) -> bool {
         self.aggs.is_empty()
     }
 
+    /// Whether `r` has a tracked aggregate.
     pub fn contains(&self, r: RuleRef) -> bool {
         self.aggs.contains_key(&r)
     }
@@ -254,9 +260,8 @@ impl BenefitStore {
     }
 
     /// [`BenefitStore::track`] for freshly generated candidates, seeding
-    /// aggregates from the search statistics via
-    /// [`BenefitStore::compute_scored`] instead of recomputing
-    /// `covered_pos` from scratch.
+    /// aggregates from the search statistics (`compute_scored`) instead of
+    /// recomputing `covered_pos` from scratch.
     pub fn track_scored(
         &mut self,
         cands: &[crate::candidates::Candidate],
@@ -410,6 +415,10 @@ pub struct Engine<'a> {
     rng: StdRng,
     hierarchy: Hierarchy,
     store: Option<ShardedBenefitStore>,
+    /// Persistent best-first expansion state for hierarchy regeneration
+    /// (`None` = the full-walk reference path,
+    /// `DarwinConfig::incremental_frontier = false`).
+    frontier: Option<FrontierPool>,
     seed_refs: Vec<RuleRef>,
     max_count: usize,
 }
@@ -480,6 +489,7 @@ impl<'a> Engine<'a> {
             rng,
             hierarchy: Hierarchy::new(index, Vec::new()),
             store: None,
+            frontier: cfg.incremental_frontier.then(FrontierPool::new),
             seed_refs,
             max_count,
         };
@@ -516,6 +526,12 @@ impl<'a> Engine<'a> {
     /// The sharded benefit aggregates (`None` when running in rescan mode).
     pub fn store(&self) -> Option<&ShardedBenefitStore> {
         self.store.as_ref()
+    }
+
+    /// The persistent candidate frontier (`None` when
+    /// `DarwinConfig::incremental_frontier` is off).
+    pub fn frontier(&self) -> Option<&FrontierPool> {
+        self.frontier.as_ref()
     }
 
     /// Read-only selection view over the current state.
@@ -592,6 +608,11 @@ impl<'a> Engine<'a> {
                 // reflect.
                 store.on_positives_added(&new_ids, index, self.cache.scores());
             }
+            if let Some(pool) = &mut self.frontier {
+                // Journaled only — the pool re-scores its frontier lazily
+                // at the next regeneration.
+                pool.note_positives(&new_ids);
+            }
             self.state.p.extend_from_slice(cov);
             self.state.accepted.push(h.clone());
         } else {
@@ -664,12 +685,25 @@ impl<'a> Engine<'a> {
     pub fn regen_hierarchy(&mut self) {
         let darwin = self.darwin;
         let cfg = darwin.config();
-        let (hierarchy, cands) = generate_hierarchy_scored(
-            darwin.index(),
-            &self.state.p,
-            cfg.n_candidates,
-            self.max_count,
-        );
+        let (hierarchy, cands) = match &mut self.frontier {
+            // The pool drains the dirty-id journal `record` fed it, patches
+            // the affected frontier statistics, and replays the walk from
+            // the surviving state — identical output, no root-to-frontier
+            // posting rescan.
+            Some(pool) => generate_hierarchy_pooled(
+                darwin.index(),
+                &self.state.p,
+                cfg.n_candidates,
+                self.max_count,
+                pool,
+            ),
+            None => generate_hierarchy_scored(
+                darwin.index(),
+                &self.state.p,
+                cfg.n_candidates,
+                self.max_count,
+            ),
+        };
         self.hierarchy = hierarchy;
         if let Some(store) = &mut self.store {
             // Evict rules that left the pool — without this the store (and

@@ -17,23 +17,29 @@ pub struct Hierarchy {
 }
 
 impl Hierarchy {
+    /// A pool over `rules` (edges are resolved through the index on
+    /// demand, so construction is just the membership set).
     pub fn new(_index: &IndexSet, rules: Vec<RuleRef>) -> Hierarchy {
         let set = rules.iter().copied().collect();
         Hierarchy { rules, set }
     }
 
+    /// Number of candidate rules in the pool.
     pub fn len(&self) -> usize {
         self.rules.len()
     }
 
+    /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }
 
+    /// The pool, in generation (pop) order.
     pub fn rules(&self) -> &[RuleRef] {
         &self.rules
     }
 
+    /// Whether `r` made the pool.
     pub fn contains(&self, r: RuleRef) -> bool {
         self.set.contains(&r)
     }

@@ -5,7 +5,10 @@
 //!
 //! 1. generates a manageable pool of promising candidate heuristics from
 //!    the index, organized by subset/superset structure
-//!    ([`candidates`], Algorithm 2; [`hierarchy`]),
+//!    ([`candidates`], Algorithm 2; [`hierarchy`]) — regenerated after
+//!    every YES from a persistent candidate frontier ([`frontier`]) that
+//!    re-scores only the entries the new positives touch, instead of
+//!    re-walking the index from the root,
 //! 2. selects the next heuristic to verify using a traversal strategy —
 //!    [`traversal::LocalSearch`], [`traversal::UniversalSearch`] or
 //!    [`traversal::HybridSearch`] (Algorithms 3–5), guided by a *benefit*
@@ -26,10 +29,13 @@
 //! trained classifier scores, and a per-question trace from which the
 //! evaluation reconstructs coverage/F-score curves.
 
+#![warn(missing_docs)]
+
 pub mod benefit;
 pub mod candidates;
 pub mod config;
 pub mod engine;
+pub mod frontier;
 pub mod hierarchy;
 pub mod oracle;
 pub mod parallel;
@@ -39,6 +45,7 @@ pub mod traversal;
 
 pub use config::{DarwinConfig, TraversalKind};
 pub use engine::{BenefitAgg, BenefitStore, Engine, EngineFlavor, EngineState};
+pub use frontier::{FrontierPool, FrontierStats};
 pub use oracle::{GroundTruthOracle, Oracle, SampledAnnotatorOracle};
 pub use parallel::MajorityOracle;
 pub use pipeline::{Darwin, RunResult, Seed, TraceStep};

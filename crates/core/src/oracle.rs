@@ -35,6 +35,8 @@ pub struct GroundTruthOracle<'a> {
 }
 
 impl<'a> GroundTruthOracle<'a> {
+    /// An oracle that accepts rules whose coverage precision over
+    /// `labels` is at least `threshold` (the paper uses 0.8).
     pub fn new(labels: &'a [bool], threshold: f64) -> Self {
         GroundTruthOracle {
             labels,
@@ -82,6 +84,8 @@ pub struct SampledAnnotatorOracle<'a> {
 }
 
 impl<'a> SampledAnnotatorOracle<'a> {
+    /// An annotator that inspects `k` sampled covered sentences per
+    /// question (deterministic per `seed`).
     pub fn new(labels: &'a [bool], k: usize, seed: u64) -> Self {
         SampledAnnotatorOracle {
             labels,

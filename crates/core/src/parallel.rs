@@ -28,6 +28,7 @@ pub struct MajorityOracle<'a> {
 }
 
 impl<'a> MajorityOracle<'a> {
+    /// Combine `members` (at least one) by majority vote.
     pub fn new(members: Vec<Box<dyn Oracle + 'a>>) -> Self {
         assert!(
             !members.is_empty(),

@@ -31,7 +31,9 @@ pub enum Seed {
 pub struct TraceStep {
     /// 1-based question number.
     pub question: usize,
+    /// The rule asked about.
     pub rule: Heuristic,
+    /// The oracle's verdict.
     pub answer: bool,
     /// Sentence ids newly added to `P` by this step (empty on NO).
     pub new_positive_ids: Vec<u32>,
@@ -134,18 +136,22 @@ impl<'a> Darwin<'a> {
         }
     }
 
+    /// The run configuration.
     pub fn config(&self) -> &DarwinConfig {
         &self.cfg
     }
 
+    /// The word embeddings classifiers featurize with.
     pub fn embeddings(&self) -> &Embeddings {
         &self.emb
     }
 
+    /// The corpus under labeling.
     pub fn corpus(&self) -> &'a Corpus {
         self.corpus
     }
 
+    /// The heuristic index candidates are drawn from.
     pub fn index(&self) -> &'a IndexSet {
         self.index
     }

@@ -73,10 +73,12 @@ impl ShardedBenefitStore {
         self.parts[0].len()
     }
 
+    /// Whether no rule is tracked.
     pub fn is_empty(&self) -> bool {
         self.parts[0].is_empty()
     }
 
+    /// Whether `r` has tracked fragments.
     pub fn contains(&self, r: RuleRef) -> bool {
         self.parts[0].contains(r)
     }

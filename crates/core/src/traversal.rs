@@ -23,11 +23,17 @@ use darwin_index::{IdSet, IndexSet, RuleRef};
 
 /// Read-only view of the pipeline state a strategy selects from.
 pub struct Ctx<'a> {
+    /// The heuristic index the candidates live in.
     pub index: &'a IndexSet,
+    /// The current candidate pool.
     pub hierarchy: &'a Hierarchy,
+    /// The discovered positive set `P`.
     pub p: &'a IdSet,
+    /// Current classifier scores, one per sentence.
     pub scores: &'a [f32],
+    /// Rules already asked (or skipped as duplicates) — never re-offered.
     pub queried: &'a FxHashSet<RuleRef>,
+    /// UniversalSearch's benefit-per-instance pruning bar (Algorithm 4).
     pub benefit_threshold: f64,
     /// Delta-maintained benefit aggregates, partitioned by shard. When
     /// present, [`Ctx::benefit`] is an O(shards) fragment merge for
@@ -86,6 +92,7 @@ impl Ctx<'_> {
 
 /// A hierarchy-traversal policy.
 pub trait Strategy: Send {
+    /// Display name (experiment reports key on it).
     fn name(&self) -> &'static str;
 
     /// Choose the next rule to ask about, or `None` when out of ideas
@@ -188,6 +195,7 @@ impl Strategy for LocalSearch {
 pub struct UniversalSearch;
 
 impl UniversalSearch {
+    /// A fresh (stateless) UniversalSearch.
     pub fn new() -> UniversalSearch {
         UniversalSearch
     }
@@ -231,6 +239,8 @@ pub struct HybridSearch {
 }
 
 impl HybridSearch {
+    /// HybridSearch seeded like [`LocalSearch`], switching strategy after
+    /// `tau` consecutive failed attempts (paper default: 5).
     pub fn new(seeds: Vec<RuleRef>, tau: usize) -> HybridSearch {
         HybridSearch {
             local: LocalSearch::new(seeds),

@@ -3,7 +3,8 @@
 //! Darwin supports "any rule language that can be specified using a
 //! context-free grammar". This module gives the two built-in grammars their
 //! formal presentation and can *witness* that a concrete pattern is a
-//! derivation: [`Cfg::derivation_of`] returns the sequence of production
+//! derivation: [`Cfg::derivation_of_phrase`] and
+//! [`Cfg::derivation_of_tree`] return the sequence of production
 //! applications that yields the pattern. Tests use this to guarantee every
 //! heuristic the system manipulates really belongs to its grammar.
 

@@ -13,7 +13,7 @@
 //!   operations whose terminals are tokens or universal POS tags
 //!   (Definition 3), e.g. `is/NOUN & job`.
 //!
-//! [`cfg`] holds the formal CFG presentations of both grammars and can list
+//! [`mod@cfg`] holds the formal CFG presentations of both grammars and can list
 //! the derivation-rule sequence producing any pattern, which is how we test
 //! that every heuristic really is a grammar derivation.
 

@@ -152,27 +152,37 @@ impl IndexSet {
 
     /// One-derivation-step specializations of `r`.
     pub fn children(&self, r: RuleRef) -> Vec<RuleRef> {
+        let mut out = Vec::new();
+        self.for_each_child(r, |c| out.push(c));
+        out
+    }
+
+    /// Visit the one-derivation-step specializations of `r` without
+    /// materializing them ([`IndexSet::children`] minus the `Vec` — the
+    /// best-first walk expands enough nodes for the per-pop allocation to
+    /// show up).
+    pub fn for_each_child(&self, r: RuleRef, mut f: impl FnMut(RuleRef)) {
         match r {
             RuleRef::Root => {
-                let mut out: Vec<RuleRef> = self
-                    .phrase
-                    .children(crate::phrase_index::ROOT)
-                    .map(RuleRef::Phrase)
-                    .collect();
-                if let Some(t) = &self.tree {
-                    out.extend(t.roots().iter().map(|&p| RuleRef::Tree(p)));
+                for c in self.phrase.children(crate::phrase_index::ROOT) {
+                    f(RuleRef::Phrase(c));
                 }
-                out
+                if let Some(t) = &self.tree {
+                    for &p in t.roots() {
+                        f(RuleRef::Tree(p));
+                    }
+                }
             }
-            RuleRef::Phrase(n) => self.phrase.children(n).map(RuleRef::Phrase).collect(),
-            RuleRef::Tree(p) => self
-                .tree
-                .as_ref()
-                .expect("tree index enabled")
-                .children(p)
-                .iter()
-                .map(|&c| RuleRef::Tree(c))
-                .collect(),
+            RuleRef::Phrase(n) => {
+                for c in self.phrase.children(n) {
+                    f(RuleRef::Phrase(c));
+                }
+            }
+            RuleRef::Tree(p) => {
+                for &c in self.tree.as_ref().expect("tree index enabled").children(p) {
+                    f(RuleRef::Tree(c));
+                }
+            }
         }
     }
 
@@ -225,6 +235,37 @@ impl IndexSet {
             }
             Heuristic::Phrase(_) => None,
             Heuristic::Tree(t) => self.tree.as_ref()?.lookup(t).map(RuleRef::Tree),
+        }
+    }
+
+    /// Size of the dense rule numbering ([`IndexSet::dense_id`]).
+    pub fn dense_rules(&self) -> usize {
+        self.phrase.len() + self.tree.as_ref().map_or(0, |t| t.len())
+    }
+
+    /// A dense `0..dense_rules()` numbering of the index: phrase trie
+    /// nodes first (slot 0 is the trie root, which doubles as
+    /// [`RuleRef::Root`] — no indexed rule occupies it), then tree
+    /// patterns. Lets per-rule side tables and visited sets be flat arrays
+    /// instead of hash maps — the frontier pool's memo and the best-first
+    /// walk's seen-set are the hot consumers.
+    pub fn dense_id(&self, r: RuleRef) -> u32 {
+        match r {
+            RuleRef::Root => 0,
+            RuleRef::Phrase(n) => n,
+            RuleRef::Tree(p) => self.phrase.len() as u32 + p,
+        }
+    }
+
+    /// Inverse of [`IndexSet::dense_id`].
+    pub fn rule_of_dense(&self, id: u32) -> RuleRef {
+        let phrase_len = self.phrase.len() as u32;
+        if id == 0 {
+            RuleRef::Root
+        } else if id < phrase_len {
+            RuleRef::Phrase(id)
+        } else {
+            RuleRef::Tree(id - phrase_len)
         }
     }
 
@@ -351,6 +392,25 @@ mod tests {
             .children(RuleRef::Root)
             .iter()
             .all(|r| matches!(r, RuleRef::Phrase(_))));
+    }
+
+    #[test]
+    fn dense_numbering_roundtrips_and_is_injective() {
+        let c = corpus();
+        let idx = IndexSet::build(&c, &IndexConfig::small());
+        let mut seen = vec![false; idx.dense_rules()];
+        for r in idx.all_rules() {
+            let d = idx.dense_id(r);
+            assert!((d as usize) < idx.dense_rules());
+            assert_ne!(d, 0, "slot 0 is reserved for the root");
+            assert!(!seen[d as usize], "dense id {d} assigned twice");
+            seen[d as usize] = true;
+            assert_eq!(idx.rule_of_dense(d), r);
+        }
+        assert_eq!(
+            idx.rule_of_dense(idx.dense_id(RuleRef::Root)),
+            RuleRef::Root
+        );
     }
 
     #[test]

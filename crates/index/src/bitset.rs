@@ -44,6 +44,7 @@ impl IdSet {
         newly
     }
 
+    /// Membership test.
     #[inline]
     pub fn contains(&self, id: u32) -> bool {
         let (b, m) = (id as usize / 64, 1u64 << (id % 64));
@@ -55,6 +56,7 @@ impl IdSet {
         self.len
     }
 
+    /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

@@ -19,9 +19,12 @@
 //!   incremental benefit engine,
 //! * [`shard`] — [`ShardMap`]: contiguous sentence-id partitioning with
 //!   shard-sliced postings, the ownership layer of the sharded execution
-//!   engine,
+//!   engine, plus [`intersect_count`], the sorted-posting intersection
+//!   primitive incremental maintenance filters dirty ids with,
 //! * [`bitset`] — a dense id set used throughout the pipeline,
 //! * [`fx`] — the FxHash hasher (integer-keyed maps are hot here).
+
+#![warn(missing_docs)]
 
 pub mod api;
 pub mod bitset;
@@ -36,6 +39,6 @@ pub use api::{IndexConfig, IndexSet, RuleRef};
 pub use bitset::IdSet;
 pub use inverted::InvertedIndex;
 pub use phrase_index::PhraseIndex;
-pub use shard::{shard_slice, ShardMap};
+pub use shard::{intersect_count, shard_slice, ShardMap};
 pub use sketch::TreeSketchConfig;
 pub use tree_index::TreeIndex;

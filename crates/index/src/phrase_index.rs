@@ -204,6 +204,7 @@ impl PhraseIndex {
         self.nodes.len()
     }
 
+    /// Whether only the root exists (no phrases indexed).
     pub fn is_empty(&self) -> bool {
         self.nodes.len() <= 1
     }
@@ -229,10 +230,12 @@ impl PhraseIndex {
         &self.nodes[n as usize].postings
     }
 
+    /// The node's one-token-shorter prefix (`None` for the root).
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
         (n != ROOT).then(|| self.nodes[n as usize].parent)
     }
 
+    /// The node's one-token-longer extensions.
     pub fn children(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes[n as usize].children.values().copied()
     }

@@ -28,6 +28,54 @@ pub fn shard_slice(postings: &[u32], lo: u32, hi: u32) -> &[u32] {
     &postings[a..b]
 }
 
+/// Number of ids two **sorted, duplicate-free** lists share (posting lists
+/// and dirty-id batches are both strictly increasing; with duplicates the
+/// result would depend on which internal branch runs, so they are ruled
+/// out by contract and `debug_assert`ed).
+///
+/// This is the dirty-id filtering primitive of incremental maintenance:
+/// given a rule's posting list and a sorted batch of newly-labeled sentence
+/// ids, the intersection size is exactly how much the rule's
+/// positive-overlap statistic moved. Adaptive: when one list is much
+/// shorter the longer one is binary-searched (and narrowed after each
+/// probe), otherwise a linear merge runs — both O(min + log) / O(a + b)
+/// with no allocation.
+pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a not sorted-unique");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b not sorted-unique");
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return 0;
+    }
+    let mut hits = 0;
+    if long.len() / short.len() >= 16 {
+        let mut rest = long;
+        for &x in short {
+            let i = rest.partition_point(|&y| y < x);
+            if rest.get(i) == Some(&x) {
+                hits += 1;
+                rest = &rest[i + 1..];
+            } else {
+                rest = &rest[i..];
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < short.len() && j < long.len() {
+            match short[i].cmp(&long[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    hits += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    hits
+}
+
 /// A partition of sentence ids `0..n` into `S` contiguous shards.
 ///
 /// Shard `s` owns `[s·c, min((s+1)·c, n))` with `c = ⌈n / S⌉`; when
@@ -147,6 +195,29 @@ mod tests {
         assert_eq!(shard_slice(&postings, 0, 12), &postings[..]);
         assert_eq!(shard_slice(&postings, 5, 9), &[5, 5, 8][..]);
         assert_eq!(shard_slice(&postings, 12, 20), &[] as &[u32]);
+    }
+
+    #[test]
+    fn intersect_count_agrees_with_naive() {
+        let naive = |a: &[u32], b: &[u32]| a.iter().filter(|x| b.contains(x)).count();
+        let cases: [(&[u32], &[u32]); 6] = [
+            (&[], &[1, 2, 3]),
+            (&[2], &[1, 2, 3]),
+            (&[1, 4, 9], &[2, 4, 6, 8, 9]),
+            (&[0, 1, 2, 3], &[0, 1, 2, 3]),
+            (&[5, 7], &(0..200).collect::<Vec<u32>>()),
+            (&[199, 201], &(0..200).collect::<Vec<u32>>()),
+        ];
+        for (a, b) in cases {
+            assert_eq!(intersect_count(a, b), naive(a, b), "a={a:?}");
+            assert_eq!(intersect_count(b, a), naive(a, b), "swapped a={a:?}");
+        }
+        // Both branches: a long sparse probe list vs. a similar-length merge.
+        let long: Vec<u32> = (0..1000).step_by(3).collect();
+        let short: Vec<u32> = (0..1000).step_by(51).collect();
+        assert_eq!(intersect_count(&short, &long), naive(&short, &long));
+        let similar: Vec<u32> = (0..1000).step_by(4).collect();
+        assert_eq!(intersect_count(&similar, &long), naive(&similar, &long));
     }
 
     #[test]

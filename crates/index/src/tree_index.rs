@@ -140,34 +140,42 @@ impl TreeIndex {
         out
     }
 
+    /// Number of indexed patterns.
     pub fn len(&self) -> usize {
         self.pats.len()
     }
 
+    /// Whether no pattern is indexed.
     pub fn is_empty(&self) -> bool {
         self.pats.is_empty()
     }
 
+    /// The pattern a [`PatId`] denotes.
     pub fn pattern(&self, id: PatId) -> &TreePattern {
         &self.pats[id as usize]
     }
 
+    /// Find the id of an (enumerated) pattern.
     pub fn lookup(&self, p: &TreePattern) -> Option<PatId> {
         self.ids.get(p).copied()
     }
 
+    /// Sorted ids of sentences matching the pattern.
     pub fn postings(&self, id: PatId) -> &[u32] {
         &self.postings[id as usize]
     }
 
+    /// `postings(id).len()` without borrowing the list.
     pub fn count(&self, id: PatId) -> usize {
         self.postings[id as usize].len()
     }
 
+    /// One-step structural generalizations of the pattern.
     pub fn parents(&self, id: PatId) -> &[PatId] {
         &self.parents[id as usize]
     }
 
+    /// One-step structural specializations of the pattern.
     pub fn children(&self, id: PatId) -> &[PatId] {
         &self.children[id as usize]
     }
@@ -177,6 +185,7 @@ impl TreeIndex {
         &self.roots
     }
 
+    /// Iterate over all pattern ids.
     pub fn pat_ids(&self) -> impl Iterator<Item = PatId> {
         0..self.pats.len() as PatId
     }

@@ -34,6 +34,17 @@ fn run_sharded(
     make: Option<MakeStrategy>,
     shards: usize,
 ) -> RunResult {
+    run_cfg(incremental, true, kind, make, shards, test_threads())
+}
+
+fn run_cfg(
+    incremental: bool,
+    frontier: bool,
+    kind: TraversalKind,
+    make: Option<MakeStrategy>,
+    shards: usize,
+    threads: usize,
+) -> RunResult {
     let d = directions::generate(800, 42);
     let index = IndexSet::build(
         &d.corpus,
@@ -47,8 +58,9 @@ fn run_sharded(
         budget: 20,
         n_candidates: 1500,
         incremental_benefit: incremental,
+        incremental_frontier: frontier,
         shards,
-        threads: test_threads(),
+        threads,
         ..DarwinConfig::fast().with_traversal(kind)
     };
     let darwin = Darwin::new(&d.corpus, &index, cfg);
@@ -128,6 +140,32 @@ fn shard_counts_select_identical_sequences() {
             assert_equivalent(&reference, &sharded, &format!("{kind:?} S={shards}"));
         }
     }
+}
+
+/// The incremental candidate frontier is a regeneration detail: replaying
+/// the best-first walk from the pool's memoized statistics must produce the
+/// exact trace of the from-scratch walk, across the S × threads execution
+/// matrix. The reference run disables the frontier (full root-to-frontier
+/// rescan each YES); one reference suffices because shard and thread counts
+/// provably never change a trace (tests above).
+#[test]
+fn frontier_regeneration_selects_identical_sequences() {
+    let reference = run_cfg(true, false, TraversalKind::Hybrid, None, 1, 1);
+    assert!(reference.questions() > 0, "reference run asked nothing");
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let pooled = run_cfg(true, true, TraversalKind::Hybrid, None, shards, threads);
+            assert_equivalent(
+                &reference,
+                &pooled,
+                &format!("frontier S={shards} T={threads}"),
+            );
+        }
+    }
+    // The frontier also rides the rescan-benefit ablation unchanged.
+    let rescan_ref = run_cfg(false, false, TraversalKind::Hybrid, None, 1, 1);
+    let rescan_pooled = run_cfg(false, true, TraversalKind::Hybrid, None, 1, 1);
+    assert_equivalent(&rescan_ref, &rescan_pooled, "frontier over rescan benefits");
 }
 
 type MakeStrategy = fn() -> Box<dyn darwin_core::Strategy>;
