@@ -1,5 +1,6 @@
 //! Pipeline configuration.
 
+use crate::batch::BatchPolicy;
 use darwin_classifier::ClassifierKind;
 
 /// Which hierarchy-traversal strategy selects the next question
@@ -76,6 +77,14 @@ pub struct DarwinConfig {
     /// fragments exactly (fixed-point sums), so every shard count selects
     /// the identical question sequence. 1 = the unsharded reference path.
     pub shards: usize,
+    /// How the asynchronous loop ([`crate::Darwin::run_async`]) sizes its
+    /// waves of in-flight oracle questions: a fixed count, a
+    /// latency-targeted adaptive size, or a benefit-decay cutoff (see
+    /// [`BatchPolicy`]). `Fixed(1)` — the default — replays the
+    /// synchronous loop byte for byte under an immediate-answer oracle;
+    /// the step-driven entry points (`run`, `run_parallel`) ignore this
+    /// knob.
+    pub batch: BatchPolicy,
     /// Candidates covering more than this fraction of the corpus are never
     /// generated: on the paper's imbalanced tasks (1–12% positive) such
     /// rules cannot clear the 0.8-precision bar, and asking them wastes
@@ -101,6 +110,7 @@ impl Default for DarwinConfig {
             incremental_frontier: true,
             threads: 1,
             shards: 1,
+            batch: BatchPolicy::Fixed(1),
             max_coverage_frac: 0.4,
             seed: 42,
         }
@@ -161,6 +171,12 @@ impl DarwinConfig {
         self.incremental_frontier = on;
         self
     }
+
+    /// Replace the async wave-sizing policy.
+    pub fn with_batch(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +201,13 @@ mod tests {
         assert_eq!(c.traversal, TraversalKind::Local);
         assert_eq!(c.budget, 7);
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn batch_default_is_sequential() {
+        assert_eq!(DarwinConfig::default().batch, BatchPolicy::Fixed(1));
+        let c = DarwinConfig::fast().with_batch(BatchPolicy::LatencyTargeted { max: 16 });
+        assert_eq!(c.batch.max_in_flight(), 16);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::benefit::{quantize, Benefit};
 use crate::candidates::{generate_hierarchy_pooled, generate_hierarchy_scored};
 use crate::frontier::FrontierPool;
 use crate::hierarchy::Hierarchy;
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, QuestionId};
 use crate::pipeline::{Darwin, RunResult, Seed, TraceStep};
 use crate::shard::ShardedBenefitStore;
 use crate::traversal::{Ctx, Strategy};
@@ -419,6 +419,10 @@ pub struct Engine<'a> {
     /// (`None` = the full-walk reference path,
     /// `DarwinConfig::incremental_frontier = false`).
     frontier: Option<FrontierPool>,
+    /// Questions submitted to an async oracle and not yet answered
+    /// ([`crate::batch`]): selection keeps proposing around them, answers
+    /// resolve them in any order.
+    pending: Vec<(QuestionId, RuleRef)>,
     seed_refs: Vec<RuleRef>,
     max_count: usize,
 }
@@ -490,6 +494,7 @@ impl<'a> Engine<'a> {
             hierarchy: Hierarchy::new(index, Vec::new()),
             store: None,
             frontier: cfg.incremental_frontier.then(FrontierPool::new),
+            pending: Vec::new(),
             seed_refs,
             max_count,
         };
@@ -586,6 +591,143 @@ impl<'a> Engine<'a> {
             }
             return Some(r);
         }
+    }
+
+    /// Number of questions currently in flight (submitted, unanswered).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The in-flight questions, in submission order.
+    pub fn pending(&self) -> impl Iterator<Item = (QuestionId, RuleRef)> + '_ {
+        self.pending.iter().copied()
+    }
+
+    /// Mark `rule` as in flight under `qid`: selection keeps avoiding it
+    /// (it is already in `queried` — [`Engine::select`] and
+    /// [`Engine::select_refill`] put it there) and
+    /// [`Engine::select_refill`] additionally steers new proposals away
+    /// from its uncovered sentences until the answer arrives.
+    pub fn begin_question(&mut self, qid: QuestionId, rule: RuleRef) {
+        debug_assert!(
+            self.state.queried.contains(&rule),
+            "begin_question on a rule selection never marked"
+        );
+        debug_assert!(
+            self.pending.iter().all(|&(q, _)| q != qid),
+            "duplicate QuestionId"
+        );
+        self.pending.push((qid, rule));
+    }
+
+    /// Apply an answer to an in-flight question — in *any* order relative
+    /// to other submissions; a YES flows through the exact
+    /// [`Engine::record`] path (benefit deltas, frontier YES-journal,
+    /// trace). Returns the resolved rule, or `None` for an unknown id
+    /// (already resolved, or never submitted).
+    pub fn resolve(&mut self, qid: QuestionId, answer: bool) -> Option<RuleRef> {
+        let at = self.pending.iter().position(|&(q, _)| q == qid)?;
+        let (_, rule) = self.pending.remove(at);
+        self.record(rule, answer);
+        Some(rule)
+    }
+
+    /// Give up on every in-flight question (the oracle stopped
+    /// delivering): the pending set empties, nothing is recorded, and the
+    /// rules stay `queried` — their submissions were spent. Returns how
+    /// many questions were abandoned.
+    pub fn abandon_pending(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        n
+    }
+
+    /// Total benefit (fixed-point) of `r` under the current state — what
+    /// the adaptive batcher's benefit-decay cutoff is anchored on.
+    pub fn benefit_sum(&self, r: RuleRef) -> i64 {
+        self.ctx().benefit(r).sum_q
+    }
+
+    /// Propose one more question *while others are in flight* — see
+    /// [`Engine::select_refill_batch`]; this is the single-pick form.
+    pub fn select_refill(&mut self, floor: Option<i64>) -> Option<RuleRef> {
+        self.select_refill_batch(1, floor).pop()
+    }
+
+    /// Propose up to `want` further questions *while others are in
+    /// flight*: the highest-ranked candidates under the parallel batch
+    /// gating ([`crate::parallel::select_diverse_batch`]'s ranking) whose
+    /// new coverage overlaps the union of in-flight and just-proposed
+    /// questions' new coverage by at most half — annotators working
+    /// concurrently should not review near-duplicates. The pool is ranked
+    /// once per call, so a whole wave refill costs one scan + sort, not
+    /// one per slot.
+    ///
+    /// `floor` (benefit-decay batching) ends the proposal scan — and with
+    /// it the wave — at the first candidate whose total benefit fell
+    /// below it: once benefit decays past the cutoff, nothing further
+    /// down the proposal order extends the wave.
+    ///
+    /// Exact coverage duplicates and cross-grammar aliases of anything
+    /// already asked are consumed without being proposed, like
+    /// [`Engine::select`]; candidates merely *overlapping* an in-flight
+    /// question stay available for later waves.
+    pub fn select_refill_batch(&mut self, want: usize, floor: Option<i64>) -> Vec<RuleRef> {
+        let mut picks = Vec::new();
+        if want == 0 {
+            return picks;
+        }
+        let index = self.darwin.index();
+        // Union of new (≔ outside P) coverage across in-flight questions.
+        let mut covered = IdSet::with_universe(self.darwin.corpus().len());
+        for &(_, r) in &self.pending {
+            for &s in index.coverage(r) {
+                if !self.state.p.contains(s) {
+                    covered.insert(s);
+                }
+            }
+        }
+        let ranked = {
+            let ctx = self.ctx();
+            crate::parallel::rank_gated(&ctx)
+        };
+        for (r, _, sum_q, _) in ranked {
+            if picks.len() == want {
+                break;
+            }
+            if floor.is_some_and(|f| sum_q < f) {
+                break; // benefit decayed below the cutoff: the wave stops
+            }
+            let new: Vec<u32> = index
+                .coverage(r)
+                .iter()
+                .copied()
+                .filter(|&s| !self.state.p.contains(s))
+                .collect();
+            if new.is_empty() {
+                continue;
+            }
+            let overlap = covered.count_in(&new);
+            if overlap * 2 > new.len() {
+                continue; // mostly duplicates an in-flight question
+            }
+            if !self.state.asked.insert(canonical(index.heuristic(r))) {
+                self.state.queried.insert(r);
+                continue;
+            }
+            if !self
+                .state
+                .asked_coverages
+                .insert(coverage_hash(index.coverage(r)))
+            {
+                self.state.queried.insert(r);
+                continue;
+            }
+            self.state.queried.insert(r);
+            covered.extend_from_slice(&new);
+            picks.push(r);
+        }
+        picks
     }
 
     /// Record an oracle answer: on YES grow `P`, patch the benefit
@@ -722,9 +864,16 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// One sequential question: select, ask, feed back, apply (retraining
+    /// One sequential question: select, ask, apply, feed back (retraining
     /// and regenerating the hierarchy on YES). Returns `false` when the
     /// strategy has nothing left to ask.
+    ///
+    /// The strategy observes the answer *after* [`Engine::record`] applied
+    /// it — the `ctx` passed to [`Strategy::feedback`] already reflects
+    /// the grown `P`. The async loop ([`crate::batch`]) runs the same
+    /// order (answers record as they arrive, feedback at the wave
+    /// barrier), so batch size 1 replays this step exactly by
+    /// construction, whatever a strategy reads in its feedback.
     pub fn step(&mut self, strategy: &mut dyn Strategy, oracle: &mut dyn Oracle) -> bool {
         let Some(rule) = self.select(strategy) else {
             return false;
@@ -733,11 +882,11 @@ impl<'a> Engine<'a> {
         let h = index.heuristic(rule);
         let cov = index.coverage(rule);
         let answer = oracle.ask(self.darwin.corpus(), &h, cov);
+        self.record(rule, answer);
         {
             let ctx = self.ctx();
             strategy.feedback(rule, answer, &ctx);
         }
-        self.record(rule, answer);
         if answer {
             // Score update (§3.7): retrain, refresh scores, regenerate the
             // hierarchy around the grown positive set.

@@ -19,11 +19,15 @@
 //!    partitioned across corpus shards and merged exactly at selection
 //!    time when [`DarwinConfig::shards`] > 1 ([`shard`]),
 //! 3. asks the [`oracle::Oracle`] a YES/NO question about the selected
-//!    heuristic, and
+//!    heuristic — or, against a slow (human/crowd) oracle, *submits* it
+//!    through the [`oracle::AsyncOracle`] split and keeps a wave of
+//!    further diverse questions in flight while answers are outstanding
+//!    ([`batch`], with §4.3 crowd-cost accounting), and
 //! 4. on YES, grows the positive set, retrains the classifier and updates
 //!    all scores ([`pipeline`], Algorithm 1 — the loop itself is
 //!    [`engine::Engine::step`], shared by the sequential, parallel and
-//!    baseline runners).
+//!    baseline runners; the async loop applies answers out of order
+//!    through the same machinery and retrains once per drained wave).
 //!
 //! The output is the accepted rule set, the discovered positives, the
 //! trained classifier scores, and a per-question trace from which the
@@ -31,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod benefit;
 pub mod candidates;
 pub mod config;
@@ -43,11 +48,17 @@ pub mod pipeline;
 pub mod shard;
 pub mod traversal;
 
+pub use batch::{
+    AdaptiveBatcher, AsyncReport, AsyncRunResult, BatchPolicy, CostModel, CrowdCost,
+    ScriptedArrival, SimulatedLatency,
+};
 pub use config::{DarwinConfig, TraversalKind};
 pub use engine::{BenefitAgg, BenefitStore, Engine, EngineFlavor, EngineState};
 pub use frontier::{FrontierPool, FrontierStats};
-pub use oracle::{GroundTruthOracle, Oracle, SampledAnnotatorOracle};
-pub use parallel::MajorityOracle;
+pub use oracle::{
+    AsyncOracle, GroundTruthOracle, Immediate, Oracle, QuestionId, SampledAnnotatorOracle,
+};
+pub use parallel::{select_diverse_batch, MajorityOracle};
 pub use pipeline::{Darwin, RunResult, Seed, TraceStep};
 pub use shard::ShardedBenefitStore;
 pub use traversal::Strategy;

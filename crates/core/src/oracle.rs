@@ -7,6 +7,19 @@
 //! observed with Figure-eight crowd workers (judging from 5 sampled
 //! matches, occasionally fooled when the sample looks cleaner than the
 //! full coverage set).
+//!
+//! Two calling conventions share the same answer semantics:
+//!
+//! * [`Oracle`] is the synchronous form — `ask` blocks until the verdict
+//!   is known. Every step-driven loop ([`crate::pipeline`],
+//!   [`crate::parallel`]) uses it.
+//! * [`AsyncOracle`] is the submit/poll split the batched loop
+//!   ([`crate::batch`]) drives: questions go out tagged with a
+//!   [`QuestionId`], answers come back later — possibly out of order —
+//!   from `poll`. [`Immediate`] adapts any synchronous oracle to the
+//!   async surface (answers available at the next poll), which is also
+//!   the reference configuration for the batch layer's equivalence
+//!   guarantee.
 
 use darwin_grammar::Heuristic;
 use darwin_text::Corpus;
@@ -21,6 +34,105 @@ pub trait Oracle {
 
     /// Number of questions asked so far.
     fn queries(&self) -> usize;
+}
+
+impl<O: Oracle + ?Sized> Oracle for &mut O {
+    fn ask(&mut self, corpus: &Corpus, rule: &Heuristic, coverage: &[u32]) -> bool {
+        (**self).ask(corpus, rule, coverage)
+    }
+
+    fn queries(&self) -> usize {
+        (**self).queries()
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for Box<O> {
+    fn ask(&mut self, corpus: &Corpus, rule: &Heuristic, coverage: &[u32]) -> bool {
+        (**self).ask(corpus, rule, coverage)
+    }
+
+    fn queries(&self) -> usize {
+        (**self).queries()
+    }
+}
+
+/// Identifies one submitted question for the lifetime of an async run.
+/// Ids are assigned by the driver in submission order, so sorting arrived
+/// answers by id recovers the canonical (submission) order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QuestionId(pub u64);
+
+/// The asynchronous feedback source the batched loop drives: questions are
+/// *submitted* and answers *polled*, decoupling selection from answering so
+/// several questions can be in flight at once (paper §4.3's crowd setting,
+/// where annotator latency dwarfs engine compute).
+///
+/// Contract:
+///
+/// * every submitted [`QuestionId`] is eventually delivered by exactly one
+///   `poll` call, in any order;
+/// * `poll` may block briefly while answers are outstanding (a simulated
+///   or remote oracle waiting on its next arrival), but must not block
+///   when nothing is in flight;
+/// * answers depend only on the submitted `(rule, coverage)`, exactly as
+///   [`Oracle::ask`] (Definition 4: the verdict is a function of `C_r`).
+pub trait AsyncOracle {
+    /// Dispatch a question. The answer arrives from a later [`poll`].
+    ///
+    /// [`poll`]: AsyncOracle::poll
+    fn submit(&mut self, qid: QuestionId, corpus: &Corpus, rule: &Heuristic, coverage: &[u32]);
+
+    /// Answers that have arrived since the last poll (possibly empty,
+    /// possibly out of submission order).
+    fn poll(&mut self) -> Vec<(QuestionId, bool)>;
+
+    /// Questions submitted so far.
+    fn queries(&self) -> usize;
+}
+
+/// Blanket adapter: any synchronous [`Oracle`] as an [`AsyncOracle`] whose
+/// answers are available at the next poll — zero latency, nothing ever in
+/// flight across a poll boundary. Driving the batch loop with batch size 1
+/// through this adapter replays the synchronous loop byte for byte (the
+/// batch layer's equivalence tests pin this).
+pub struct Immediate<O> {
+    inner: O,
+    ready: Vec<(QuestionId, bool)>,
+}
+
+impl<O: Oracle> Immediate<O> {
+    /// Wrap a synchronous oracle.
+    pub fn new(inner: O) -> Immediate<O> {
+        Immediate {
+            inner,
+            ready: Vec::new(),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwrap, discarding any undelivered answers.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Oracle> AsyncOracle for Immediate<O> {
+    fn submit(&mut self, qid: QuestionId, corpus: &Corpus, rule: &Heuristic, coverage: &[u32]) {
+        let answer = self.inner.ask(corpus, rule, coverage);
+        self.ready.push((qid, answer));
+    }
+
+    fn poll(&mut self) -> Vec<(QuestionId, bool)> {
+        std::mem::take(&mut self.ready)
+    }
+
+    fn queries(&self) -> usize {
+        self.inner.queries()
+    }
 }
 
 /// A perfect annotator: YES iff the precision of the full coverage set
@@ -176,6 +288,45 @@ mod tests {
         }
         assert!(yes > 5, "some false YES expected, got {yes}");
         assert!(yes < 150, "mostly NO expected, got {yes}");
+    }
+
+    #[test]
+    fn immediate_adapter_preserves_answers_and_count() {
+        let c = corpus();
+        let labels = vec![true, true, true, true, false];
+        let r = dummy_rule(&c);
+        let mut sync = GroundTruthOracle::new(&labels, 0.8);
+        let expect = [
+            sync.ask(&c, &r, &[0, 1, 2, 3, 4]),
+            sync.ask(&c, &r, &[2, 3, 4]),
+        ];
+
+        let mut a = Immediate::new(GroundTruthOracle::new(&labels, 0.8));
+        a.submit(QuestionId(0), &c, &r, &[0, 1, 2, 3, 4]);
+        a.submit(QuestionId(1), &c, &r, &[2, 3, 4]);
+        let got = a.poll();
+        assert_eq!(
+            got,
+            vec![(QuestionId(0), expect[0]), (QuestionId(1), expect[1])]
+        );
+        assert!(a.poll().is_empty(), "answers deliver exactly once");
+        assert_eq!(a.queries(), 2);
+    }
+
+    #[test]
+    fn oracle_impls_for_references_and_boxes() {
+        let c = corpus();
+        let labels = vec![true, true, true, true, false];
+        let r = dummy_rule(&c);
+        let mut gt = GroundTruthOracle::new(&labels, 0.8);
+        let by_ref: &mut dyn Oracle = &mut gt;
+        let mut wrapped = Immediate::new(by_ref);
+        wrapped.submit(QuestionId(7), &c, &r, &[0, 1, 2, 3]);
+        assert_eq!(wrapped.poll(), vec![(QuestionId(7), true)]);
+
+        let mut boxed: Box<dyn Oracle> = Box::new(GroundTruthOracle::new(&labels, 0.8));
+        assert!(boxed.ask(&c, &r, &[0, 1, 2, 3]));
+        assert_eq!(boxed.queries(), 1);
     }
 
     #[test]

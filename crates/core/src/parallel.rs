@@ -11,6 +11,7 @@
 //! question, which is what makes the wall-clock win of parallel annotation
 //! real.
 
+use crate::batch::{CostModel, CrowdCost};
 use crate::engine::{Engine, EngineFlavor};
 use crate::oracle::Oracle;
 use crate::pipeline::{Darwin, RunResult, Seed};
@@ -110,21 +111,34 @@ impl Darwin<'_> {
         }
         engine.finish()
     }
+
+    /// [`Darwin::run_parallel`] plus the paper's §4.3 crowd-cost
+    /// accounting: the run result comes back with a [`CrowdCost`] report
+    /// pricing every asked question under `model` (each question fans out
+    /// to `model.members` paid judgments).
+    pub fn run_parallel_costed(
+        &self,
+        seed: Seed,
+        annotators: &mut [&mut dyn Oracle],
+        rounds: usize,
+        model: &CostModel,
+    ) -> (RunResult, CrowdCost) {
+        let run = self.run_parallel(seed, annotators, rounds);
+        let cost = model.report(run.questions());
+        (run, cost)
+    }
 }
 
-/// Greedy diverse batch: repeatedly take the most beneficial rule whose
-/// *new* coverage overlaps every already-picked rule's new coverage by at
-/// most half — annotators should not be shown near-duplicates. Benefits
-/// arrive through [`Ctx::benefit`], i.e. merged across the engine's shard
-/// partitions when `DarwinConfig::shards` > 1 — the merge is exact, so
-/// batch composition is identical at every shard count (the
-/// `engine_equivalence` suite pins this for parallel rounds too).
-fn select_diverse_batch(ctx: &Ctx<'_>, k: usize) -> Vec<RuleRef> {
-    // Same gating as the sequential traversals: rules whose benefit per
-    // new instance clears the threshold rank first (by total benefit);
-    // everything else ranks by expected precision. Without this, batches
-    // fill with broad rules the oracle is certain to reject. Benefits come
-    // from the engine's delta-maintained aggregates via `ctx`.
+/// Rank unqueried pool candidates for batched annotation, with the same
+/// gating as the sequential traversals: rules whose benefit per new
+/// instance clears the threshold rank first (by total benefit); everything
+/// else ranks by expected precision. Without this, batches fill with broad
+/// rules the oracle is certain to reject. Benefits come from the engine's
+/// delta-maintained aggregates via `ctx`. Returns
+/// `(rule, qualified, sum_q, average)` tuples in rank order — consumed by
+/// [`select_diverse_batch`] and by the async loop's refill selection
+/// ([`crate::engine::Engine::select_refill`]).
+pub(crate) fn rank_gated(ctx: &Ctx<'_>) -> Vec<(RuleRef, bool, i64, f64)> {
     let mut scored: Vec<(RuleRef, bool, i64, f64)> = ctx
         .hierarchy
         .rules()
@@ -148,7 +162,18 @@ fn select_diverse_batch(ctx: &Ctx<'_>, k: usize) -> Vec<RuleRef> {
             })
             .then_with(|| a.0.cmp(&b.0))
     });
+    scored
+}
 
+/// Greedy diverse batch: repeatedly take the most beneficial rule whose
+/// *new* coverage overlaps every already-picked rule's new coverage by at
+/// most half — annotators should not be shown near-duplicates. Benefits
+/// arrive through [`Ctx::benefit`], i.e. merged across the engine's shard
+/// partitions when `DarwinConfig::shards` > 1 — the merge is exact, so
+/// batch composition is identical at every shard count (the
+/// `engine_equivalence` suite pins this for parallel rounds too).
+pub fn select_diverse_batch(ctx: &Ctx<'_>, k: usize) -> Vec<RuleRef> {
+    let scored = rank_gated(ctx);
     let mut batch: Vec<RuleRef> = Vec::with_capacity(k);
     let mut covered = IdSet::with_universe(ctx.scores.len());
     for (rule, ..) in scored {
@@ -179,8 +204,128 @@ fn select_diverse_batch(ctx: &Ctx<'_>, k: usize) -> Vec<RuleRef> {
 mod tests {
     use super::*;
     use crate::config::DarwinConfig;
+    use crate::hierarchy::Hierarchy;
     use crate::oracle::{GroundTruthOracle, SampledAnnotatorOracle};
+    use darwin_index::fx::FxHashSet;
     use darwin_index::{IndexConfig, IndexSet};
+
+    /// Direct harness for [`select_diverse_batch`]: a hand-built [`Ctx`]
+    /// over an explicit rule pool, no engine in the loop.
+    struct BatchFixture {
+        corpus: Corpus,
+        index: IndexSet,
+        p: IdSet,
+        scores: Vec<f32>,
+        queried: FxHashSet<RuleRef>,
+    }
+
+    impl BatchFixture {
+        fn new() -> BatchFixture {
+            let corpus = Corpus::from_texts([
+                "the shuttle to the airport leaves hourly",
+                "is there a shuttle to the airport tonight",
+                "a bus to the airport runs daily",
+                "is there a bus downtown tonight",
+                "order pizza to the room please",
+                "the pool opens at nine daily",
+            ]);
+            let index = IndexSet::build(&corpus, &IndexConfig::small());
+            let p = IdSet::with_universe(corpus.len());
+            // Everything looks promising, so gating never empties the pool.
+            let scores = vec![0.9; corpus.len()];
+            BatchFixture {
+                corpus,
+                index,
+                p,
+                scores,
+                queried: FxHashSet::default(),
+            }
+        }
+
+        fn ctx<'a>(&'a self, h: &'a Hierarchy) -> Ctx<'a> {
+            Ctx {
+                index: &self.index,
+                hierarchy: h,
+                p: &self.p,
+                scores: &self.scores,
+                queried: &self.queried,
+                benefit_threshold: 0.5,
+                store: None,
+            }
+        }
+
+        fn pool(&self, rules: Vec<RuleRef>) -> Hierarchy {
+            Hierarchy::new(&self.index, rules)
+        }
+    }
+
+    #[test]
+    fn diverse_batch_with_k_beyond_candidate_count_returns_everything_diverse() {
+        let f = BatchFixture::new();
+        let all: Vec<RuleRef> = f.index.all_rules().collect();
+        let h = f.pool(all.clone());
+        let batch = select_diverse_batch(&f.ctx(&h), all.len() + 50);
+        assert!(!batch.is_empty());
+        assert!(
+            batch.len() < all.len(),
+            "overlap pruning must reject near-duplicates, not return the pool"
+        );
+        let distinct: std::collections::HashSet<_> = batch.iter().collect();
+        assert_eq!(distinct.len(), batch.len(), "no rule proposed twice");
+        // Asking for exactly what was returned changes nothing.
+        assert_eq!(select_diverse_batch(&f.ctx(&h), batch.len()), batch);
+    }
+
+    #[test]
+    fn diverse_batch_takes_one_of_identical_coverage_candidates() {
+        let f = BatchFixture::new();
+        // Find two indexed rules with identical coverage (alias pair).
+        let all: Vec<RuleRef> = f.index.all_rules().collect();
+        let pair = all
+            .iter()
+            .enumerate()
+            .find_map(|(i, &a)| {
+                all[i + 1..]
+                    .iter()
+                    .find(|&&b| f.index.coverage(a) == f.index.coverage(b))
+                    .map(|&b| (a, b))
+            })
+            .expect("tiny corpus has coverage-duplicate rules");
+        let h = f.pool(vec![pair.0, pair.1]);
+        let batch = select_diverse_batch(&f.ctx(&h), 2);
+        assert_eq!(
+            batch.len(),
+            1,
+            "identical coverage = 100% overlap: exactly one survives"
+        );
+        assert!(batch[0] == pair.0 || batch[0] == pair.1);
+    }
+
+    #[test]
+    fn diverse_batch_on_empty_frontier_is_empty() {
+        let f = BatchFixture::new();
+        let empty = f.pool(Vec::new());
+        assert!(select_diverse_batch(&f.ctx(&empty), 3).is_empty());
+
+        // A fully queried pool is as empty as an empty one.
+        let mut f = BatchFixture::new();
+        let all: Vec<RuleRef> = f.index.all_rules().collect();
+        f.queried.extend(all.iter().copied());
+        let h = f.pool(all);
+        assert!(select_diverse_batch(&f.ctx(&h), 3).is_empty());
+    }
+
+    #[test]
+    fn diverse_batch_skips_rules_with_no_new_coverage() {
+        let mut f = BatchFixture::new();
+        // Everything already positive: no rule adds anything.
+        for id in 0..f.corpus.len() as u32 {
+            f.p.insert(id);
+        }
+        let all: Vec<RuleRef> = f.index.all_rules().collect();
+        let h = f.pool(all);
+        assert!(select_diverse_batch(&f.ctx(&h), 4).is_empty());
+    }
 
     fn fixture() -> (Corpus, Vec<bool>) {
         let mut texts = Vec::new();

@@ -7,9 +7,10 @@
 //! run's output — any configuration replays the same trace, so results
 //! are comparable across machines and deployments.
 
+use crate::batch::{AsyncRunResult, CostModel};
 use crate::config::{DarwinConfig, TraversalKind};
 use crate::engine::{Engine, EngineFlavor};
-use crate::oracle::Oracle;
+use crate::oracle::{AsyncOracle, Oracle};
 use crate::traversal::{HybridSearch, LocalSearch, Strategy, UniversalSearch};
 use darwin_grammar::Heuristic;
 use darwin_index::fx::FxHashSet;
@@ -165,13 +166,31 @@ impl<'a> Darwin<'a> {
 
     /// Run with the configured traversal strategy.
     pub fn run(&self, seed: Seed, oracle: &mut dyn Oracle) -> RunResult {
-        let traversal = self.cfg.traversal;
-        let tau = self.cfg.tau;
-        self.run_with(seed, oracle, |seeds| match traversal {
-            TraversalKind::Local => Box::new(LocalSearch::new(seeds.to_vec())),
-            TraversalKind::Universal => Box::new(UniversalSearch::new()),
-            TraversalKind::Hybrid => Box::new(HybridSearch::new(seeds.to_vec(), tau)),
-        })
+        let cfg = &self.cfg;
+        self.run_with(seed, oracle, |seeds| default_strategy(cfg, seeds))
+    }
+
+    /// Run against an asynchronous oracle ([`crate::batch`]): selection
+    /// keeps up to [`DarwinConfig::batch`] questions in flight, answers
+    /// apply out of order as they arrive, and the classifier retrains
+    /// once per drained wave. With `BatchPolicy::Fixed(1)` and an
+    /// [`crate::Immediate`] adapter this replays [`Darwin::run`] byte for
+    /// byte; larger batches trade selection freshness for latency hiding.
+    /// Costs are accounted under the paper's §4.3 crowd model
+    /// ([`CostModel::paper`]); use [`Darwin::run_async_costed`] for a
+    /// different pricing.
+    pub fn run_async(&self, seed: Seed, oracle: &mut dyn AsyncOracle) -> AsyncRunResult {
+        crate::batch::drive(self, seed, oracle, &CostModel::paper())
+    }
+
+    /// [`Darwin::run_async`] with explicit §4.3 cost accounting.
+    pub fn run_async_costed(
+        &self,
+        seed: Seed,
+        oracle: &mut dyn AsyncOracle,
+        model: &CostModel,
+    ) -> AsyncRunResult {
+        crate::batch::drive(self, seed, oracle, model)
     }
 
     /// Run with a custom selection strategy (how the HighP/HighC baselines
@@ -190,6 +209,17 @@ impl<'a> Darwin<'a> {
             }
         }
         engine.finish()
+    }
+}
+
+/// The traversal strategy `cfg` configures, seeded with `seeds` — what
+/// [`Darwin::run`] and the async driver ([`crate::batch`]) both select
+/// with, so batch size 1 replays the synchronous choice exactly.
+pub(crate) fn default_strategy(cfg: &DarwinConfig, seeds: &[RuleRef]) -> Box<dyn Strategy> {
+    match cfg.traversal {
+        TraversalKind::Local => Box::new(LocalSearch::new(seeds.to_vec())),
+        TraversalKind::Universal => Box::new(UniversalSearch::new()),
+        TraversalKind::Hybrid => Box::new(HybridSearch::new(seeds.to_vec(), cfg.tau)),
     }
 }
 

@@ -100,7 +100,11 @@ pub trait Strategy: Send {
     fn select(&mut self, ctx: &Ctx) -> Option<RuleRef>;
 
     /// Observe the oracle's answer for a rule this or any other policy
-    /// queried.
+    /// queried. Called *after* the answer has been applied: `ctx` already
+    /// reflects the grown `P` and patched benefit aggregates (the
+    /// classifier retrain comes later still). The synchronous and async
+    /// loops share this order, so strategies behave identically under
+    /// both.
     fn feedback(&mut self, rule: RuleRef, answer: bool, ctx: &Ctx);
 }
 

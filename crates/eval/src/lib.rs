@@ -13,4 +13,4 @@ pub mod report;
 
 pub use curves::Curve;
 pub use metrics::{coverage, f1_score, precision_recall_f1, PrecisionRecallF1};
-pub use report::{csv_path, write_csv, Table};
+pub use report::{csv_path, fmt_ns, write_csv, Table};

@@ -81,6 +81,28 @@ impl Table {
     }
 }
 
+/// Render a nanosecond duration with a human-scale unit (`"741 ns"`,
+/// `"12.3 µs"`, `"3.83 s"`), three significant digits — what the bench
+/// drivers print wall-clock comparisons with.
+pub fn fmt_ns(ns: u128) -> String {
+    const UNITS: [(u128, &str); 3] = [(1_000_000_000, "s"), (1_000_000, "ms"), (1_000, "µs")];
+    for (scale, unit) in UNITS {
+        let v = ns as f64 / scale as f64;
+        // Pick the unit the *rounded* value fits in: 999_950 ns rounds to
+        // 1.00 ms, not "1000 µs" — never four digits.
+        if v >= 0.9995 {
+            return if v >= 99.95 {
+                format!("{v:.0} {unit}")
+            } else if v >= 9.995 {
+                format!("{v:.1} {unit}")
+            } else {
+                format!("{v:.2} {unit}")
+            };
+        }
+    }
+    format!("{ns} ns")
+}
+
 /// Canonical output path for an experiment artifact:
 /// `target/experiments/<name>.csv` relative to the workspace root (or the
 /// current directory when run elsewhere).
@@ -127,6 +149,19 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn fmt_ns_picks_human_units() {
+        assert_eq!(fmt_ns(741), "741 ns");
+        assert_eq!(fmt_ns(12_300), "12.3 µs");
+        assert_eq!(fmt_ns(5_250_000), "5.25 ms");
+        assert_eq!(fmt_ns(879_184_991), "879 ms");
+        assert_eq!(fmt_ns(3_830_000_000), "3.83 s");
+        // Unit boundaries round *up* a unit, never to four digits.
+        assert_eq!(fmt_ns(999_950), "1.00 ms");
+        assert_eq!(fmt_ns(999_950_000), "1.00 s");
+        assert_eq!(fmt_ns(99_960), "100 µs");
     }
 
     #[test]

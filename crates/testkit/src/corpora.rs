@@ -1,0 +1,82 @@
+//! Deterministic corpus and index fixtures.
+
+use darwin_datasets::{directions, Dataset};
+use darwin_index::{IndexConfig, IndexSet};
+use darwin_text::Corpus;
+
+/// The 6-sentence transport corpus the frontier/engine edge-case tests
+/// drive: two discovered positives (shuttle), two undiscovered (bus), two
+/// negatives — small enough to reason about every posting by hand.
+pub fn tiny_transport() -> (Corpus, IndexSet) {
+    let c = Corpus::from_texts([
+        "the shuttle to the airport leaves hourly",
+        "is there a shuttle to the airport tonight",
+        "a bus to the airport runs daily",
+        "order pizza to the room please",
+        "the pool opens at nine daily",
+        "is there a bus downtown tonight",
+    ]);
+    let idx = IndexSet::build(&c, &IndexConfig::small());
+    (c, idx)
+}
+
+/// The transport-intent corpus with labels: two positive families sharing
+/// the "to the airport" context (24 sentences) against a majority of
+/// negatives (80) — the class imbalance mirrors the paper's datasets and
+/// keeps randomly sampled "presumed negatives" mostly correct.
+pub fn transport() -> (Corpus, Vec<bool>) {
+    let mut texts = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..12 {
+        texts.push(format!("is there a shuttle to the airport at {i}"));
+        labels.push(true);
+        texts.push(format!("is there a bus to the airport at {i}"));
+        labels.push(true);
+    }
+    for i in 0..40 {
+        texts.push(format!("order a pizza with {i} toppings to the room"));
+        labels.push(false);
+        texts.push(format!("the pool opens at {i} for guests"));
+        labels.push(false);
+    }
+    (Corpus::from_texts(texts.iter()), labels)
+}
+
+/// Build the suite-standard index over `corpus`: phrases up to
+/// `max_phrase_len` tokens, postings for everything occurring at least
+/// twice.
+pub fn indexed(corpus: &Corpus, max_phrase_len: usize) -> IndexSet {
+    IndexSet::build(
+        corpus,
+        &IndexConfig {
+            max_phrase_len,
+            min_count: 2,
+            ..Default::default()
+        },
+    )
+}
+
+/// A sized `directions` dataset with the suite-standard index
+/// (`max_phrase_len` 4): the workhorse fixture of the equivalence suites.
+pub fn directions_fixture(n: usize, seed: u64) -> (Dataset, IndexSet) {
+    let d = directions::generate(n, seed);
+    let index = indexed(&d.corpus, 4);
+    (d, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let (a, _) = directions_fixture(200, 7);
+        let (b, _) = directions_fixture(200, 7);
+        assert_eq!(a.labels, b.labels);
+        let (c, _) = tiny_transport();
+        assert_eq!(c.len(), 6);
+        let (t, labels) = transport();
+        assert_eq!(t.len(), labels.len());
+        assert_eq!(labels.iter().filter(|&&l| l).count(), 24);
+    }
+}

@@ -1,0 +1,63 @@
+//! Shared test harness for the Darwin integration suites.
+//!
+//! Every integration file used to carry its own copy of the same corpus
+//! builders, index configurations, oracle doubles and trace-comparison
+//! assertions; this crate is the one home for all of them:
+//!
+//! * [`corpora`] — deterministic corpus/index fixtures, from the
+//!   6-sentence transport corpus up to sized `directions` datasets;
+//! * [`oracles`] — test doubles: [`ScriptedOracle`] (canned answers) and
+//!   [`NoisyOracle`] (ground truth with seeded answer flips);
+//! * [`trace`] — trace-capture assertions: byte-for-byte run equivalence,
+//!   final-state equality, candidate-pool equality;
+//! * [`strategies`] — proptest generators for random corpora;
+//! * env helpers ([`test_threads`], [`test_batch`]) wiring the CI matrix
+//!   (`DARWIN_TEST_THREADS`, `DARWIN_TEST_BATCH`) into suite
+//!   configurations.
+//!
+//! This is a dev-dependency only: nothing here ships in the library.
+
+#![warn(missing_docs)]
+
+pub mod corpora;
+pub mod oracles;
+pub mod strategies;
+pub mod trace;
+
+pub use corpora::{directions_fixture, indexed, tiny_transport, transport};
+pub use oracles::{NoisyOracle, ScriptedOracle};
+pub use trace::{assert_equivalent, assert_same_final, assert_same_pool};
+
+/// Worker-thread count for suite runs: `DARWIN_TEST_THREADS` (the CI
+/// matrix runs 1 and 4), default 1. Trace determinism across thread
+/// counts is part of the engine contract, so suites run every
+/// configuration through this knob.
+pub fn test_threads() -> usize {
+    env_usize("DARWIN_TEST_THREADS", 1)
+}
+
+/// Async wave size for suite runs: `DARWIN_TEST_BATCH` (the CI matrix
+/// runs 1 and 8), default 1. Batch size 1 is the synchronous reference;
+/// larger sizes exercise the pipelined wave protocol.
+pub fn test_batch() -> usize {
+    env_usize("DARWIN_TEST_BATCH", 1)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_helpers_default_to_one() {
+        // The suite may run under the CI matrix; only pin the fallback.
+        assert!(super::env_usize("DARWIN_TESTKIT_UNSET_VAR", 1) == 1);
+        assert!(super::test_threads() >= 1);
+        assert!(super::test_batch() >= 1);
+    }
+}

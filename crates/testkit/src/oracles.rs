@@ -1,0 +1,153 @@
+//! Oracle test doubles.
+
+use darwin_core::{GroundTruthOracle, Oracle};
+use darwin_grammar::Heuristic;
+use darwin_text::Corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Answers questions from a canned script, in order; once the script runs
+/// out every further question gets `false`. For tests that need an exact,
+/// selection-independent answer sequence (forcing a YES flood, an all-NO
+/// stall, a specific YES/NO interleaving).
+pub struct ScriptedOracle {
+    script: Vec<bool>,
+    at: usize,
+}
+
+impl ScriptedOracle {
+    /// Answer from `script`, then `false` forever.
+    pub fn new(script: impl IntoIterator<Item = bool>) -> ScriptedOracle {
+        ScriptedOracle {
+            script: script.into_iter().collect(),
+            at: 0,
+        }
+    }
+
+    /// Whether the script has answers left.
+    pub fn exhausted(&self) -> bool {
+        self.at >= self.script.len()
+    }
+}
+
+impl Oracle for ScriptedOracle {
+    fn ask(&mut self, _corpus: &Corpus, _rule: &Heuristic, _coverage: &[u32]) -> bool {
+        let answer = self.script.get(self.at).copied().unwrap_or(false);
+        self.at += 1;
+        answer
+    }
+
+    fn queries(&self) -> usize {
+        self.at
+    }
+}
+
+/// A [`GroundTruthOracle`] whose verdict is flipped with probability
+/// `flip_prob` (seeded, deterministic): the bluntest model of §4.5
+/// annotator error, for tests that need a *controlled* error rate rather
+/// than the sample-driven errors of `SampledAnnotatorOracle`. The verdict
+/// itself is the real `GroundTruthOracle`'s — the double only adds the
+/// flips, so the noise tests exercise exactly the oracle model the engine
+/// runs against.
+pub struct NoisyOracle<'a> {
+    truth: GroundTruthOracle<'a>,
+    labels: &'a [bool],
+    flip_prob: f64,
+    rng: StdRng,
+    flips: usize,
+}
+
+impl<'a> NoisyOracle<'a> {
+    /// Ground truth at precision bar `0.8`, flipping each verdict with
+    /// probability `flip_prob` under `seed`.
+    pub fn new(labels: &'a [bool], flip_prob: f64, seed: u64) -> NoisyOracle<'a> {
+        NoisyOracle {
+            truth: GroundTruthOracle::new(labels, 0.8),
+            labels,
+            flip_prob,
+            rng: StdRng::seed_from_u64(seed),
+            flips: 0,
+        }
+    }
+
+    /// Override the precision bar (default 0.8).
+    pub fn with_threshold(mut self, t: f64) -> Self {
+        self.truth = GroundTruthOracle::new(self.labels, t);
+        self
+    }
+
+    /// How many answers were flipped so far.
+    pub fn flips(&self) -> usize {
+        self.flips
+    }
+}
+
+impl Oracle for NoisyOracle<'_> {
+    fn ask(&mut self, corpus: &Corpus, rule: &Heuristic, coverage: &[u32]) -> bool {
+        let truth = self.truth.ask(corpus, rule, coverage);
+        if self.rng.gen_bool(self.flip_prob) {
+            self.flips += 1;
+            !truth
+        } else {
+            truth
+        }
+    }
+
+    fn queries(&self) -> usize {
+        self.truth.queries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::from_texts(["a b", "c d"])
+    }
+
+    #[test]
+    fn scripted_oracle_replays_then_defaults_to_no() {
+        let c = corpus();
+        let r = Heuristic::phrase(&c, "a").unwrap();
+        let mut o = ScriptedOracle::new([true, false, true]);
+        assert!(o.ask(&c, &r, &[0]));
+        assert!(!o.ask(&c, &r, &[0]));
+        assert!(o.ask(&c, &r, &[0]));
+        assert!(o.exhausted());
+        assert!(!o.ask(&c, &r, &[0]), "post-script answers are NO");
+        assert_eq!(o.queries(), 4);
+    }
+
+    #[test]
+    fn noisy_oracle_flips_at_the_configured_rate() {
+        let c = corpus();
+        let r = Heuristic::phrase(&c, "a").unwrap();
+        let labels = vec![true, false];
+        let mut o = NoisyOracle::new(&labels, 0.25, 9);
+        for _ in 0..400 {
+            o.ask(&c, &r, &[0]);
+        }
+        let rate = o.flips() as f64 / 400.0;
+        assert!((0.15..0.35).contains(&rate), "flip rate {rate}");
+
+        let mut clean = NoisyOracle::new(&labels, 0.0, 9);
+        assert!(clean.ask(&c, &r, &[0]), "precise rule, no noise");
+        assert!(!clean.ask(&c, &r, &[1]), "imprecise rule, no noise");
+        assert!(!clean.ask(&c, &r, &[]), "empty coverage is never precise");
+        assert_eq!(clean.flips(), 0);
+    }
+
+    #[test]
+    fn noisy_oracle_is_deterministic_per_seed() {
+        let c = corpus();
+        let r = Heuristic::phrase(&c, "a").unwrap();
+        let labels = vec![true, false];
+        let run = |seed| {
+            let mut o = NoisyOracle::new(&labels, 0.5, seed);
+            (0..32).map(|_| o.ask(&c, &r, &[0])).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds explore different flips");
+    }
+}

@@ -1,0 +1,26 @@
+//! Proptest generators for random corpora, shared by the property suites.
+//!
+//! The alphabet is deliberately tiny so generated sentences repeat enough
+//! n-grams for the heuristic index to have real structure (rules with
+//! multi-sentence coverage, parent/child containment).
+
+use proptest::prelude::*;
+
+/// Random word from the suite's small alphabet.
+pub fn word() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "the", "a", "shuttle", "bus", "airport", "hotel", "to", "from", "best", "way", "get",
+        "order", "pizza", "is", "there", "caused", "by", "storm", "fire", "composer", "wrote",
+    ])
+    .prop_map(str::to_string)
+}
+
+/// Random sentence of 1–11 alphabet words.
+pub fn sentence() -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 1..12).prop_map(|ws| ws.join(" "))
+}
+
+/// Random corpus of 1–39 sentences.
+pub fn corpus_texts() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(sentence(), 1..40)
+}

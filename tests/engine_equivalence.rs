@@ -15,14 +15,7 @@
 use darwin::baselines::{HighC, HighP};
 use darwin::prelude::*;
 use darwin_core::{DarwinConfig, Oracle, RunResult};
-use darwin_datasets::directions;
-
-fn test_threads() -> usize {
-    std::env::var("DARWIN_TEST_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
-}
+use darwin_testkit::{assert_equivalent, directions_fixture, test_threads};
 
 fn run_mode(incremental: bool, kind: TraversalKind, make: Option<MakeStrategy>) -> RunResult {
     run_sharded(incremental, kind, make, 1)
@@ -45,15 +38,7 @@ fn run_cfg(
     shards: usize,
     threads: usize,
 ) -> RunResult {
-    let d = directions::generate(800, 42);
-    let index = IndexSet::build(
-        &d.corpus,
-        &IndexConfig {
-            max_phrase_len: 4,
-            min_count: 2,
-            ..Default::default()
-        },
-    );
+    let (d, index) = directions_fixture(800, 42);
     let cfg = DarwinConfig {
         budget: 20,
         n_candidates: 1500,
@@ -70,36 +55,6 @@ fn run_cfg(
         None => darwin.run(seed, &mut oracle),
         Some(f) => darwin.run_with(seed, &mut oracle, |_| f()),
     }
-}
-
-fn assert_equivalent(a: &RunResult, b: &RunResult, label: &str) {
-    assert_eq!(
-        a.trace.len(),
-        b.trace.len(),
-        "{label}: question counts differ"
-    );
-    for (x, y) in a.trace.iter().zip(&b.trace) {
-        assert_eq!(
-            x.rule, y.rule,
-            "{label}: question {} asked a different rule",
-            x.question
-        );
-        assert_eq!(
-            x.answer, y.answer,
-            "{label}: question {} got a different answer",
-            x.question
-        );
-        assert_eq!(
-            x.new_positive_ids, y.new_positive_ids,
-            "{label}: question {} grew P differently",
-            x.question
-        );
-    }
-    assert_eq!(
-        a.positives, b.positives,
-        "{label}: final positive sets differ"
-    );
-    assert_eq!(a.scores, b.scores, "{label}: final scores differ");
 }
 
 #[test]
@@ -188,15 +143,7 @@ fn baseline_selectors_select_identical_sequences() {
 #[test]
 fn parallel_rounds_select_identical_sequences() {
     let run = |incremental: bool, shards: usize| {
-        let d = directions::generate(600, 7);
-        let index = IndexSet::build(
-            &d.corpus,
-            &IndexConfig {
-                max_phrase_len: 4,
-                min_count: 2,
-                ..Default::default()
-            },
-        );
+        let (d, index) = directions_fixture(600, 7);
         let cfg = DarwinConfig {
             budget: 20,
             n_candidates: 1200,
@@ -226,15 +173,7 @@ fn parallel_rounds_select_identical_sequences() {
 #[test]
 fn aggregates_stay_consistent_through_a_run() {
     for shards in [1usize, 4] {
-        let d = directions::generate(500, 11);
-        let index = IndexSet::build(
-            &d.corpus,
-            &IndexConfig {
-                max_phrase_len: 4,
-                min_count: 2,
-                ..Default::default()
-            },
-        );
+        let (d, index) = directions_fixture(500, 11);
         let cfg = DarwinConfig {
             budget: 15,
             n_candidates: 1000,

@@ -6,46 +6,11 @@
 //! epoch-stale pool (positives grown behind its back) that must be
 //! rejected, not patched.
 
-use darwin::core::candidates::{generate_hierarchy_pooled, generate_hierarchy_scored};
+use darwin::core::candidates::generate_hierarchy_pooled;
 use darwin::core::{Darwin, DarwinConfig, FrontierPool, GroundTruthOracle, Seed, TraversalKind};
 use darwin::grammar::Heuristic;
-use darwin::index::{IdSet, IndexConfig, IndexSet};
-use darwin::text::Corpus;
-
-fn setup() -> (Corpus, IndexSet) {
-    let c = Corpus::from_texts([
-        "the shuttle to the airport leaves hourly",
-        "is there a shuttle to the airport tonight",
-        "a bus to the airport runs daily",
-        "order pizza to the room please",
-        "the pool opens at nine daily",
-        "is there a bus downtown tonight",
-    ]);
-    let idx = IndexSet::build(&c, &IndexConfig::small());
-    (c, idx)
-}
-
-fn assert_same_pool(idx: &IndexSet, p: &IdSet, k: usize, pool: &mut FrontierPool, label: &str) {
-    let (pooled_h, pooled_c) = generate_hierarchy_pooled(idx, p, k, usize::MAX, pool);
-    let (scratch_h, scratch_c) = generate_hierarchy_scored(idx, p, k, usize::MAX);
-    assert_eq!(
-        pooled_h.rules(),
-        scratch_h.rules(),
-        "{label}: rule pools differ"
-    );
-    assert_eq!(
-        pooled_c.len(),
-        scratch_c.len(),
-        "{label}: candidate counts differ"
-    );
-    for (a, b) in pooled_c.iter().zip(&scratch_c) {
-        assert_eq!(
-            (a.rule, a.overlap, a.count),
-            (b.rule, b.overlap, b.count),
-            "{label}: candidate statistics differ"
-        );
-    }
-}
+use darwin::index::IdSet;
+use darwin_testkit::{assert_same_pool, tiny_transport as setup};
 
 /// A regeneration with an empty dirty set (e.g. the loop regenerates after
 /// a NO, or twice in a row) must apply no deltas and re-score nothing —

@@ -6,18 +6,12 @@ use darwin::baselines::{ActiveLearning, KeywordSampling};
 use darwin::datasets::{musicians, tweets};
 use darwin::labelmodel::{majority_vote, GenerativeConfig, GenerativeModel, LfMatrix, Vote};
 use darwin::prelude::*;
+use darwin_testkit::indexed;
 
 #[test]
 fn rules_to_labelmodel_to_classifier() {
     let data = musicians::generate(3000, 9);
-    let index = IndexSet::build(
-        &data.corpus,
-        &IndexConfig {
-            max_phrase_len: 5,
-            min_count: 2,
-            ..Default::default()
-        },
-    );
+    let index = indexed(&data.corpus, 5);
     let cfg = DarwinConfig {
         budget: 30,
         n_candidates: 2500,
@@ -121,14 +115,7 @@ fn tweets_other_intents_also_work() {
     use darwin::datasets::tweets::{generate_intent, Intent};
     for intent in [Intent::Travel, Intent::Career] {
         let data = generate_intent(1500, intent, 8);
-        let index = IndexSet::build(
-            &data.corpus,
-            &IndexConfig {
-                max_phrase_len: 4,
-                min_count: 2,
-                ..Default::default()
-            },
-        );
+        let index = indexed(&data.corpus, 4);
         let cfg = DarwinConfig {
             budget: 25,
             n_candidates: 2000,

@@ -6,17 +6,11 @@ use darwin::baselines::{HighC, HighP, Snuba, SnubaConfig};
 use darwin::core::TraversalKind;
 use darwin::datasets::{cause_effect, directions};
 use darwin::prelude::*;
+use darwin_testkit::indexed;
 
 fn directions_prepared() -> (darwin::datasets::Dataset, IndexSet) {
     let data = directions::generate(3000, 11);
-    let index = IndexSet::build(
-        &data.corpus,
-        &IndexConfig {
-            max_phrase_len: 5,
-            min_count: 2,
-            ..Default::default()
-        },
-    );
+    let index = indexed(&data.corpus, 5);
     (data, index)
 }
 
@@ -142,14 +136,7 @@ fn highp_and_highc_plug_into_the_pipeline() {
 #[test]
 fn figure11_cause_effect_recovers_triggered_by() {
     let data = cause_effect::generate(4000, 5);
-    let index = IndexSet::build(
-        &data.corpus,
-        &IndexConfig {
-            max_phrase_len: 5,
-            min_count: 2,
-            ..Default::default()
-        },
-    );
+    let index = indexed(&data.corpus, 5);
     let cfg = DarwinConfig {
         budget: 40,
         n_candidates: 3000,
@@ -175,14 +162,7 @@ fn figure11_cause_effect_recovers_triggered_by() {
 #[test]
 fn snuba_misses_what_darwin_finds_with_biased_seed() {
     let data = directions::generate(5000, 3);
-    let index = IndexSet::build(
-        &data.corpus,
-        &IndexConfig {
-            max_phrase_len: 5,
-            min_count: 2,
-            ..Default::default()
-        },
-    );
+    let index = indexed(&data.corpus, 5);
     let biased = data.biased_seed_sample(400, "shuttle", 2);
 
     let snuba = Snuba::new(SnubaConfig::default()).run(&data.corpus, &biased, &data.labels);

@@ -7,25 +7,8 @@ use darwin::core::{BenefitStore, ShardedBenefitStore};
 use darwin::grammar::{Heuristic, PhraseElem, PhrasePattern, TreePattern};
 use darwin::index::{IdSet, IndexConfig, IndexSet, RuleRef, ShardMap};
 use darwin::text::{Corpus, PosTag, Sym};
+use darwin_testkit::strategies::{corpus_texts as corpus_strategy, sentence, word};
 use proptest::prelude::*;
-
-/// Random lowercase word from a small alphabet (so patterns repeat enough
-/// for the index to have structure).
-fn word() -> impl Strategy<Value = String> {
-    prop::sample::select(vec![
-        "the", "a", "shuttle", "bus", "airport", "hotel", "to", "from", "best", "way", "get",
-        "order", "pizza", "is", "there", "caused", "by", "storm", "fire", "composer", "wrote",
-    ])
-    .prop_map(str::to_string)
-}
-
-fn sentence() -> impl Strategy<Value = String> {
-    prop::collection::vec(word(), 1..12).prop_map(|ws| ws.join(" "))
-}
-
-fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
-    prop::collection::vec(sentence(), 1..40)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 40, ..Default::default() })]
@@ -268,19 +251,10 @@ proptest! {
         dataset_seed in 0u64..1000,
     ) {
         use darwin::core::{Darwin, DarwinConfig, GroundTruthOracle, RunResult, Seed};
-        use darwin::datasets::directions;
         use darwin::text::embed::EmbedConfig;
         use darwin::text::Embeddings;
 
-        let d = directions::generate(n, dataset_seed);
-        let index = IndexSet::build(
-            &d.corpus,
-            &IndexConfig {
-                max_phrase_len: 4,
-                min_count: 2,
-                ..Default::default()
-            },
-        );
+        let (d, index) = darwin_testkit::directions_fixture(n, dataset_seed);
         let emb = Embeddings::train(
             &d.corpus,
             &EmbedConfig {
