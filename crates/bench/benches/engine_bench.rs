@@ -49,7 +49,9 @@ fn fixture() -> Fixture {
         .map(|i| (i as f32 * 0.137).fract() * 0.6 + 0.2)
         .collect();
     let mut store = ShardedBenefitStore::new(ShardMap::new(n, 1));
-    store.track(hierarchy.rules(), &index, &p, &scores, 1);
+    store
+        .track(hierarchy.rules(), &index, &p, &scores, 1)
+        .unwrap();
     Fixture {
         index,
         p,
@@ -141,12 +143,12 @@ fn bench_selection(c: &mut Criterion) {
         let store = &mut f.store;
         let p = &f.p;
         let index = &f.index;
-        median_ns(100, || store.on_scores_changed(&journal, p, index))
+        median_ns(100, || store.on_scores_changed(&journal, p, index).unwrap())
     };
     let rebuild_ns = {
         let store = &mut f.store;
         let (index, p, scores) = (&f.index, &f.p, &f.scores);
-        median_ns(10, || store.rebuild(index, p, scores, 1))
+        median_ns(10, || store.rebuild(index, p, scores, 1).unwrap())
     };
 
     let json = format!(

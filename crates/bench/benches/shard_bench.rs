@@ -153,17 +153,19 @@ fn bench_sharded(c: &mut Criterion) {
         };
         // Benefit partition rebuild + merged selection.
         let mut store = ShardedBenefitStore::new(ShardMap::new(f.n, s));
-        store.track(
-            hierarchy.rules(),
-            &f.index,
-            &f.p,
-            reference.scores(),
-            f.host_threads,
-        );
+        store
+            .track(
+                hierarchy.rules(),
+                &f.index,
+                &f.p,
+                reference.scores(),
+                f.host_threads,
+            )
+            .unwrap();
         let rebuild_ns = {
             let (index, p, scores) = (&f.index, &f.p, reference.scores());
             let threads = f.host_threads;
-            median_ns(10, || store.rebuild(index, p, scores, threads))
+            median_ns(10, || store.rebuild(index, p, scores, threads).unwrap())
         };
         let select_ns = {
             let ctx = Ctx {

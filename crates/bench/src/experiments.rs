@@ -508,6 +508,7 @@ pub fn table2_snorkel() {
             positives: denoised_pos,
             trace: vec![],
             scores: vec![],
+            wire_error: None,
         };
         let snorkel = prep
             .fscore_curve(&denoised_run, "snorkel", &cps, &kind)

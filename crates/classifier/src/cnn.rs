@@ -311,6 +311,22 @@ impl TextClassifier for KimCnn {
         let mut s = self.scratch();
         self.forward(corpus, emb, id, &mut s)
     }
+
+    fn predict_all(&self, corpus: &Corpus, emb: &Embeddings, out: &mut Vec<f32>) {
+        out.clear();
+        let mut s = self.scratch();
+        out.extend((0..corpus.len() as u32).map(|id| self.forward(corpus, emb, id, &mut s)));
+    }
+
+    fn predict_batch(&self, corpus: &Corpus, emb: &Embeddings, ids: &[u32], out: &mut Vec<f32>) {
+        // One scratch for the whole batch, like the logreg feature-buffer
+        // fast path: the per-sentence allocation of `predict` dominated
+        // the forward pass for short sentences. `embedding_matrix` zeroes
+        // the input buffer every call, so reuse is bit-identical to a
+        // fresh scratch.
+        let mut s = self.scratch();
+        out.extend(ids.iter().map(|&id| self.forward(corpus, emb, id, &mut s)));
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +473,49 @@ mod tests {
             (analytic - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
             "analytic {analytic} vs numeric {numeric}"
         );
+    }
+
+    /// The batched entry points must reproduce per-id `predict` bit for
+    /// bit (the `TextClassifier` contract the sharded score cache leans
+    /// on) — including across reused scratch buffers and sentences of
+    /// very different lengths.
+    #[test]
+    fn batched_prediction_is_bit_identical() {
+        let c = Corpus::from_texts([
+            "hi",
+            "the shuttle to the airport now leaves from the main gate",
+            "ok",
+            "what is the best way to get to the airport from here",
+        ]);
+        let e = Embeddings::train(
+            &c,
+            &EmbedConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        let mut cnn = KimCnn::new(
+            e.dim(),
+            CnnConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            6,
+        );
+        cnn.fit(&c, &e, &[1, 3], &[0, 2]);
+        let per_id: Vec<f32> = (0..c.len() as u32)
+            .map(|id| cnn.predict(&c, &e, id))
+            .collect();
+        let mut all = Vec::new();
+        cnn.predict_all(&c, &e, &mut all);
+        assert_eq!(all, per_id, "predict_all diverged from per-id predict");
+        // A long sentence before a short one: stale scratch would leak
+        // embeddings into the short sentence's padding.
+        let ids = [1u32, 0, 3, 2, 1];
+        let mut batch = Vec::new();
+        cnn.predict_batch(&c, &e, &ids, &mut batch);
+        let expect: Vec<f32> = ids.iter().map(|&id| per_id[id as usize]).collect();
+        assert_eq!(batch, expect, "predict_batch diverged from per-id predict");
     }
 
     #[test]

@@ -313,6 +313,22 @@ impl<O: Oracle> AsyncOracle for SimulatedLatency<O> {
         ready
     }
 
+    fn poll_deadline(&mut self, timeout: Duration) -> Vec<(QuestionId, bool)> {
+        // Honor the driver's deadline: wait for the earliest due answer,
+        // but never past the deadline (the simulated analogue of a
+        // timed channel receive).
+        if self.in_flight.is_empty() {
+            return Vec::new();
+        }
+        let now = Instant::now();
+        let earliest = self.in_flight.iter().map(|&(_, _, due)| due).min().unwrap();
+        if earliest > now + timeout {
+            std::thread::sleep(timeout);
+            return Vec::new();
+        }
+        self.poll()
+    }
+
     fn queries(&self) -> usize {
         self.inner.queries()
     }
@@ -423,6 +439,13 @@ const IDLE_LIMIT: Duration = Duration::from_secs(15 * 60);
 /// ~1 ms per further poll instead of a busy spin.
 const SPIN_FREE_POLLS: usize = 64;
 
+/// How long the driver lets the oracle block per poll
+/// ([`AsyncOracle::poll_deadline`]). Oracles that can wait — a channel, a
+/// socket, a wire worker — sleep inside this window instead of being
+/// spin-polled; oracles that cannot (the default `poll_deadline` just
+/// polls) fall back to the driver's own backoff above.
+const POLL_DEADLINE: Duration = Duration::from_millis(10);
+
 /// The async driver — see the module docs for the wave protocol and the
 /// equivalence argument. Called via [`Darwin::run_async`].
 pub(crate) fn drive(
@@ -518,8 +541,15 @@ pub(crate) fn drive(
         let mut idle_polls = 0usize;
         let mut idle_since: Option<Instant> = None;
         while engine.pending_len() > 0 {
-            let mut arrived = oracle.poll();
+            let mut arrived = oracle.poll_deadline(POLL_DEADLINE);
             if arrived.is_empty() {
+                // A dead oracle (wire worker gone) can never deliver:
+                // abandon immediately instead of waiting out the idle
+                // limit.
+                if !oracle.healthy() {
+                    abandoned = engine.abandon_pending();
+                    break;
+                }
                 // A non-blocking oracle with slow answers: back off
                 // instead of spinning; after a long wall-clock silence
                 // abandon the wave and keep the partial run.
@@ -543,9 +573,14 @@ pub(crate) fn drive(
                 if let Some(at) = submit_at.remove(&qid.0) {
                     batcher.note_latency(at.elapsed().as_nanos() as u64);
                 }
-                let rule = engine
-                    .resolve(qid, answer)
-                    .unwrap_or_else(|| panic!("answer for unknown question {qid:?}"));
+                // An unknown or already-resolved id is a misbehaving
+                // oracle (a wire worker fabricating or re-delivering
+                // answers): `resolve` is a no-op for it, so state cannot
+                // corrupt — drop the answer instead of panicking, in
+                // line with the wire layer's no-panic discipline.
+                let Some(rule) = engine.resolve(qid, answer) else {
+                    continue;
+                };
                 grew |= answer;
                 resolved.push((qid, rule, answer));
             }

@@ -425,6 +425,10 @@ pub struct Engine<'a> {
     pending: Vec<(QuestionId, RuleRef)>,
     seed_refs: Vec<RuleRef>,
     max_count: usize,
+    /// First wire failure of a distributed run: set when a remote-shard
+    /// operation fails (the store is poisoned at the same moment), after
+    /// which selection refuses and the run winds down cleanly.
+    wire_abort: Option<darwin_wire::WireError>,
 }
 
 impl<'a> Engine<'a> {
@@ -497,15 +501,65 @@ impl<'a> Engine<'a> {
             pending: Vec::new(),
             seed_refs,
             max_count,
+            wire_abort: None,
         };
         engine.retrain_and_sync();
         if cfg.incremental_benefit {
             // Created empty: the hierarchy generation below seeds the
             // partitions from the candidate-search statistics.
-            engine.store = Some(ShardedBenefitStore::new(ShardMap::new(n, cfg.shards)));
+            let map = ShardMap::new(n, cfg.shards);
+            match darwin.remote_shards() {
+                None => engine.store = Some(ShardedBenefitStore::new(map)),
+                // Distributed deployment: one worker per shard, each
+                // initialized with the corpus, the coordinator index's
+                // own build recipe, and the current (P, scores) snapshot.
+                Some(spec) => match ShardedBenefitStore::connect_remote(
+                    map,
+                    corpus,
+                    index.config(),
+                    &engine.state.p,
+                    engine.cache.scores(),
+                    spec.connect.as_ref(),
+                ) {
+                    Ok(store) => engine.store = Some(store),
+                    Err(e) => engine.wire_abort = Some(e),
+                },
+            }
+        } else if darwin.remote_shards().is_some() {
+            // The rescan ablation has no distributed form: refusing
+            // loudly beats silently running an in-process run the caller
+            // believes is distributed.
+            engine.wire_abort = Some(darwin_wire::WireError::Protocol(
+                "remote shards require DarwinConfig::incremental_benefit".into(),
+            ));
         }
         engine.regen_hierarchy();
         engine
+    }
+
+    /// The wire failure that aborted a distributed run, if any. While set,
+    /// selection returns nothing and the run winds down with the cleanly
+    /// applied prefix of its state.
+    pub fn wire_error(&self) -> Option<&darwin_wire::WireError> {
+        self.wire_abort
+            .as_ref()
+            .or_else(|| self.store.as_ref().and_then(|s| s.wire_error()))
+    }
+
+    /// Record a wire failure from a store operation (first one wins).
+    fn note_wire(&mut self, r: Result<(), darwin_wire::WireError>) {
+        if let Err(e) = r {
+            self.wire_abort.get_or_insert(e);
+        }
+    }
+
+    /// Audit every remote shard mirror against its worker (`Ok(true)` =
+    /// exact; trivially true for local deployments). Test/diagnostic hook.
+    pub fn audit_remote_store(&mut self) -> Result<bool, darwin_wire::WireError> {
+        match &mut self.store {
+            Some(store) => store.audit_remote(),
+            None => Ok(true),
+        }
     }
 
     /// The seed heuristics' rule handles (what strategies are seeded with).
@@ -557,6 +611,9 @@ impl<'a> Engine<'a> {
     /// 4: the oracle's answer depends only on `C_r`, so asking two rules
     /// with identical coverage wastes a query).
     pub fn select(&mut self, strategy: &mut dyn Strategy) -> Option<RuleRef> {
+        if self.wire_error().is_some() {
+            return None; // distributed state is gone; stop asking
+        }
         let index = self.darwin.index();
         // Every alias/duplicate skip marks a previously unqueried rule, so
         // the loop shrinks the pool and terminates on its own; the stall
@@ -674,7 +731,7 @@ impl<'a> Engine<'a> {
     /// question stay available for later waves.
     pub fn select_refill_batch(&mut self, want: usize, floor: Option<i64>) -> Vec<RuleRef> {
         let mut picks = Vec::new();
-        if want == 0 {
+        if want == 0 || self.wire_error().is_some() {
             return picks;
         }
         let index = self.darwin.index();
@@ -748,7 +805,8 @@ impl<'a> Engine<'a> {
             if let Some(store) = &mut self.store {
                 // Scores are still pre-retrain here — exactly what the sums
                 // reflect.
-                store.on_positives_added(&new_ids, index, self.cache.scores());
+                let r = store.on_positives_added(&new_ids, index, self.cache.scores());
+                self.note_wire(r);
             }
             if let Some(pool) = &mut self.frontier {
                 // Journaled only — the pool re-scores its frontier lazily
@@ -804,16 +862,17 @@ impl<'a> Engine<'a> {
         self.cache.refresh(&*self.clf, corpus, darwin.embeddings());
 
         if let Some(store) = &mut self.store {
-            if self.cache.last_refresh_was_full() {
+            let r = if self.cache.last_refresh_was_full() {
                 store.rebuild(
                     darwin.index(),
                     &self.state.p,
                     self.cache.scores(),
                     cfg.threads,
-                );
+                )
             } else {
-                store.on_scores_changed(self.cache.last_changes(), &self.state.p, darwin.index());
-            }
+                store.on_scores_changed(self.cache.last_changes(), &self.state.p, darwin.index())
+            };
+            self.note_wire(r);
         }
     }
 
@@ -853,14 +912,16 @@ impl<'a> Engine<'a> {
             // ever generated. Rules that re-enter later are simply
             // recomputed; selection reads the same values either way.
             let hierarchy = &self.hierarchy;
-            store.retain(|r| hierarchy.contains(r));
-            store.track_scored(
-                &cands,
-                darwin.index(),
-                &self.state.p,
-                self.cache.scores(),
-                cfg.threads,
-            );
+            let r = store.retain(|r| hierarchy.contains(r)).and_then(|()| {
+                store.track_scored(
+                    &cands,
+                    darwin.index(),
+                    &self.state.p,
+                    self.cache.scores(),
+                    cfg.threads,
+                )
+            });
+            self.note_wire(r);
         }
     }
 
@@ -898,33 +959,39 @@ impl<'a> Engine<'a> {
 
     /// Consume the engine into a [`RunResult`].
     pub fn finish(self) -> RunResult {
+        let wire_error = self.wire_error().map(|e| e.to_string());
         RunResult {
             accepted: self.state.accepted,
             rejected: self.state.rejected,
             positives: self.state.p.iter().collect(),
             trace: self.state.trace,
             scores: self.cache.scores().to_vec(),
+            wire_error,
         }
     }
 
     /// Verify every tracked aggregate against a from-scratch recomputation
-    /// (test/diagnostic hook; the property tests drive this): each shard
-    /// partition's fragments must equal a span-scratch recomputation, and
-    /// the merged aggregates must equal the global one.
+    /// (test/diagnostic hook; the property tests drive this): each *local*
+    /// shard partition's fragments must equal a span-scratch
+    /// recomputation, and the merged aggregates must equal the global one.
+    /// Remote mirrors are audited against their workers by
+    /// [`Engine::audit_remote_store`] instead (that check needs the wire).
     pub fn store_is_consistent(&self) -> bool {
         let Some(store) = &self.store else {
             return true;
         };
         let index = self.darwin.index();
         let (p, scores) = (&self.state.p, self.cache.scores());
-        let fragments_ok = store.parts().iter().all(|part| {
+        let fragments_ok = store.local_parts().all(|part| {
             part.tracked()
                 .all(|(r, agg)| *agg == part.compute(index, p, scores, r))
         });
         let global = BenefitStore::new();
-        let merge_ok = store.parts()[0]
-            .tracked()
-            .all(|(r, _)| store.agg(r) == Some(global.compute(index, p, scores, r)));
+        let merge_ok = store.local_parts().next().into_iter().all(|first| {
+            first
+                .tracked()
+                .all(|(r, _)| store.agg(r) == Some(global.compute(index, p, scores, r)))
+        });
         fragments_ok && merge_ok
     }
 }

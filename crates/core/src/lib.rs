@@ -45,6 +45,7 @@ pub mod hierarchy;
 pub mod oracle;
 pub mod parallel;
 pub mod pipeline;
+pub mod remote;
 pub mod shard;
 pub mod traversal;
 
@@ -59,6 +60,10 @@ pub use oracle::{
     AsyncOracle, GroundTruthOracle, Immediate, Oracle, QuestionId, SampledAnnotatorOracle,
 };
 pub use parallel::{select_diverse_batch, MajorityOracle};
-pub use pipeline::{Darwin, RunResult, Seed, TraceStep};
-pub use shard::ShardedBenefitStore;
+pub use pipeline::{Darwin, RemoteShards, RunResult, Seed, TraceStep};
+pub use remote::{
+    inproc_shard_connector, inproc_wire_classifier, inproc_wire_oracle, serve_classifier,
+    serve_oracle, serve_shard, WireClassifier, WireOracle,
+};
+pub use shard::{RemoteShard, ShardConnector, ShardedBenefitStore};
 pub use traversal::Strategy;

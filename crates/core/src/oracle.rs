@@ -26,6 +26,7 @@ use darwin_text::Corpus;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Duration;
 
 /// The YES/NO feedback source Darwin queries.
 pub trait Oracle {
@@ -86,6 +87,30 @@ pub trait AsyncOracle {
     /// possibly out of submission order).
     fn poll(&mut self) -> Vec<(QuestionId, bool)>;
 
+    /// [`poll`], but the oracle may *block* up to `timeout` waiting for
+    /// the first answer when questions are in flight — what the wave
+    /// driver calls, so oracles that can wait efficiently (a channel, a
+    /// socket, a remote worker) do so instead of being spin-polled. The
+    /// default simply polls: correct for every oracle, efficient for the
+    /// ones whose answers are ready at submit ([`Immediate`]) or scripted
+    /// in poll cycles ([`crate::ScriptedArrival`]).
+    ///
+    /// Like [`poll`], must not block when nothing is in flight.
+    ///
+    /// [`poll`]: AsyncOracle::poll
+    fn poll_deadline(&mut self, timeout: Duration) -> Vec<(QuestionId, bool)> {
+        let _ = timeout;
+        self.poll()
+    }
+
+    /// Whether this oracle can still deliver answers. A wire-backed
+    /// oracle whose worker died reports `false`; the wave driver then
+    /// abandons the in-flight questions immediately instead of waiting
+    /// out the idle limit. Defaults to `true` (local oracles never die).
+    fn healthy(&self) -> bool {
+        true
+    }
+
     /// Questions submitted so far.
     fn queries(&self) -> usize;
 }
@@ -128,6 +153,11 @@ impl<O: Oracle> AsyncOracle for Immediate<O> {
 
     fn poll(&mut self) -> Vec<(QuestionId, bool)> {
         std::mem::take(&mut self.ready)
+    }
+
+    fn poll_deadline(&mut self, _timeout: Duration) -> Vec<(QuestionId, bool)> {
+        // Answers are ready the moment they are submitted — never wait.
+        self.poll()
     }
 
     fn queries(&self) -> usize {

@@ -11,6 +11,7 @@ use crate::batch::{AsyncRunResult, CostModel};
 use crate::config::{DarwinConfig, TraversalKind};
 use crate::engine::{Engine, EngineFlavor};
 use crate::oracle::{AsyncOracle, Oracle};
+use crate::shard::ShardConnector;
 use crate::traversal::{HybridSearch, LocalSearch, Strategy, UniversalSearch};
 use darwin_grammar::Heuristic;
 use darwin_index::fx::FxHashSet;
@@ -54,6 +55,11 @@ pub struct RunResult {
     pub trace: Vec<TraceStep>,
     /// Final classifier scores per sentence.
     pub scores: Vec<f32>,
+    /// `Some` when a distributed run aborted early on a wire failure (a
+    /// shard worker died mid-run): everything above reflects the cleanly
+    /// applied prefix of the run — no partial merge, no panic. `None` on
+    /// every healthy (or purely local) run.
+    pub wire_error: Option<String>,
 }
 
 impl RunResult {
@@ -95,12 +101,22 @@ impl RunResult {
     }
 }
 
+/// How a run's shard partitions are distributed to workers: the
+/// connector producing one transport per shard. Workers rebuild the
+/// coordinator's own index recipe ([`IndexSet::config`]), so rule
+/// handles agree by construction.
+pub struct RemoteShards {
+    /// Builds the transport to each shard's worker.
+    pub connect: Box<ShardConnector>,
+}
+
 /// The Darwin system, bound to a corpus and its index.
 pub struct Darwin<'a> {
     corpus: &'a Corpus,
     index: &'a IndexSet,
     emb: Embeddings,
     cfg: DarwinConfig,
+    remote: Option<RemoteShards>,
 }
 
 impl<'a> Darwin<'a> {
@@ -118,6 +134,7 @@ impl<'a> Darwin<'a> {
             index,
             emb,
             cfg,
+            remote: None,
         }
     }
 
@@ -134,7 +151,33 @@ impl<'a> Darwin<'a> {
             index,
             emb,
             cfg,
+            remote: None,
         }
+    }
+
+    /// Distribute the run's shard partitions to *workers*: `connect`
+    /// builds one [`darwin_wire::Transport`] per shard (a spawned process,
+    /// a worker thread, a socket). Every worker rebuilds this `Darwin`'s
+    /// own index recipe ([`IndexSet::config`]) from the shipped corpus
+    /// texts — rule handles are positions in the deterministic build, so
+    /// both sides agree by construction.
+    ///
+    /// Execution-layer invariance extends across the boundary: a
+    /// remote-sharded run replays the local trace byte for byte. A wire
+    /// failure mid-run aborts cleanly — see [`RunResult::wire_error`].
+    /// Remote shards require the incremental benefit engine
+    /// (`DarwinConfig::incremental_benefit`, the default) — there is no
+    /// distributed rescan path, and a run configured without it aborts
+    /// with a [`RunResult::wire_error`] instead of silently running
+    /// locally.
+    pub fn with_remote_shards(mut self, connect: Box<ShardConnector>) -> Darwin<'a> {
+        self.remote = Some(RemoteShards { connect });
+        self
+    }
+
+    /// The remote-shard deployment, if configured.
+    pub(crate) fn remote_shards(&self) -> Option<&RemoteShards> {
+        self.remote.as_ref()
     }
 
     /// The run configuration.

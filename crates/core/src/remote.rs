@@ -1,0 +1,856 @@
+//! Worker serve loops and coordinator clients for the wire boundary.
+//!
+//! Three worker roles speak the [`darwin_wire`] protocol:
+//!
+//! * **shard workers** ([`serve_shard`]) own one [`BenefitStore`]
+//!   partition plus their own copy of the corpus, index, positive set and
+//!   span scores — all mirrored from the coordinator by delta messages.
+//!   Every mutating request is answered with the benefit fragments it
+//!   changed, so the coordinator-side [`crate::shard::RemoteShard`] mirror
+//!   stays exact without read-time round-trips.
+//! * **oracle workers** ([`serve_oracle`]) answer YES/NO questions from a
+//!   local [`Oracle`] (a crowd gateway, a labeling UI, ground truth in
+//!   experiments). Answers are computed at submit and delivered at the
+//!   next poll — the wire twin of the [`crate::Immediate`] adapter, which
+//!   is what makes a wire-oracle run replay the local trace.
+//! * **classifier workers** ([`serve_classifier`]) train and score a
+//!   [`TextClassifier`] built from a wire-described recipe, so remote
+//!   shards can score without sharing memory ([`WireClassifier`] is the
+//!   coordinator-side `TextClassifier` that forwards `fit`/`predict_batch`
+//!   over the transport).
+//!
+//! All three loops share one discipline: every request gets exactly one
+//! response; malformed or out-of-role requests get [`Response::Error`];
+//! the loop exits cleanly on `Shutdown` or peer disconnect. A worker
+//! never panics on wire input.
+
+use crate::engine::BenefitStore;
+use crate::oracle::{AsyncOracle, Oracle, QuestionId};
+use crate::shard::{agg_to_wire, ShardConnector};
+use darwin_classifier::{ClassifierKind, CnnConfig, LogRegConfig, TextClassifier};
+use darwin_index::fx::FxHashSet;
+use darwin_index::{IdSet, IndexConfig, IndexSet, RuleRef};
+use darwin_text::embed::EmbedConfig;
+use darwin_text::{Corpus, Embeddings};
+use darwin_wire::frame::{MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
+use darwin_wire::msg::{
+    recv_request, send_response, CorpusSlice, Request, Response, Session, WireClassifierKind,
+};
+use darwin_wire::{Transport, WireError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+// ---- shared serve plumbing ----------------------------------------------
+
+fn reply(t: &mut dyn Transport, seq: u64, resp: &Response) -> Result<(), WireError> {
+    send_response(t, seq, resp)
+}
+
+fn reply_error(t: &mut dyn Transport, seq: u64, message: String) -> Result<(), WireError> {
+    reply(t, seq, &Response::Error { message })
+}
+
+/// Answer a `Hello` under the negotiation rule: the session speaks
+/// `min(client, worker)`; clients older than our support window are
+/// refused.
+fn answer_hello(t: &mut dyn Transport, seq: u64, version: u8) -> Result<(), WireError> {
+    if version < MIN_SUPPORTED_VERSION {
+        reply_error(t, seq, format!("protocol version {version} unsupported"))?;
+        return Err(WireError::BadVersion {
+            got: version,
+            want: PROTOCOL_VERSION,
+        });
+    }
+    reply(
+        t,
+        seq,
+        &Response::Hello {
+            version: version.min(PROTOCOL_VERSION),
+        },
+    )
+}
+
+// ---- shard worker --------------------------------------------------------
+
+/// The state a shard worker owns after `ShardInit` (the corpus itself is
+/// dropped after indexing — the fragment math runs entirely on postings).
+struct ShardState {
+    index: IndexSet,
+    store: BenefitStore,
+    p: IdSet,
+    scores: Vec<f32>,
+    lo: u32,
+    hi: u32,
+}
+
+impl ShardState {
+    /// Fragments for `rules`, sorted by rule — what mutation replies carry.
+    fn deltas(&self, mut rules: Vec<RuleRef>) -> Response {
+        rules.sort_unstable();
+        rules.dedup();
+        let changed = rules
+            .into_iter()
+            .filter_map(|r| self.store.agg(r).map(|a| (r, agg_to_wire(a))))
+            .collect();
+        Response::FragmentDeltas { changed }
+    }
+
+    /// Tracked rules covering any of `ids` (the fragments a positive or
+    /// score delta can move).
+    fn affected(&self, ids: impl Iterator<Item = u32>) -> Vec<RuleRef> {
+        let mut out: FxHashSet<RuleRef> = FxHashSet::default();
+        for id in ids {
+            for r in self.index.rules_covering(id) {
+                if self.store.contains(r) {
+                    out.insert(r);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+/// Serve the shard-worker protocol over `t` until shutdown or disconnect.
+///
+/// The worker is initialized by the first `ShardInit` (corpus texts are
+/// re-analyzed and re-indexed — deterministic, so rule handles agree with
+/// the coordinator's), then applies tracking/delta/rebuild requests to its
+/// span-scoped [`BenefitStore`], replying with the changed fragments.
+pub fn serve_shard(t: &mut dyn Transport) -> Result<(), WireError> {
+    let mut state: Option<ShardState> = None;
+    loop {
+        let Some((seq, req)) = recv_request(t)? else {
+            return Ok(()); // coordinator hung up: done
+        };
+        match req {
+            Request::Hello { version } => answer_hello(t, seq, version)?,
+            Request::Shutdown => {
+                reply(t, seq, &Response::Ack)?;
+                return Ok(());
+            }
+            Request::ShardInit {
+                corpus,
+                index,
+                lo,
+                hi,
+                positives,
+                scores,
+            } => {
+                // Validate the whole init against the shipped corpus
+                // before touching any state — a malformed frame must be
+                // a clean Error reply, never a panic.
+                let n_texts = corpus.texts.len() as u32;
+                if hi < lo || hi > n_texts {
+                    reply_error(
+                        t,
+                        seq,
+                        format!("span {lo}..{hi} outside corpus 0..{n_texts}"),
+                    )?;
+                    continue;
+                }
+                if scores.len() != (hi - lo) as usize {
+                    reply_error(t, seq, "span scores length mismatch".into())?;
+                    continue;
+                }
+                if positives.iter().any(|&id| id < lo || id >= hi) {
+                    reply_error(t, seq, "initial positive outside the span".into())?;
+                    continue;
+                }
+                let corpus = match corpus.restore() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        reply_error(t, seq, e.to_string())?;
+                        continue;
+                    }
+                };
+                // Workers index sequentially regardless of the
+                // coordinator's build parallelism — both constructions are
+                // deterministic and identical.
+                let index_cfg = IndexConfig {
+                    threads: 1,
+                    ..index
+                };
+                let index = IndexSet::build(&corpus, &index_cfg);
+                let n = corpus.len();
+                let mut full_scores = vec![0.0f32; n];
+                full_scores[lo as usize..hi as usize].copy_from_slice(&scores);
+                state = Some(ShardState {
+                    p: IdSet::from_ids(&positives, n),
+                    store: BenefitStore::for_span(lo, hi),
+                    index,
+                    scores: full_scores,
+                    lo,
+                    hi,
+                });
+                drop(corpus);
+                reply(t, seq, &Response::Ack)?;
+            }
+            other => {
+                let Some(s) = state.as_mut() else {
+                    reply_error(t, seq, "shard worker not initialized".into())?;
+                    continue;
+                };
+                let resp = shard_request(s, other);
+                reply(t, seq, &resp)?;
+            }
+        }
+    }
+}
+
+/// Apply one post-init request to the shard state.
+fn shard_request(s: &mut ShardState, req: Request) -> Response {
+    match req {
+        Request::Track { rules } => {
+            let missing: Vec<RuleRef> = rules
+                .iter()
+                .copied()
+                .filter(|r| !s.store.contains(*r))
+                .collect();
+            s.store
+                .track(rules.iter().copied(), &s.index, &s.p, &s.scores, 1);
+            s.deltas(missing)
+        }
+        Request::TrackScored { cands } => {
+            let cands: Vec<crate::candidates::Candidate> = cands
+                .into_iter()
+                .map(|c| crate::candidates::Candidate {
+                    rule: c.rule,
+                    overlap: c.overlap as usize,
+                    count: c.count as usize,
+                })
+                .collect();
+            let missing: Vec<RuleRef> = cands
+                .iter()
+                .map(|c| c.rule)
+                .filter(|r| !s.store.contains(*r))
+                .collect();
+            s.store.track_scored(&cands, &s.index, &s.p, &s.scores, 1);
+            s.deltas(missing)
+        }
+        Request::Rebuild { scores } => {
+            if scores.len() != (s.hi - s.lo) as usize {
+                return Response::Error {
+                    message: "rebuild scores length mismatch".into(),
+                };
+            }
+            s.scores[s.lo as usize..s.hi as usize].copy_from_slice(&scores);
+            s.store.rebuild(&s.index, &s.p, &s.scores, 1);
+            let all: Vec<RuleRef> = s.store.tracked().map(|(r, _)| r).collect();
+            s.deltas(all)
+        }
+        Request::Retain { keep } => {
+            let keep: FxHashSet<RuleRef> = keep.into_iter().collect();
+            s.store.retain(|r| keep.contains(&r));
+            Response::Ack
+        }
+        Request::PositivesAdded { ids } => {
+            if ids
+                .iter()
+                .any(|&id| id < s.lo || id >= s.hi || s.p.contains(id))
+            {
+                return Response::Error {
+                    message: "positive id outside span or already positive".into(),
+                };
+            }
+            let affected = s.affected(ids.iter().copied());
+            // Pre-retrain scores are still current here — exactly what the
+            // fragments reflect (the coordinator sends positives before
+            // any score message of the retrain that follows).
+            s.store.on_positives_added(&ids, &s.index, &s.scores);
+            s.p.extend_from_slice(&ids);
+            s.deltas(affected)
+        }
+        Request::ScoresChanged { changes } => {
+            if changes.iter().any(|&(id, _, _)| id < s.lo || id >= s.hi) {
+                return Response::Error {
+                    message: "score change outside span".into(),
+                };
+            }
+            let affected = s.affected(
+                changes
+                    .iter()
+                    .filter(|&&(id, _, _)| !s.p.contains(id))
+                    .map(|&(id, _, _)| id),
+            );
+            s.store.on_scores_changed(&changes, &s.p, &s.index);
+            for &(id, _, new) in &changes {
+                s.scores[id as usize] = new;
+            }
+            s.deltas(affected)
+        }
+        Request::Fragments { rules } => Response::Fragments {
+            aggs: rules
+                .into_iter()
+                .map(|r| s.store.agg(r).map(agg_to_wire))
+                .collect(),
+        },
+        other => Response::Error {
+            message: format!("not a shard request: {other:?}"),
+        },
+    }
+}
+
+// ---- oracle worker -------------------------------------------------------
+
+/// Serve the oracle protocol over `t` until shutdown or disconnect:
+/// `Submit` asks the local oracle immediately, `Poll` delivers everything
+/// answered since the last poll, sorted by question id — the wire twin of
+/// [`crate::Immediate`], so driving the batch loop through a
+/// [`WireOracle`] + `serve_oracle` pair replays the local trace.
+pub fn serve_oracle(
+    t: &mut dyn Transport,
+    corpus: &Corpus,
+    oracle: &mut dyn Oracle,
+) -> Result<(), WireError> {
+    let mut ready: Vec<(u64, bool)> = Vec::new();
+    loop {
+        let Some((seq, req)) = recv_request(t)? else {
+            return Ok(());
+        };
+        match req {
+            Request::Hello { version } => answer_hello(t, seq, version)?,
+            Request::Shutdown => {
+                reply(t, seq, &Response::Ack)?;
+                return Ok(());
+            }
+            Request::Submit {
+                qid,
+                rule,
+                coverage,
+            } => {
+                let answer = oracle.ask(corpus, &rule, &coverage);
+                ready.push((qid, answer));
+                reply(t, seq, &Response::Ack)?;
+            }
+            Request::Poll { timeout_ms: _ } => {
+                // Answers are computed at submit, so nothing to wait for.
+                let mut answers = std::mem::take(&mut ready);
+                answers.sort_unstable_by_key(|&(qid, _)| qid);
+                reply(t, seq, &Response::Answers { answers })?;
+            }
+            other => reply_error(t, seq, format!("not an oracle request: {other:?}"))?,
+        }
+    }
+}
+
+/// Coordinator-side [`AsyncOracle`] speaking to a [`serve_oracle`] worker.
+///
+/// A transport failure makes the oracle go *silent and unhealthy*: `poll`
+/// returns nothing forever, [`AsyncOracle::healthy`] reports `false`, and
+/// the wave driver abandons the in-flight questions — PR 4's silent-oracle
+/// path, now reachable from a dead worker. The failure is kept in
+/// [`WireOracle::last_error`].
+pub struct WireOracle {
+    session: Session,
+    in_flight: usize,
+    submitted: usize,
+    error: Option<WireError>,
+}
+
+impl WireOracle {
+    /// Handshake with an oracle worker.
+    pub fn connect(transport: Box<dyn Transport>) -> Result<WireOracle, WireError> {
+        let mut session = Session::new(transport);
+        session.hello()?;
+        Ok(WireOracle {
+            session,
+            in_flight: 0,
+            submitted: 0,
+            error: None,
+        })
+    }
+
+    /// The wire failure that silenced this oracle, if any.
+    pub fn last_error(&self) -> Option<&WireError> {
+        self.error.as_ref()
+    }
+
+    fn fail(&mut self, e: WireError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn poll_with(&mut self, timeout_ms: u64) -> Vec<(QuestionId, bool)> {
+        if self.in_flight == 0 || self.error.is_some() {
+            return Vec::new();
+        }
+        match self.session.call(&Request::Poll { timeout_ms }) {
+            Ok(Response::Answers { answers }) => {
+                self.in_flight = self.in_flight.saturating_sub(answers.len());
+                answers
+                    .into_iter()
+                    .map(|(qid, a)| (QuestionId(qid), a))
+                    .collect()
+            }
+            Ok(other) => {
+                self.fail(WireError::Protocol(format!(
+                    "poll expected Answers, got {other:?}"
+                )));
+                Vec::new()
+            }
+            Err(e) => {
+                self.fail(e);
+                Vec::new()
+            }
+        }
+    }
+}
+
+impl AsyncOracle for WireOracle {
+    fn submit(
+        &mut self,
+        qid: QuestionId,
+        _corpus: &Corpus,
+        rule: &darwin_grammar::Heuristic,
+        coverage: &[u32],
+    ) {
+        self.submitted += 1;
+        if self.error.is_some() {
+            return; // already silent; the driver will abandon
+        }
+        let req = Request::Submit {
+            qid: qid.0,
+            rule: rule.clone(),
+            coverage: coverage.to_vec(),
+        };
+        match self.session.call(&req) {
+            Ok(Response::Ack) => self.in_flight += 1,
+            Ok(other) => self.fail(WireError::Protocol(format!(
+                "submit expected Ack, got {other:?}"
+            ))),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    fn poll(&mut self) -> Vec<(QuestionId, bool)> {
+        self.poll_with(0)
+    }
+
+    fn poll_deadline(&mut self, timeout: Duration) -> Vec<(QuestionId, bool)> {
+        self.poll_with(timeout.as_millis() as u64)
+    }
+
+    fn queries(&self) -> usize {
+        self.submitted
+    }
+
+    fn healthy(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+// ---- classifier worker ---------------------------------------------------
+
+fn kind_to_wire(kind: &ClassifierKind) -> WireClassifierKind {
+    match kind {
+        ClassifierKind::Cnn(c) => WireClassifierKind::Cnn {
+            widths: c.widths.iter().map(|&w| w as u32).collect(),
+            filters: c.filters as u32,
+            hidden: c.hidden as u32,
+            max_len: c.max_len as u32,
+            epochs: c.epochs as u32,
+            lr: c.lr,
+            batch: c.batch as u32,
+        },
+        ClassifierKind::LogReg(c) => WireClassifierKind::LogReg {
+            epochs: c.epochs as u32,
+            lr: c.lr,
+            l2: c.l2,
+            l2_bow: c.l2_bow,
+        },
+    }
+}
+
+fn kind_from_wire(kind: &WireClassifierKind) -> ClassifierKind {
+    match kind {
+        WireClassifierKind::Cnn {
+            widths,
+            filters,
+            hidden,
+            max_len,
+            epochs,
+            lr,
+            batch,
+        } => ClassifierKind::Cnn(CnnConfig {
+            widths: widths.iter().map(|&w| w as usize).collect(),
+            filters: *filters as usize,
+            hidden: *hidden as usize,
+            max_len: *max_len as usize,
+            epochs: *epochs as usize,
+            lr: *lr,
+            batch: *batch as usize,
+        }),
+        WireClassifierKind::LogReg {
+            epochs,
+            lr,
+            l2,
+            l2_bow,
+        } => ClassifierKind::LogReg(LogRegConfig {
+            epochs: *epochs as usize,
+            lr: *lr,
+            l2: *l2,
+            l2_bow: *l2_bow,
+        }),
+    }
+}
+
+/// Serve the classifier protocol over `t` until shutdown or disconnect:
+/// `ClassifierInit` re-analyzes the corpus, retrains embeddings with the
+/// shipped seed (deterministic — bit-identical to the coordinator's) and
+/// builds the described classifier; `Fit` and `PredictBatch` then forward
+/// to it.
+pub fn serve_classifier(t: &mut dyn Transport) -> Result<(), WireError> {
+    struct State {
+        corpus: Corpus,
+        emb: Embeddings,
+        clf: Box<dyn TextClassifier>,
+    }
+    let mut state: Option<State> = None;
+    loop {
+        let Some((seq, req)) = recv_request(t)? else {
+            return Ok(());
+        };
+        match req {
+            Request::Hello { version } => answer_hello(t, seq, version)?,
+            Request::Shutdown => {
+                reply(t, seq, &Response::Ack)?;
+                return Ok(());
+            }
+            Request::ClassifierInit {
+                corpus,
+                embed_seed,
+                kind,
+                model_seed,
+            } => {
+                let corpus = match corpus.restore() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        reply_error(t, seq, e.to_string())?;
+                        continue;
+                    }
+                };
+                let emb = Embeddings::train(
+                    &corpus,
+                    &EmbedConfig {
+                        seed: embed_seed,
+                        ..Default::default()
+                    },
+                );
+                let clf = kind_from_wire(&kind).build(&emb, model_seed);
+                state = Some(State { corpus, emb, clf });
+                reply(t, seq, &Response::Ack)?;
+            }
+            Request::Fit { pos, neg } => match state.as_mut() {
+                None => reply_error(t, seq, "classifier worker not initialized".into())?,
+                Some(s) => {
+                    s.clf.fit(&s.corpus, &s.emb, &pos, &neg);
+                    reply(t, seq, &Response::Ack)?;
+                }
+            },
+            Request::PredictBatch { ids } => match state.as_mut() {
+                None => reply_error(t, seq, "classifier worker not initialized".into())?,
+                Some(s) => {
+                    if ids.iter().any(|&id| id as usize >= s.corpus.len()) {
+                        reply_error(t, seq, "prediction id out of range".into())?;
+                        continue;
+                    }
+                    let mut scores = Vec::with_capacity(ids.len());
+                    s.clf.predict_batch(&s.corpus, &s.emb, &ids, &mut scores);
+                    reply(t, seq, &Response::Scores { scores })?;
+                }
+            },
+            other => reply_error(t, seq, format!("not a classifier request: {other:?}"))?,
+        }
+    }
+}
+
+/// Coordinator-side [`TextClassifier`] that trains and scores in a
+/// [`serve_classifier`] worker — `predict_batch` over the wire, so remote
+/// shards can score without sharing memory.
+///
+/// `TextClassifier`'s surface is infallible, so a wire failure degrades to
+/// *neutral* scores (0.5 — the score every sentence starts with) and is
+/// recorded in [`WireClassifier::last_error`]; callers that care check it
+/// after a pass. Scores that do arrive are the worker's bit-exact output.
+pub struct WireClassifier {
+    link: Mutex<(Session, Option<WireError>)>,
+}
+
+impl WireClassifier {
+    /// Handshake and initialize the worker with the corpus, embedding
+    /// seed and classifier recipe. The worker retrains embeddings from
+    /// the same seed — deterministic, so features agree bit for bit.
+    pub fn connect(
+        transport: Box<dyn Transport>,
+        corpus: &Corpus,
+        embed_seed: u64,
+        kind: &ClassifierKind,
+        model_seed: u64,
+    ) -> Result<WireClassifier, WireError> {
+        let mut session = Session::new(transport);
+        session.hello()?;
+        let req = Request::ClassifierInit {
+            corpus: CorpusSlice::full(corpus),
+            embed_seed,
+            kind: kind_to_wire(kind),
+            model_seed,
+        };
+        match session.call(&req)? {
+            Response::Ack => Ok(WireClassifier {
+                link: Mutex::new((session, None)),
+            }),
+            other => Err(WireError::Protocol(format!(
+                "classifier init expected Ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The wire failure that degraded this classifier, if any.
+    pub fn last_error(&self) -> Option<WireError> {
+        self.link.lock().unwrap().1.clone()
+    }
+}
+
+impl TextClassifier for WireClassifier {
+    fn fit(&mut self, _corpus: &Corpus, _emb: &Embeddings, pos: &[u32], neg: &[u32]) {
+        let link = self.link.get_mut().unwrap();
+        if link.1.is_some() {
+            return;
+        }
+        let req = Request::Fit {
+            pos: pos.to_vec(),
+            neg: neg.to_vec(),
+        };
+        match link.0.call(&req) {
+            Ok(Response::Ack) => {}
+            Ok(other) => {
+                link.1 = Some(WireError::Protocol(format!(
+                    "fit expected Ack, got {other:?}"
+                )))
+            }
+            Err(e) => link.1 = Some(e),
+        }
+    }
+
+    fn predict(&self, corpus: &Corpus, emb: &Embeddings, id: u32) -> f32 {
+        let mut out = Vec::with_capacity(1);
+        self.predict_batch(corpus, emb, &[id], &mut out);
+        out[0]
+    }
+
+    fn predict_batch(&self, _corpus: &Corpus, _emb: &Embeddings, ids: &[u32], out: &mut Vec<f32>) {
+        let mut link = self.link.lock().unwrap();
+        if link.1.is_none() {
+            let req = Request::PredictBatch { ids: ids.to_vec() };
+            match link.0.call(&req) {
+                Ok(Response::Scores { scores }) if scores.len() == ids.len() => {
+                    out.extend_from_slice(&scores);
+                    return;
+                }
+                Ok(other) => {
+                    link.1 = Some(WireError::Protocol(format!(
+                        "predict expected {} Scores, got {other:?}",
+                        ids.len()
+                    )))
+                }
+                Err(e) => link.1 = Some(e),
+            }
+        }
+        out.extend(std::iter::repeat_n(0.5, ids.len()));
+    }
+}
+
+// ---- in-process worker spawning -----------------------------------------
+
+/// Spawn a shard worker *thread* per shard over [`darwin_wire::InProc`]
+/// channels and return a connector for
+/// [`crate::Darwin::with_remote_shards`]. The workers run the exact serve
+/// loop a separate process would and exit when the coordinator hangs up.
+pub fn inproc_shard_connector() -> Box<ShardConnector> {
+    Box::new(|_s, _range| {
+        let (client, mut server) = darwin_wire::InProc::pair();
+        std::thread::spawn(move || {
+            let _ = serve_shard(&mut server);
+        });
+        Ok(Box::new(client))
+    })
+}
+
+/// Spawn an oracle worker thread serving `oracle` over the given corpus
+/// (both moved into the thread) and return the connected [`WireOracle`].
+pub fn inproc_wire_oracle<O>(corpus: Corpus, oracle: O) -> Result<WireOracle, WireError>
+where
+    O: Oracle + Send + 'static,
+{
+    let (client, mut server) = darwin_wire::InProc::pair();
+    std::thread::spawn(move || {
+        let mut oracle = oracle;
+        let _ = serve_oracle(&mut server, &corpus, &mut oracle);
+    });
+    WireOracle::connect(Box::new(client))
+}
+
+/// Spawn a classifier worker thread and return the connected
+/// [`WireClassifier`].
+pub fn inproc_wire_classifier(
+    corpus: &Corpus,
+    embed_seed: u64,
+    kind: &ClassifierKind,
+    model_seed: u64,
+) -> Result<WireClassifier, WireError> {
+    let (client, mut server) = darwin_wire::InProc::pair();
+    std::thread::spawn(move || {
+        let _ = serve_classifier(&mut server);
+    });
+    WireClassifier::connect(Box::new(client), corpus, embed_seed, kind, model_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use darwin_grammar::Heuristic;
+
+    fn corpus() -> (Corpus, Vec<bool>) {
+        let c = Corpus::from_texts([
+            "the shuttle to the airport leaves hourly",
+            "is there a shuttle to the airport tonight",
+            "a bus to the airport runs daily",
+            "order pizza to the room please",
+            "the pool opens at nine daily",
+        ]);
+        (c, vec![true, true, true, false, false])
+    }
+
+    #[test]
+    fn wire_oracle_mirrors_immediate_semantics() {
+        let (c, labels) = corpus();
+        let rule = Heuristic::phrase(&c, "shuttle").unwrap();
+        // The worker thread owns its oracle, so give it 'static labels.
+        let labels: &'static [bool] = Box::leak(labels.into_boxed_slice());
+        let mut o = inproc_wire_oracle(c.clone(), GroundTruthOracle::new(labels, 0.8)).unwrap();
+        assert!(o.poll().is_empty(), "no blocking when nothing in flight");
+        o.submit(QuestionId(0), &c, &rule, &[0, 1]);
+        o.submit(QuestionId(1), &c, &rule, &[3, 4]);
+        let got = o.poll();
+        assert_eq!(got, vec![(QuestionId(0), true), (QuestionId(1), false)]);
+        assert!(o.poll().is_empty(), "answers deliver exactly once");
+        assert_eq!(o.queries(), 2);
+        assert!(o.healthy());
+    }
+
+    #[test]
+    fn wire_oracle_goes_silent_on_dead_worker() {
+        let (c, _labels) = corpus();
+        let rule = Heuristic::phrase(&c, "shuttle").unwrap();
+        let mut o = WireOracle {
+            session: Session::new(Box::new(darwin_wire::DeadTransport)),
+            in_flight: 0,
+            submitted: 0,
+            error: None,
+        };
+        o.submit(QuestionId(0), &c, &rule, &[0]);
+        assert!(!o.healthy());
+        assert!(o.poll().is_empty());
+        assert_eq!(o.last_error(), Some(&WireError::Disconnected));
+        assert_eq!(o.queries(), 1, "submissions still count as spent");
+    }
+
+    #[test]
+    fn wire_classifier_matches_local_bit_for_bit() {
+        let (c, _) = corpus();
+        let kind = ClassifierKind::logreg();
+        let emb = Embeddings::train(
+            &c,
+            &EmbedConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let mut local = kind.build(&emb, 9);
+        local.fit(&c, &emb, &[0, 1], &[3, 4]);
+        let mut remote = inproc_wire_classifier(&c, 7, &kind, 9).unwrap();
+        remote.fit(&c, &emb, &[0, 1], &[3, 4]);
+        let ids: Vec<u32> = (0..c.len() as u32).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        local.predict_batch(&c, &emb, &ids, &mut a);
+        remote.predict_batch(&c, &emb, &ids, &mut b);
+        assert_eq!(a, b, "wire scores must be bit-identical");
+        assert_eq!(remote.predict(&c, &emb, 0), a[0]);
+        assert!(remote.last_error().is_none());
+    }
+
+    #[test]
+    fn wire_classifier_degrades_to_neutral_on_failure() {
+        let clf = WireClassifier {
+            link: Mutex::new((Session::new(Box::new(darwin_wire::DeadTransport)), None)),
+        };
+        let (c, _) = corpus();
+        let emb = Embeddings::train(&c, &EmbedConfig::default());
+        let mut out = Vec::new();
+        clf.predict_batch(&c, &emb, &[0, 1], &mut out);
+        assert_eq!(out, vec![0.5, 0.5]);
+        assert_eq!(clf.last_error(), Some(WireError::Disconnected));
+    }
+
+    /// A malformed init — span past the corpus, inverted span, positives
+    /// outside the span — must be a clean remote error, never a worker
+    /// panic, and the loop must survive to accept a valid init.
+    #[test]
+    fn shard_worker_validates_init_spans() {
+        let (c, _labels) = corpus();
+        let (client, mut server) = darwin_wire::InProc::pair();
+        let handle = std::thread::spawn(move || serve_shard(&mut server));
+        let mut session = Session::new(Box::new(client));
+        session.hello().unwrap();
+        let slice = CorpusSlice::full(&c);
+        let bad_inits = [
+            (0u32, 10u32, vec![], vec![0.5; 10]), // hi past the corpus
+            (3, 1, vec![], vec![]),               // inverted span
+            (0, 3, vec![4], vec![0.5; 3]),        // positive outside span
+            (0, 3, vec![0], vec![0.5; 2]),        // scores length mismatch
+        ];
+        for (lo, hi, positives, scores) in bad_inits {
+            let err = session
+                .call(&Request::ShardInit {
+                    corpus: slice.clone(),
+                    index: IndexConfig::small(),
+                    lo,
+                    hi,
+                    positives,
+                    scores,
+                })
+                .unwrap_err();
+            assert!(matches!(err, WireError::Remote(_)), "got {err:?}");
+        }
+        // The loop survived all of it: a valid init still works.
+        let ok = session.call(&Request::ShardInit {
+            corpus: slice,
+            index: IndexConfig::small(),
+            lo: 0,
+            hi: c.len() as u32,
+            positives: vec![0],
+            scores: vec![0.5; c.len()],
+        });
+        assert_eq!(ok.unwrap(), Response::Ack);
+        session.call(&Request::Shutdown).unwrap();
+        assert!(handle.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn shard_worker_rejects_garbage_without_dying() {
+        let (client, mut server) = darwin_wire::InProc::pair();
+        let handle = std::thread::spawn(move || serve_shard(&mut server));
+        let mut session = Session::new(Box::new(client));
+        session.hello().unwrap();
+        // Track before init: a clean remote error, and the loop survives.
+        let err = session.call(&Request::Track { rules: vec![] }).unwrap_err();
+        assert!(matches!(err, WireError::Remote(_)));
+        // An oracle request to a shard worker: same.
+        let err = session.call(&Request::Poll { timeout_ms: 0 }).unwrap_err();
+        assert!(matches!(err, WireError::Remote(_)));
+        session.call(&Request::Shutdown).unwrap();
+        assert!(handle.join().unwrap().is_ok());
+    }
+}

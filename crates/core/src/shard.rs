@@ -1,10 +1,23 @@
-//! The sharded benefit coordinator.
+//! The sharded benefit coordinator, generic over local and remote shards.
 //!
-//! [`ShardedBenefitStore`] partitions the corpus across `S` shard-local
-//! [`BenefitStore`]s, one per contiguous id range of a
-//! [`darwin_index::ShardMap`]. Each partition maintains, for every tracked
-//! rule, the *fragment* of its benefit aggregate contributed by the
-//! shard's slice of the rule's coverage; the coordinator:
+//! [`ShardedBenefitStore`] partitions the corpus across `S` shard
+//! partitions, one per contiguous id range of a [`darwin_index::ShardMap`].
+//! Each partition maintains, for every tracked rule, the *fragment* of its
+//! benefit aggregate contributed by the shard's slice of the rule's
+//! coverage. A partition is one of two backends:
+//!
+//! * **local** — an in-memory [`BenefitStore`] (the pre-wire path, and the
+//!   `S = 1` full-span reference);
+//! * **remote** — a [`RemoteShard`]: the partition lives in a *worker*
+//!   (another thread or another process) behind a
+//!   [`darwin_wire::Transport`]. The coordinator ships deltas — new
+//!   positives, score-journal runs, rule-tracking requests — as wire
+//!   messages, and every mutating reply carries the fragments that
+//!   changed, which the coordinator applies to a local *mirror*. Selection
+//!   reads the mirror, so the read path costs no round-trips and the
+//!   merged benefit is computed exactly as in the local case.
+//!
+//! The coordinator:
 //!
 //! * **routes deltas to owners** — a YES answer's new positive ids go to
 //!   the shard that owns them ([`ShardedBenefitStore::on_positives_added`]),
@@ -12,45 +25,318 @@
 //!   `ScoreCache::last_changes` invariant) is sliced into per-shard runs
 //!   with two binary searches per shard
 //!   ([`ShardedBenefitStore::on_scores_changed`]);
-//! * **fans bulk work out across shards** — tracking freshly generated
-//!   rules and the full-epoch rebuild run shard-parallel when
-//!   `threads > 1`, deterministic because each partition owns disjoint
-//!   state and results never interleave;
+//! * **fans bulk work out across shards** — local partitions shard-parallel
+//!   when `threads > 1`; remote partitions in shard order (each owns
+//!   disjoint state, so order never changes results);
 //! * **merges fragments exactly at read time** —
 //!   [`ShardedBenefitStore::benefit_of`] sums the per-shard fragments in
 //!   the fixed-point domain of [`crate::benefit::quantize`], where integer
 //!   addition is associative, so the merged benefit is bit-identical to
-//!   the single-store value for any shard count and any delta
-//!   interleaving. Selection over merged fragments therefore asks the
-//!   exact question sequence of the unsharded path.
+//!   the single-store value for any shard count, any delta interleaving
+//!   *and any backend* — fragments are integers on the wire, so transport
+//!   changes nothing.
 //!
-//! `S = 1` constructs one full-span [`BenefitStore`] — the pre-shard
-//! reference path, byte for byte.
+//! **Failure discipline:** a wire failure during any mutating operation
+//! *poisons* the coordinator: the error is returned (and kept — see
+//! [`ShardedBenefitStore::wire_error`]), and every subsequent read answers
+//! `None`, so selection can never act on a partially-merged state. The
+//! engine aborts the run cleanly when it sees the poison; nothing panics.
+//!
+//! `S = 1` with local backing constructs one full-span [`BenefitStore`] —
+//! the pre-shard reference path, byte for byte.
 
 use crate::benefit::Benefit;
 use crate::candidates::Candidate;
 use crate::engine::{BenefitAgg, BenefitStore};
-use darwin_index::{IdSet, IndexSet, RuleRef, ShardMap};
+use darwin_index::fx::FxHashMap;
+use darwin_index::{IdSet, IndexConfig, IndexSet, RuleRef, ShardMap};
+use darwin_text::Corpus;
+use darwin_wire::msg::{CorpusSlice, Request, Response, ScoredRule, Session, WireAgg};
+use darwin_wire::{Transport, WireError};
 
-/// Per-shard [`BenefitStore`] partitions behind one store-shaped facade.
+/// Builds the transport to one shard worker: called once per shard with
+/// the shard index and its id range.
+pub type ShardConnector =
+    dyn Fn(usize, std::ops::Range<u32>) -> Result<Box<dyn Transport>, WireError> + Send + Sync;
+
+pub(crate) fn agg_from_wire(w: WireAgg) -> BenefitAgg {
+    BenefitAgg {
+        covered_pos: w.covered_pos as usize,
+        new_instances: w.new_instances as usize,
+        sum_q: w.sum_q,
+    }
+}
+
+pub(crate) fn agg_to_wire(a: &BenefitAgg) -> WireAgg {
+    WireAgg {
+        covered_pos: a.covered_pos as u64,
+        new_instances: a.new_instances as u64,
+        sum_q: a.sum_q,
+    }
+}
+
+/// Coordinator-side handle to a shard partition living in a worker behind
+/// a [`Transport`]. Mutations are wire calls; reads hit the fragment
+/// mirror the mutation replies keep up to date.
+pub struct RemoteShard {
+    session: Session,
+    lo: u32,
+    hi: u32,
+    mirror: FxHashMap<RuleRef, BenefitAgg>,
+}
+
+impl RemoteShard {
+    /// Handshake with the worker and stand up its partition: ships the
+    /// full corpus (workers index it themselves — the heuristic index
+    /// needs global postings), the index recipe, the owned span, and the
+    /// current positives/scores of that span.
+    pub fn connect(
+        transport: Box<dyn Transport>,
+        corpus: &Corpus,
+        index_cfg: &IndexConfig,
+        lo: u32,
+        hi: u32,
+        p: &IdSet,
+        scores: &[f32],
+    ) -> Result<RemoteShard, WireError> {
+        let mut session = Session::new(transport);
+        session.hello()?;
+        let positives: Vec<u32> = p.iter().filter(|&id| lo <= id && id < hi).collect();
+        let req = Request::ShardInit {
+            corpus: CorpusSlice::full(corpus),
+            index: index_cfg.clone(),
+            lo,
+            hi,
+            positives,
+            scores: scores[lo as usize..hi as usize].to_vec(),
+        };
+        match session.call(&req)? {
+            Response::Ack => Ok(RemoteShard {
+                session,
+                lo,
+                hi,
+                mirror: FxHashMap::default(),
+            }),
+            other => Err(WireError::Protocol(format!(
+                "shard init expected Ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The owned id span `[lo, hi)`.
+    pub fn span(&self) -> (u32, u32) {
+        (self.lo, self.hi)
+    }
+
+    /// Number of tracked (mirrored) rules.
+    pub fn len(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// Whether no rule is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.mirror.is_empty()
+    }
+
+    /// Whether `r` has a mirrored fragment.
+    pub fn contains(&self, r: RuleRef) -> bool {
+        self.mirror.contains_key(&r)
+    }
+
+    /// The mirrored fragment for `r`, if tracked.
+    pub fn agg(&self, r: RuleRef) -> Option<BenefitAgg> {
+        self.mirror.get(&r).copied()
+    }
+
+    /// A mutating exchange: the worker applies the request and replies
+    /// with the fragments it changed, which we fold into the mirror.
+    fn mutate(&mut self, req: Request) -> Result<(), WireError> {
+        match self.session.call(&req)? {
+            Response::FragmentDeltas { changed } => {
+                for (r, agg) in changed {
+                    self.mirror.insert(r, agg_from_wire(agg));
+                }
+                Ok(())
+            }
+            Response::Ack => Ok(()),
+            other => Err(WireError::Protocol(format!(
+                "mutation expected FragmentDeltas/Ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Track `rules` (the worker computes fragments for the missing ones).
+    pub fn track(&mut self, rules: &[RuleRef]) -> Result<(), WireError> {
+        self.mutate(Request::Track {
+            rules: rules.to_vec(),
+        })
+    }
+
+    /// Track freshly generated candidates, statistics attached.
+    pub fn track_scored(&mut self, cands: &[Candidate]) -> Result<(), WireError> {
+        let cands = cands
+            .iter()
+            .map(|c| ScoredRule {
+                rule: c.rule,
+                overlap: c.overlap as u64,
+                count: c.count as u64,
+            })
+            .collect();
+        self.mutate(Request::TrackScored { cands })
+    }
+
+    /// Full re-score epoch: ship the span's new scores, the worker
+    /// rebuilds every fragment and replies with all of them.
+    pub fn rebuild(&mut self, full_scores: &[f32]) -> Result<(), WireError> {
+        self.mutate(Request::Rebuild {
+            scores: full_scores[self.lo as usize..self.hi as usize].to_vec(),
+        })
+    }
+
+    /// Drop fragments for rules not satisfying `keep`, on both sides.
+    pub fn retain(&mut self, keep: impl Fn(RuleRef) -> bool) -> Result<(), WireError> {
+        let mut kept: Vec<RuleRef> = self.mirror.keys().copied().filter(|&r| keep(r)).collect();
+        kept.sort_unstable();
+        match self.session.call(&Request::Retain { keep: kept })? {
+            Response::Ack => {
+                self.mirror.retain(|&r, _| keep(r));
+                Ok(())
+            }
+            other => Err(WireError::Protocol(format!(
+                "retain expected Ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// `P` grew by `ids` (all owned by this shard, pre-retrain scores
+    /// still current on the worker).
+    pub fn on_positives_added(&mut self, ids: &[u32]) -> Result<(), WireError> {
+        debug_assert!(ids.iter().all(|&id| self.lo <= id && id < self.hi));
+        self.mutate(Request::PositivesAdded { ids: ids.to_vec() })
+    }
+
+    /// Ship this shard's slice of an incremental score journal.
+    pub fn on_scores_changed(&mut self, changes: &[(u32, f32, f32)]) -> Result<(), WireError> {
+        self.mutate(Request::ScoresChanged {
+            changes: changes.to_vec(),
+        })
+    }
+
+    /// Audit the mirror against the worker's ground truth: fetch every
+    /// mirrored rule's fragment and compare. `Ok(true)` means the mirror
+    /// is exact.
+    pub fn audit(&mut self) -> Result<bool, WireError> {
+        let mut rules: Vec<RuleRef> = self.mirror.keys().copied().collect();
+        rules.sort_unstable();
+        match self.session.call(&Request::Fragments {
+            rules: rules.clone(),
+        })? {
+            Response::Fragments { aggs } => {
+                if aggs.len() != rules.len() {
+                    return Ok(false);
+                }
+                Ok(rules
+                    .iter()
+                    .zip(aggs)
+                    .all(|(r, a)| a.map(agg_from_wire) == self.mirror.get(r).copied()))
+            }
+            other => Err(WireError::Protocol(format!(
+                "fragments expected Fragments, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Orderly worker teardown (dropping the transport also works — the
+    /// worker exits on disconnect — but this confirms delivery).
+    pub fn shutdown(mut self) -> Result<(), WireError> {
+        match self.session.call(&Request::Shutdown)? {
+            Response::Ack => Ok(()),
+            other => Err(WireError::Protocol(format!(
+                "shutdown expected Ack, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One shard partition: in-memory, or mirrored from a worker.
+enum Part {
+    Local(BenefitStore),
+    Remote(RemoteShard),
+}
+
+impl Part {
+    fn agg(&self, r: RuleRef) -> Option<BenefitAgg> {
+        match self {
+            Part::Local(b) => b.agg(r).copied(),
+            Part::Remote(w) => w.agg(r),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Part::Local(b) => b.len(),
+            Part::Remote(w) => w.len(),
+        }
+    }
+
+    fn contains(&self, r: RuleRef) -> bool {
+        match self {
+            Part::Local(b) => b.contains(r),
+            Part::Remote(w) => w.contains(r),
+        }
+    }
+}
+
+/// Per-shard benefit partitions — local stores or remote workers — behind
+/// one store-shaped facade.
 pub struct ShardedBenefitStore {
     map: ShardMap,
-    parts: Vec<BenefitStore>,
+    parts: Vec<Part>,
+    poisoned: Option<WireError>,
 }
 
 impl ShardedBenefitStore {
-    /// One shard-local partition per range of `map`. With one shard the
+    /// One in-memory partition per range of `map`. With one shard the
     /// single partition is a full-span [`BenefitStore`] — the unsharded
     /// reference path.
     pub fn new(map: ShardMap) -> ShardedBenefitStore {
         let parts = if map.shards() == 1 {
-            vec![BenefitStore::new()]
+            vec![Part::Local(BenefitStore::new())]
         } else {
             map.ranges()
-                .map(|r| BenefitStore::for_span(r.start, r.end))
+                .map(|r| Part::Local(BenefitStore::for_span(r.start, r.end)))
                 .collect()
         };
-        ShardedBenefitStore { map, parts }
+        ShardedBenefitStore {
+            map,
+            parts,
+            poisoned: None,
+        }
+    }
+
+    /// One *remote* partition per range of `map`: `connect` builds the
+    /// transport for each shard, and every worker is initialized with the
+    /// corpus, the index recipe and the current `(P, scores)` state.
+    pub fn connect_remote(
+        map: ShardMap,
+        corpus: &Corpus,
+        index_cfg: &IndexConfig,
+        p: &IdSet,
+        scores: &[f32],
+        connect: &ShardConnector,
+    ) -> Result<ShardedBenefitStore, WireError> {
+        let mut parts = Vec::with_capacity(map.shards());
+        for (s, r) in map.ranges().enumerate() {
+            let transport = connect(s, r.clone())?;
+            parts.push(Part::Remote(RemoteShard::connect(
+                transport, corpus, index_cfg, r.start, r.end, p, scores,
+            )?));
+        }
+        Ok(ShardedBenefitStore {
+            map,
+            parts,
+            poisoned: None,
+        })
     }
 
     /// Number of shard partitions.
@@ -63,9 +349,25 @@ impl ShardedBenefitStore {
         &self.map
     }
 
-    /// The shard-local partitions, in shard order (diagnostics, benches).
-    pub fn parts(&self) -> &[BenefitStore] {
-        &self.parts
+    /// Whether any partition is remote (mirror-backed).
+    pub fn is_remote(&self) -> bool {
+        matches!(self.parts.first(), Some(Part::Remote(_)))
+    }
+
+    /// The wire failure that poisoned this coordinator, if any. Poisoned
+    /// stores answer `None` to every read — partial merges are
+    /// unrepresentable.
+    pub fn wire_error(&self) -> Option<&WireError> {
+        self.poisoned.as_ref()
+    }
+
+    /// The local shard partitions, in shard order (diagnostics, benches;
+    /// empty when the partitions are remote).
+    pub fn local_parts(&self) -> impl Iterator<Item = &BenefitStore> {
+        self.parts.iter().filter_map(|p| match p {
+            Part::Local(b) => Some(b),
+            Part::Remote(_) => None,
+        })
     }
 
     /// Number of tracked rules (every partition tracks the same set).
@@ -75,17 +377,21 @@ impl ShardedBenefitStore {
 
     /// Whether no rule is tracked.
     pub fn is_empty(&self) -> bool {
-        self.parts[0].is_empty()
+        self.len() == 0
     }
 
     /// Whether `r` has tracked fragments.
     pub fn contains(&self, r: RuleRef) -> bool {
-        self.parts[0].contains(r)
+        self.poisoned.is_none() && self.parts[0].contains(r)
     }
 
     /// The merged aggregate for `r`: per-shard fragments summed in the
     /// fixed-point domain — bit-identical to a single full-span store.
+    /// `None` when untracked or when the coordinator is poisoned.
     pub fn agg(&self, r: RuleRef) -> Option<BenefitAgg> {
+        if self.poisoned.is_some() {
+            return None;
+        }
         let mut merged = BenefitAgg {
             covered_pos: 0,
             new_instances: 0,
@@ -105,8 +411,26 @@ impl ShardedBenefitStore {
         self.agg(r).map(|a| a.benefit())
     }
 
+    /// Run a fallible mutation under the poison discipline: refuse if
+    /// already poisoned, poison on first failure.
+    fn guarded(
+        &mut self,
+        f: impl FnOnce(&mut Vec<Part>) -> Result<(), WireError>,
+    ) -> Result<(), WireError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match f(&mut self.parts) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
     /// Ensure every rule in `rules` has a fragment in every partition
-    /// (shard-parallel when `threads > 1`).
+    /// (shard-parallel when local and `threads > 1`).
     pub fn track(
         &mut self,
         rules: &[RuleRef],
@@ -114,10 +438,21 @@ impl ShardedBenefitStore {
         p: &IdSet,
         scores: &[f32],
         threads: usize,
-    ) {
-        self.for_each_part(threads, |part, intra_threads| {
+    ) -> Result<(), WireError> {
+        if self.is_remote() {
+            return self.guarded(|parts| {
+                for part in parts {
+                    if let Part::Remote(w) = part {
+                        w.track(rules)?;
+                    }
+                }
+                Ok(())
+            });
+        }
+        self.for_each_local(threads, |part, intra_threads| {
             part.track(rules.iter().copied(), index, p, scores, intra_threads)
         });
+        Ok(())
     }
 
     /// [`ShardedBenefitStore::track`] for freshly generated candidates,
@@ -130,69 +465,207 @@ impl ShardedBenefitStore {
         p: &IdSet,
         scores: &[f32],
         threads: usize,
-    ) {
-        self.for_each_part(threads, |part, intra_threads| {
+    ) -> Result<(), WireError> {
+        if self.is_remote() {
+            return self.guarded(|parts| {
+                for part in parts {
+                    if let Part::Remote(w) = part {
+                        w.track_scored(cands)?;
+                    }
+                }
+                Ok(())
+            });
+        }
+        self.for_each_local(threads, |part, intra_threads| {
             part.track_scored(cands, index, p, scores, intra_threads)
         });
+        Ok(())
     }
 
     /// Recompute every fragment from scratch after a full re-score epoch
-    /// (shard-parallel when `threads > 1`).
-    pub fn rebuild(&mut self, index: &IndexSet, p: &IdSet, scores: &[f32], threads: usize) {
-        self.for_each_part(threads, |part, intra_threads| {
+    /// (shard-parallel when local and `threads > 1`; remote workers
+    /// receive their span's new scores and rebuild on their side).
+    pub fn rebuild(
+        &mut self,
+        index: &IndexSet,
+        p: &IdSet,
+        scores: &[f32],
+        threads: usize,
+    ) -> Result<(), WireError> {
+        if self.is_remote() {
+            return self.guarded(|parts| {
+                for part in parts {
+                    if let Part::Remote(w) = part {
+                        w.rebuild(scores)?;
+                    }
+                }
+                Ok(())
+            });
+        }
+        self.for_each_local(threads, |part, intra_threads| {
             part.rebuild(index, p, scores, intra_threads)
         });
+        Ok(())
     }
 
     /// Drop fragments for rules not satisfying `keep`, in every partition.
-    pub fn retain(&mut self, keep: impl Fn(RuleRef) -> bool + Sync) {
-        for part in &mut self.parts {
-            part.retain(&keep);
+    pub fn retain(&mut self, keep: impl Fn(RuleRef) -> bool + Sync) -> Result<(), WireError> {
+        if self.is_remote() {
+            return self.guarded(|parts| {
+                for part in parts {
+                    if let Part::Remote(w) = part {
+                        w.retain(&keep)?;
+                    }
+                }
+                Ok(())
+            });
         }
+        for part in &mut self.parts {
+            if let Part::Local(b) = part {
+                b.retain(&keep);
+            }
+        }
+        Ok(())
     }
 
     /// Route each new positive id to its owning shard's partition (the
     /// partition walks the inverted postings for the id). Must be called
     /// with pre-retrain scores, like [`BenefitStore::on_positives_added`].
-    pub fn on_positives_added(&mut self, new_ids: &[u32], index: &IndexSet, scores: &[f32]) {
+    pub fn on_positives_added(
+        &mut self,
+        new_ids: &[u32],
+        index: &IndexSet,
+        scores: &[f32],
+    ) -> Result<(), WireError> {
+        if self.is_remote() {
+            let map = self.map.clone();
+            return self.guarded(|parts| {
+                for (s, part) in parts.iter_mut().enumerate() {
+                    let r = map.range(s);
+                    let run: Vec<u32> = new_ids
+                        .iter()
+                        .copied()
+                        .filter(|&id| r.start <= id && id < r.end)
+                        .collect();
+                    if run.is_empty() {
+                        continue;
+                    }
+                    if let Part::Remote(w) = part {
+                        w.on_positives_added(&run)?;
+                    }
+                }
+                Ok(())
+            });
+        }
         if self.parts.len() == 1 {
-            return self.parts[0].on_positives_added(new_ids, index, scores);
+            if let Part::Local(b) = &mut self.parts[0] {
+                b.on_positives_added(new_ids, index, scores);
+            }
+            return Ok(());
         }
         for &id in new_ids {
-            self.parts[self.map.owner(id)].on_positives_added(&[id], index, scores);
+            if let Part::Local(b) = &mut self.parts[self.map.owner(id)] {
+                b.on_positives_added(&[id], index, scores);
+            }
         }
+        Ok(())
     }
 
     /// Slice an id-sorted change journal into per-shard runs and patch each
     /// owning partition with its run.
-    pub fn on_scores_changed(&mut self, changes: &[(u32, f32, f32)], p: &IdSet, index: &IndexSet) {
-        if self.parts.len() == 1 {
-            return self.parts[0].on_scores_changed(changes, p, index);
-        }
+    pub fn on_scores_changed(
+        &mut self,
+        changes: &[(u32, f32, f32)],
+        p: &IdSet,
+        index: &IndexSet,
+    ) -> Result<(), WireError> {
         debug_assert!(
             changes.windows(2).all(|w| w[0].0 <= w[1].0),
             "change journal must be sorted by id"
         );
+        if self.is_remote() {
+            let map = self.map.clone();
+            return self.guarded(|parts| {
+                for (s, part) in parts.iter_mut().enumerate() {
+                    let r = map.range(s);
+                    let a = changes.partition_point(|&(id, _, _)| id < r.start);
+                    let b = changes.partition_point(|&(id, _, _)| id < r.end);
+                    if a == b {
+                        continue;
+                    }
+                    if let Part::Remote(w) = part {
+                        w.on_scores_changed(&changes[a..b])?;
+                    }
+                }
+                Ok(())
+            });
+        }
+        if self.parts.len() == 1 {
+            if let Part::Local(b) = &mut self.parts[0] {
+                b.on_scores_changed(changes, p, index);
+            }
+            return Ok(());
+        }
         for (s, part) in self.parts.iter_mut().enumerate() {
             let r = self.map.range(s);
             let a = changes.partition_point(|&(id, _, _)| id < r.start);
             let b = changes.partition_point(|&(id, _, _)| id < r.end);
-            part.on_scores_changed(&changes[a..b], p, index);
+            if let Part::Local(store) = part {
+                store.on_scores_changed(&changes[a..b], p, index);
+            }
         }
+        Ok(())
     }
 
-    /// Run `op` over every partition — shard-parallel when `threads > 1`
-    /// and there is more than one shard (each worker owns disjoint
-    /// partitions, so order and results are deterministic); a single
-    /// full-span partition instead gets the whole thread budget for its
-    /// intra-store chunking.
-    fn for_each_part(
+    /// Audit every remote mirror against its worker's ground truth
+    /// (`Ok(true)` when all mirrors are exact; trivially true for local
+    /// partitions).
+    pub fn audit_remote(&mut self) -> Result<bool, WireError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        for part in &mut self.parts {
+            if let Part::Remote(w) = part {
+                if !w.audit()? {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Tear down remote workers in an orderly fashion (no-op for local
+    /// partitions). Dropping the store also works — workers exit on
+    /// disconnect.
+    pub fn shutdown(self) -> Result<(), WireError> {
+        for part in self.parts {
+            if let Part::Remote(w) = part {
+                w.shutdown()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run `op` over every local partition — shard-parallel when
+    /// `threads > 1` and there is more than one shard (each worker owns
+    /// disjoint partitions, so order and results are deterministic); a
+    /// single full-span partition instead gets the whole thread budget for
+    /// its intra-store chunking.
+    fn for_each_local(
         &mut self,
         threads: usize,
         op: impl Fn(&mut BenefitStore, usize) + Sync + Send,
     ) {
-        if self.parts.len() == 1 {
-            return op(&mut self.parts[0], threads);
+        let mut slots: Vec<&mut BenefitStore> = self
+            .parts
+            .iter_mut()
+            .filter_map(|p| match p {
+                Part::Local(b) => Some(b),
+                Part::Remote(_) => None,
+            })
+            .collect();
+        if slots.len() == 1 {
+            return op(slots[0], threads);
         }
         if threads > 1 {
             use rayon::prelude::*;
@@ -201,17 +674,16 @@ impl ShardedBenefitStore {
             // (threads > shards) is handed to each group as its
             // intra-store chunking budget, so few-shard configurations
             // keep the full thread budget of the unsharded path.
-            let chunk = self.parts.len().div_ceil(threads);
-            let groups = self.parts.len().div_ceil(chunk);
+            let chunk = slots.len().div_ceil(threads);
+            let groups = slots.len().div_ceil(chunk);
             let intra = (threads / groups).max(1);
-            let mut slots: Vec<&mut BenefitStore> = self.parts.iter_mut().collect();
             slots.par_chunks_mut(chunk).for_each(|group| {
                 for part in group.iter_mut() {
                     op(part, intra);
                 }
             });
         } else {
-            for part in &mut self.parts {
+            for part in slots {
                 op(part, 1);
             }
         }
@@ -250,7 +722,7 @@ mod tests {
             let mut p = IdSet::from_ids(&[0], n);
             let mut scores: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).fract()).collect();
             let mut store = ShardedBenefitStore::new(ShardMap::new(n, shards));
-            store.track(&rules, &idx, &p, &scores, 1);
+            store.track(&rules, &idx, &p, &scores, 1).unwrap();
 
             let check = |store: &ShardedBenefitStore, p: &IdSet, scores: &[f32], label: &str| {
                 for &r in &rules {
@@ -266,7 +738,7 @@ mod tests {
 
             // P grows across shard boundaries.
             let new_ids = [1u32, 5, 6];
-            store.on_positives_added(&new_ids, &idx, &scores);
+            store.on_positives_added(&new_ids, &idx, &scores).unwrap();
             p.extend_from_slice(&new_ids);
             check(&store, &p, &scores, "after positives");
 
@@ -281,14 +753,14 @@ mod tests {
                     scores[id as usize] = new;
                 }
             }
-            store.on_scores_changed(&changes, &p, &idx);
+            store.on_scores_changed(&changes, &p, &idx).unwrap();
             check(&store, &p, &scores, "after journal");
 
             // Full epoch.
             for (i, s) in scores.iter_mut().enumerate() {
                 *s = (*s + 0.17 + i as f32 * 0.013).fract();
             }
-            store.rebuild(&idx, &p, &scores, 4);
+            store.rebuild(&idx, &p, &scores, 4).unwrap();
             check(&store, &p, &scores, "after rebuild");
         }
     }
@@ -298,7 +770,8 @@ mod tests {
         let (c, _) = setup();
         let store = ShardedBenefitStore::new(ShardMap::new(c.len(), 1));
         assert_eq!(store.shards(), 1);
-        assert_eq!(store.parts()[0].span(), (0, u32::MAX));
+        assert!(!store.is_remote());
+        assert_eq!(store.local_parts().next().unwrap().span(), (0, u32::MAX));
     }
 
     #[test]
@@ -308,11 +781,36 @@ mod tests {
         let p = IdSet::from_ids(&[0, 1], c.len());
         let scores = vec![0.5; c.len()];
         let mut store = ShardedBenefitStore::new(ShardMap::new(c.len(), 3));
-        store.track(&rules, &idx, &p, &scores, 1);
+        store.track(&rules, &idx, &p, &scores, 1).unwrap();
         let keep = rules[0];
-        store.retain(|r| r == keep);
+        store.retain(|r| r == keep).unwrap();
         assert_eq!(store.len(), 1);
         assert!(store.contains(keep));
         assert!(store.benefit_of(rules[1]).is_none());
+    }
+
+    /// A dead transport must surface as a clean error and poison the
+    /// coordinator — reads answer `None`, further mutations refuse.
+    #[test]
+    fn dead_transport_poisons_cleanly() {
+        let (c, idx) = setup();
+        let p = IdSet::from_ids(&[0], c.len());
+        let scores = vec![0.5; c.len()];
+        let map = ShardMap::new(c.len(), 2);
+        let connect: Box<ShardConnector> =
+            Box::new(|_, _| Ok(Box::new(darwin_wire::DeadTransport)));
+        let err = match ShardedBenefitStore::connect_remote(
+            map,
+            &c,
+            &IndexConfig::small(),
+            &p,
+            &scores,
+            &*connect,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("connecting through a dead transport must fail"),
+        };
+        assert_eq!(err, WireError::Disconnected);
+        let _ = idx; // connection dies before the index matters
     }
 }

@@ -20,7 +20,7 @@ pub enum RuleRef {
 }
 
 /// Index construction parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IndexConfig {
     /// Maximum phrase length (the paper sets the maximum derivation depth
     /// to 10 for generating derivation sketches, §4.1).
@@ -71,6 +71,7 @@ impl IndexConfig {
 pub struct IndexSet {
     phrase: PhraseIndex,
     tree: Option<TreeIndex>,
+    cfg: IndexConfig,
     all_ids: Vec<u32>,
     /// Sentence → rules transpose, built on first use (the question loop
     /// needs it; index-only workloads never pay for it).
@@ -93,9 +94,18 @@ impl IndexSet {
         IndexSet {
             phrase,
             tree,
+            cfg: cfg.clone(),
             all_ids,
             inverted: OnceLock::new(),
         }
+    }
+
+    /// The recipe this index was built with. Construction is
+    /// deterministic given `(corpus, config)`, so shipping this config
+    /// plus the corpus texts lets a remote worker rebuild an index with
+    /// identical [`RuleRef`] numbering.
+    pub fn config(&self) -> &IndexConfig {
+        &self.cfg
     }
 
     /// The sentence → covering-rules transpose (built and cached on first

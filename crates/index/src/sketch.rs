@@ -30,7 +30,7 @@ pub fn phrase_sketch(sentence: &Sentence, max_len: usize) -> Vec<Vec<Sym>> {
 }
 
 /// Bounds for TreeMatch pattern enumeration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TreeSketchConfig {
     /// Enumerate `a ∧ b` conjunctions of child constraints.
     pub include_and: bool,

@@ -11,9 +11,12 @@
 //! * [`trace`] — trace-capture assertions: byte-for-byte run equivalence,
 //!   final-state equality, candidate-pool equality;
 //! * [`strategies`] — proptest generators for random corpora;
-//! * env helpers ([`test_threads`], [`test_batch`]) wiring the CI matrix
-//!   (`DARWIN_TEST_THREADS`, `DARWIN_TEST_BATCH`) into suite
-//!   configurations.
+//! * [`transports`] — wire-boundary doubles: the fault-injecting
+//!   [`FlakyTransport`] and worker-deployment helpers for distributed
+//!   suites;
+//! * env helpers ([`test_threads`], [`test_batch`], [`test_transport`])
+//!   wiring the CI matrix (`DARWIN_TEST_THREADS`, `DARWIN_TEST_BATCH`,
+//!   `DARWIN_TEST_TRANSPORT`) into suite configurations.
 //!
 //! This is a dev-dependency only: nothing here ships in the library.
 
@@ -23,10 +26,14 @@ pub mod corpora;
 pub mod oracles;
 pub mod strategies;
 pub mod trace;
+pub mod transports;
 
 pub use corpora::{directions_fixture, indexed, tiny_transport, transport};
 pub use oracles::{NoisyOracle, ScriptedOracle};
 pub use trace::{assert_equivalent, assert_same_final, assert_same_pool};
+pub use transports::{
+    shard_connector, test_transport, wire_oracle, worker_bin, Fault, FlakyTransport, TransportKind,
+};
 
 /// Worker-thread count for suite runs: `DARWIN_TEST_THREADS` (the CI
 /// matrix runs 1 and 4), default 1. Trace determinism across thread

@@ -7,6 +7,7 @@ use crate::vocab::{Sym, Vocab};
 
 /// An analyzed corpus: the shared vocabulary plus one [`Sentence`] per input
 /// text, in input order. Sentence ids are their positions.
+#[derive(Clone)]
 pub struct Corpus {
     vocab: Vocab,
     sentences: Vec<Sentence>,

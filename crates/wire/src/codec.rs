@@ -1,0 +1,582 @@
+//! The hand-rolled binary codec.
+//!
+//! Everything on the wire is encoded with [`Encode`] and decoded with
+//! [`Decode`] against a bounds-checked [`Reader`]. The format is plain
+//! little-endian, length-prefixed where variable:
+//!
+//! * fixed-width integers and floats are little-endian byte images
+//!   (`f32` round-trips *bit for bit* — the byte-equivalence guarantee of
+//!   the distributed engine leans on this);
+//! * `String` and `Vec<T>` are a `u32` element count followed by the
+//!   elements;
+//! * `Option<T>` is a presence byte followed by the value;
+//! * enums are a `u8` discriminant followed by the variant's fields.
+//!
+//! Decoding never panics and never over-allocates on corrupt input: every
+//! length prefix is validated against the bytes actually remaining before
+//! any allocation, and recursive patterns ([`TreePattern`]) are
+//! depth-bounded.
+
+use crate::error::WireError;
+use darwin_grammar::{Heuristic, PhraseElem, PhrasePattern, TreePattern, TreeTerm};
+use darwin_index::{IndexConfig, RuleRef, TreeSketchConfig};
+use darwin_text::{PosTag, Sym};
+
+/// Maximum nesting of recursive patterns a decoder will accept. Real
+/// TreeMatch derivations are depth ≤ 10 (the paper's sketch bound); this
+/// only guards the stack against adversarial or corrupt frames.
+const MAX_PATTERN_DEPTH: usize = 64;
+
+/// Serialize `self` onto a byte buffer.
+pub trait Encode {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// The encoding as a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Deserialize `Self` from a [`Reader`].
+pub trait Decode: Sized {
+    /// Consume and decode one `Self` from `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Decode from a complete buffer, rejecting trailing garbage.
+    fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// A bounds-checked cursor over an encoded payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                want: n,
+                got: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Corrupt(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )))
+        }
+    }
+
+    /// Decode a length prefix and validate it against the bytes left:
+    /// every encoded element occupies at least `min_elem` bytes, so a
+    /// corrupt prefix can never trigger a huge allocation.
+    fn len_prefix(&mut self, min_elem: usize) -> Result<usize, WireError> {
+        let n = u32::decode(self)? as usize;
+        let floor = n.saturating_mul(min_elem.max(1));
+        if floor > self.remaining() {
+            return Err(WireError::Truncated {
+                want: floor,
+                got: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                let b = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(b.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+int_codec!(u8, u16, u32, u64, i64);
+
+impl Encode for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+impl Decode for f32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(f32::from_le_bytes(r.take(4)?.try_into().unwrap()))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::Corrupt(format!("bool byte {b}"))),
+        }
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        usize::try_from(u64::decode(r)?).map_err(|_| WireError::Corrupt("usize overflow".into()))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.len_prefix(1)?;
+        String::from_utf8(r.take(n)?.to_vec())
+            .map_err(|_| WireError::Corrupt("invalid utf-8".into()))
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for x in self {
+            x.encode(out);
+        }
+    }
+}
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.len_prefix(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(WireError::Corrupt(format!("option byte {b}"))),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+}
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+// ---- domain types -------------------------------------------------------
+
+impl Encode for Sym {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+impl Decode for Sym {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Sym(u32::decode(r)?))
+    }
+}
+
+impl Encode for PosTag {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let i = PosTag::ALL.iter().position(|p| p == self).unwrap() as u8;
+        out.push(i);
+    }
+}
+impl Decode for PosTag {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let i = u8::decode(r)? as usize;
+        PosTag::ALL
+            .get(i)
+            .copied()
+            .ok_or_else(|| WireError::Corrupt(format!("pos tag {i}")))
+    }
+}
+
+impl Encode for PhraseElem {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PhraseElem::Tok(s) => {
+                out.push(0);
+                s.encode(out);
+            }
+            PhraseElem::Plus => out.push(1),
+            PhraseElem::Star => out.push(2),
+        }
+    }
+}
+impl Decode for PhraseElem {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(PhraseElem::Tok(Sym::decode(r)?)),
+            1 => Ok(PhraseElem::Plus),
+            2 => Ok(PhraseElem::Star),
+            t => Err(WireError::Corrupt(format!("phrase elem tag {t}"))),
+        }
+    }
+}
+
+impl Encode for PhrasePattern {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.elems.encode(out);
+    }
+}
+impl Decode for PhrasePattern {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PhrasePattern {
+            elems: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for TreeTerm {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TreeTerm::Tok(s) => {
+                out.push(0);
+                s.encode(out);
+            }
+            TreeTerm::Pos(p) => {
+                out.push(1);
+                p.encode(out);
+            }
+        }
+    }
+}
+impl Decode for TreeTerm {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(TreeTerm::Tok(Sym::decode(r)?)),
+            1 => Ok(TreeTerm::Pos(PosTag::decode(r)?)),
+            t => Err(WireError::Corrupt(format!("tree term tag {t}"))),
+        }
+    }
+}
+
+impl Encode for TreePattern {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TreePattern::Term(t) => {
+                out.push(0);
+                t.encode(out);
+            }
+            TreePattern::Child(a, b) => {
+                out.push(1);
+                a.encode(out);
+                b.encode(out);
+            }
+            TreePattern::Desc(a, b) => {
+                out.push(2);
+                a.encode(out);
+                b.encode(out);
+            }
+            TreePattern::And(a, b) => {
+                out.push(3);
+                a.encode(out);
+                b.encode(out);
+            }
+        }
+    }
+}
+impl Decode for TreePattern {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        decode_tree(r, 0)
+    }
+}
+
+fn decode_tree(r: &mut Reader<'_>, depth: usize) -> Result<TreePattern, WireError> {
+    if depth > MAX_PATTERN_DEPTH {
+        return Err(WireError::Corrupt("tree pattern too deep".into()));
+    }
+    let pair = |r: &mut Reader<'_>| -> Result<(Box<TreePattern>, Box<TreePattern>), WireError> {
+        Ok((
+            Box::new(decode_tree(r, depth + 1)?),
+            Box::new(decode_tree(r, depth + 1)?),
+        ))
+    };
+    match u8::decode(r)? {
+        0 => Ok(TreePattern::Term(TreeTerm::decode(r)?)),
+        1 => {
+            let (a, b) = pair(r)?;
+            Ok(TreePattern::Child(a, b))
+        }
+        2 => {
+            let (a, b) = pair(r)?;
+            Ok(TreePattern::Desc(a, b))
+        }
+        3 => {
+            let (a, b) = pair(r)?;
+            Ok(TreePattern::And(a, b))
+        }
+        t => Err(WireError::Corrupt(format!("tree pattern tag {t}"))),
+    }
+}
+
+impl Encode for Heuristic {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Heuristic::Phrase(p) => {
+                out.push(0);
+                p.encode(out);
+            }
+            Heuristic::Tree(t) => {
+                out.push(1);
+                t.encode(out);
+            }
+        }
+    }
+}
+impl Decode for Heuristic {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Heuristic::Phrase(PhrasePattern::decode(r)?)),
+            1 => Ok(Heuristic::Tree(TreePattern::decode(r)?)),
+            t => Err(WireError::Corrupt(format!("heuristic tag {t}"))),
+        }
+    }
+}
+
+impl Encode for RuleRef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RuleRef::Root => out.push(0),
+            RuleRef::Phrase(n) => {
+                out.push(1);
+                n.encode(out);
+            }
+            RuleRef::Tree(p) => {
+                out.push(2);
+                p.encode(out);
+            }
+        }
+    }
+}
+impl Decode for RuleRef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(RuleRef::Root),
+            1 => Ok(RuleRef::Phrase(u32::decode(r)?)),
+            2 => Ok(RuleRef::Tree(u32::decode(r)?)),
+            t => Err(WireError::Corrupt(format!("rule ref tag {t}"))),
+        }
+    }
+}
+
+impl Encode for TreeSketchConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.include_and.encode(out);
+        self.skip_punct.encode(out);
+        self.max_patterns.encode(out);
+    }
+}
+impl Decode for TreeSketchConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TreeSketchConfig {
+            include_and: bool::decode(r)?,
+            skip_punct: bool::decode(r)?,
+            max_patterns: usize::decode(r)?,
+        })
+    }
+}
+
+impl Encode for IndexConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.max_phrase_len.encode(out);
+        self.min_count.encode(out);
+        self.enable_tree.encode(out);
+        self.tree.encode(out);
+        self.threads.encode(out);
+    }
+}
+impl Decode for IndexConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(IndexConfig {
+            max_phrase_len: usize::decode(r)?,
+            min_count: usize::decode(r)?,
+            enable_tree: bool::decode(r)?,
+            tree: TreeSketchConfig::decode(r)?,
+            threads: usize::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darwin_text::Corpus;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(true);
+        roundtrip(3.25f32);
+        roundtrip(String::from("caused + by"));
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(7u32));
+        roundtrip((3u32, 0.5f32, 0.75f32));
+    }
+
+    #[test]
+    fn f32_roundtrips_bit_for_bit() {
+        for bits in [0u32, 1, 0x7fc0_0001, 0xff80_0000, 0x3f80_0000, 0x0000_0001] {
+            let x = f32::from_bits(bits);
+            let back = f32::from_bytes(&x.to_bytes()).unwrap();
+            assert_eq!(back.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn heuristics_roundtrip() {
+        let c = Corpus::from_texts(["the shuttle to the airport", "is the job done"]);
+        for text in ["shuttle to", "shuttle + airport", "the * airport"] {
+            roundtrip(Heuristic::phrase(&c, text).unwrap());
+        }
+        for text in ["is/NOUN & is//job", "the//job", "is & done"] {
+            roundtrip(Heuristic::tree(&c, text).unwrap());
+        }
+    }
+
+    #[test]
+    fn rule_refs_and_configs_roundtrip() {
+        roundtrip(RuleRef::Root);
+        roundtrip(RuleRef::Phrase(17));
+        roundtrip(RuleRef::Tree(0));
+        let cfg = IndexConfig::small();
+        let back = IndexConfig::from_bytes(&cfg.to_bytes()).unwrap();
+        assert_eq!(back.max_phrase_len, cfg.max_phrase_len);
+        assert_eq!(back.min_count, cfg.min_count);
+        assert_eq!(back.enable_tree, cfg.enable_tree);
+        assert_eq!(back.tree.max_patterns, cfg.tree.max_patterns);
+    }
+
+    #[test]
+    fn pos_tags_roundtrip() {
+        for t in PosTag::ALL {
+            roundtrip(t);
+        }
+        assert!(matches!(
+            PosTag::from_bytes(&[99]),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_never_overallocates() {
+        // A Vec<u32> claiming 2^31 elements with 4 bytes of payload must
+        // fail cleanly, not allocate gigabytes.
+        let mut buf = Vec::new();
+        (0x8000_0000u32).encode(&mut buf);
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        assert!(matches!(
+            Vec::<u32>::from_bytes(&buf),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_bytes(&bytes),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn deep_tree_pattern_is_bounded() {
+        // depth > MAX_PATTERN_DEPTH of nested Child tags, then garbage.
+        let mut buf = vec![1u8; 80];
+        buf.push(0);
+        assert!(TreePattern::from_bytes(&buf).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! The wire-level error type.
+
+use std::fmt;
+
+/// Everything that can go wrong at the codec, frame or transport layer.
+///
+/// The coordinator-side contract is that a wire failure is always
+/// *surfaced* as one of these variants — never a panic, and never a
+/// silently partial result: a failed shard operation poisons its
+/// coordinator (reads stop answering), a failed oracle transport reports
+/// unhealthy so the wave driver abandons cleanly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The underlying byte channel failed (pipe or socket error).
+    Io(String),
+    /// The peer hung up: EOF, a closed channel, a dead worker process.
+    Disconnected,
+    /// A frame header did not start with the protocol magic.
+    BadMagic([u8; 2]),
+    /// The peer speaks a protocol version outside our supported window.
+    BadVersion {
+        /// The version the peer offered.
+        got: u8,
+        /// The newest version we speak.
+        want: u8,
+    },
+    /// A frame or payload ended before its declared length.
+    Truncated {
+        /// Bytes the header or field declared.
+        want: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The frame checksum did not match its payload (corrupt in transit).
+    Checksum,
+    /// A payload failed to decode as the expected message.
+    Corrupt(String),
+    /// A structurally valid message violated the request/response protocol
+    /// (e.g. a reply of the wrong kind, or a frame after shutdown).
+    Protocol(String),
+    /// The worker reported an application-level failure.
+    Remote(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Disconnected => write!(f, "wire peer disconnected"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion { got, want } => {
+                write!(f, "unsupported protocol version {got} (we speak {want})")
+            }
+            WireError::Truncated { want, got } => {
+                write!(f, "truncated frame: declared {want} bytes, got {got}")
+            }
+            WireError::Checksum => write!(f, "frame checksum mismatch"),
+            WireError::Corrupt(m) => write!(f, "corrupt payload: {m}"),
+            WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            WireError::Remote(m) => write!(f, "remote worker error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::UnexpectedEof | ErrorKind::BrokenPipe | ErrorKind::ConnectionReset => {
+                WireError::Disconnected
+            }
+            _ => WireError::Io(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_eof_maps_to_disconnected() {
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert_eq!(WireError::from(eof), WireError::Disconnected);
+        let other = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no");
+        assert!(matches!(WireError::from(other), WireError::Io(_)));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = WireError::BadVersion { got: 9, want: 1 };
+        assert!(e.to_string().contains('9'));
+        assert!(WireError::Truncated { want: 10, got: 3 }
+            .to_string()
+            .contains("10"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Length-prefixed, versioned, checksummed frames.
+//!
+//! Every message travels inside one frame:
+//!
+//! | offset | size | field                                        |
+//! |-------:|-----:|----------------------------------------------|
+//! | 0      | 2    | magic `0xDA 0x71`                            |
+//! | 2      | 1    | protocol version                             |
+//! | 3      | 4    | payload length `n` (u32, little-endian)      |
+//! | 7      | n    | payload (one encoded message)                |
+//! | 7 + n  | 4    | FNV-1a checksum of the payload (u32, LE)     |
+//!
+//! The reader validates magic, version window, length bound and checksum
+//! before handing the payload up — a truncated, corrupt or alien frame is
+//! a clean [`WireError`], never a panic or a garbage message.
+//!
+//! **Version negotiation rule:** the first exchange on every connection is
+//! `Hello` / `Hello`. The client offers its newest version; the worker
+//! replies with `min(client, worker)`; both sides then speak that version
+//! and reject frames stamped with any other. A peer whose newest version
+//! is older than the other side's oldest supported version
+//! ([`MIN_SUPPORTED_VERSION`]) is refused with [`WireError::BadVersion`].
+//! Version 1 is the only version in existence, so today the rule reduces
+//! to "both sides say 1" — but every frame already carries the byte, so a
+//! future v2 coordinator can drive v1 workers without a flag day.
+
+use crate::error::WireError;
+use std::io::{Read, Write};
+
+/// Frame magic: `0xDA` for Darwin, `0x71` for the wire ("q" of "query").
+pub const MAGIC: [u8; 2] = [0xDA, 0x71];
+
+/// The newest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// The oldest protocol version this build still accepts.
+pub const MIN_SUPPORTED_VERSION: u8 = 1;
+
+/// Upper bound on a single frame's payload (64 MiB). Corpus shipments for
+/// shard init are the largest real frames; anything bigger is corrupt.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Header length: magic + version + payload length.
+const HEADER_LEN: usize = 7;
+
+/// FNV-1a over the payload — cheap, deterministic, order-sensitive; it
+/// exists to catch truncation and bit rot, not adversaries.
+pub fn checksum(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in payload {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Wrap `payload` into a complete frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out
+}
+
+/// Write one frame to a byte sink (and flush it — frames are request or
+/// response boundaries, so latency beats buffering).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    w.write_all(&frame(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read and validate one frame from a byte source, returning its payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    validate_header(&header)?;
+    let n = u32::from_le_bytes(header[3..7].try_into().unwrap()) as usize;
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)?;
+    let mut sum = [0u8; 4];
+    r.read_exact(&mut sum)?;
+    if u32::from_le_bytes(sum) != checksum(&payload) {
+        return Err(WireError::Checksum);
+    }
+    Ok(payload)
+}
+
+/// Validate a complete in-memory frame (the channel transports move whole
+/// frames as one message), returning its payload.
+pub fn parse_frame(buf: &[u8]) -> Result<Vec<u8>, WireError> {
+    if buf.len() < HEADER_LEN + 4 {
+        return Err(WireError::Truncated {
+            want: HEADER_LEN + 4,
+            got: buf.len(),
+        });
+    }
+    validate_header(&buf[..HEADER_LEN])?;
+    let n = u32::from_le_bytes(buf[3..7].try_into().unwrap()) as usize;
+    if buf.len() != HEADER_LEN + n + 4 {
+        return Err(WireError::Truncated {
+            want: HEADER_LEN + n + 4,
+            got: buf.len(),
+        });
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + n];
+    let sum = u32::from_le_bytes(buf[HEADER_LEN + n..].try_into().unwrap());
+    if sum != checksum(payload) {
+        return Err(WireError::Checksum);
+    }
+    Ok(payload.to_vec())
+}
+
+fn validate_header(header: &[u8]) -> Result<(), WireError> {
+    if header[..2] != MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1]]));
+    }
+    let version = header[2];
+    if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(WireError::BadVersion {
+            got: version,
+            want: PROTOCOL_VERSION,
+        });
+    }
+    let n = u32::from_le_bytes(header[3..7].try_into().unwrap()) as usize;
+    if n > MAX_FRAME_LEN {
+        return Err(WireError::Corrupt(format!("frame length {n} exceeds cap")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_a_stream() {
+        let payload = b"benefit fragments".to_vec();
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        let mut r = &stream[..];
+        assert_eq!(read_frame(&mut r).unwrap(), payload);
+        assert_eq!(read_frame(&mut r).unwrap(), Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut r), Err(WireError::Disconnected)));
+    }
+
+    #[test]
+    fn parse_frame_matches_read_frame() {
+        let f = frame(b"abc");
+        assert_eq!(parse_frame(&f).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut f = frame(b"abc");
+        f[0] = 0x00;
+        assert!(matches!(parse_frame(&f), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn alien_version_rejected() {
+        let mut f = frame(b"abc");
+        f[2] = 200;
+        assert!(matches!(
+            parse_frame(&f),
+            Err(WireError::BadVersion { got: 200, .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_corruption_detected() {
+        let f = frame(b"scores");
+        assert!(matches!(
+            parse_frame(&f[..f.len() - 2]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut flipped = f.clone();
+        let mid = HEADER_LEN + 2;
+        flipped[mid] ^= 0xFF;
+        assert_eq!(parse_frame(&flipped), Err(WireError::Checksum));
+        // Declared length longer than the buffer (classic truncated pipe).
+        let mut r = &f[..HEADER_LEN + 2];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut f = frame(b"x");
+        f[3..7].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(parse_frame(&f), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum(b"ab"), checksum(b"ba"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+}

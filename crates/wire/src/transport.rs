@@ -1,0 +1,300 @@
+//! Byte transports the protocol runs over.
+//!
+//! A [`Transport`] moves whole frames between a coordinator and one
+//! worker. Two backends ship:
+//!
+//! * [`InProc`] — a pair of in-process channels. The worker is a thread.
+//!   Frames still pass through the real encoder, framer and checksum, so
+//!   tests and CI exercise the full codec path with zero process-spawn
+//!   cost.
+//! * [`ProcTransport`] / [`StdioTransport`] — a spawned child process
+//!   spoken to over its stdin/stdout pipes ([`ProcTransport`] is the
+//!   parent side, [`StdioTransport`] the child side). A reader thread
+//!   owns the child's stdout so receives can honor timeouts; the child is
+//!   killed when the transport drops.
+//!
+//! Both implement the same trait, and the engine's equivalence guarantee
+//! quantifies over it: any transport replays the in-process trace byte
+//! for byte.
+
+use crate::error::WireError;
+use crate::frame;
+use std::io::{Read, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::time::Duration;
+
+/// A reliable, ordered frame channel to one peer.
+pub trait Transport: Send {
+    /// Send one message payload (framed by the transport).
+    fn send(&mut self, payload: &[u8]) -> Result<(), WireError>;
+
+    /// Receive the next payload, waiting at most `timeout` (`None` =
+    /// block until a frame or disconnect). `Ok(None)` means the timeout
+    /// elapsed with nothing arriving.
+    fn recv_timeout(&mut self, timeout: Option<Duration>) -> Result<Option<Vec<u8>>, WireError>;
+
+    /// Receive the next payload, blocking until it arrives.
+    fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+        match self.recv_timeout(None)? {
+            Some(p) => Ok(p),
+            None => Err(WireError::Disconnected),
+        }
+    }
+}
+
+/// In-process channel transport (the worker is a thread).
+pub struct InProc {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl InProc {
+    /// A connected pair: what one end sends, the other receives.
+    pub fn pair() -> (InProc, InProc) {
+        let (atx, brx) = mpsc::channel();
+        let (btx, arx) = mpsc::channel();
+        (InProc { tx: atx, rx: arx }, InProc { tx: btx, rx: brx })
+    }
+}
+
+impl Transport for InProc {
+    fn send(&mut self, payload: &[u8]) -> Result<(), WireError> {
+        self.tx
+            .send(frame::frame(payload))
+            .map_err(|_| WireError::Disconnected)
+    }
+
+    fn recv_timeout(&mut self, timeout: Option<Duration>) -> Result<Option<Vec<u8>>, WireError> {
+        let framed = match timeout {
+            None => self.rx.recv().map_err(|_| WireError::Disconnected)?,
+            Some(d) => match self.rx.recv_timeout(d) {
+                Ok(f) => f,
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(WireError::Disconnected),
+            },
+        };
+        frame::parse_frame(&framed).map(Some)
+    }
+}
+
+/// Parent side of a spawned worker process: frames go down the child's
+/// stdin, replies come back up its stdout (via a reader thread, so
+/// timeouts work on every platform). The child's stderr is inherited —
+/// worker panics stay visible.
+pub struct ProcTransport {
+    child: Child,
+    stdin: ChildStdin,
+    frames: Receiver<Result<Vec<u8>, WireError>>,
+}
+
+impl ProcTransport {
+    /// Spawn `cmd` (stdin/stdout piped) and connect to it.
+    pub fn spawn(cmd: &mut Command) -> Result<ProcTransport, WireError> {
+        let mut child = cmd
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| WireError::Io(format!("spawn failed: {e}")))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        let (tx, frames): (SyncSender<_>, _) = mpsc::sync_channel(64);
+        std::thread::spawn(move || loop {
+            match frame::read_frame(&mut stdout) {
+                Ok(payload) => {
+                    if tx.send(Ok(payload)).is_err() {
+                        break; // parent side dropped
+                    }
+                }
+                Err(WireError::Disconnected) => break, // orderly EOF
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    break;
+                }
+            }
+        });
+        Ok(ProcTransport {
+            child,
+            stdin,
+            frames,
+        })
+    }
+}
+
+impl Transport for ProcTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), WireError> {
+        frame::write_frame(&mut self.stdin, payload)
+    }
+
+    fn recv_timeout(&mut self, timeout: Option<Duration>) -> Result<Option<Vec<u8>>, WireError> {
+        match timeout {
+            None => match self.frames.recv() {
+                Ok(f) => f.map(Some),
+                Err(_) => Err(WireError::Disconnected),
+            },
+            Some(d) => match self.frames.recv_timeout(d) {
+                Ok(f) => f.map(Some),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(WireError::Disconnected),
+            },
+        }
+    }
+}
+
+impl Drop for ProcTransport {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Child side of a [`ProcTransport`]: the current process's stdin/stdout.
+/// Workers block on requests, so `recv_timeout` here ignores the timeout
+/// and blocks (the parent owns pacing).
+pub struct StdioTransport {
+    stdin: std::io::Stdin,
+    stdout: std::io::Stdout,
+}
+
+impl StdioTransport {
+    /// The current process's stdio as a transport. Take it once; stdout
+    /// must carry nothing but frames (log to stderr).
+    pub fn new() -> StdioTransport {
+        StdioTransport {
+            stdin: std::io::stdin(),
+            stdout: std::io::stdout(),
+        }
+    }
+}
+
+impl Default for StdioTransport {
+    fn default() -> StdioTransport {
+        StdioTransport::new()
+    }
+}
+
+impl Transport for StdioTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), WireError> {
+        frame::write_frame(&mut self.stdout.lock(), payload)
+    }
+
+    fn recv_timeout(&mut self, _timeout: Option<Duration>) -> Result<Option<Vec<u8>>, WireError> {
+        frame::read_frame(&mut self.stdin.lock()).map(Some)
+    }
+}
+
+/// A transport whose pipe already closed — every operation reports
+/// [`WireError::Disconnected`]. Fault-injection tests use it to model a
+/// worker that died before (or mid-) conversation.
+pub struct DeadTransport;
+
+impl Transport for DeadTransport {
+    fn send(&mut self, _payload: &[u8]) -> Result<(), WireError> {
+        Err(WireError::Disconnected)
+    }
+
+    fn recv_timeout(&mut self, _timeout: Option<Duration>) -> Result<Option<Vec<u8>>, WireError> {
+        Err(WireError::Disconnected)
+    }
+}
+
+/// Generic byte-stream transport over any `Read + Write` pair — the
+/// building block for socket-backed deployments (a `TcpStream` clone pair
+/// slots straight in). Blocking; timeouts fall back to blocking reads,
+/// so wrap sockets with their own read timeouts where needed.
+pub struct StreamTransport<R, W> {
+    r: R,
+    w: W,
+}
+
+impl<R: Read + Send, W: Write + Send> StreamTransport<R, W> {
+    /// A transport reading frames from `r` and writing frames to `w`.
+    pub fn new(r: R, w: W) -> StreamTransport<R, W> {
+        StreamTransport { r, w }
+    }
+}
+
+impl<R: Read + Send, W: Write + Send> Transport for StreamTransport<R, W> {
+    fn send(&mut self, payload: &[u8]) -> Result<(), WireError> {
+        frame::write_frame(&mut self.w, payload)
+    }
+
+    fn recv_timeout(&mut self, _timeout: Option<Duration>) -> Result<Option<Vec<u8>>, WireError> {
+        frame::read_frame(&mut self.r).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inproc_pair_roundtrips_frames() {
+        let (mut a, mut b) = InProc::pair();
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv().unwrap(), b"ping");
+        b.send(b"pong").unwrap();
+        assert_eq!(a.recv().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn inproc_timeout_and_disconnect() {
+        let (mut a, b) = InProc::pair();
+        assert_eq!(
+            a.recv_timeout(Some(Duration::from_millis(1))).unwrap(),
+            None
+        );
+        drop(b);
+        assert_eq!(a.recv(), Err(WireError::Disconnected));
+        assert_eq!(a.send(b"x"), Err(WireError::Disconnected));
+    }
+
+    #[test]
+    fn inproc_preserves_order() {
+        let (mut a, mut b) = InProc::pair();
+        for i in 0..10u8 {
+            a.send(&[i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.recv().unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn dead_transport_reports_disconnected() {
+        let mut t = DeadTransport;
+        assert_eq!(t.send(b"x"), Err(WireError::Disconnected));
+        assert_eq!(t.recv(), Err(WireError::Disconnected));
+    }
+
+    #[test]
+    fn stream_transport_over_buffers() {
+        // Write into a Vec, then read the same bytes back.
+        let mut wire = Vec::new();
+        {
+            let mut t = StreamTransport::new(std::io::empty(), &mut wire);
+            t.send(b"hello").unwrap();
+            t.send(b"world").unwrap();
+        }
+        let mut t = StreamTransport::new(&wire[..], std::io::sink());
+        assert_eq!(t.recv().unwrap(), b"hello");
+        assert_eq!(t.recv().unwrap(), b"world");
+        assert_eq!(t.recv(), Err(WireError::Disconnected));
+    }
+
+    #[test]
+    fn proc_transport_spawns_and_kills() {
+        // `cat` echoes our frames back verbatim.
+        let mut t = match ProcTransport::spawn(&mut Command::new("cat")) {
+            Ok(t) => t,
+            Err(_) => return, // no `cat` on this host; skip
+        };
+        t.send(b"through the pipe").unwrap();
+        assert_eq!(t.recv().unwrap(), b"through the pipe");
+        assert_eq!(
+            t.recv_timeout(Some(Duration::from_millis(5))).unwrap(),
+            None
+        );
+        drop(t); // must kill the child, not hang
+    }
+}

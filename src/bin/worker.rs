@@ -1,0 +1,100 @@
+//! `darwin-worker` — an out-of-process Darwin worker.
+//!
+//! Speaks the [`darwin_wire`] protocol over stdio (stdout carries nothing
+//! but frames; diagnostics go to stderr). One process serves one role:
+//!
+//! ```text
+//! darwin-worker shard
+//!     A benefit-shard worker: initialized entirely over the wire
+//!     (corpus, index recipe, span, state), then answers
+//!     track/delta/rebuild requests with fragment deltas.
+//!
+//! darwin-worker oracle --directions <n> <seed> [--threshold <t>]
+//!     A ground-truth oracle worker over the deterministic `directions`
+//!     dataset (both sides regenerate the identical fixture from
+//!     <n, seed>), answering submitted questions at precision ≥ t
+//!     (default 0.8).
+//!
+//! darwin-worker classifier
+//!     A remote benefit classifier: initialized over the wire
+//!     (corpus, embedding seed, model recipe), then serves
+//!     fit / predict_batch.
+//! ```
+//!
+//! This binary is what `examples/distributed.rs`, the `Proc` rows of the
+//! test matrix and the CI distributed job spawn.
+
+use darwin_core::{serve_classifier, serve_oracle, serve_shard, GroundTruthOracle};
+use darwin_wire::StdioTransport;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let role = args.first().map(String::as_str).unwrap_or("");
+    let mut transport = StdioTransport::new();
+    let served = match role {
+        "shard" => serve_shard(&mut transport),
+        "classifier" => serve_classifier(&mut transport),
+        "oracle" => match oracle_config(&args[1..]) {
+            Ok((n, seed, threshold)) => {
+                let data = darwin_datasets::directions::generate(n, seed);
+                let mut oracle = GroundTruthOracle::new(&data.labels, threshold);
+                serve_oracle(&mut transport, &data.corpus, &mut oracle)
+            }
+            Err(msg) => {
+                eprintln!("darwin-worker: {msg}");
+                return usage();
+            }
+        },
+        _ => return usage(),
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("darwin-worker ({role}): {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse `oracle --directions <n> <seed> [--threshold <t>]`.
+fn oracle_config(args: &[String]) -> Result<(usize, u64, f64), String> {
+    let mut n = None;
+    let mut seed = None;
+    let mut threshold = 0.8f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--directions" => {
+                n = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--directions needs <n> <seed>")?,
+                );
+                seed = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--directions needs <n> <seed>")?,
+                );
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threshold needs a number")?;
+            }
+            other => return Err(format!("unknown oracle option {other}")),
+        }
+    }
+    match (n, seed) {
+        (Some(n), Some(seed)) => Ok((n, seed, threshold)),
+        _ => Err("oracle needs --directions <n> <seed>".into()),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: darwin-worker shard\n       darwin-worker oracle --directions <n> <seed> [--threshold <t>]\n       darwin-worker classifier"
+    );
+    ExitCode::FAILURE
+}

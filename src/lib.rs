@@ -15,6 +15,8 @@
 //! * [`classifier`] — from-scratch Kim-CNN and logistic regression
 //! * [`labelmodel`] — Snorkel-style generative de-noising
 //! * [`datasets`] — synthetic versions of the five evaluation corpora
+//! * [`wire`] — the versioned wire protocol and transports for
+//!   out-of-process shard, oracle and classifier workers
 //! * [`core`] — the Darwin pipeline: candidate generation, hierarchy,
 //!   LocalSearch/UniversalSearch/HybridSearch traversals, oracles
 //! * [`baselines`] — Snuba, active learning, keyword sampling, HighP/HighC
@@ -53,6 +55,7 @@ pub use darwin_grammar as grammar;
 pub use darwin_index as index;
 pub use darwin_labelmodel as labelmodel;
 pub use darwin_text as text;
+pub use darwin_wire as wire;
 
 /// Commonly used items, one `use` away.
 pub mod prelude {

@@ -177,28 +177,28 @@ proptest! {
 
         let rules: Vec<RuleRef> = index.all_rules().collect();
         let mut store = ShardedBenefitStore::new(ShardMap::new(n, shards));
-        store.track(&rules, &index, &p, &scores, 2);
+        store.track(&rules, &index, &p, &scores, 2).unwrap();
 
         for (raw_id, centi, kind) in ops {
             let id = raw_id % n as u32;
             match kind {
                 0..=4 => {
                     if !p.contains(id) {
-                        store.on_positives_added(&[id], &index, &scores);
+                        store.on_positives_added(&[id], &index, &scores).unwrap();
                         p.insert(id);
                     }
                 }
                 5..=8 => {
                     let new = centi as f32 / 100.0;
                     let old = scores[id as usize];
-                    store.on_scores_changed(&[(id, old, new)], &p, &index);
+                    store.on_scores_changed(&[(id, old, new)], &p, &index).unwrap();
                     scores[id as usize] = new;
                 }
                 _ => {
                     for (i, s) in scores.iter_mut().enumerate() {
                         *s = (*s + 0.31 + i as f32 * 0.017).fract();
                     }
-                    store.rebuild(&index, &p, &scores, 2);
+                    store.rebuild(&index, &p, &scores, 2).unwrap();
                 }
             }
         }
