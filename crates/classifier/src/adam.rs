@@ -47,6 +47,17 @@ impl Param {
         self.g.iter_mut().for_each(|g| *g = 0.0);
     }
 
+    /// Reset weights, gradients and Adam moments to the all-zero state of
+    /// [`Param::zeros`] without releasing the allocations — the warm-start
+    /// training paths lean on this being *exactly* equivalent to building
+    /// a fresh zero tensor.
+    pub fn reset_zeros(&mut self) {
+        self.w.iter_mut().for_each(|x| *x = 0.0);
+        self.g.iter_mut().for_each(|x| *x = 0.0);
+        self.m.iter_mut().for_each(|x| *x = 0.0);
+        self.v.iter_mut().for_each(|x| *x = 0.0);
+    }
+
     /// One Adam step over the accumulated gradient; `t` is the 1-based step
     /// counter shared across all parameters of the model.
     pub fn adam_step(&mut self, lr: f32, t: u32) {

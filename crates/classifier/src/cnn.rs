@@ -7,16 +7,28 @@
 //! convolutional neural network followed by two fully connected layers").
 //! Embeddings are fixed (provided by `darwin-text`); only the filters and
 //! dense layers train, via Adam on binary cross-entropy.
+//!
+//! The convolution and dense inner loops run on the shared
+//! [`crate::kernels`] — one fixed-reduction dot product for every entry
+//! point, so per-id, batched, sharded and threaded prediction are
+//! bit-identical by construction. Training supports warm starts
+//! ([`CnnConfig::warm_start`]): `fit` is a pure function of
+//! `(pos, neg, seed, cfg)` (parameters and RNG are re-derived on entry),
+//! so a refit on an unchanged training set is skipped, and across
+//! different sets the warm path reuses the cached per-sentence embedding
+//! matrices — bit-identical to the cold reference path.
 
 #![allow(clippy::needless_range_loop)] // index math mirrors the tensor strides
 
 use crate::adam::{bce, sigmoid, Param};
 use crate::features::embedding_matrix;
+use crate::kernels::affine_f32;
 use crate::model::TextClassifier;
 use darwin_text::{Corpus, Embeddings};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::HashMap;
 
 /// Hyper-parameters for [`KimCnn`].
 #[derive(Clone, Debug, PartialEq)]
@@ -35,6 +47,10 @@ pub struct CnnConfig {
     pub lr: f32,
     /// Minibatch size.
     pub batch: usize,
+    /// Keep training state (embedding-matrix arena) across fits and skip
+    /// refits on an unchanged training set. Bit-identical to the cold
+    /// path; `false` keeps the from-scratch reference alive.
+    pub warm_start: bool,
 }
 
 impl Default for CnnConfig {
@@ -47,7 +63,47 @@ impl Default for CnnConfig {
             epochs: 8,
             lr: 0.01,
             batch: 16,
+            warm_start: true,
         }
+    }
+}
+
+/// Per-sentence stacked embedding matrices cached across fits (warm starts
+/// only). Valid because the matrix is a pure function of
+/// `(corpus, emb, id, max_len)` and a classifier instance always sees one
+/// corpus and one embedding table.
+#[derive(Default)]
+struct XArena {
+    slots: HashMap<u32, usize>,
+    store: Vec<f32>,
+    lens: Vec<usize>,
+}
+
+impl XArena {
+    fn ensure(&mut self, corpus: &Corpus, emb: &Embeddings, id: u32, max_len: usize) {
+        if self.slots.contains_key(&id) {
+            return;
+        }
+        let width = max_len * emb.dim();
+        let slot = self.slots.len();
+        self.store.resize((slot + 1) * width, 0.0);
+        let n = embedding_matrix(
+            corpus,
+            emb,
+            id,
+            max_len,
+            &mut self.store[slot * width..(slot + 1) * width],
+        );
+        self.lens.push(n);
+        self.slots.insert(id, slot);
+    }
+
+    fn row(&self, id: u32, width: usize) -> (&[f32], usize) {
+        let slot = self.slots[&id];
+        (
+            &self.store[slot * width..(slot + 1) * width],
+            self.lens[slot],
+        )
     }
 }
 
@@ -66,11 +122,16 @@ pub struct KimCnn {
     fc2_b: Param,
     seed: u64,
     step: u32,
+    arena: XArena,
+    /// The `(pos, neg)` of the last completed fit (exact compare, see
+    /// `LogReg::last_data`).
+    last_data: Option<(Vec<u32>, Vec<u32>)>,
 }
 
-/// Forward-pass scratch space, reused across samples.
+/// Forward-pass scratch space, reused across samples. The input matrix is
+/// passed to [`KimCnn::forward_x`] explicitly (it may live in the warm
+/// arena or in a caller buffer).
 struct Scratch {
-    x: Vec<f32>,        // max_len × dim
     feat: Vec<f32>,     // total_filters
     argmax: Vec<usize>, // total_filters — pooling winners
     h: Vec<f32>,        // hidden (post-ReLU)
@@ -109,6 +170,8 @@ impl KimCnn {
             fc2_b,
             seed,
             step: 0,
+            arena: XArena::default(),
+            last_data: None,
         }
     }
 
@@ -122,7 +185,6 @@ impl KimCnn {
 
     fn scratch(&self) -> Scratch {
         Scratch {
-            x: vec![0.0; self.cfg.max_len * self.dim],
             feat: vec![0.0; self.total_filters()],
             argmax: vec![0; self.total_filters()],
             h: vec![0.0; self.cfg.hidden],
@@ -130,9 +192,28 @@ impl KimCnn {
         }
     }
 
-    /// Forward pass; fills the scratch and returns P(positive).
-    fn forward(&self, corpus: &Corpus, emb: &Embeddings, id: u32, s: &mut Scratch) -> f32 {
-        let n = embedding_matrix(corpus, emb, id, self.cfg.max_len, &mut s.x);
+    fn x_buffer(&self) -> Vec<f32> {
+        vec![0.0; self.cfg.max_len * self.dim]
+    }
+
+    /// Re-derive the freshly-initialized parameters of
+    /// `KimCnn::new(dim, cfg, seed)` — pure, so every reset is identical —
+    /// leaving the warm-start fields untouched.
+    fn reset_params(&mut self) {
+        let fresh = KimCnn::new(self.dim, self.cfg.clone(), self.seed);
+        self.conv_w = fresh.conv_w;
+        self.conv_b = fresh.conv_b;
+        self.fc1_w = fresh.fc1_w;
+        self.fc1_b = fresh.fc1_b;
+        self.fc2_w = fresh.fc2_w;
+        self.fc2_b = fresh.fc2_b;
+        self.step = 0;
+    }
+
+    /// Forward pass over a stacked embedding matrix `x`
+    /// (`max_len × dim`, zero-padded) with `n` effective tokens; fills the
+    /// scratch and returns P(positive).
+    fn forward_x(&self, x: &[f32], n: usize, s: &mut Scratch) -> f32 {
         let dim = self.dim;
         // Convolution + max-over-time pooling.
         for (wi, &width) in self.cfg.widths.iter().enumerate() {
@@ -144,12 +225,10 @@ impl KimCnn {
                 let mut best = f32::NEG_INFINITY;
                 let mut best_t = 0;
                 for t in 0..positions {
-                    // Window may run past `n` into zero padding — harmless.
-                    let xwin = &s.x[t * dim..t * dim + wlen.min(s.x.len() - t * dim)];
-                    let mut z = bias;
-                    for (a, b) in wrow.iter().zip(xwin) {
-                        z += a * b;
-                    }
+                    // Window may run past `n` into zero padding — harmless;
+                    // past the end of `x` the kernel's shorter-slice-wins
+                    // semantics truncate it.
+                    let z = affine_f32(bias, wrow, &x[t * dim..]);
                     if z > best {
                         best = z;
                         best_t = t;
@@ -164,24 +243,31 @@ impl KimCnn {
         let total = self.total_filters();
         for hidx in 0..self.cfg.hidden {
             let row = &self.fc1_w.w[hidx * total..(hidx + 1) * total];
-            let mut z = self.fc1_b.w[hidx];
-            for (a, b) in row.iter().zip(&s.feat) {
-                z += a * b;
-            }
+            let z = affine_f32(self.fc1_b.w[hidx], row, &s.feat);
             s.hpre[hidx] = z;
             s.h[hidx] = z.max(0.0);
         }
-        let mut z = self.fc2_b.w[0];
-        for (a, b) in self.fc2_w.w.iter().zip(&s.h) {
-            z += a * b;
-        }
-        sigmoid(z)
+        sigmoid(affine_f32(self.fc2_b.w[0], &self.fc2_w.w, &s.h))
+    }
+
+    /// Forward pass that stacks the embedding matrix into `x` first.
+    fn forward_into(
+        &self,
+        corpus: &Corpus,
+        emb: &Embeddings,
+        id: u32,
+        x: &mut [f32],
+        s: &mut Scratch,
+    ) -> f32 {
+        let n = embedding_matrix(corpus, emb, id, self.cfg.max_len, x);
+        self.forward_x(x, n, s)
     }
 
     /// Backward pass for one sample (adds into parameter gradients).
     /// `dz2` is the loss gradient at the output logit — `p - y` for plain
-    /// BCE, scaled by the class weight for balanced training.
-    fn backward(&mut self, dz2: f32, s: &Scratch) {
+    /// BCE, scaled by the class weight for balanced training. `x` must be
+    /// the matrix the forward pass ran on.
+    fn backward(&mut self, dz2: f32, x: &[f32], s: &Scratch) {
         let total = self.total_filters();
         // FC2.
         for hidx in 0..self.cfg.hidden {
@@ -216,8 +302,8 @@ impl KimCnn {
                     continue;
                 }
                 let t = s.argmax[fi];
-                let avail = wlen.min(s.x.len() - t * dim);
-                let xwin = &s.x[t * dim..t * dim + avail];
+                let avail = wlen.min(x.len() - t * dim);
+                let xwin = &x[t * dim..t * dim + avail];
                 let grow = &mut self.conv_w[wi].g[f * wlen..f * wlen + avail];
                 for (g, xv) in grow.iter_mut().zip(xwin) {
                     *g += df * xv;
@@ -252,12 +338,13 @@ impl KimCnn {
     /// Mean training BCE over the given examples (diagnostic).
     pub fn loss(&self, corpus: &Corpus, emb: &Embeddings, pos: &[u32], neg: &[u32]) -> f32 {
         let mut s = self.scratch();
+        let mut x = self.x_buffer();
         let mut total = 0.0;
         for &id in pos {
-            total += bce(self.forward(corpus, emb, id, &mut s), 1.0);
+            total += bce(self.forward_into(corpus, emb, id, &mut x, &mut s), 1.0);
         }
         for &id in neg {
-            total += bce(self.forward(corpus, emb, id, &mut s), 0.0);
+            total += bce(self.forward_into(corpus, emb, id, &mut x, &mut s), 0.0);
         }
         total / (pos.len() + neg.len()).max(1) as f32
     }
@@ -265,19 +352,44 @@ impl KimCnn {
 
 impl TextClassifier for KimCnn {
     fn fit(&mut self, corpus: &Corpus, emb: &Embeddings, pos: &[u32], neg: &[u32]) {
+        let warm = self.cfg.warm_start;
+        if warm {
+            if let Some((lp, ln)) = &self.last_data {
+                if lp.as_slice() == pos && ln.as_slice() == neg {
+                    return; // fit is pure in (pos, neg): nothing would change
+                }
+            }
+        }
         // Re-initialize: each retraining in the pipeline starts fresh on the
         // grown positive set (Algorithm 1 line 10 "train_classifier").
-        *self = KimCnn::new(self.dim, self.cfg.clone(), self.seed);
+        self.reset_params();
+        if !warm {
+            self.arena = XArena::default();
+            self.last_data = None;
+        }
         let mut data: Vec<(u32, f32)> = pos
             .iter()
             .map(|&i| (i, 1.0))
             .chain(neg.iter().map(|&i| (i, 0.0)))
             .collect();
+        if warm {
+            self.last_data = Some((pos.to_vec(), neg.to_vec()));
+        }
         if data.is_empty() {
             return;
         }
+        // Move the arena out for the duration of training so its rows can
+        // be borrowed across `&mut self` backward calls.
+        let mut arena = std::mem::take(&mut self.arena);
+        if warm {
+            for &(id, _) in &data {
+                arena.ensure(corpus, emb, id, self.cfg.max_len);
+            }
+        }
+        let width = self.cfg.max_len * self.dim;
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x7EA);
         let mut scratch = self.scratch();
+        let mut xbuf = self.x_buffer();
         // Class-balanced loss (see LogReg::fit for the rationale).
         let pos_weight = if pos.is_empty() || neg.is_empty() {
             1.0
@@ -289,9 +401,18 @@ impl TextClassifier for KimCnn {
             for batch in data.chunks(self.cfg.batch) {
                 self.zero_grads();
                 for &(id, y) in batch {
-                    let p = self.forward(corpus, emb, id, &mut scratch);
+                    // Warm and cold feed the *same matrix values* through
+                    // the same arithmetic; only where the matrix lives
+                    // differs.
+                    let (x, n): (&[f32], usize) = if warm {
+                        arena.row(id, width)
+                    } else {
+                        let n = embedding_matrix(corpus, emb, id, self.cfg.max_len, &mut xbuf);
+                        (&xbuf, n)
+                    };
+                    let p = self.forward_x(x, n, &mut scratch);
                     let w = if y > 0.5 { pos_weight } else { 1.0 };
-                    self.backward(w * (p - y), &scratch);
+                    self.backward(w * (p - y), x, &scratch);
                 }
                 // Average gradient over the batch.
                 let inv = 1.0 / batch.len() as f32;
@@ -305,27 +426,36 @@ impl TextClassifier for KimCnn {
                 self.step_all();
             }
         }
+        if warm {
+            self.arena = arena;
+        }
     }
 
     fn predict(&self, corpus: &Corpus, emb: &Embeddings, id: u32) -> f32 {
         let mut s = self.scratch();
-        self.forward(corpus, emb, id, &mut s)
+        let mut x = self.x_buffer();
+        self.forward_into(corpus, emb, id, &mut x, &mut s)
     }
 
     fn predict_all(&self, corpus: &Corpus, emb: &Embeddings, out: &mut Vec<f32>) {
         out.clear();
         let mut s = self.scratch();
-        out.extend((0..corpus.len() as u32).map(|id| self.forward(corpus, emb, id, &mut s)));
+        let mut x = self.x_buffer();
+        out.extend(
+            (0..corpus.len() as u32).map(|id| self.forward_into(corpus, emb, id, &mut x, &mut s)),
+        );
     }
 
     fn predict_batch(&self, corpus: &Corpus, emb: &Embeddings, ids: &[u32], out: &mut Vec<f32>) {
-        // One scratch for the whole batch, like the logreg feature-buffer
-        // fast path: the per-sentence allocation of `predict` dominated
-        // the forward pass for short sentences. `embedding_matrix` zeroes
-        // the input buffer every call, so reuse is bit-identical to a
-        // fresh scratch.
+        // One scratch + one input buffer for the whole batch:
+        // `embedding_matrix` zeroes the buffer every call, so reuse is
+        // bit-identical to a fresh one per sentence.
         let mut s = self.scratch();
-        out.extend(ids.iter().map(|&id| self.forward(corpus, emb, id, &mut s)));
+        let mut x = self.x_buffer();
+        out.extend(
+            ids.iter()
+                .map(|&id| self.forward_into(corpus, emb, id, &mut x, &mut s)),
+        );
     }
 }
 
@@ -424,6 +554,37 @@ mod tests {
         }
     }
 
+    /// Warm-start is a buffer-reuse strategy, never an arithmetic change:
+    /// a warm model must track a cold model bit for bit through growing
+    /// (and occasionally repeated) training sets.
+    #[test]
+    fn warm_start_tracks_cold_start_bit_for_bit() {
+        let (c, e, pos, neg) = toy();
+        let base = CnnConfig {
+            epochs: 2,
+            ..Default::default()
+        };
+        let cold_cfg = CnnConfig {
+            warm_start: false,
+            ..base.clone()
+        };
+        let mut warm = KimCnn::new(e.dim(), base, 13);
+        let mut cold = KimCnn::new(e.dim(), cold_cfg, 13);
+        let sets: [(usize, usize); 3] = [(4, 4), (8, 8), (8, 8)];
+        for (round, &(np, nn)) in sets.iter().enumerate() {
+            warm.fit(&c, &e, &pos[..np], &neg[..nn]);
+            cold.fit(&c, &e, &pos[..np], &neg[..nn]);
+            for id in (0..c.len() as u32).step_by(11) {
+                let (pw, pc) = (warm.predict(&c, &e, id), cold.predict(&c, &e, id));
+                assert_eq!(
+                    pw.to_bits(),
+                    pc.to_bits(),
+                    "round {round} id {id}: warm {pw} vs cold {pc}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn probabilities_in_unit_interval() {
         let (c, e, pos, neg) = toy();
@@ -455,18 +616,20 @@ mod tests {
             9,
         );
         let mut s = cnn.scratch();
+        let mut x = cnn.x_buffer();
         let id = 0u32;
         let y = 1.0;
-        let p = cnn.forward(&c, &e, id, &mut s);
+        let p = cnn.forward_into(&c, &e, id, &mut x, &mut s);
         cnn.zero_grads();
-        cnn.backward(p - y, &s);
+        let xcopy = x.clone();
+        cnn.backward(p - y, &xcopy, &s);
         let analytic = cnn.fc2_w.g[0];
         let eps = 1e-3;
         let orig = cnn.fc2_w.w[0];
         cnn.fc2_w.w[0] = orig + eps;
-        let lp = bce(cnn.forward(&c, &e, id, &mut s), y);
+        let lp = bce(cnn.forward_into(&c, &e, id, &mut x, &mut s), y);
         cnn.fc2_w.w[0] = orig - eps;
-        let lm = bce(cnn.forward(&c, &e, id, &mut s), y);
+        let lm = bce(cnn.forward_into(&c, &e, id, &mut x, &mut s), y);
         cnn.fc2_w.w[0] = orig;
         let numeric = (lp - lm) / (2.0 * eps);
         assert!(

@@ -56,7 +56,7 @@ pub fn logreg_features(corpus: &Corpus, emb: &Embeddings, id: u32, out: &mut [f3
 }
 
 #[inline]
-fn bow_bucket(t: Sym) -> usize {
+pub(crate) fn bow_bucket(t: Sym) -> usize {
     // Fibonacci hashing of the symbol id.
     ((t.0 as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as usize % BOW_BUCKETS
 }

@@ -15,12 +15,15 @@
 //! everything every third round).
 
 pub mod adam;
+pub mod block;
 pub mod cnn;
 pub mod features;
+pub mod kernels;
 pub mod logreg;
 pub mod model;
 pub mod scorer;
 
+pub use block::{FeatureBlock, BLOCK_ROWS};
 pub use cnn::{CnnConfig, KimCnn};
 pub use logreg::{LogReg, LogRegConfig};
 pub use model::{ClassifierKind, TextClassifier};

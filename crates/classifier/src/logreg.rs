@@ -4,16 +4,36 @@
 //! orders of magnitude cheaper to retrain. Used by experiments that sweep
 //! many pipeline configurations, and as the comparison point in the
 //! classifier-quality ablation.
+//!
+//! Every prediction path routes through [`FeatureBlock`] scoring — blocks
+//! of [`BLOCK_ROWS`] sentences materialized into one contiguous arena and
+//! scored by the shared kernels — so per-id, batched, sharded and threaded
+//! execution are bit-identical by construction (there is only one scoring
+//! arithmetic to diverge from).
+//!
+//! Training supports warm starts ([`LogRegConfig::warm_start`]): because
+//! `fit` is a pure function of `(pos, neg, seed, cfg)` — the RNG is
+//! reseeded and the parameters re-zeroed on entry — a refit on the exact
+//! training set the model already holds is skipped outright, and across
+//! *different* training sets the warm path reuses the per-sentence feature
+//! arena (features depend only on the corpus and embeddings, which are
+//! fixed for a classifier instance) and resets the Adam state in place
+//! instead of reallocating. None of this changes a single bit of the
+//! trained weights relative to the cold path, which is kept as the
+//! reference for the equivalence proof.
 
 #![allow(clippy::needless_range_loop)] // index math mirrors the tensor strides
 
 use crate::adam::{sigmoid, Param};
-use crate::features::{logreg_dim, logreg_features};
+use crate::block::{FeatureBlock, BLOCK_ROWS};
+use crate::features::{logreg_dim, logreg_features, BOW_BUCKETS};
+use crate::kernels::dot_f32;
 use crate::model::TextClassifier;
 use darwin_text::{Corpus, Embeddings};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::HashMap;
 
 /// Hyper-parameters for [`LogReg`].
 #[derive(Clone, Debug, PartialEq)]
@@ -27,6 +47,10 @@ pub struct LogRegConfig {
     /// positives, which would zero out the embedding pathway Darwin needs
     /// for semantic generalization (paper §3, "bus" → "public transport").
     pub l2_bow: f32,
+    /// Keep training state (feature arena, Adam allocations) across fits
+    /// and skip refits on an unchanged training set. Bit-identical to the
+    /// cold path; `false` keeps the from-scratch reference alive.
+    pub warm_start: bool,
 }
 
 impl Default for LogRegConfig {
@@ -36,7 +60,39 @@ impl Default for LogRegConfig {
             lr: 0.05,
             l2: 1e-4,
             l2_bow: 6e-3,
+            warm_start: true,
         }
+    }
+}
+
+/// Dense per-sentence feature rows cached across fits (warm starts only).
+/// Valid because features are a pure function of `(corpus, emb, id)` and a
+/// classifier instance always sees one corpus and one embedding table.
+#[derive(Default)]
+struct FeatureArena {
+    slots: HashMap<u32, usize>,
+    store: Vec<f32>,
+}
+
+impl FeatureArena {
+    fn ensure(&mut self, corpus: &Corpus, emb: &Embeddings, id: u32, dim: usize) {
+        if self.slots.contains_key(&id) {
+            return;
+        }
+        let slot = self.slots.len();
+        self.store.resize((slot + 1) * dim, 0.0);
+        logreg_features(
+            corpus,
+            emb,
+            id,
+            &mut self.store[slot * dim..(slot + 1) * dim],
+        );
+        self.slots.insert(id, slot);
+    }
+
+    fn row(&self, id: u32, dim: usize) -> &[f32] {
+        let slot = self.slots[&id];
+        &self.store[slot * dim..(slot + 1) * dim]
     }
 }
 
@@ -47,6 +103,11 @@ pub struct LogReg {
     dim: usize,
     seed: u64,
     step: u32,
+    arena: FeatureArena,
+    /// The `(pos, neg)` of the last completed fit — the warm-start skip
+    /// compares exactly (no hashing), so a skipped refit is provably the
+    /// fit it replaces.
+    last_data: Option<(Vec<u32>, Vec<u32>)>,
 }
 
 impl LogReg {
@@ -58,32 +119,60 @@ impl LogReg {
             dim,
             seed,
             step: 0,
+            arena: FeatureArena::default(),
+            last_data: None,
         }
     }
 
-    fn score(&self, f: &[f32]) -> f32 {
-        let mut z = 0.0;
-        for (a, b) in self.w.w.iter().zip(f) {
-            z += a * b;
+    /// Score a block of materialized ids, appending to `out` in id order.
+    fn score_block(
+        &self,
+        block: &mut FeatureBlock,
+        corpus: &Corpus,
+        emb: &Embeddings,
+        ids: &[u32],
+        out: &mut Vec<f32>,
+    ) {
+        for chunk in ids.chunks(BLOCK_ROWS) {
+            block.fill(corpus, emb, chunk);
+            block.score_into(&self.w.w, out);
         }
-        sigmoid(z)
     }
 }
 
 impl TextClassifier for LogReg {
     fn fit(&mut self, corpus: &Corpus, emb: &Embeddings, pos: &[u32], neg: &[u32]) {
-        self.w = Param::zeros(self.dim);
+        let warm = self.cfg.warm_start;
+        if warm {
+            if let Some((lp, ln)) = &self.last_data {
+                if lp.as_slice() == pos && ln.as_slice() == neg {
+                    return; // fit is pure in (pos, neg): nothing would change
+                }
+            }
+            self.w.reset_zeros();
+        } else {
+            self.w = Param::zeros(self.dim);
+            self.arena = FeatureArena::default();
+        }
         self.step = 0;
         let mut data: Vec<(u32, f32)> = pos
             .iter()
             .map(|&i| (i, 1.0))
             .chain(neg.iter().map(|&i| (i, 0.0)))
             .collect();
+        if warm {
+            self.last_data = Some((pos.to_vec(), neg.to_vec()));
+        }
         if data.is_empty() {
             return;
         }
+        if warm {
+            for &(id, _) in &data {
+                self.arena.ensure(corpus, emb, id, self.dim);
+            }
+        }
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x10C);
-        let mut f = vec![0.0f32; self.dim];
+        let mut scratch = vec![0.0f32; self.dim];
         // Class-balanced loss: Darwin trains on few positives against many
         // sampled negatives; without re-weighting, predicted probabilities
         // collapse below the 0.5 benefit threshold of UniversalSearch.
@@ -92,52 +181,53 @@ impl TextClassifier for LogReg {
         } else {
             (neg.len() as f32 / pos.len() as f32).clamp(0.25, 2.0)
         };
-        for _ in 0..self.cfg.epochs {
+        let dim = self.dim;
+        let emb_dim = dim - BOW_BUCKETS - 1;
+        let cfg = self.cfg.clone();
+        let (w, arena) = (&mut self.w, &self.arena);
+        let mut step = self.step;
+        for _ in 0..cfg.epochs {
             data.shuffle(&mut rng);
             for &(id, y) in &data {
-                logreg_features(corpus, emb, id, &mut f);
-                let p = self.score(&f);
-                let w = if y > 0.5 { pos_weight } else { 1.0 };
-                let d = w * (p - y);
-                self.w.zero_grad();
-                let emb_dim = self.dim - crate::features::BOW_BUCKETS - 1;
-                for i in 0..self.dim {
-                    let l2 = if i < emb_dim {
-                        self.cfg.l2
-                    } else {
-                        self.cfg.l2_bow
-                    };
-                    self.w.g[i] = d * f[i] + l2 * self.w.w[i];
+                // Warm and cold feed the *same values* through the same
+                // arithmetic; only where the features live differs.
+                let f: &[f32] = if warm {
+                    arena.row(id, dim)
+                } else {
+                    logreg_features(corpus, emb, id, &mut scratch);
+                    &scratch
+                };
+                let p = sigmoid(dot_f32(&w.w, f));
+                let cw = if y > 0.5 { pos_weight } else { 1.0 };
+                let d = cw * (p - y);
+                for i in 0..dim {
+                    let l2 = if i < emb_dim { cfg.l2 } else { cfg.l2_bow };
+                    w.g[i] = d * f[i] + l2 * w.w[i];
                 }
-                self.step += 1;
-                self.w.adam_step(self.cfg.lr, self.step);
+                step += 1;
+                w.adam_step(cfg.lr, step);
             }
         }
+        self.step = step;
     }
 
     fn predict(&self, corpus: &Corpus, emb: &Embeddings, id: u32) -> f32 {
-        let mut f = vec![0.0f32; self.dim];
-        logreg_features(corpus, emb, id, &mut f);
-        self.score(&f)
+        let mut block = FeatureBlock::new(emb.dim());
+        let mut out = Vec::with_capacity(1);
+        self.score_block(&mut block, corpus, emb, &[id], &mut out);
+        out[0]
     }
 
     fn predict_all(&self, corpus: &Corpus, emb: &Embeddings, out: &mut Vec<f32>) {
         out.clear();
-        let mut f = vec![0.0f32; self.dim];
-        for id in 0..corpus.len() as u32 {
-            logreg_features(corpus, emb, id, &mut f);
-            out.push(self.score(&f));
-        }
+        let ids: Vec<u32> = (0..corpus.len() as u32).collect();
+        let mut block = FeatureBlock::new(emb.dim());
+        self.score_block(&mut block, corpus, emb, &ids, out);
     }
 
     fn predict_batch(&self, corpus: &Corpus, emb: &Embeddings, ids: &[u32], out: &mut Vec<f32>) {
-        // Same buffer-reuse fast path as `predict_all`: one feature
-        // allocation per batch instead of per sentence.
-        let mut f = vec![0.0f32; self.dim];
-        for &id in ids {
-            logreg_features(corpus, emb, id, &mut f);
-            out.push(self.score(&f));
-        }
+        let mut block = FeatureBlock::new(emb.dim());
+        self.score_block(&mut block, corpus, emb, ids, out);
     }
 }
 
@@ -204,6 +294,38 @@ mod tests {
         }
     }
 
+    /// Warm-start is a buffer-reuse strategy, never an arithmetic change:
+    /// a warm model must track a cold model bit for bit through a sequence
+    /// of growing (and occasionally repeated) training sets.
+    #[test]
+    fn warm_start_tracks_cold_start_bit_for_bit() {
+        let (c, e) = toy();
+        let cold_cfg = LogRegConfig {
+            warm_start: false,
+            ..Default::default()
+        };
+        let mut warm = LogReg::new(&e, LogRegConfig::default(), 5);
+        let mut cold = LogReg::new(&e, cold_cfg, 5);
+        let sets: [(&[u32], &[u32]); 4] = [
+            (&[0, 2], &[1, 3]),
+            (&[0, 2, 4, 6], &[1, 3, 5]),
+            (&[0, 2, 4, 6], &[1, 3, 5]), // repeat: warm skips, cold refits
+            (&[0, 2, 4, 6, 8, 10], &[1, 3, 5, 7, 9]),
+        ];
+        for (round, (pos, neg)) in sets.iter().enumerate() {
+            warm.fit(&c, &e, pos, neg);
+            cold.fit(&c, &e, pos, neg);
+            for id in (0..c.len() as u32).step_by(13) {
+                let (pw, pc) = (warm.predict(&c, &e, id), cold.predict(&c, &e, id));
+                assert_eq!(
+                    pw.to_bits(),
+                    pc.to_bits(),
+                    "round {round} id {id}: warm {pw} vs cold {pc}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn predict_all_fast_path_agrees() {
         let (c, e) = toy();
@@ -213,6 +335,13 @@ mod tests {
         lr.predict_all(&c, &e, &mut all);
         for id in (0..c.len() as u32).step_by(17) {
             assert_eq!(all[id as usize], lr.predict(&c, &e, id));
+        }
+        // And the batch path, across a block boundary ordering.
+        let ids: Vec<u32> = (0..c.len() as u32).rev().collect();
+        let mut batch = Vec::new();
+        lr.predict_batch(&c, &e, &ids, &mut batch);
+        for (&id, &p) in ids.iter().zip(&batch) {
+            assert_eq!(p, all[id as usize]);
         }
     }
 }

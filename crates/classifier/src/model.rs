@@ -58,6 +58,16 @@ impl ClassifierKind {
         ClassifierKind::LogReg(LogRegConfig::default())
     }
 
+    /// Set the warm-start knob of the underlying config (bit-identical to
+    /// cold starts; `false` selects the from-scratch reference path).
+    pub fn with_warm_start(mut self, warm: bool) -> ClassifierKind {
+        match &mut self {
+            ClassifierKind::Cnn(cfg) => cfg.warm_start = warm,
+            ClassifierKind::LogReg(cfg) => cfg.warm_start = warm,
+        }
+        self
+    }
+
     /// Instantiate an untrained classifier.
     pub fn build(&self, emb: &Embeddings, seed: u64) -> Box<dyn TextClassifier> {
         match self {

@@ -172,6 +172,12 @@ impl ScoreCache {
 
     /// Predict the (sorted) `ids`, one `predict_batch` call per shard —
     /// shard-parallel when configured. Output is in `ids` order.
+    ///
+    /// Effective parallelism is `min(shards, threads)` when sharded and
+    /// `threads` when unsharded: per-id predictions are pure, so *any*
+    /// contiguous partition of `ids` scored independently and concatenated
+    /// in order reproduces the single-batch pass bit for bit — shards need
+    /// not be the unit of parallelism.
     fn predict_ids(
         &self,
         clf: &dyn TextClassifier,
@@ -180,6 +186,22 @@ impl ScoreCache {
         ids: &[u32],
     ) -> Vec<f32> {
         if self.shards <= 1 {
+            if self.threads > 1 && !ids.is_empty() {
+                let chunk = ids.len().div_ceil(self.threads);
+                let parts: Vec<Vec<f32>> = ids
+                    .par_chunks(chunk)
+                    .map(|chunk_ids| {
+                        let mut out = Vec::with_capacity(chunk_ids.len());
+                        clf.predict_batch(corpus, emb, chunk_ids, &mut out);
+                        out
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(ids.len());
+                for part in parts {
+                    out.extend_from_slice(&part);
+                }
+                return out;
+            }
             let mut out = Vec::with_capacity(ids.len());
             clf.predict_batch(corpus, emb, ids, &mut out);
             return out;
@@ -238,7 +260,7 @@ impl ScoreCache {
         self.changes.clear();
         self.last_was_full = full;
         if full {
-            if self.shards <= 1 {
+            if self.shards <= 1 && self.threads <= 1 {
                 let mut out = Vec::with_capacity(self.scores.len());
                 clf.predict_all(corpus, emb, &mut out);
                 self.scores = out;
@@ -406,7 +428,7 @@ mod tests {
         clf.fit(&c, &e, &[0, 2, 4, 6, 8], &[1, 3, 5, 7, 9]);
         reference.refresh(clf.as_ref(), &c, &e); // incremental
 
-        for shards in [2usize, 3, 7, 64] {
+        for shards in [1usize, 2, 3, 7, 64] {
             for threads in [1usize, 4] {
                 let mut clf = ClassifierKind::logreg().build(&e, 1);
                 clf.fit(&c, &e, &[0, 2, 4], &[1, 3, 5]);

@@ -67,6 +67,13 @@ pub struct DarwinConfig {
     /// from the index root. Trace-equivalent to the full rescan — `false`
     /// keeps the from-scratch walk as the ablation/reference path.
     pub incremental_frontier: bool,
+    /// Warm-start classifier retraining: keep the per-sentence feature
+    /// arenas and optimizer allocations alive across the pipeline's
+    /// retrain epochs, and skip refits whose training set is unchanged.
+    /// Pure buffer reuse — trained weights (and therefore traces) are
+    /// bit-identical to cold starts; `false` keeps the from-scratch
+    /// reference path alive for the equivalence proof.
+    pub warm_start: bool,
     /// Worker threads for the engine's aggregate rebuild after a full
     /// re-score epoch and for shard-parallel score refreshes
     /// (1 = sequential).
@@ -108,6 +115,7 @@ impl Default for DarwinConfig {
             incremental_scoring: true,
             incremental_benefit: true,
             incremental_frontier: true,
+            warm_start: true,
             threads: 1,
             shards: 1,
             batch: BatchPolicy::Fixed(1),
@@ -169,6 +177,12 @@ impl DarwinConfig {
     /// Toggle the incremental candidate frontier.
     pub fn with_incremental_frontier(mut self, on: bool) -> Self {
         self.incremental_frontier = on;
+        self
+    }
+
+    /// Toggle warm-start classifier retraining.
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
         self
     }
 

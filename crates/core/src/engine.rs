@@ -475,7 +475,25 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let clf = cfg.classifier.build(darwin.embeddings(), cfg.seed);
+        // `warm_start` is a pure buffer-reuse knob (bit-identical weights),
+        // applied here so the config default flows into whichever kind the
+        // run configured. A remote classifier trains the identical recipe
+        // in its worker; a connect failure falls back to the local build
+        // and aborts the run via `wire_abort` before the first question.
+        let kind = cfg.classifier.clone().with_warm_start(cfg.warm_start);
+        let mut clf_abort: Option<darwin_wire::WireError> = None;
+        let clf: Box<dyn TextClassifier> = match darwin.remote_classifier() {
+            None => kind.build(darwin.embeddings(), cfg.seed),
+            Some(spec) => match (spec.connect)().and_then(|t| {
+                crate::remote::WireClassifier::connect(t, corpus, cfg.seed, &kind, cfg.seed)
+            }) {
+                Ok(wc) => Box::new(wc),
+                Err(e) => {
+                    clf_abort = Some(e);
+                    kind.build(darwin.embeddings(), cfg.seed)
+                }
+            },
+        };
         let cache = match flavor {
             EngineFlavor::Sequential if !cfg.incremental_scoring => ScoreCache::full_only(n),
             _ => ScoreCache::new(n),
@@ -501,7 +519,7 @@ impl<'a> Engine<'a> {
             pending: Vec::new(),
             seed_refs,
             max_count,
-            wire_abort: None,
+            wire_abort: clf_abort,
         };
         engine.retrain_and_sync();
         if cfg.incremental_benefit {
@@ -858,9 +876,15 @@ impl<'a> Engine<'a> {
             }
             guard += 1;
         }
+        let dbg = std::env::var("DARWIN_DEBUG_RETRAIN").is_ok();
+        let t0 = std::time::Instant::now();
         self.clf.fit(corpus, darwin.embeddings(), &pos, &neg);
+        let t_fit = t0.elapsed();
+        let t1 = std::time::Instant::now();
         self.cache.refresh(&*self.clf, corpus, darwin.embeddings());
+        let t_refresh = t1.elapsed();
 
+        let t2 = std::time::Instant::now();
         if let Some(store) = &mut self.store {
             let r = if self.cache.last_refresh_was_full() {
                 store.rebuild(
@@ -873,6 +897,19 @@ impl<'a> Engine<'a> {
                 store.on_scores_changed(self.cache.last_changes(), &self.state.p, darwin.index())
             };
             self.note_wire(r);
+        }
+        if dbg {
+            eprintln!(
+                "retrain: pos={} neg={} fit={:?} refresh={:?} (size={} full={} journal={}) sync={:?}",
+                pos.len(),
+                neg.len(),
+                t_fit,
+                t_refresh,
+                self.cache.last_refresh_size(),
+                self.cache.last_refresh_was_full(),
+                self.cache.last_changes().len(),
+                t2.elapsed()
+            );
         }
     }
 

@@ -110,6 +110,20 @@ pub struct RemoteShards {
     pub connect: Box<ShardConnector>,
 }
 
+/// Builds the transport to a classifier worker (a spawned process, a
+/// worker thread, a socket) — the classifier-side twin of
+/// [`ShardConnector`].
+pub type ClassifierConnector =
+    dyn Fn() -> Result<Box<dyn darwin_wire::Transport>, darwin_wire::WireError> + Send + Sync;
+
+/// A remote classifier deployment: training and scoring run in a
+/// [`crate::remote::serve_classifier`] worker behind the connector's
+/// transport.
+pub struct RemoteClassifier {
+    /// Builds the transport to the classifier worker.
+    pub connect: Box<ClassifierConnector>,
+}
+
 /// The Darwin system, bound to a corpus and its index.
 pub struct Darwin<'a> {
     corpus: &'a Corpus,
@@ -117,6 +131,7 @@ pub struct Darwin<'a> {
     emb: Embeddings,
     cfg: DarwinConfig,
     remote: Option<RemoteShards>,
+    remote_clf: Option<RemoteClassifier>,
 }
 
 impl<'a> Darwin<'a> {
@@ -135,6 +150,7 @@ impl<'a> Darwin<'a> {
             emb,
             cfg,
             remote: None,
+            remote_clf: None,
         }
     }
 
@@ -152,6 +168,7 @@ impl<'a> Darwin<'a> {
             emb,
             cfg,
             remote: None,
+            remote_clf: None,
         }
     }
 
@@ -178,6 +195,30 @@ impl<'a> Darwin<'a> {
     /// The remote-shard deployment, if configured.
     pub(crate) fn remote_shards(&self) -> Option<&RemoteShards> {
         self.remote.as_ref()
+    }
+
+    /// Run the benefit classifier in a *worker*: `connect` builds the
+    /// [`darwin_wire::Transport`] to a [`crate::remote::serve_classifier`]
+    /// loop (a spawned process, a worker thread, a socket). The worker
+    /// rebuilds this `Darwin`'s corpus and re-derives its embeddings from
+    /// the run seed, so it assumes the default embedding recipe of
+    /// [`Darwin::new`] — construct the system through `Darwin::new` (not
+    /// [`Darwin::with_embeddings`] with a custom [`EmbedConfig`]) when
+    /// using a remote classifier.
+    ///
+    /// Execution-layer invariance extends across the boundary: a run with
+    /// a remote classifier replays the local trace byte for byte (the
+    /// worker trains the identical model from the identical seed). A
+    /// connect failure aborts the run cleanly before the first question —
+    /// see [`RunResult::wire_error`].
+    pub fn with_remote_classifier(mut self, connect: Box<ClassifierConnector>) -> Darwin<'a> {
+        self.remote_clf = Some(RemoteClassifier { connect });
+        self
+    }
+
+    /// The remote-classifier deployment, if configured.
+    pub(crate) fn remote_classifier(&self) -> Option<&RemoteClassifier> {
+        self.remote_clf.as_ref()
     }
 
     /// The run configuration.

@@ -442,6 +442,10 @@ impl AsyncOracle for WireOracle {
 
 // ---- classifier worker ---------------------------------------------------
 
+// `warm_start` is deliberately *not* carried on the wire: it is a local
+// buffer-reuse knob that cannot change any trained weight (warm fits are
+// bit-identical to cold fits by construction), so the protocol stays at
+// its existing version and workers simply run their own default.
 fn kind_to_wire(kind: &ClassifierKind) -> WireClassifierKind {
     match kind {
         ClassifierKind::Cnn(c) => WireClassifierKind::Cnn {
@@ -480,6 +484,7 @@ fn kind_from_wire(kind: &WireClassifierKind) -> ClassifierKind {
             epochs: *epochs as usize,
             lr: *lr,
             batch: *batch as usize,
+            warm_start: true,
         }),
         WireClassifierKind::LogReg {
             epochs,
@@ -491,6 +496,7 @@ fn kind_from_wire(kind: &WireClassifierKind) -> ClassifierKind {
             lr: *lr,
             l2: *l2,
             l2_bow: *l2_bow,
+            warm_start: true,
         }),
     }
 }
@@ -677,6 +683,21 @@ pub fn inproc_shard_connector() -> Box<ShardConnector> {
     })
 }
 
+/// Spawn a classifier worker *thread* over a [`darwin_wire::InProc`]
+/// channel and return a connector for
+/// [`crate::Darwin::with_remote_classifier`]. The worker runs the exact
+/// serve loop a separate process would and exits when the coordinator
+/// hangs up.
+pub fn inproc_classifier_connector() -> Box<crate::pipeline::ClassifierConnector> {
+    Box::new(|| {
+        let (client, mut server) = darwin_wire::InProc::pair();
+        std::thread::spawn(move || {
+            let _ = serve_classifier(&mut server);
+        });
+        Ok(Box::new(client))
+    })
+}
+
 /// Spawn an oracle worker thread serving `oracle` over the given corpus
 /// (both moved into the thread) and return the connected [`WireOracle`].
 pub fn inproc_wire_oracle<O>(corpus: Corpus, oracle: O) -> Result<WireOracle, WireError>
@@ -836,6 +857,76 @@ mod tests {
         assert_eq!(ok.unwrap(), Response::Ack);
         session.call(&Request::Shutdown).unwrap();
         assert!(handle.join().unwrap().is_ok());
+    }
+
+    /// The execution-layer invariance contract for the classifier
+    /// boundary: a full run with the classifier behind an in-process wire
+    /// worker replays the local run's trace and scores bit for bit.
+    #[test]
+    fn remote_classifier_run_replays_local_trace() {
+        use crate::config::DarwinConfig;
+        use crate::pipeline::{Darwin, Seed};
+        use darwin_index::IndexSet;
+
+        let mut texts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            texts.push(format!("is there a shuttle to the airport at {i}"));
+            labels.push(true);
+            texts.push(format!("is there a bus to the airport at {i}"));
+            labels.push(true);
+        }
+        for i in 0..15 {
+            texts.push(format!("order a pizza with {i} toppings to the room"));
+            labels.push(false);
+            texts.push(format!("the pool opens at {i} for guests"));
+            labels.push(false);
+        }
+        let corpus = Corpus::from_texts(texts.iter());
+        let index = IndexSet::build(&corpus, &IndexConfig::small());
+        let cfg = DarwinConfig::fast().with_budget(8);
+        let seed = || Seed::Rule(Heuristic::phrase(&corpus, "shuttle to the airport").unwrap());
+
+        let local = Darwin::new(&corpus, &index, cfg.clone());
+        let mut o = GroundTruthOracle::new(&labels, 0.8);
+        let a = local.run(seed(), &mut o);
+
+        let remote =
+            Darwin::new(&corpus, &index, cfg).with_remote_classifier(inproc_classifier_connector());
+        let mut o = GroundTruthOracle::new(&labels, 0.8);
+        let b = remote.run(seed(), &mut o);
+
+        assert!(b.wire_error.is_none(), "{:?}", b.wire_error);
+        assert_eq!(a.positives, b.positives);
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (x, y) in a.trace.iter().zip(&b.trace) {
+            assert_eq!(x.rule, y.rule);
+            assert_eq!(x.answer, y.answer);
+            assert_eq!(x.new_positive_ids, y.new_positive_ids);
+        }
+        assert_eq!(a.scores, b.scores, "scores bit-identical across the wire");
+    }
+
+    /// A classifier connector whose transport is dead must abort the run
+    /// cleanly before the first question — never panic, never silently run
+    /// a local classifier the caller believes is remote.
+    #[test]
+    fn remote_classifier_connect_failure_aborts_cleanly() {
+        use crate::config::DarwinConfig;
+        use crate::pipeline::{Darwin, Seed};
+        use darwin_index::IndexSet;
+
+        let (c, labels) = corpus();
+        let index = IndexSet::build(&c, &IndexConfig::small());
+        let darwin = Darwin::new(&c, &index, DarwinConfig::fast().with_budget(4))
+            .with_remote_classifier(Box::new(|| Ok(Box::new(darwin_wire::DeadTransport))));
+        let mut o = GroundTruthOracle::new(&labels, 0.8);
+        let run = darwin.run(
+            Seed::Rule(Heuristic::phrase(&c, "shuttle").unwrap()),
+            &mut o,
+        );
+        assert!(run.wire_error.is_some(), "dead transport must surface");
+        assert!(run.trace.is_empty(), "no questions after an aborted init");
     }
 
     #[test]

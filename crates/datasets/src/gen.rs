@@ -8,10 +8,17 @@
 //! find the tail families).
 
 use crate::{Dataset, Task};
-use darwin_text::Corpus;
+use darwin_text::{Corpus, CorpusBuilder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+
+/// Block size of [`Spec::generate_streamed`]: sentences are sampled,
+/// shuffled and analyzed in blocks of this many rows, so the raw text of
+/// at most one block is ever alive. Pinned — the streamed output is
+/// deterministic in `(n, seed)` alone, so this constant is part of the
+/// generator's definition.
+pub const GEN_CHUNK: usize = 65_536;
 
 /// A surface-pattern family: several templates sharing a signature.
 #[derive(Clone, Copy, Debug)]
@@ -48,21 +55,15 @@ impl Spec {
         let n_pos = ((n as f64) * self.positive_rate).round() as usize;
         let n_neg = n - n_pos;
 
-        let mut family_names: Vec<&'static str> = Vec::new();
+        let family_names = self.family_names();
         let mut rows: Vec<(String, bool, u16)> = Vec::with_capacity(n);
-        self.sample_mixture(
-            self.pos_families,
-            n_pos,
-            true,
-            &mut family_names,
-            &mut rows,
-            &mut rng,
-        );
+        self.sample_mixture(self.pos_families, n_pos, true, 0, &mut rows, &mut rng);
+        let neg_base = self.pos_families.len() as u16;
         self.sample_mixture(
             self.neg_families,
             n_neg,
             false,
-            &mut family_names,
+            neg_base,
             &mut rows,
             &mut rng,
         );
@@ -87,12 +88,78 @@ impl Spec {
         }
     }
 
+    /// Generate `n` sentences in [`GEN_CHUNK`]-sized blocks: each block
+    /// samples its share of positives, shuffles locally and is analyzed
+    /// (tokenize → intern → tag → parse) before the next block's text is
+    /// produced — the raw strings of at most one block are ever alive, so
+    /// memory stays bounded at million-sentence scale. Deterministic in
+    /// `(n, seed)`; the positive count equals [`Spec::generate`]'s exactly
+    /// (per-block quotas telescope to the rounded total), though the
+    /// sentence *order* is block-locally shuffled rather than globally.
+    pub fn generate_streamed(&self, n: usize, seed: u64) -> Dataset {
+        assert!(n > 0, "dataset size must be positive");
+        let n_pos_total = ((n as f64) * self.positive_rate).round() as usize;
+        let neg_base = self.pos_families.len() as u16;
+
+        let mut builder = CorpusBuilder::with_threads(num_threads(GEN_CHUNK));
+        let mut labels: Vec<bool> = Vec::with_capacity(n);
+        let mut family: Vec<u16> = Vec::with_capacity(n);
+        let mut rows: Vec<(String, bool, u16)> = Vec::with_capacity(GEN_CHUNK.min(n));
+
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + GEN_CHUNK).min(n);
+            // Per-block quota: floor-difference of the cumulative positive
+            // count, so block quotas telescope to exactly `n_pos_total`.
+            let quota = end * n_pos_total / n - start * n_pos_total / n;
+            // Per-block RNG keyed on the block start: any block can be
+            // regenerated independently of the others.
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ fnv(self.name) ^ (start as u64).wrapping_mul(0x9E37));
+            rows.clear();
+            self.sample_mixture(self.pos_families, quota, true, 0, &mut rows, &mut rng);
+            self.sample_mixture(
+                self.neg_families,
+                (end - start) - quota,
+                false,
+                neg_base,
+                &mut rows,
+                &mut rng,
+            );
+            rows.shuffle(&mut rng);
+            builder.push_texts(rows.iter().map(|(t, _, _)| t.as_str()));
+            labels.extend(rows.iter().map(|&(_, l, _)| l));
+            family.extend(rows.iter().map(|&(_, _, f)| f));
+            start = end;
+        }
+
+        Dataset {
+            name: self.name,
+            task: self.task,
+            corpus: builder.finish(),
+            labels,
+            family,
+            family_names: self.family_names(),
+            keywords: self.keywords.to_vec(),
+            seed_rules: self.seed_rules.to_vec(),
+        }
+    }
+
+    /// Diagnostic family keys, positives first — the index space of
+    /// [`Dataset::family`].
+    fn family_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        names.extend(self.pos_families.iter().map(|f| f.key));
+        names.extend(self.neg_families.iter().map(|f| f.key));
+        names
+    }
+
     fn sample_mixture(
         &self,
         families: &'static [Family],
         count: usize,
         label: bool,
-        family_names: &mut Vec<&'static str>,
+        base: u16,
         rows: &mut Vec<(String, bool, u16)>,
         rng: &mut StdRng,
     ) {
@@ -111,9 +178,6 @@ impl Spec {
             })
             .collect();
         let total = *cumulative.last().expect("non-empty family list");
-
-        let base = family_names.len() as u16;
-        family_names.extend(families.iter().map(|f| f.key));
 
         for _ in 0..count {
             let x = rng.gen_range(0.0..total);
@@ -224,6 +288,35 @@ mod tests {
         let c = spec().generate(100, 6);
         let differs = (0..100u32).any(|i| a.corpus.text(i) != c.corpus.text(i));
         assert!(differs);
+    }
+
+    #[test]
+    fn streamed_is_deterministic_and_matches_rate() {
+        let a = spec().generate_streamed(400, 9);
+        assert_eq!(a.len(), 400);
+        assert_eq!(a.positives(), spec().generate(400, 9).positives());
+        let b = spec().generate_streamed(400, 9);
+        for i in 0..400u32 {
+            assert_eq!(a.corpus.text(i), b.corpus.text(i));
+            assert_eq!(a.labels[i as usize], b.labels[i as usize]);
+            assert_eq!(a.family[i as usize], b.family[i as usize]);
+        }
+        let c = spec().generate_streamed(400, 10);
+        assert!((0..400u32).any(|i| a.corpus.text(i) != c.corpus.text(i)));
+    }
+
+    /// Positive quotas telescope exactly across block boundaries: a size
+    /// past one GEN_CHUNK still lands the rounded global positive count.
+    #[test]
+    fn streamed_quota_telescopes_across_blocks() {
+        let n = GEN_CHUNK + 4_000;
+        let d = spec().generate_streamed(n, 3);
+        assert_eq!(d.len(), n);
+        assert_eq!(d.positives(), ((n as f64) * 0.25).round() as usize);
+        // Every slot filled, same as the in-memory generator.
+        for i in (0..n as u32).step_by(977) {
+            assert!(!d.corpus.text(i).contains('{'));
+        }
     }
 
     #[test]

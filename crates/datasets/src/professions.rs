@@ -252,6 +252,12 @@ pub fn generate(n: usize, seed: u64) -> Dataset {
     spec().generate(n, seed)
 }
 
+/// [`generate`] in bounded memory ([`crate::gen::Spec::generate_streamed`]) —
+/// the path the million-sentence refresh benchmark uses.
+pub fn generate_streamed(n: usize, seed: u64) -> Dataset {
+    spec().generate_streamed(n, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -60,51 +60,9 @@ impl Corpus {
     }
 
     fn from_token_lists(token_lists: Vec<Vec<String>>, threads: usize) -> Corpus {
-        // Phase 1 (serial): intern.
         let mut vocab = Vocab::new();
-        let sym_lists: Vec<Vec<Sym>> = token_lists
-            .iter()
-            .map(|toks| toks.iter().map(|t| vocab.intern(t)).collect())
-            .collect();
-
-        // Phase 2 (parallel-friendly): tag + parse.
-        let build = |range: std::ops::Range<usize>| -> Vec<Sentence> {
-            range
-                .map(|i| {
-                    let tags = Tagger::tag(&token_lists[i]);
-                    let heads = depparse::parse(&tags);
-                    Sentence {
-                        id: i as u32,
-                        tokens: sym_lists[i].clone(),
-                        tags,
-                        heads,
-                    }
-                })
-                .collect()
-        };
-
-        let n = token_lists.len();
-        let sentences: Vec<Sentence> = if threads <= 1 || n < 1024 {
-            build(0..n)
-        } else {
-            let chunk = n.div_ceil(threads);
-            let mut parts: Vec<Vec<Sentence>> = Vec::new();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..n)
-                    .step_by(chunk)
-                    .map(|start| {
-                        let end = (start + chunk).min(n);
-                        let build = &build;
-                        scope.spawn(move || build(start..end))
-                    })
-                    .collect();
-                for h in handles {
-                    parts.push(h.join().expect("analysis thread panicked"));
-                }
-            });
-            parts.into_iter().flatten().collect()
-        };
-
+        let mut sentences = Vec::with_capacity(token_lists.len());
+        analyze_append(&mut vocab, &mut sentences, &token_lists, threads);
         Corpus { vocab, sentences }
     }
 
@@ -148,6 +106,138 @@ impl Corpus {
         }
         let total: usize = self.sentences.iter().map(|s| s.len()).sum();
         total as f64 / self.sentences.len() as f64
+    }
+}
+
+/// Intern, tag and parse `token_lists`, appending one [`Sentence`] per list
+/// to `sentences` (ids continue from `sentences.len()`). Interning is
+/// serial — symbol numbering must follow input order — while the tag/parse
+/// phase fans out over `threads` when the batch is large enough. Output is
+/// identical regardless of `threads`.
+fn analyze_append(
+    vocab: &mut Vocab,
+    sentences: &mut Vec<Sentence>,
+    token_lists: &[Vec<String>],
+    threads: usize,
+) {
+    let base = sentences.len();
+    let sym_lists: Vec<Vec<Sym>> = token_lists
+        .iter()
+        .map(|toks| toks.iter().map(|t| vocab.intern(t)).collect())
+        .collect();
+
+    let build = |range: std::ops::Range<usize>| -> Vec<Sentence> {
+        range
+            .map(|i| {
+                let tags = Tagger::tag(&token_lists[i]);
+                let heads = depparse::parse(&tags);
+                Sentence {
+                    id: (base + i) as u32,
+                    tokens: sym_lists[i].clone(),
+                    tags,
+                    heads,
+                }
+            })
+            .collect()
+    };
+
+    let n = token_lists.len();
+    if threads <= 1 || n < 1024 {
+        sentences.extend(build(0..n));
+    } else {
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<Vec<Sentence>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    let build = &build;
+                    scope.spawn(move || build(start..end))
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("analysis thread panicked"));
+            }
+        });
+        for part in parts {
+            sentences.extend(part);
+        }
+    }
+}
+
+/// Streaming corpus construction: push texts in chunks and analyze each
+/// chunk as it arrives, so only one chunk's token *strings* are ever
+/// alive at once — the memory high-water mark is the finished corpus plus
+/// one in-flight chunk, independent of the total sentence count.
+///
+/// [`CorpusBuilder::finish`] yields exactly the corpus
+/// [`Corpus::from_texts`] would build over the concatenation of every
+/// pushed chunk: interning order, sentence ids, tags and parses are all
+/// identical (interning is serial either way, and analysis is per
+/// sentence).
+pub struct CorpusBuilder {
+    vocab: Vocab,
+    sentences: Vec<Sentence>,
+    threads: usize,
+}
+
+impl Default for CorpusBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CorpusBuilder {
+    /// A sequential builder.
+    pub fn new() -> CorpusBuilder {
+        Self::with_threads(1)
+    }
+
+    /// A builder whose tag/parse phase fans out over `threads` per chunk
+    /// (output identical to the sequential builder).
+    pub fn with_threads(threads: usize) -> CorpusBuilder {
+        CorpusBuilder {
+            vocab: Vocab::new(),
+            sentences: Vec::new(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Sentences analyzed so far.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// Tokenize and analyze one chunk of texts, appending to the corpus
+    /// under construction.
+    pub fn push_texts<I, S>(&mut self, texts: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let token_lists: Vec<Vec<String>> = texts
+            .into_iter()
+            .map(|t| crate::tokenize::tokenize(t.as_ref()))
+            .collect();
+        analyze_append(
+            &mut self.vocab,
+            &mut self.sentences,
+            &token_lists,
+            self.threads,
+        );
+    }
+
+    /// The finished corpus.
+    pub fn finish(self) -> Corpus {
+        Corpus {
+            vocab: self.vocab,
+            sentences: self.sentences,
+        }
     }
 }
 
@@ -199,6 +289,36 @@ mod tests {
             assert_eq!(seq.sentence(i).tags, par.sentence(i).tags);
             assert_eq!(seq.sentence(i).heads, par.sentence(i).heads);
         }
+    }
+
+    #[test]
+    fn builder_matches_from_texts_on_concatenation() {
+        let texts: Vec<String> = (0..50)
+            .map(|i| format!("sentence {i} rides the bus to the airport"))
+            .collect();
+        let whole = Corpus::from_texts(texts.iter());
+        let mut b = CorpusBuilder::new();
+        for chunk in texts.chunks(7) {
+            b.push_texts(chunk);
+        }
+        assert_eq!(b.len(), texts.len());
+        let built = b.finish();
+        assert_eq!(built.len(), whole.len());
+        assert_eq!(built.vocab().len(), whole.vocab().len());
+        for i in 0..whole.len() as u32 {
+            assert_eq!(built.sentence(i).id, i);
+            assert_eq!(built.sentence(i).tokens, whole.sentence(i).tokens);
+            assert_eq!(built.sentence(i).tags, whole.sentence(i).tags);
+            assert_eq!(built.sentence(i).heads, whole.sentence(i).heads);
+            assert_eq!(built.text(i), whole.text(i));
+        }
+    }
+
+    #[test]
+    fn empty_builder_finishes_empty() {
+        let b = CorpusBuilder::default();
+        assert!(b.is_empty());
+        assert!(b.finish().is_empty());
     }
 
     #[test]

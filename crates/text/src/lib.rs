@@ -26,7 +26,7 @@ pub mod sentence;
 pub mod tokenize;
 pub mod vocab;
 
-pub use corpus::Corpus;
+pub use corpus::{Corpus, CorpusBuilder};
 pub use embed::Embeddings;
 pub use pos::PosTag;
 pub use sentence::Sentence;

@@ -42,6 +42,21 @@ pub trait Encode {
 
 /// Deserialize `Self` from a [`Reader`].
 pub trait Decode: Sized {
+    /// Byte width of the encoding when it is the same for every value and
+    /// every byte image is valid (`None` otherwise). Fixed-width types
+    /// also implement [`Decode::decode_fixed`]; `Vec<T>` decoding uses the
+    /// pair to take one bounds check for the whole vector and run a
+    /// branch-free per-element loop — the hot path of score-journal
+    /// frames. `bool`/`usize` stay variable: their decoders validate.
+    const WIDTH: Option<usize> = None;
+
+    /// Decode from exactly [`Decode::WIDTH`] bytes, already
+    /// bounds-checked by the caller. Implemented only when `WIDTH` is
+    /// `Some`.
+    fn decode_fixed(_b: &[u8]) -> Self {
+        unreachable!("decode_fixed on a variable-width type")
+    }
+
     /// Consume and decode one `Self` from `r`.
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
 
@@ -120,9 +135,12 @@ macro_rules! int_codec {
             }
         }
         impl Decode for $t {
+            const WIDTH: Option<usize> = Some(std::mem::size_of::<$t>());
+            fn decode_fixed(b: &[u8]) -> Self {
+                <$t>::from_le_bytes(b.try_into().unwrap())
+            }
             fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-                let b = r.take(std::mem::size_of::<$t>())?;
-                Ok(<$t>::from_le_bytes(b.try_into().unwrap()))
+                Ok(Self::decode_fixed(r.take(std::mem::size_of::<$t>())?))
             }
         }
     )*};
@@ -135,8 +153,12 @@ impl Encode for f32 {
     }
 }
 impl Decode for f32 {
+    const WIDTH: Option<usize> = Some(4);
+    fn decode_fixed(b: &[u8]) -> Self {
+        f32::from_le_bytes(b.try_into().unwrap())
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(f32::from_le_bytes(r.take(4)?.try_into().unwrap()))
+        Ok(Self::decode_fixed(r.take(4)?))
     }
 }
 
@@ -190,12 +212,26 @@ impl<T: Encode> Encode for Vec<T> {
 }
 impl<T: Decode> Decode for Vec<T> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = r.len_prefix(1)?;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(T::decode(r)?);
+        match T::WIDTH {
+            // Fixed-width elements: one bounds check for the whole vector
+            // (the prefix validation doubles as it — `min_elem = w`), then
+            // a branch-free chunked loop. This is the decode hot path:
+            // score journals are `Vec<(u32, f32, f32)>`, coverage lists
+            // are `Vec<u32>`.
+            Some(w) => {
+                let n = r.len_prefix(w)?;
+                let bytes = r.take(n * w)?;
+                Ok(bytes.chunks_exact(w).map(T::decode_fixed).collect())
+            }
+            None => {
+                let n = r.len_prefix(1)?;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(T::decode(r)?);
+                }
+                Ok(out)
+            }
         }
-        Ok(out)
     }
 }
 
@@ -227,6 +263,14 @@ impl<A: Encode, B: Encode> Encode for (A, B) {
     }
 }
 impl<A: Decode, B: Decode> Decode for (A, B) {
+    const WIDTH: Option<usize> = match (A::WIDTH, B::WIDTH) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    };
+    fn decode_fixed(b: &[u8]) -> Self {
+        let wa = A::WIDTH.unwrap();
+        (A::decode_fixed(&b[..wa]), B::decode_fixed(&b[wa..]))
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok((A::decode(r)?, B::decode(r)?))
     }
@@ -240,6 +284,18 @@ impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
     }
 }
 impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    const WIDTH: Option<usize> = match (A::WIDTH, B::WIDTH, C::WIDTH) {
+        (Some(a), Some(b), Some(c)) => Some(a + b + c),
+        _ => None,
+    };
+    fn decode_fixed(b: &[u8]) -> Self {
+        let (wa, wb) = (A::WIDTH.unwrap(), B::WIDTH.unwrap());
+        (
+            A::decode_fixed(&b[..wa]),
+            B::decode_fixed(&b[wa..wa + wb]),
+            C::decode_fixed(&b[wa + wb..]),
+        )
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
     }
@@ -253,6 +309,10 @@ impl Encode for Sym {
     }
 }
 impl Decode for Sym {
+    const WIDTH: Option<usize> = Some(4);
+    fn decode_fixed(b: &[u8]) -> Self {
+        Sym(u32::decode_fixed(b))
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Sym(u32::decode(r)?))
     }
@@ -546,6 +606,56 @@ mod tests {
         assert!(matches!(
             PosTag::from_bytes(&[99]),
             Err(WireError::Corrupt(_))
+        ));
+    }
+
+    /// The score-journal entry type is on the fixed-width fast path with
+    /// its exact wire footprint, and compound widths compose by constant.
+    #[test]
+    fn fixed_widths_compose() {
+        assert_eq!(<(u32, f32, f32)>::WIDTH, Some(12));
+        assert_eq!(<(u32, u32)>::WIDTH, Some(8));
+        assert_eq!(Sym::WIDTH, Some(4));
+        // Variable or validating types stay off the fast path.
+        assert_eq!(String::WIDTH, None);
+        assert_eq!(bool::WIDTH, None);
+        assert_eq!(usize::WIDTH, None);
+        assert_eq!(<(u32, bool)>::WIDTH, None);
+        assert_eq!(Heuristic::WIDTH, None);
+    }
+
+    /// The chunked fast path decodes exactly what the per-element path
+    /// encoded — including every NaN payload bit.
+    #[test]
+    fn fixed_width_vec_roundtrips_bit_for_bit() {
+        let journal: Vec<(u32, f32, f32)> = (0..1250)
+            .map(|i| {
+                (
+                    i,
+                    f32::from_bits(0x7fc0_0000 | i), // NaN payloads survive
+                    (i as f32) * 0.125,
+                )
+            })
+            .collect();
+        let bytes = journal.to_bytes();
+        assert_eq!(bytes.len(), 4 + 12 * journal.len());
+        let back = Vec::<(u32, f32, f32)>::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), journal.len());
+        for (a, b) in journal.iter().zip(&back) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+        roundtrip(vec![Sym(0), Sym(u32::MAX)]);
+    }
+
+    #[test]
+    fn fixed_width_vec_rejects_truncation() {
+        let mut bytes = vec![3u32, 4, 5].to_bytes();
+        bytes.pop();
+        assert!(matches!(
+            Vec::<u32>::from_bytes(&bytes),
+            Err(WireError::Truncated { .. })
         ));
     }
 

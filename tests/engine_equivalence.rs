@@ -13,9 +13,13 @@
 //! of the contract under test.
 
 use darwin::baselines::{HighC, HighP};
+use darwin::classifier::{LogReg, LogRegConfig, ScoreCache};
 use darwin::prelude::*;
+use darwin::text::embed::EmbedConfig;
 use darwin_core::{DarwinConfig, Oracle, RunResult};
+use darwin_testkit::strategies::corpus_texts as corpus_strategy;
 use darwin_testkit::{assert_equivalent, directions_fixture, test_threads};
+use proptest::prelude::*;
 
 fn run_mode(incremental: bool, kind: TraversalKind, make: Option<MakeStrategy>) -> RunResult {
     run_sharded(incremental, kind, make, 1)
@@ -121,6 +125,100 @@ fn frontier_regeneration_selects_identical_sequences() {
     let rescan_ref = run_cfg(false, false, TraversalKind::Hybrid, None, 1, 1);
     let rescan_pooled = run_cfg(false, true, TraversalKind::Hybrid, None, 1, 1);
     assert_equivalent(&rescan_ref, &rescan_pooled, "frontier over rescan benefits");
+}
+
+/// Warm-start retraining is pure buffer reuse: a run with
+/// `DarwinConfig::warm_start` on must replay the cold-start reference
+/// trace (and final scores) bit for bit, across the shards × threads
+/// execution matrix.
+#[test]
+fn warm_start_selects_identical_sequences() {
+    let run_warm = |warm: bool, shards: usize, threads: usize| {
+        let (d, index) = directions_fixture(800, 42);
+        let cfg = DarwinConfig {
+            budget: 20,
+            n_candidates: 1500,
+            warm_start: warm,
+            shards,
+            threads,
+            ..DarwinConfig::fast()
+        };
+        let darwin = Darwin::new(&d.corpus, &index, cfg);
+        let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
+        let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);
+        darwin.run(seed, &mut oracle)
+    };
+    let cold = run_warm(false, 1, 1);
+    assert!(cold.questions() > 0, "cold reference run asked nothing");
+    for shards in [1usize, 4] {
+        for threads in [1usize, test_threads().max(2)] {
+            let warm = run_warm(true, shards, threads);
+            assert_equivalent(&cold, &warm, &format!("warm S={shards} T={threads}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..Default::default() })]
+
+    /// The classifier scoring matrix on random corpora: every batched,
+    /// sharded, threaded entry point — and warm-started refits — must
+    /// reproduce the per-id cold-start scores bit for bit. An empty
+    /// sentence is pinned into every corpus (the kernel edge case: its
+    /// score is bias-only).
+    #[test]
+    fn scoring_paths_agree_across_batch_shards_threads(
+        texts in corpus_strategy(),
+        batch in 1usize..6,
+        shards in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        let mut texts = texts;
+        texts.push(String::new()); // empty sentence: bias-only score
+        let corpus = Corpus::from_texts(texts.iter());
+        let n = corpus.len();
+        let emb = Embeddings::train(&corpus, &EmbedConfig { dim: 8, seed: 3, ..Default::default() });
+        let pos: Vec<u32> = (0..n as u32).step_by(2).collect();
+        let neg: Vec<u32> = (1..n as u32).step_by(2).collect();
+        let pos2: Vec<u32> = pos.iter().copied().skip(1).collect();
+
+        let fit_rounds = |warm: bool| {
+            let cfg = LogRegConfig { warm_start: warm, ..Default::default() };
+            let mut clf = LogReg::new(&emb, cfg, 7);
+            clf.fit(&corpus, &emb, &pos, &neg);
+            if !pos2.is_empty() {
+                clf.fit(&corpus, &emb, &pos2, &neg);
+            }
+            clf
+        };
+        let cold = fit_rounds(false);
+        let warm = fit_rounds(true);
+
+        // Per-id scalar path: the reference every other path must match.
+        let reference: Vec<u32> =
+            (0..n as u32).map(|id| cold.predict(&corpus, &emb, id).to_bits()).collect();
+
+        // Warm refit ≡ cold refit, per id.
+        for id in 0..n as u32 {
+            prop_assert_eq!(warm.predict(&corpus, &emb, id).to_bits(), reference[id as usize],
+                "warm≠cold at id {}", id);
+        }
+
+        // Batched scoring in arbitrary chunk sizes ≡ scalar.
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let mut batched = Vec::new();
+        for chunk in ids.chunks(batch) {
+            cold.predict_batch(&corpus, &emb, chunk, &mut batched);
+        }
+        let batched_bits: Vec<u32> = batched.iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(&batched_bits, &reference, "batch={}", batch);
+
+        // Sharded + threaded cache refresh ≡ scalar.
+        let mut cache = ScoreCache::full_only(n).with_shards(shards).with_threads(threads);
+        cache.refresh(&warm, &corpus, &emb);
+        let cache_bits: Vec<u32> = cache.scores().iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(&cache_bits, &reference, "shards={} threads={}", shards, threads);
+    }
 }
 
 type MakeStrategy = fn() -> Box<dyn darwin_core::Strategy>;
