@@ -21,6 +21,7 @@
 #![allow(clippy::needless_range_loop)] // index math mirrors the tensor strides
 
 use crate::adam::{bce, sigmoid, Param};
+use crate::block::{EmbedBlock, BLOCK_ROWS};
 use crate::features::embedding_matrix;
 use crate::kernels::affine_f32;
 use crate::model::TextClassifier;
@@ -439,23 +440,25 @@ impl TextClassifier for KimCnn {
 
     fn predict_all(&self, corpus: &Corpus, emb: &Embeddings, out: &mut Vec<f32>) {
         out.clear();
-        let mut s = self.scratch();
-        let mut x = self.x_buffer();
-        out.extend(
-            (0..corpus.len() as u32).map(|id| self.forward_into(corpus, emb, id, &mut x, &mut s)),
-        );
+        let ids: Vec<u32> = (0..corpus.len() as u32).collect();
+        self.predict_batch(corpus, emb, &ids, out);
     }
 
     fn predict_batch(&self, corpus: &Corpus, emb: &Embeddings, ids: &[u32], out: &mut Vec<f32>) {
-        // One scratch + one input buffer for the whole batch:
-        // `embedding_matrix` zeroes the buffer every call, so reuse is
-        // bit-identical to a fresh one per sentence.
+        // Blocked execution: one contiguous arena of stacked matrices per
+        // BLOCK_ROWS chunk, one scratch for the whole batch. Each arena row
+        // holds exactly the values `embedding_matrix` produces, so
+        // `forward_x` sees the same inputs as the per-id path.
         let mut s = self.scratch();
-        let mut x = self.x_buffer();
-        out.extend(
-            ids.iter()
-                .map(|&id| self.forward_into(corpus, emb, id, &mut x, &mut s)),
-        );
+        let mut block = EmbedBlock::new(self.cfg.max_len, self.dim);
+        out.reserve(ids.len());
+        for chunk in ids.chunks(BLOCK_ROWS) {
+            block.fill(corpus, emb, self.cfg.max_len, chunk);
+            for r in 0..block.rows() {
+                let (x, n) = block.row(r);
+                out.push(self.forward_x(x, n, &mut s));
+            }
+        }
     }
 }
 
@@ -679,6 +682,15 @@ mod tests {
         cnn.predict_batch(&c, &e, &ids, &mut batch);
         let expect: Vec<f32> = ids.iter().map(|&id| per_id[id as usize]).collect();
         assert_eq!(batch, expect, "predict_batch diverged from per-id predict");
+        // A batch crossing the BLOCK_ROWS boundary: the arena refill
+        // between chunks must not perturb anything.
+        let many: Vec<u32> = (0..crate::block::BLOCK_ROWS as u32 + 8)
+            .map(|i| ids[i as usize % ids.len()])
+            .collect();
+        let mut big = Vec::new();
+        cnn.predict_batch(&c, &e, &many, &mut big);
+        let expect_big: Vec<f32> = many.iter().map(|&id| per_id[id as usize]).collect();
+        assert_eq!(big, expect_big, "block-boundary batch diverged");
     }
 
     #[test]

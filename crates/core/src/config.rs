@@ -26,6 +26,24 @@ impl TraversalKind {
     }
 }
 
+/// How multi-shard *remote* operations are driven (local partitions
+/// shard-parallel through [`DarwinConfig::threads`] instead). Replies
+/// fold in fixed shard order under both settings, so the knob never
+/// changes a run's output — only how many round-trip latencies a
+/// broadcast costs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Fanout {
+    /// One blocking round trip per shard, in shard order: `S` shards
+    /// cost `S` round trips. The reference wire trace.
+    Sequential,
+    /// Issue every shard's request first, then join the replies in the
+    /// same fixed shard order: the `S` round trips overlap into roughly
+    /// one. Byte-identical traces to `Sequential` — the requests, the
+    /// replies and the fold order are all unchanged.
+    #[default]
+    Concurrent,
+}
+
 /// All knobs of the Darwin pipeline, with paper defaults.
 #[derive(Clone, Debug)]
 pub struct DarwinConfig {
@@ -92,6 +110,9 @@ pub struct DarwinConfig {
     /// the step-driven entry points (`run`, `run_parallel`) ignore this
     /// knob.
     pub batch: BatchPolicy,
+    /// How remote-shard broadcasts are driven (see [`Fanout`]); ignored
+    /// by purely local runs.
+    pub fanout: Fanout,
     /// Candidates covering more than this fraction of the corpus are never
     /// generated: on the paper's imbalanced tasks (1–12% positive) such
     /// rules cannot clear the 0.8-precision bar, and asking them wastes
@@ -119,6 +140,7 @@ impl Default for DarwinConfig {
             threads: 1,
             shards: 1,
             batch: BatchPolicy::Fixed(1),
+            fanout: Fanout::default(),
             max_coverage_frac: 0.4,
             seed: 42,
         }
@@ -189,6 +211,12 @@ impl DarwinConfig {
     /// Replace the async wave-sizing policy.
     pub fn with_batch(mut self, policy: BatchPolicy) -> Self {
         self.batch = policy;
+        self
+    }
+
+    /// Replace the remote-shard fan-out discipline.
+    pub fn with_fanout(mut self, fanout: Fanout) -> Self {
+        self.fanout = fanout;
         self
     }
 }

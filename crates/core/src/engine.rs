@@ -537,7 +537,8 @@ impl<'a> Engine<'a> {
                     index.config(),
                     &engine.state.p,
                     engine.cache.scores(),
-                    spec.connect.as_ref(),
+                    spec.connect.clone(),
+                    cfg.fanout,
                 ) {
                     Ok(store) => engine.store = Some(store),
                     Err(e) => engine.wire_abort = Some(e),

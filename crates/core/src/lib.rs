@@ -53,7 +53,7 @@ pub use batch::{
     AdaptiveBatcher, AsyncReport, AsyncRunResult, BatchPolicy, CostModel, CrowdCost,
     ScriptedArrival, SimulatedLatency,
 };
-pub use config::{DarwinConfig, TraversalKind};
+pub use config::{DarwinConfig, Fanout, TraversalKind};
 pub use engine::{BenefitAgg, BenefitStore, Engine, EngineFlavor, EngineState};
 pub use frontier::{FrontierPool, FrontierStats};
 pub use oracle::{

@@ -104,10 +104,11 @@ impl RunResult {
 /// How a run's shard partitions are distributed to workers: the
 /// connector producing one transport per shard. Workers rebuild the
 /// coordinator's own index recipe ([`IndexSet::config`]), so rule
-/// handles agree by construction.
+/// handles agree by construction. Shared (`Arc`) because the engine
+/// keeps it alive for reconnect-and-replay after a worker dies.
 pub struct RemoteShards {
     /// Builds the transport to each shard's worker.
-    pub connect: Box<ShardConnector>,
+    pub connect: std::sync::Arc<ShardConnector>,
 }
 
 /// Builds the transport to a classifier worker (a spawned process, a
@@ -188,7 +189,9 @@ impl<'a> Darwin<'a> {
     /// with a [`RunResult::wire_error`] instead of silently running
     /// locally.
     pub fn with_remote_shards(mut self, connect: Box<ShardConnector>) -> Darwin<'a> {
-        self.remote = Some(RemoteShards { connect });
+        self.remote = Some(RemoteShards {
+            connect: std::sync::Arc::from(connect),
+        });
         self
     }
 

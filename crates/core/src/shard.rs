@@ -26,8 +26,15 @@
 //!   with two binary searches per shard
 //!   ([`ShardedBenefitStore::on_scores_changed`]);
 //! * **fans bulk work out across shards** — local partitions shard-parallel
-//!   when `threads > 1`; remote partitions in shard order (each owns
-//!   disjoint state, so order never changes results);
+//!   when `threads > 1`; remote partitions are driven per the configured
+//!   [`Fanout`]: one blocking round trip per shard (`Sequential`, the
+//!   reference trace) or all requests issued first and the replies joined
+//!   in fixed shard order (`Concurrent`, so `S` network round trips
+//!   overlap into roughly one). Shard-invariant request bodies (tracking
+//!   lists, retain lists, audits) are encoded *once* and broadcast;
+//!   per-shard bodies (journal runs) are sliced out of one encoded
+//!   buffer. The fold order is the fixed shard order under both
+//!   settings, so the knob never changes any state;
 //! * **merges fragments exactly at read time** —
 //!   [`ShardedBenefitStore::benefit_of`] sums the per-shard fragments in
 //!   the fixed-point domain of [`crate::benefit::quantize`], where integer
@@ -36,26 +43,38 @@
 //!   *and any backend* — fragments are integers on the wire, so transport
 //!   changes nothing.
 //!
-//! **Failure discipline:** a wire failure during any mutating operation
-//! *poisons* the coordinator: the error is returned (and kept — see
-//! [`ShardedBenefitStore::wire_error`]), and every subsequent read answers
-//! `None`, so selection can never act on a partially-merged state. The
-//! engine aborts the run cleanly when it sees the poison; nothing panics.
+//! **Failure discipline:** a wire failure during any fan-out operation
+//! first attempts *reconnect-and-replay* when the store holds a
+//! re-dial hook: every [`RemoteShard`] keeps, besides the fragment
+//! mirror, the span's positives and scores as last *confirmed* by the
+//! worker (mirrors advance only after a successful reply), so a fresh
+//! worker can be stood up from the shipped `ShardInit` recipe, re-track
+//! the mirrored rules, and replay the interrupted request exactly once.
+//! If recovery is unavailable or fails, the coordinator is *poisoned*:
+//! the surviving shards' in-flight replies are still drained (no reply
+//! is left in a pipe to be misattributed), the error is returned (and
+//! kept — see [`ShardedBenefitStore::wire_error`]), and every subsequent
+//! read answers `None`, so selection can never act on a partially-merged
+//! state. The engine aborts the run cleanly when it sees the poison;
+//! nothing panics.
 //!
 //! `S = 1` with local backing constructs one full-span [`BenefitStore`] —
 //! the pre-shard reference path, byte for byte.
 
 use crate::benefit::Benefit;
 use crate::candidates::Candidate;
+use crate::config::Fanout;
 use crate::engine::{BenefitAgg, BenefitStore};
 use darwin_index::fx::FxHashMap;
 use darwin_index::{IdSet, IndexConfig, IndexSet, RuleRef, ShardMap};
 use darwin_text::Corpus;
-use darwin_wire::msg::{CorpusSlice, Request, Response, ScoredRule, Session, WireAgg};
-use darwin_wire::{Transport, WireError};
+use darwin_wire::msg::{CorpusSlice, Response, ScoredRule, Session, WireAgg};
+use darwin_wire::{Encode, Transport, WireError};
+use std::sync::Arc;
 
 /// Builds the transport to one shard worker: called once per shard with
-/// the shard index and its id range.
+/// the shard index and its id range (and again on reconnect after a wire
+/// failure, when the deployment supports re-dialing).
 pub type ShardConnector =
     dyn Fn(usize, std::ops::Range<u32>) -> Result<Box<dyn Transport>, WireError> + Send + Sync;
 
@@ -75,14 +94,103 @@ pub(crate) fn agg_to_wire(a: &BenefitAgg) -> WireAgg {
     }
 }
 
+// Request tag bytes, as written by `darwin_wire::msg::Request::encode`.
+// The coordinator hand-assembles request bodies around these so a
+// shard-invariant payload is encoded once and broadcast, instead of
+// re-encoded per shard; `bodies_match_request_encoding` pins the
+// equivalence.
+const TAG_SHARD_INIT: u8 = 1;
+const TAG_TRACK: u8 = 2;
+const TAG_TRACK_SCORED: u8 = 3;
+const TAG_REBUILD: u8 = 4;
+const TAG_RETAIN: u8 = 5;
+const TAG_POSITIVES_ADDED: u8 = 6;
+const TAG_SCORES_CHANGED: u8 = 7;
+const TAG_FRAGMENTS: u8 = 8;
+const TAG_SHUTDOWN: u8 = 14;
+
+/// `tag` + the `Vec<T>` wire encoding of `items` — byte-identical to
+/// encoding the corresponding single-field [`Request`] variant, without
+/// cloning `items` into one.
+fn body_of<T: Encode>(tag: u8, items: &[T]) -> Vec<u8> {
+    let mut out = vec![tag];
+    (items.len() as u32).encode(&mut out);
+    for item in items {
+        item.encode(&mut out);
+    }
+    out
+}
+
+/// The encoded shard-invariant prefix of `ShardInit` (corpus + index
+/// recipe): encoded once, shared by every shard's init and kept for
+/// reconnects — the corpus shipment dominates init cost, and `S` shards
+/// need not pay the encode `S` times.
+fn init_prefix(corpus: &Corpus, index_cfg: &IndexConfig) -> Vec<u8> {
+    let mut out = Vec::new();
+    CorpusSlice::full(corpus).encode(&mut out);
+    index_cfg.encode(&mut out);
+    out
+}
+
+fn expect_ack(resp: Response, what: &str) -> Result<(), WireError> {
+    match resp {
+        Response::Ack => Ok(()),
+        other => Err(WireError::Protocol(format!(
+            "{what} expected Ack, got {other:?}"
+        ))),
+    }
+}
+
+/// Span-state updates to fold into a [`RemoteShard`]'s mirrors once the
+/// worker's reply confirms the request was applied — never before: a
+/// failed request must leave the mirrors at the worker's last confirmed
+/// state, so a reconnect can rebuild the worker from them and replay.
+enum Post {
+    None,
+    /// New positive ids (merged into the sorted span-positives mirror).
+    Positives(Vec<u32>),
+    /// `(id, new)` score writes for the span-scores mirror.
+    Scores(Vec<(u32, f32)>),
+    /// Replacement span scores after a full re-score epoch.
+    Rebuild(Vec<f32>),
+    /// Sorted keep-list: prune the fragment mirror to it.
+    Retain(Arc<Vec<RuleRef>>),
+}
+
+/// One sent-but-not-yet-joined request: the encoded body (kept so a
+/// reconnect can replay it) and the mirror updates its success implies.
+struct Pending {
+    body: Vec<u8>,
+    post: Post,
+}
+
 /// Coordinator-side handle to a shard partition living in a worker behind
 /// a [`Transport`]. Mutations are wire calls; reads hit the fragment
-/// mirror the mutation replies keep up to date.
+/// mirror the mutation replies keep up to date. Each mutation is split
+/// into a *begin* (send) and *finish* (join) phase so the store can
+/// drive many shards' round trips concurrently — one request in flight
+/// per session at most, preserving the strict request/response
+/// discipline.
 pub struct RemoteShard {
     session: Session,
+    /// This shard's index in the deployment (what the re-dial hook is
+    /// called with).
+    shard: usize,
     lo: u32,
     hi: u32,
     mirror: FxHashMap<RuleRef, BenefitAgg>,
+    /// Positive ids within `[lo, hi)`, sorted — the worker's `P` as last
+    /// confirmed.
+    positives: Vec<u32>,
+    /// Scores for `[lo, hi)` as last confirmed by the worker.
+    scores: Vec<f32>,
+    /// Encoded corpus + index recipe (see [`init_prefix`]), shared
+    /// across shards and kept for reconnects.
+    prefix: Arc<Vec<u8>>,
+    /// Re-dial hook for reconnect-and-replay; `None` disables recovery
+    /// (a wire failure then poisons the store immediately).
+    redial: Option<Arc<ShardConnector>>,
+    pending: Option<Pending>,
 }
 
 impl RemoteShard {
@@ -99,28 +207,70 @@ impl RemoteShard {
         p: &IdSet,
         scores: &[f32],
     ) -> Result<RemoteShard, WireError> {
-        let mut session = Session::new(transport);
-        session.hello()?;
         let positives: Vec<u32> = p.iter().filter(|&id| lo <= id && id < hi).collect();
-        let req = Request::ShardInit {
-            corpus: CorpusSlice::full(corpus),
-            index: index_cfg.clone(),
+        RemoteShard::connect_with(
+            transport,
+            0,
+            Arc::new(init_prefix(corpus, index_cfg)),
             lo,
             hi,
             positives,
-            scores: scores[lo as usize..hi as usize].to_vec(),
+            scores[lo as usize..hi as usize].to_vec(),
+            None,
+        )
+    }
+
+    /// [`RemoteShard::connect`] from pre-encoded parts — what
+    /// [`ShardedBenefitStore::connect_remote`] uses so `S` shards share
+    /// one corpus encode, and what a reconnect replays from.
+    #[allow(clippy::too_many_arguments)]
+    fn connect_with(
+        transport: Box<dyn Transport>,
+        shard: usize,
+        prefix: Arc<Vec<u8>>,
+        lo: u32,
+        hi: u32,
+        positives: Vec<u32>,
+        scores: Vec<f32>,
+        redial: Option<Arc<ShardConnector>>,
+    ) -> Result<RemoteShard, WireError> {
+        let mut session = Session::new(transport);
+        session.hello()?;
+        let mut shard = RemoteShard {
+            session,
+            shard,
+            lo,
+            hi,
+            mirror: FxHashMap::default(),
+            positives,
+            scores,
+            prefix,
+            redial,
+            pending: None,
         };
-        match session.call(&req)? {
-            Response::Ack => Ok(RemoteShard {
-                session,
-                lo,
-                hi,
-                mirror: FxHashMap::default(),
-            }),
-            other => Err(WireError::Protocol(format!(
-                "shard init expected Ack, got {other:?}"
-            ))),
-        }
+        let body = shard.init_body();
+        let resp = shard.call_encoded(&body)?;
+        expect_ack(resp, "shard init")?;
+        Ok(shard)
+    }
+
+    /// The `ShardInit` request body for this shard's current confirmed
+    /// state: shared prefix + span + positives + scores. Byte-identical
+    /// to encoding [`Request::ShardInit`] with the same fields.
+    fn init_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.prefix.len() + 16 + 4 * self.scores.len());
+        out.push(TAG_SHARD_INIT);
+        out.extend_from_slice(&self.prefix);
+        self.lo.encode(&mut out);
+        self.hi.encode(&mut out);
+        self.positives.encode(&mut out);
+        self.scores.encode(&mut out);
+        out
+    }
+
+    fn call_encoded(&mut self, body: &[u8]) -> Result<Response, WireError> {
+        self.session.send_encoded(body)?;
+        self.session.recv_reply()
     }
 
     /// The owned id span `[lo, hi)`.
@@ -148,10 +298,55 @@ impl RemoteShard {
         self.mirror.get(&r).copied()
     }
 
-    /// A mutating exchange: the worker applies the request and replies
-    /// with the fragments it changed, which we fold into the mirror.
-    fn mutate(&mut self, req: Request) -> Result<(), WireError> {
-        match self.session.call(&req)? {
+    /// Send phase of one mutating request. On a send failure the
+    /// reconnect path runs immediately (completing the whole exchange),
+    /// so `Ok` means the request is either in flight or already applied.
+    fn begin(&mut self, body: Vec<u8>, post: Post) -> Result<(), WireError> {
+        debug_assert!(
+            self.pending.is_none(),
+            "one request in flight per session at most"
+        );
+        match self.session.send_encoded(&body) {
+            Ok(()) => {
+                self.pending = Some(Pending { body, post });
+                Ok(())
+            }
+            Err(e) => {
+                self.pending = Some(Pending { body, post });
+                self.recover(e)
+            }
+        }
+    }
+
+    /// Join phase: receive the reply and fold it (fragments first, then
+    /// the span-state post) into the mirrors. No-op when `begin` already
+    /// completed the exchange through recovery.
+    fn finish(&mut self) -> Result<(), WireError> {
+        let Some(pending) = self.pending.take() else {
+            return Ok(());
+        };
+        match self.session.recv_reply() {
+            Ok(resp) => self.apply(resp, pending.post),
+            // The worker is alive and answered: an application-level
+            // refusal, not a transport failure — replaying it would only
+            // repeat the refusal.
+            Err(e @ WireError::Remote(_)) => Err(e),
+            Err(e) => {
+                self.pending = Some(pending);
+                self.recover(e)
+            }
+        }
+    }
+
+    /// A mutating exchange, whole: begin + finish.
+    fn mutate(&mut self, body: Vec<u8>, post: Post) -> Result<(), WireError> {
+        self.begin(body, post)?;
+        self.finish()
+    }
+
+    /// Fold a mutation reply's fragment deltas into the mirror.
+    fn fold(&mut self, resp: Response) -> Result<(), WireError> {
+        match resp {
             Response::FragmentDeltas { changed } => {
                 for (r, agg) in changed {
                     self.mirror.insert(r, agg_from_wire(agg));
@@ -165,72 +360,128 @@ impl RemoteShard {
         }
     }
 
+    fn apply(&mut self, resp: Response, post: Post) -> Result<(), WireError> {
+        self.fold(resp)?;
+        match post {
+            Post::None => {}
+            Post::Positives(ids) => {
+                self.positives.extend_from_slice(&ids);
+                self.positives.sort_unstable();
+            }
+            Post::Scores(writes) => {
+                for (id, new) in writes {
+                    self.scores[(id - self.lo) as usize] = new;
+                }
+            }
+            Post::Rebuild(scores) => self.scores = scores,
+            Post::Retain(keep) => {
+                self.mirror.retain(|r, _| keep.binary_search(r).is_ok());
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconnect-and-replay after a wire failure: re-dial the worker,
+    /// rebuild it from the shipped `ShardInit` recipe and the confirmed
+    /// mirrors, re-track the mirrored rules, and re-send the interrupted
+    /// request. Exactly-once semantics fall out of the mirror
+    /// discipline: mirrors reflect only confirmed requests, so the fresh
+    /// worker re-derives the exact pre-failure state and the replayed
+    /// request applies once. Unrecoverable failures surface the
+    /// *original* error (the root cause) for the store to poison on.
+    fn recover(&mut self, err: WireError) -> Result<(), WireError> {
+        let Some(redial) = self.redial.clone() else {
+            self.pending = None;
+            return Err(err);
+        };
+        match self.replay(&redial) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.pending = None;
+                Err(err)
+            }
+        }
+    }
+
+    fn replay(&mut self, redial: &Arc<ShardConnector>) -> Result<(), WireError> {
+        let transport = redial(self.shard, self.lo..self.hi)?;
+        self.session = Session::new(transport);
+        self.session.hello()?;
+        let body = self.init_body();
+        let resp = self.call_encoded(&body)?;
+        expect_ack(resp, "shard re-init")?;
+        // Re-track every mirrored rule. The worker recomputes their
+        // fragments from (index, P, scores); mirror exactness means the
+        // returned values equal what we already hold, so folding them
+        // back is idempotent.
+        let mut rules: Vec<RuleRef> = self.mirror.keys().copied().collect();
+        rules.sort_unstable();
+        if !rules.is_empty() {
+            let resp = self.call_encoded(&body_of(TAG_TRACK, &rules))?;
+            self.fold(resp)?;
+        }
+        if let Some(p) = self.pending.take() {
+            let resp = self.call_encoded(&p.body)?;
+            self.apply(resp, p.post)?;
+        }
+        Ok(())
+    }
+
     /// Track `rules` (the worker computes fragments for the missing ones).
     pub fn track(&mut self, rules: &[RuleRef]) -> Result<(), WireError> {
-        self.mutate(Request::Track {
-            rules: rules.to_vec(),
-        })
+        self.mutate(body_of(TAG_TRACK, rules), Post::None)
     }
 
     /// Track freshly generated candidates, statistics attached.
     pub fn track_scored(&mut self, cands: &[Candidate]) -> Result<(), WireError> {
-        let cands = cands
-            .iter()
-            .map(|c| ScoredRule {
-                rule: c.rule,
-                overlap: c.overlap as u64,
-                count: c.count as u64,
-            })
-            .collect();
-        self.mutate(Request::TrackScored { cands })
+        let cands: Vec<ScoredRule> = cands.iter().map(scored_rule).collect();
+        self.mutate(body_of(TAG_TRACK_SCORED, &cands), Post::None)
     }
 
     /// Full re-score epoch: ship the span's new scores, the worker
     /// rebuilds every fragment and replies with all of them.
     pub fn rebuild(&mut self, full_scores: &[f32]) -> Result<(), WireError> {
-        self.mutate(Request::Rebuild {
-            scores: full_scores[self.lo as usize..self.hi as usize].to_vec(),
-        })
+        let span = &full_scores[self.lo as usize..self.hi as usize];
+        self.mutate(body_of(TAG_REBUILD, span), Post::Rebuild(span.to_vec()))
     }
 
     /// Drop fragments for rules not satisfying `keep`, on both sides.
     pub fn retain(&mut self, keep: impl Fn(RuleRef) -> bool) -> Result<(), WireError> {
         let mut kept: Vec<RuleRef> = self.mirror.keys().copied().filter(|&r| keep(r)).collect();
         kept.sort_unstable();
-        match self.session.call(&Request::Retain { keep: kept })? {
-            Response::Ack => {
-                self.mirror.retain(|&r, _| keep(r));
-                Ok(())
-            }
-            other => Err(WireError::Protocol(format!(
-                "retain expected Ack, got {other:?}"
-            ))),
-        }
+        let body = body_of(TAG_RETAIN, &kept);
+        self.mutate(body, Post::Retain(Arc::new(kept)))
     }
 
     /// `P` grew by `ids` (all owned by this shard, pre-retrain scores
     /// still current on the worker).
     pub fn on_positives_added(&mut self, ids: &[u32]) -> Result<(), WireError> {
         debug_assert!(ids.iter().all(|&id| self.lo <= id && id < self.hi));
-        self.mutate(Request::PositivesAdded { ids: ids.to_vec() })
+        self.mutate(
+            body_of(TAG_POSITIVES_ADDED, ids),
+            Post::Positives(ids.to_vec()),
+        )
     }
 
     /// Ship this shard's slice of an incremental score journal.
     pub fn on_scores_changed(&mut self, changes: &[(u32, f32, f32)]) -> Result<(), WireError> {
-        self.mutate(Request::ScoresChanged {
-            changes: changes.to_vec(),
-        })
+        let writes = changes.iter().map(|&(id, _, new)| (id, new)).collect();
+        self.mutate(body_of(TAG_SCORES_CHANGED, changes), Post::Scores(writes))
     }
 
-    /// Audit the mirror against the worker's ground truth: fetch every
-    /// mirrored rule's fragment and compare. `Ok(true)` means the mirror
-    /// is exact.
-    pub fn audit(&mut self) -> Result<bool, WireError> {
+    /// Send phase of an audit: request every mirrored rule's fragment,
+    /// returning the (sorted) rule list the reply must be compared
+    /// against.
+    fn audit_begin(&mut self) -> Result<Vec<RuleRef>, WireError> {
         let mut rules: Vec<RuleRef> = self.mirror.keys().copied().collect();
         rules.sort_unstable();
-        match self.session.call(&Request::Fragments {
-            rules: rules.clone(),
-        })? {
+        self.session.send_encoded(&body_of(TAG_FRAGMENTS, &rules))?;
+        Ok(rules)
+    }
+
+    /// Join phase of an audit: `Ok(true)` means the mirror is exact.
+    fn audit_finish(&mut self, rules: &[RuleRef]) -> Result<bool, WireError> {
+        match self.session.recv_reply()? {
             Response::Fragments { aggs } => {
                 if aggs.len() != rules.len() {
                     return Ok(false);
@@ -246,15 +497,27 @@ impl RemoteShard {
         }
     }
 
+    /// Audit the mirror against the worker's ground truth: fetch every
+    /// mirrored rule's fragment and compare. `Ok(true)` means the mirror
+    /// is exact.
+    pub fn audit(&mut self) -> Result<bool, WireError> {
+        let rules = self.audit_begin()?;
+        self.audit_finish(&rules)
+    }
+
     /// Orderly worker teardown (dropping the transport also works — the
     /// worker exits on disconnect — but this confirms delivery).
     pub fn shutdown(mut self) -> Result<(), WireError> {
-        match self.session.call(&Request::Shutdown)? {
-            Response::Ack => Ok(()),
-            other => Err(WireError::Protocol(format!(
-                "shutdown expected Ack, got {other:?}"
-            ))),
-        }
+        let resp = self.call_encoded(&[TAG_SHUTDOWN])?;
+        expect_ack(resp, "shutdown")
+    }
+}
+
+fn scored_rule(c: &Candidate) -> ScoredRule {
+    ScoredRule {
+        rule: c.rule,
+        overlap: c.overlap as u64,
+        count: c.count as u64,
     }
 }
 
@@ -287,11 +550,73 @@ impl Part {
     }
 }
 
+/// Drive one request across every remote partition. `payload(s)` builds
+/// shard `s`'s encoded body and post-state (`None` = the shard has no
+/// work in this operation, and no frame is sent).
+///
+/// `Sequential` performs one blocking round trip per shard in shard
+/// order — the reference wire trace. `Concurrent` sends to every shard
+/// first, then joins the replies in the same fixed shard order, so `S`
+/// round trips overlap into roughly one; requests, replies and fold
+/// order are identical, making the setting a pure latency knob. On a
+/// partial failure under `Concurrent`, the surviving shards are still
+/// joined (their replies drained) before the first error is returned —
+/// no reply is left buffered to be misattributed to a later request.
+fn fan_out(
+    parts: &mut [Part],
+    fanout: Fanout,
+    mut payload: impl FnMut(usize) -> Option<(Vec<u8>, Post)>,
+) -> Result<(), WireError> {
+    match fanout {
+        Fanout::Sequential => {
+            for (s, part) in parts.iter_mut().enumerate() {
+                if let Part::Remote(w) = part {
+                    if let Some((body, post)) = payload(s) {
+                        w.mutate(body, post)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        Fanout::Concurrent => {
+            let mut first_err: Option<WireError> = None;
+            let mut sent = vec![false; parts.len()];
+            for (s, part) in parts.iter_mut().enumerate() {
+                if let Part::Remote(w) = part {
+                    if let Some((body, post)) = payload(s) {
+                        match w.begin(body, post) {
+                            Ok(()) => sent[s] = true,
+                            Err(e) => {
+                                first_err.get_or_insert(e);
+                            }
+                        }
+                    }
+                }
+            }
+            for (s, part) in parts.iter_mut().enumerate() {
+                if !sent[s] {
+                    continue;
+                }
+                if let Part::Remote(w) = part {
+                    if let Err(e) = w.finish() {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+            match first_err {
+                None => Ok(()),
+                Some(e) => Err(e),
+            }
+        }
+    }
+}
+
 /// Per-shard benefit partitions — local stores or remote workers — behind
 /// one store-shaped facade.
 pub struct ShardedBenefitStore {
     map: ShardMap,
     parts: Vec<Part>,
+    fanout: Fanout,
     poisoned: Option<WireError>,
 }
 
@@ -310,31 +635,46 @@ impl ShardedBenefitStore {
         ShardedBenefitStore {
             map,
             parts,
+            fanout: Fanout::default(),
             poisoned: None,
         }
     }
 
     /// One *remote* partition per range of `map`: `connect` builds the
     /// transport for each shard, and every worker is initialized with the
-    /// corpus, the index recipe and the current `(P, scores)` state.
+    /// corpus (encoded once, shared across all `S` inits), the index
+    /// recipe and the current `(P, scores)` state. The connector is kept
+    /// for reconnect-and-replay after a mid-run wire failure; `fanout`
+    /// selects how broadcasts are driven.
     pub fn connect_remote(
         map: ShardMap,
         corpus: &Corpus,
         index_cfg: &IndexConfig,
         p: &IdSet,
         scores: &[f32],
-        connect: &ShardConnector,
+        connect: Arc<ShardConnector>,
+        fanout: Fanout,
     ) -> Result<ShardedBenefitStore, WireError> {
+        let prefix = Arc::new(init_prefix(corpus, index_cfg));
         let mut parts = Vec::with_capacity(map.shards());
         for (s, r) in map.ranges().enumerate() {
             let transport = connect(s, r.clone())?;
-            parts.push(Part::Remote(RemoteShard::connect(
-                transport, corpus, index_cfg, r.start, r.end, p, scores,
+            let positives: Vec<u32> = p.iter().filter(|&id| r.start <= id && id < r.end).collect();
+            parts.push(Part::Remote(RemoteShard::connect_with(
+                transport,
+                s,
+                prefix.clone(),
+                r.start,
+                r.end,
+                positives,
+                scores[r.start as usize..r.end as usize].to_vec(),
+                Some(connect.clone()),
             )?));
         }
         Ok(ShardedBenefitStore {
             map,
             parts,
+            fanout,
             poisoned: None,
         })
     }
@@ -352,6 +692,19 @@ impl ShardedBenefitStore {
     /// Whether any partition is remote (mirror-backed).
     pub fn is_remote(&self) -> bool {
         matches!(self.parts.first(), Some(Part::Remote(_)))
+    }
+
+    /// Replace the fan-out discipline. A pure driving knob (requests,
+    /// replies and fold order are unchanged), so flipping it between
+    /// broadcasts is always safe — the bench compares modes on one
+    /// worker fleet this way.
+    pub fn set_fanout(&mut self, fanout: Fanout) {
+        self.fanout = fanout;
+    }
+
+    /// How remote broadcasts are driven.
+    pub fn fanout(&self) -> Fanout {
+        self.fanout
     }
 
     /// The wire failure that poisoned this coordinator, if any. Poisoned
@@ -415,12 +768,13 @@ impl ShardedBenefitStore {
     /// already poisoned, poison on first failure.
     fn guarded(
         &mut self,
-        f: impl FnOnce(&mut Vec<Part>) -> Result<(), WireError>,
+        f: impl FnOnce(&mut Vec<Part>, Fanout) -> Result<(), WireError>,
     ) -> Result<(), WireError> {
         if let Some(e) = &self.poisoned {
             return Err(e.clone());
         }
-        match f(&mut self.parts) {
+        let fanout = self.fanout;
+        match f(&mut self.parts, fanout) {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.poisoned = Some(e.clone());
@@ -430,7 +784,8 @@ impl ShardedBenefitStore {
     }
 
     /// Ensure every rule in `rules` has a fragment in every partition
-    /// (shard-parallel when local and `threads > 1`).
+    /// (shard-parallel when local and `threads > 1`; encoded once and
+    /// broadcast when remote).
     pub fn track(
         &mut self,
         rules: &[RuleRef],
@@ -440,13 +795,9 @@ impl ShardedBenefitStore {
         threads: usize,
     ) -> Result<(), WireError> {
         if self.is_remote() {
-            return self.guarded(|parts| {
-                for part in parts {
-                    if let Part::Remote(w) = part {
-                        w.track(rules)?;
-                    }
-                }
-                Ok(())
+            let body = body_of(TAG_TRACK, rules);
+            return self.guarded(|parts, fanout| {
+                fan_out(parts, fanout, |_| Some((body.clone(), Post::None)))
             });
         }
         self.for_each_local(threads, |part, intra_threads| {
@@ -467,13 +818,10 @@ impl ShardedBenefitStore {
         threads: usize,
     ) -> Result<(), WireError> {
         if self.is_remote() {
-            return self.guarded(|parts| {
-                for part in parts {
-                    if let Part::Remote(w) = part {
-                        w.track_scored(cands)?;
-                    }
-                }
-                Ok(())
+            let cands: Vec<ScoredRule> = cands.iter().map(scored_rule).collect();
+            let body = body_of(TAG_TRACK_SCORED, &cands);
+            return self.guarded(|parts, fanout| {
+                fan_out(parts, fanout, |_| Some((body.clone(), Post::None)))
             });
         }
         self.for_each_local(threads, |part, intra_threads| {
@@ -493,13 +841,13 @@ impl ShardedBenefitStore {
         threads: usize,
     ) -> Result<(), WireError> {
         if self.is_remote() {
-            return self.guarded(|parts| {
-                for part in parts {
-                    if let Part::Remote(w) = part {
-                        w.rebuild(scores)?;
-                    }
-                }
-                Ok(())
+            let map = self.map.clone();
+            return self.guarded(|parts, fanout| {
+                fan_out(parts, fanout, |s| {
+                    let r = map.range(s);
+                    let span = &scores[r.start as usize..r.end as usize];
+                    Some((body_of(TAG_REBUILD, span), Post::Rebuild(span.to_vec())))
+                })
             });
         }
         self.for_each_local(threads, |part, intra_threads| {
@@ -511,13 +859,23 @@ impl ShardedBenefitStore {
     /// Drop fragments for rules not satisfying `keep`, in every partition.
     pub fn retain(&mut self, keep: impl Fn(RuleRef) -> bool + Sync) -> Result<(), WireError> {
         if self.is_remote() {
-            return self.guarded(|parts| {
-                for part in parts {
-                    if let Part::Remote(w) = part {
-                        w.retain(&keep)?;
-                    }
-                }
-                Ok(())
+            return self.guarded(|parts, fanout| {
+                // Every partition tracks the same rule set, so the keep
+                // list (and its encoding) is computed once and shared.
+                let first = parts.iter().find_map(|p| match p {
+                    Part::Remote(w) => Some(w),
+                    Part::Local(_) => None,
+                });
+                let mut kept: Vec<RuleRef> = match first {
+                    Some(w) => w.mirror.keys().copied().filter(|&r| keep(r)).collect(),
+                    None => return Ok(()),
+                };
+                kept.sort_unstable();
+                let body = body_of(TAG_RETAIN, &kept);
+                let kept = Arc::new(kept);
+                fan_out(parts, fanout, |_| {
+                    Some((body.clone(), Post::Retain(kept.clone())))
+                })
             });
         }
         for part in &mut self.parts {
@@ -539,8 +897,8 @@ impl ShardedBenefitStore {
     ) -> Result<(), WireError> {
         if self.is_remote() {
             let map = self.map.clone();
-            return self.guarded(|parts| {
-                for (s, part) in parts.iter_mut().enumerate() {
+            return self.guarded(|parts, fanout| {
+                fan_out(parts, fanout, |s| {
                     let r = map.range(s);
                     let run: Vec<u32> = new_ids
                         .iter()
@@ -548,13 +906,11 @@ impl ShardedBenefitStore {
                         .filter(|&id| r.start <= id && id < r.end)
                         .collect();
                     if run.is_empty() {
-                        continue;
+                        return None;
                     }
-                    if let Part::Remote(w) = part {
-                        w.on_positives_added(&run)?;
-                    }
-                }
-                Ok(())
+                    let body = body_of(TAG_POSITIVES_ADDED, &run);
+                    Some((body, Post::Positives(run)))
+                })
             });
         }
         if self.parts.len() == 1 {
@@ -572,7 +928,10 @@ impl ShardedBenefitStore {
     }
 
     /// Slice an id-sorted change journal into per-shard runs and patch each
-    /// owning partition with its run.
+    /// owning partition with its run. Remote: the journal entries are
+    /// encoded *once* into a fixed-width byte run, and each shard's body
+    /// is a slice of it (count-prefixed), so the encode cost is paid once
+    /// regardless of `S`.
     pub fn on_scores_changed(
         &mut self,
         changes: &[(u32, f32, f32)],
@@ -584,20 +943,35 @@ impl ShardedBenefitStore {
             "change journal must be sorted by id"
         );
         if self.is_remote() {
+            if changes.is_empty() {
+                return Ok(());
+            }
+            let mut entries = Vec::with_capacity(changes.len() * 12);
+            for c in changes {
+                c.encode(&mut entries);
+            }
+            // (u32, f32, f32) encodes fixed-width, so a shard's run of
+            // entries is a byte slice at entry-width offsets.
+            let width = entries.len() / changes.len();
             let map = self.map.clone();
-            return self.guarded(|parts| {
-                for (s, part) in parts.iter_mut().enumerate() {
+            return self.guarded(|parts, fanout| {
+                fan_out(parts, fanout, |s| {
                     let r = map.range(s);
                     let a = changes.partition_point(|&(id, _, _)| id < r.start);
                     let b = changes.partition_point(|&(id, _, _)| id < r.end);
                     if a == b {
-                        continue;
+                        return None;
                     }
-                    if let Part::Remote(w) = part {
-                        w.on_scores_changed(&changes[a..b])?;
-                    }
-                }
-                Ok(())
+                    let mut body = Vec::with_capacity(5 + (b - a) * width);
+                    body.push(TAG_SCORES_CHANGED);
+                    ((b - a) as u32).encode(&mut body);
+                    body.extend_from_slice(&entries[a * width..b * width]);
+                    let writes = changes[a..b]
+                        .iter()
+                        .map(|&(id, _, new)| (id, new))
+                        .collect();
+                    Some((body, Post::Scores(writes)))
+                })
             });
         }
         if self.parts.len() == 1 {
@@ -619,28 +993,96 @@ impl ShardedBenefitStore {
 
     /// Audit every remote mirror against its worker's ground truth
     /// (`Ok(true)` when all mirrors are exact; trivially true for local
-    /// partitions).
+    /// partitions). Driven per the configured fan-out like every other
+    /// broadcast; a wire failure poisons the store (after draining the
+    /// surviving shards' replies).
     pub fn audit_remote(&mut self) -> Result<bool, WireError> {
         if let Some(e) = &self.poisoned {
             return Err(e.clone());
         }
-        for part in &mut self.parts {
-            if let Part::Remote(w) = part {
-                if !w.audit()? {
-                    return Ok(false);
+        let fanout = self.fanout;
+        let mut exact = true;
+        let result = match fanout {
+            Fanout::Sequential => {
+                let mut run = || -> Result<(), WireError> {
+                    for part in &mut self.parts {
+                        if let Part::Remote(w) = part {
+                            exact &= w.audit()?;
+                        }
+                    }
+                    Ok(())
+                };
+                run()
+            }
+            Fanout::Concurrent => {
+                let mut first_err: Option<WireError> = None;
+                let mut sent: Vec<Option<Vec<RuleRef>>> = Vec::new();
+                sent.resize_with(self.parts.len(), || None);
+                for (s, part) in self.parts.iter_mut().enumerate() {
+                    if let Part::Remote(w) = part {
+                        match w.audit_begin() {
+                            Ok(rules) => sent[s] = Some(rules),
+                            Err(e) => {
+                                first_err.get_or_insert(e);
+                            }
+                        }
+                    }
+                }
+                for (s, part) in self.parts.iter_mut().enumerate() {
+                    let Some(rules) = sent[s].take() else {
+                        continue;
+                    };
+                    if let Part::Remote(w) = part {
+                        match w.audit_finish(&rules) {
+                            Ok(ok) => exact &= ok,
+                            Err(e) => {
+                                first_err.get_or_insert(e);
+                            }
+                        }
+                    }
+                }
+                match first_err {
+                    None => Ok(()),
+                    Some(e) => Err(e),
                 }
             }
+        };
+        match result {
+            Ok(()) => Ok(exact),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
         }
-        Ok(true)
     }
 
     /// Tear down remote workers in an orderly fashion (no-op for local
-    /// partitions). Dropping the store also works — workers exit on
-    /// disconnect.
+    /// partitions; concurrent fan-out sends every `Shutdown` before
+    /// joining the `Ack`s). Dropping the store also works — workers exit
+    /// on disconnect.
     pub fn shutdown(self) -> Result<(), WireError> {
-        for part in self.parts {
-            if let Part::Remote(w) = part {
-                w.shutdown()?;
+        let fanout = self.fanout;
+        let mut remotes: Vec<RemoteShard> = self
+            .parts
+            .into_iter()
+            .filter_map(|p| match p {
+                Part::Remote(w) => Some(w),
+                Part::Local(_) => None,
+            })
+            .collect();
+        match fanout {
+            Fanout::Sequential => {
+                for w in remotes {
+                    w.shutdown()?;
+                }
+            }
+            Fanout::Concurrent => {
+                for w in &mut remotes {
+                    w.session.send_encoded(&[TAG_SHUTDOWN])?;
+                }
+                for w in &mut remotes {
+                    expect_ack(w.session.recv_reply()?, "shutdown")?;
+                }
             }
         }
         Ok(())
@@ -696,6 +1138,7 @@ mod tests {
     use crate::benefit::benefit;
     use darwin_index::{IndexConfig, IndexSet};
     use darwin_text::Corpus;
+    use darwin_wire::msg::Request;
 
     fn setup() -> (Corpus, IndexSet) {
         let c = Corpus::from_texts([
@@ -709,6 +1152,96 @@ mod tests {
         ]);
         let idx = IndexSet::build(&c, &IndexConfig::small());
         (c, idx)
+    }
+
+    /// The hand-assembled request bodies must be byte-identical to
+    /// encoding the [`Request`] variants they stand in for — the
+    /// encode-once broadcast is a pure amortization, not a dialect.
+    #[test]
+    fn bodies_match_request_encoding() {
+        let rules = vec![RuleRef::Phrase(3), RuleRef::Phrase(7)];
+        let scores = vec![0.25f32, 0.5, 0.75];
+        let ids = vec![4u32, 9];
+        let changes = vec![(2u32, 0.1f32, 0.9f32), (5, 0.3, 0.05)];
+        let cases: Vec<(Vec<u8>, Request)> = vec![
+            (
+                body_of(TAG_TRACK, &rules),
+                Request::Track {
+                    rules: rules.clone(),
+                },
+            ),
+            (
+                body_of(TAG_REBUILD, &scores),
+                Request::Rebuild {
+                    scores: scores.clone(),
+                },
+            ),
+            (
+                body_of(TAG_RETAIN, &rules),
+                Request::Retain {
+                    keep: rules.clone(),
+                },
+            ),
+            (
+                body_of(TAG_POSITIVES_ADDED, &ids),
+                Request::PositivesAdded { ids: ids.clone() },
+            ),
+            (
+                body_of(TAG_SCORES_CHANGED, &changes),
+                Request::ScoresChanged {
+                    changes: changes.clone(),
+                },
+            ),
+            (
+                body_of(TAG_FRAGMENTS, &rules),
+                Request::Fragments {
+                    rules: rules.clone(),
+                },
+            ),
+            (vec![TAG_SHUTDOWN], Request::Shutdown),
+        ];
+        for (body, req) in cases {
+            assert_eq!(body, req.to_bytes(), "{req:?}");
+        }
+        // The sliced ScoresChanged body: count prefix + a byte run cut
+        // at entry-width offsets must equal encoding the sub-journal.
+        let mut entries = Vec::new();
+        for c in &changes {
+            c.encode(&mut entries);
+        }
+        let width = entries.len() / changes.len();
+        let mut sliced = vec![TAG_SCORES_CHANGED];
+        1u32.encode(&mut sliced);
+        sliced.extend_from_slice(&entries[width..2 * width]);
+        assert_eq!(
+            sliced,
+            Request::ScoresChanged {
+                changes: changes[1..].to_vec()
+            }
+            .to_bytes()
+        );
+        // And the assembled ShardInit body equals the encoded variant.
+        let (c, _) = setup();
+        let cfg = IndexConfig::small();
+        let prefix = Arc::new(init_prefix(&c, &cfg));
+        let mut init = vec![TAG_SHARD_INIT];
+        init.extend_from_slice(&prefix);
+        2u32.encode(&mut init);
+        5u32.encode(&mut init);
+        vec![3u32].encode(&mut init);
+        vec![0.5f32, 0.25, 0.125].encode(&mut init);
+        assert_eq!(
+            init,
+            Request::ShardInit {
+                corpus: CorpusSlice::full(&c),
+                index: cfg,
+                lo: 2,
+                hi: 5,
+                positives: vec![3],
+                scores: vec![0.5, 0.25, 0.125],
+            }
+            .to_bytes()
+        );
     }
 
     /// Merged fragments equal the global benefit for every shard count,
@@ -789,6 +1322,153 @@ mod tests {
         assert!(store.benefit_of(rules[1]).is_none());
     }
 
+    fn inproc_connector() -> Arc<ShardConnector> {
+        Arc::new(|_, _| {
+            let (client, mut server) = darwin_wire::InProc::pair();
+            std::thread::spawn(move || {
+                let _ = crate::remote::serve_shard(&mut server);
+            });
+            Ok(Box::new(client) as Box<dyn Transport>)
+        })
+    }
+
+    /// Drive the full mutation vocabulary through remote workers under
+    /// both fan-out disciplines: every mirror state (and therefore every
+    /// read) must be identical to the local reference, and the audit
+    /// must confirm exactness against worker ground truth.
+    #[test]
+    fn concurrent_fanout_matches_sequential_and_local() {
+        let (c, idx) = setup();
+        let n = c.len();
+        let rules: Vec<RuleRef> = idx.all_rules().collect();
+        for fanout in [Fanout::Sequential, Fanout::Concurrent] {
+            let mut p = IdSet::from_ids(&[0], n);
+            let mut scores: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).fract()).collect();
+            let mut store = ShardedBenefitStore::connect_remote(
+                ShardMap::new(n, 3),
+                &c,
+                &IndexConfig::small(),
+                &p,
+                &scores,
+                inproc_connector(),
+                fanout,
+            )
+            .unwrap();
+            let mut reference = ShardedBenefitStore::new(ShardMap::new(n, 1));
+
+            let check =
+                |store: &ShardedBenefitStore, reference: &ShardedBenefitStore, label: &str| {
+                    for &r in &rules {
+                        assert_eq!(
+                            store.benefit_of(r),
+                            reference.benefit_of(r),
+                            "{fanout:?} {label}: rule {:?}",
+                            idx.heuristic(r)
+                        );
+                    }
+                };
+
+            store.track(&rules, &idx, &p, &scores, 1).unwrap();
+            reference.track(&rules, &idx, &p, &scores, 1).unwrap();
+            check(&store, &reference, "after track");
+
+            let new_ids = [1u32, 5, 6];
+            store.on_positives_added(&new_ids, &idx, &scores).unwrap();
+            reference
+                .on_positives_added(&new_ids, &idx, &scores)
+                .unwrap();
+            p.extend_from_slice(&new_ids);
+            check(&store, &reference, "after positives");
+
+            let changes: Vec<(u32, f32, f32)> = vec![
+                (2, scores[2], 0.9),
+                (3, scores[3], 0.05),
+                (5, scores[5], 0.7),
+            ];
+            for &(id, _, new) in &changes {
+                if !p.contains(id) {
+                    scores[id as usize] = new;
+                }
+            }
+            store.on_scores_changed(&changes, &p, &idx).unwrap();
+            reference.on_scores_changed(&changes, &p, &idx).unwrap();
+            check(&store, &reference, "after journal");
+
+            for (i, s) in scores.iter_mut().enumerate() {
+                *s = (*s + 0.17 + i as f32 * 0.013).fract();
+            }
+            store.rebuild(&idx, &p, &scores, 1).unwrap();
+            reference.rebuild(&idx, &p, &scores, 1).unwrap();
+            check(&store, &reference, "after rebuild");
+
+            let keep: Vec<RuleRef> = rules.iter().copied().take(rules.len() / 2).collect();
+            store.retain(|r| keep.contains(&r)).unwrap();
+            reference.retain(|r| keep.contains(&r)).unwrap();
+            assert_eq!(store.len(), reference.len(), "{fanout:?} after retain");
+            check(&store, &reference, "after retain");
+
+            assert!(store.audit_remote().unwrap(), "{fanout:?} audit");
+            store.shutdown().unwrap();
+        }
+    }
+
+    /// A worker dying mid-run recovers through reconnect-and-replay when
+    /// the connector can stand up a fresh worker: the interrupted
+    /// request replays exactly once and the run continues unpoisoned.
+    #[test]
+    fn reconnect_replays_interrupted_request() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (c, idx) = setup();
+        let n = c.len();
+        let rules: Vec<RuleRef> = idx.all_rules().collect();
+        let p = IdSet::from_ids(&[0], n);
+        let scores = vec![0.5f32; n];
+        // First dial per shard: a worker whose transport we can sever.
+        // Re-dials: healthy in-proc workers.
+        let dials = Arc::new(AtomicUsize::new(0));
+        let dials_in_connector = dials.clone();
+        let connect: Arc<ShardConnector> = Arc::new(move |_, _| {
+            dials_in_connector.fetch_add(1, Ordering::SeqCst);
+            let (client, mut server) = darwin_wire::InProc::pair();
+            std::thread::spawn(move || {
+                let _ = crate::remote::serve_shard(&mut server);
+            });
+            Ok(Box::new(client) as Box<dyn Transport>)
+        });
+        let mut store = ShardedBenefitStore::connect_remote(
+            ShardMap::new(n, 2),
+            &c,
+            &IndexConfig::small(),
+            &p,
+            &scores,
+            connect,
+            Fanout::Concurrent,
+        )
+        .unwrap();
+        store.track(&rules, &idx, &p, &scores, 1).unwrap();
+        let before = dials.load(Ordering::SeqCst);
+
+        // Sever shard 0's transport under the store's feet: the next
+        // broadcast fails mid-fan-out and must recover by re-dialing.
+        if let Part::Remote(w) = &mut store.parts[0] {
+            w.session = Session::new(Box::new(darwin_wire::DeadTransport));
+        }
+        let changes: Vec<(u32, f32, f32)> = vec![(1, 0.5, 0.9), (5, 0.5, 0.1)];
+        store.on_scores_changed(&changes, &p, &idx).unwrap();
+        assert!(store.wire_error().is_none(), "recovered, not poisoned");
+        assert!(dials.load(Ordering::SeqCst) > before, "re-dialed");
+
+        // The recovered deployment is still exact.
+        assert!(store.audit_remote().unwrap());
+        let mut reference = ShardedBenefitStore::new(ShardMap::new(n, 1));
+        reference.track(&rules, &idx, &p, &scores, 1).unwrap();
+        reference.on_scores_changed(&changes, &p, &idx).unwrap();
+        for &r in &rules {
+            assert_eq!(store.benefit_of(r), reference.benefit_of(r));
+        }
+        store.shutdown().unwrap();
+    }
+
     /// A dead transport must surface as a clean error and poison the
     /// coordinator — reads answer `None`, further mutations refuse.
     #[test]
@@ -797,15 +1477,16 @@ mod tests {
         let p = IdSet::from_ids(&[0], c.len());
         let scores = vec![0.5; c.len()];
         let map = ShardMap::new(c.len(), 2);
-        let connect: Box<ShardConnector> =
-            Box::new(|_, _| Ok(Box::new(darwin_wire::DeadTransport)));
+        let connect: Arc<ShardConnector> =
+            Arc::new(|_, _| Ok(Box::new(darwin_wire::DeadTransport)));
         let err = match ShardedBenefitStore::connect_remote(
             map,
             &c,
             &IndexConfig::small(),
             &p,
             &scores,
-            &*connect,
+            connect,
+            Fanout::Concurrent,
         ) {
             Err(e) => e,
             Ok(_) => panic!("connecting through a dead transport must fail"),

@@ -6,9 +6,10 @@
 //!   surfaces as a clean `WireError` (never a panic, never a silently
 //!   partial merge).
 //! * [`TransportKind`] / [`test_transport`] — the CI matrix axis
-//!   (`DARWIN_TEST_TRANSPORT={inproc,proc}`) choosing how distributed
+//!   (`DARWIN_TEST_TRANSPORT={inproc,proc,tcp}`) choosing how distributed
 //!   suites deploy their workers: in-process worker threads over channel
-//!   transports, or real child processes over stdio pipes.
+//!   transports, real child processes over stdio pipes, or child
+//!   processes dialing back over loopback TCP sockets.
 //! * [`shard_connector`] / [`wire_oracle`] — build a worker deployment of
 //!   the selected kind for `Darwin::with_remote_shards` and
 //!   `Darwin::run_async`.
@@ -135,17 +136,45 @@ pub enum TransportKind {
     InProc,
     /// Child processes over stdio pipes (needs a worker binary).
     Proc,
+    /// Child processes dialing back over loopback TCP sockets (needs a
+    /// worker binary supporting `--dial`).
+    Tcp,
 }
 
 /// The transport axis of the CI matrix: `DARWIN_TEST_TRANSPORT` is
-/// `inproc` (default) or `proc`. Like `DARWIN_TEST_THREADS`, suites run
-/// every configuration through this knob — trace equivalence across
-/// transports is part of the wire boundary's contract.
+/// `inproc` (default), `proc` or `tcp`. Like `DARWIN_TEST_THREADS`,
+/// suites run every configuration through this knob — trace equivalence
+/// across transports is part of the wire boundary's contract.
 pub fn test_transport() -> TransportKind {
     match std::env::var("DARWIN_TEST_TRANSPORT").as_deref() {
         Ok("proc") => TransportKind::Proc,
+        Ok("tcp") => TransportKind::Tcp,
         _ => TransportKind::InProc,
     }
+}
+
+/// Spawn `worker_exe <role args> --dial <ephemeral loopback port>` and
+/// accept its connection: a one-worker TCP deployment. The child is
+/// reaped by a detached thread once its socket closes.
+fn tcp_worker(exe: &PathBuf, args: &[String]) -> Result<Box<dyn Transport>, WireError> {
+    let listener = darwin_wire::Listener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let mut child = Command::new(exe)
+        .args(args)
+        .arg("--dial")
+        .arg(addr.to_string())
+        .spawn()
+        .map_err(WireError::from)?;
+    let accepted = listener.accept().and_then(|mut t| {
+        darwin_wire::accept_registration(&mut t).map(|_| Box::new(t) as Box<dyn Transport>)
+    });
+    if accepted.is_err() {
+        let _ = child.kill();
+    }
+    std::thread::spawn(move || {
+        let _ = child.wait();
+    });
+    accepted
 }
 
 /// Resolve the worker binary for [`TransportKind::Proc`] deployments:
@@ -166,7 +195,8 @@ pub fn worker_bin() -> Option<PathBuf> {
 
 /// A [`ShardConnector`] deploying one worker per shard of the given kind:
 /// `InProc` spawns a serve-loop thread per shard; `Proc` spawns
-/// `worker_exe shard` as a child process per shard.
+/// `worker_exe shard` as a child process per shard; `Tcp` spawns the same
+/// child dialing back over a loopback socket.
 pub fn shard_connector(kind: TransportKind, worker_exe: Option<PathBuf>) -> Box<ShardConnector> {
     match kind {
         TransportKind::InProc => darwin_core::inproc_shard_connector(),
@@ -179,13 +209,27 @@ pub fn shard_connector(kind: TransportKind, worker_exe: Option<PathBuf>) -> Box<
                 Ok(Box::new(t) as Box<dyn Transport>)
             })
         }
+        TransportKind::Tcp => {
+            let exe = worker_exe
+                .or_else(worker_bin)
+                .expect("tcp transport needs a worker binary (DARWIN_WORKER_BIN)");
+            Box::new(move |_s, range| {
+                let args = vec![
+                    "shard".to_string(),
+                    "--span".to_string(),
+                    range.start.to_string(),
+                    range.end.to_string(),
+                ];
+                tcp_worker(&exe, &args)
+            })
+        }
     }
 }
 
 /// A connected [`WireOracle`] whose worker answers from `oracle` over
 /// `corpus`: a worker thread for `InProc`, or `worker_exe oracle
 /// --directions n seed` (which rebuilds the same deterministic fixture)
-/// for `Proc`.
+/// for `Proc`/`Tcp`.
 pub fn wire_oracle<O>(
     kind: TransportKind,
     corpus: &Corpus,
@@ -209,6 +253,12 @@ where
             let (exe, args) = proc_args.expect("proc oracle needs (worker_exe, args)");
             let t = ProcTransport::spawn(Command::new(exe).arg("oracle").args(args))?;
             WireOracle::connect(Box::new(t))
+        }
+        TransportKind::Tcp => {
+            let (exe, args) = proc_args.expect("tcp oracle needs (worker_exe, args)");
+            let mut full = vec!["oracle".to_string()];
+            full.extend(args.iter().cloned());
+            WireOracle::connect(tcp_worker(exe, &full)?)
         }
     }
 }

@@ -65,11 +65,13 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Write one frame to a byte sink (and flush it — frames are request or
-/// response boundaries, so latency beats buffering).
+/// Write one frame to a byte sink. Deliberately does **not** flush:
+/// transports buffer their writers and flush at request/response
+/// boundaries ([`crate::Transport::flush`]), so a multi-frame burst —
+/// a concurrent fan-out sending to many workers, or an init sequence —
+/// costs one syscall per boundary instead of one per frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
     w.write_all(&frame(payload))?;
-    w.flush()?;
     Ok(())
 }
 

@@ -33,6 +33,7 @@ pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod msg;
+pub mod net;
 pub mod transport;
 
 pub use codec::{Decode, Encode, Reader};
@@ -41,6 +42,10 @@ pub use frame::{MAX_FRAME_LEN, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
 pub use msg::{
     recv_request, send_response, CorpusSlice, Request, Response, ScoredRule, Session, WireAgg,
     WireClassifierKind,
+};
+pub use net::{
+    accept_registration, dial, register, Listener, Registration, TcpTransport, WorkerRegistry,
+    WorkerRole,
 };
 pub use transport::{
     DeadTransport, InProc, ProcTransport, StdioTransport, StreamTransport, Transport,

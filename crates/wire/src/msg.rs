@@ -600,11 +600,40 @@ impl Session {
     /// echo-checked reply, and translate a worker-reported
     /// [`Response::Error`] into [`WireError::Remote`].
     pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        self.send_request(req)?;
+        self.recv_reply()
+    }
+
+    /// Send phase of an exchange: tag `req` with the next sequence number
+    /// and flush it to the worker, without waiting for the reply. A
+    /// concurrent fan-out drives the send phase on every shard session
+    /// first, then joins the [`Session::recv_reply`]s in fixed shard
+    /// order — each session still carries at most one request in flight,
+    /// so the sequence-echo discipline is untouched.
+    pub fn send_request(&mut self, req: &Request) -> Result<(), WireError> {
+        let mut body = Vec::new();
+        req.encode(&mut body);
+        self.send_encoded(&body)
+    }
+
+    /// Send phase over a pre-encoded request body (the bytes
+    /// `Request::encode` would produce, without the sequence tag).
+    /// Shard-invariant broadcasts encode the body once and ship the same
+    /// bytes to every session, each under its own sequence number.
+    pub fn send_encoded(&mut self, body: &[u8]) -> Result<(), WireError> {
         self.seq += 1;
-        let mut buf = Vec::new();
+        let mut buf = Vec::with_capacity(8 + body.len());
         self.seq.encode(&mut buf);
-        req.encode(&mut buf);
+        buf.extend_from_slice(body);
         self.transport.send(&buf)?;
+        self.transport.flush()
+    }
+
+    /// Receive phase of an exchange: block for the reply to the request
+    /// sent by the last [`Session::send_request`]/[`Session::send_encoded`],
+    /// check the sequence echo, and translate a worker-reported
+    /// [`Response::Error`] into [`WireError::Remote`].
+    pub fn recv_reply(&mut self) -> Result<Response, WireError> {
         let frame = self.transport.recv()?;
         let mut r = Reader::new(&frame);
         let seq = u64::decode(&mut r)?;
@@ -661,12 +690,14 @@ pub fn recv_request(t: &mut dyn Transport) -> Result<Option<(u64, Request)>, Wir
     Ok(Some((seq, req)))
 }
 
-/// Worker side: send `resp` echoing the request's `seq`.
+/// Worker side: send `resp` echoing the request's `seq`, flushed — a
+/// response is always a boundary (the coordinator is blocked on it).
 pub fn send_response(t: &mut dyn Transport, seq: u64, resp: &Response) -> Result<(), WireError> {
     let mut buf = Vec::new();
     seq.encode(&mut buf);
     resp.encode(&mut buf);
-    t.send(&buf)
+    t.send(&buf)?;
+    t.flush()
 }
 
 #[cfg(test)]

@@ -1,0 +1,289 @@
+//! Socket plumbing: TCP listen/dial and the worker registry.
+//!
+//! [`StreamTransport`] already speaks frames over any `Read + Write`
+//! pair; this module supplies the missing node-level pieces for a real
+//! cluster:
+//!
+//! * [`dial`] / [`Listener`] — `TcpStream`-backed transports with
+//!   `TCP_NODELAY` set (the frame writer buffers and flushes at request
+//!   boundaries, so Nagle coalescing would only add latency on top).
+//! * [`Registration`] / [`WorkerRegistry`] — connection direction is
+//!   independent of protocol role: *workers dial the coordinator*, then
+//!   immediately send one registration frame declaring their role (and,
+//!   for shard workers, an optional span advertisement). The registry
+//!   accepts until every requested role is filled and hands back the
+//!   connected transports grouped and deterministically ordered.
+//!
+//! The registration frame rides the normal frame format (magic, version
+//! byte, checksum), so an alien or stale peer is refused before it can
+//! register; protocol version negotiation proper still happens through
+//! the `Hello` exchange that opens every [`crate::Session`].
+
+use crate::codec::{Decode, Encode, Reader};
+use crate::error::WireError;
+use crate::transport::{StreamTransport, Transport};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+/// A frame transport over one TCP connection.
+pub type TcpTransport = StreamTransport<TcpStream, TcpStream>;
+
+fn transport_of(stream: TcpStream) -> Result<TcpTransport, WireError> {
+    // The transport flushes whole requests; Nagle would delay the final
+    // partial segment of every flush for no win.
+    stream.set_nodelay(true)?;
+    let reader = stream.try_clone()?;
+    Ok(StreamTransport::new(reader, stream))
+}
+
+/// Connect to a listening peer and wrap the socket as a transport.
+pub fn dial(addr: impl ToSocketAddrs) -> Result<TcpTransport, WireError> {
+    transport_of(TcpStream::connect(addr)?)
+}
+
+/// A bound TCP listener handing out frame transports.
+pub struct Listener {
+    inner: TcpListener,
+}
+
+impl Listener {
+    /// Bind `addr` (use port 0 for an ephemeral port; see
+    /// [`Listener::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Listener, WireError> {
+        Ok(Listener {
+            inner: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address — what workers should [`dial`].
+    pub fn local_addr(&self) -> Result<SocketAddr, WireError> {
+        Ok(self.inner.local_addr()?)
+    }
+
+    /// Accept one connection as a transport.
+    pub fn accept(&self) -> Result<TcpTransport, WireError> {
+        let (stream, _peer) = self.inner.accept()?;
+        transport_of(stream)
+    }
+}
+
+/// The protocol role a dialing worker offers to serve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerRole {
+    /// A benefit-store shard partition (`serve_shard`).
+    Shard,
+    /// An oracle endpoint (`serve_oracle`).
+    Oracle,
+    /// A remote classifier (`serve_classifier`).
+    Classifier,
+}
+
+impl Encode for WorkerRole {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            WorkerRole::Shard => 0,
+            WorkerRole::Oracle => 1,
+            WorkerRole::Classifier => 2,
+        });
+    }
+}
+impl Decode for WorkerRole {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(WorkerRole::Shard),
+            1 => Ok(WorkerRole::Oracle),
+            2 => Ok(WorkerRole::Classifier),
+            t => Err(WireError::Corrupt(format!("worker role tag {t}"))),
+        }
+    }
+}
+
+/// What a worker declares immediately after dialing in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Registration {
+    /// The role this connection will serve.
+    pub role: WorkerRole,
+    /// Optional span advertisement `[lo, hi)` for shard workers that
+    /// want a specific partition (a restarted worker reclaiming its old
+    /// span). `None` lets the coordinator assign spans in registration
+    /// order.
+    pub span: Option<(u32, u32)>,
+}
+
+impl Registration {
+    /// A role with no span preference.
+    pub fn role(role: WorkerRole) -> Registration {
+        Registration { role, span: None }
+    }
+}
+
+impl Encode for Registration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.role.encode(out);
+        match self.span {
+            None => out.push(0),
+            Some((lo, hi)) => {
+                out.push(1);
+                lo.encode(out);
+                hi.encode(out);
+            }
+        }
+    }
+}
+impl Decode for Registration {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let role = WorkerRole::decode(r)?;
+        let span = match u8::decode(r)? {
+            0 => None,
+            1 => Some((u32::decode(r)?, u32::decode(r)?)),
+            t => return Err(WireError::Corrupt(format!("span tag {t}"))),
+        };
+        Ok(Registration { role, span })
+    }
+}
+
+/// Worker side: announce `reg` as the first frame on a fresh connection.
+pub fn register(t: &mut dyn Transport, reg: &Registration) -> Result<(), WireError> {
+    t.send(&reg.to_bytes())?;
+    t.flush()
+}
+
+/// Coordinator side: read the registration frame that must open every
+/// inbound connection.
+pub fn accept_registration(t: &mut dyn Transport) -> Result<Registration, WireError> {
+    let frame = t.recv()?;
+    Registration::from_bytes(&frame)
+}
+
+/// The coordinator's view of a dialed-in worker fleet: transports grouped
+/// by role, shard transports deterministically ordered.
+pub struct WorkerRegistry {
+    /// Shard connections — span-advertised workers first (sorted by
+    /// advertised `lo`), then unadvertised ones in registration order.
+    pub shards: Vec<(Registration, TcpTransport)>,
+    /// Oracle connections, in registration order.
+    pub oracles: Vec<(Registration, TcpTransport)>,
+    /// Classifier connections, in registration order.
+    pub classifiers: Vec<(Registration, TcpTransport)>,
+}
+
+impl WorkerRegistry {
+    /// Accept connections on `listener` until `shards`/`oracles`/
+    /// `classifiers` slots are all filled. A connection that fails to
+    /// register, or registers a role whose slots are full, is dropped
+    /// (the worker sees a disconnect) without failing the whole accept
+    /// loop.
+    pub fn accept(
+        listener: &Listener,
+        shards: usize,
+        oracles: usize,
+        classifiers: usize,
+    ) -> Result<WorkerRegistry, WireError> {
+        let mut reg = WorkerRegistry {
+            shards: Vec::new(),
+            oracles: Vec::new(),
+            classifiers: Vec::new(),
+        };
+        while reg.shards.len() < shards
+            || reg.oracles.len() < oracles
+            || reg.classifiers.len() < classifiers
+        {
+            let mut t = listener.accept()?;
+            let r = match accept_registration(&mut t) {
+                Ok(r) => r,
+                Err(_) => continue, // alien peer; drop the connection
+            };
+            let (bucket, cap) = match r.role {
+                WorkerRole::Shard => (&mut reg.shards, shards),
+                WorkerRole::Oracle => (&mut reg.oracles, oracles),
+                WorkerRole::Classifier => (&mut reg.classifiers, classifiers),
+            };
+            if bucket.len() < cap {
+                bucket.push((r, t));
+            }
+        }
+        // Deterministic shard order: advertised spans first, by span
+        // start; unadvertised workers keep registration order behind
+        // them. Stable sort, so ties preserve arrival order.
+        reg.shards
+            .sort_by_key(|(r, _)| r.span.map(|(lo, _)| (0u8, lo)).unwrap_or((1, u32::MAX)));
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_roundtrips() {
+        for reg in [
+            Registration::role(WorkerRole::Oracle),
+            Registration {
+                role: WorkerRole::Shard,
+                span: Some((10, 20)),
+            },
+        ] {
+            assert_eq!(Registration::from_bytes(&reg.to_bytes()).unwrap(), reg);
+        }
+        assert!(Registration::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn dial_listen_roundtrip_over_loopback() {
+        let listener = Listener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let dialer = std::thread::spawn(move || {
+            let mut t = dial(addr).expect("dial");
+            register(&mut t, &Registration::role(WorkerRole::Shard)).unwrap();
+            t.send(b"after registration").unwrap();
+            t.flush().unwrap();
+            assert_eq!(t.recv().unwrap(), b"reply");
+        });
+        let mut t = listener.accept().expect("accept");
+        let reg = accept_registration(&mut t).unwrap();
+        assert_eq!(reg.role, WorkerRole::Shard);
+        assert_eq!(t.recv().unwrap(), b"after registration");
+        t.send(b"reply").unwrap();
+        t.flush().unwrap();
+        dialer.join().unwrap();
+    }
+
+    #[test]
+    fn registry_fills_roles_and_orders_shards() {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let spawn = |reg: Registration| {
+            std::thread::spawn(move || {
+                let mut t = dial(addr).unwrap();
+                register(&mut t, &reg).unwrap();
+                // Hold the connection open until the registry is done.
+                let _ = t.recv();
+            })
+        };
+        // Two shard workers advertising spans (dialed high-span first)
+        // plus one oracle, arriving in whatever order the scheduler
+        // picks: the registry must fill every role and order the shards
+        // by advertised span regardless.
+        let handles = vec![
+            spawn(Registration {
+                role: WorkerRole::Shard,
+                span: Some((50, 100)),
+            }),
+            spawn(Registration {
+                role: WorkerRole::Shard,
+                span: Some((0, 50)),
+            }),
+            spawn(Registration::role(WorkerRole::Oracle)),
+        ];
+        let reg = WorkerRegistry::accept(&listener, 2, 1, 0).expect("registry fills");
+        assert_eq!(reg.shards.len(), 2);
+        assert_eq!(reg.oracles.len(), 1);
+        assert!(reg.classifiers.is_empty());
+        assert_eq!(reg.shards[0].0.span, Some((0, 50)));
+        assert_eq!(reg.shards[1].0.span, Some((50, 100)));
+        drop(reg); // closes the connections, releasing the workers
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -19,15 +19,32 @@
 
 use crate::error::WireError;
 use crate::frame;
-use std::io::{Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::time::Duration;
 
+/// Write-buffer capacity for byte-stream transports. Sized to hold a
+/// typical request burst (sequence tag + message) in one syscall while
+/// staying far below the frame cap — oversized frames fall through
+/// [`BufWriter`]'s large-write path untouched.
+pub const WRITE_BUF_BYTES: usize = 64 << 10;
+
 /// A reliable, ordered frame channel to one peer.
 pub trait Transport: Send {
-    /// Send one message payload (framed by the transport).
+    /// Send one message payload (framed by the transport). Byte-stream
+    /// backends may buffer; callers mark request/response boundaries with
+    /// [`Transport::flush`].
     fn send(&mut self, payload: &[u8]) -> Result<(), WireError>;
+
+    /// Push any buffered frames to the peer. Called at request/response
+    /// boundaries (after a request is sent, after a response is sent) —
+    /// never per frame, so multi-frame bursts coalesce into one write.
+    /// Message-passing backends have nothing to buffer; the default is a
+    /// no-op.
+    fn flush(&mut self) -> Result<(), WireError> {
+        Ok(())
+    }
 
     /// Receive the next payload, waiting at most `timeout` (`None` =
     /// block until a frame or disconnect). `Ok(None)` means the timeout
@@ -84,7 +101,7 @@ impl Transport for InProc {
 /// worker panics stay visible.
 pub struct ProcTransport {
     child: Child,
-    stdin: ChildStdin,
+    stdin: BufWriter<ChildStdin>,
     frames: Receiver<Result<Vec<u8>, WireError>>,
 }
 
@@ -115,7 +132,7 @@ impl ProcTransport {
         });
         Ok(ProcTransport {
             child,
-            stdin,
+            stdin: BufWriter::with_capacity(WRITE_BUF_BYTES, stdin),
             frames,
         })
     }
@@ -124,6 +141,11 @@ impl ProcTransport {
 impl Transport for ProcTransport {
     fn send(&mut self, payload: &[u8]) -> Result<(), WireError> {
         frame::write_frame(&mut self.stdin, payload)
+    }
+
+    fn flush(&mut self) -> Result<(), WireError> {
+        self.stdin.flush()?;
+        Ok(())
     }
 
     fn recv_timeout(&mut self, timeout: Option<Duration>) -> Result<Option<Vec<u8>>, WireError> {
@@ -153,7 +175,7 @@ impl Drop for ProcTransport {
 /// and blocks (the parent owns pacing).
 pub struct StdioTransport {
     stdin: std::io::Stdin,
-    stdout: std::io::Stdout,
+    stdout: BufWriter<std::io::Stdout>,
 }
 
 impl StdioTransport {
@@ -162,7 +184,7 @@ impl StdioTransport {
     pub fn new() -> StdioTransport {
         StdioTransport {
             stdin: std::io::stdin(),
-            stdout: std::io::stdout(),
+            stdout: BufWriter::with_capacity(WRITE_BUF_BYTES, std::io::stdout()),
         }
     }
 }
@@ -175,7 +197,12 @@ impl Default for StdioTransport {
 
 impl Transport for StdioTransport {
     fn send(&mut self, payload: &[u8]) -> Result<(), WireError> {
-        frame::write_frame(&mut self.stdout.lock(), payload)
+        frame::write_frame(&mut self.stdout, payload)
+    }
+
+    fn flush(&mut self) -> Result<(), WireError> {
+        self.stdout.flush()?;
+        Ok(())
     }
 
     fn recv_timeout(&mut self, _timeout: Option<Duration>) -> Result<Option<Vec<u8>>, WireError> {
@@ -200,23 +227,33 @@ impl Transport for DeadTransport {
 
 /// Generic byte-stream transport over any `Read + Write` pair — the
 /// building block for socket-backed deployments (a `TcpStream` clone pair
-/// slots straight in). Blocking; timeouts fall back to blocking reads,
-/// so wrap sockets with their own read timeouts where needed.
-pub struct StreamTransport<R, W> {
+/// slots straight in, see [`crate::net`]). Blocking; timeouts fall back
+/// to blocking reads, so wrap sockets with their own read timeouts where
+/// needed. Writes are buffered ([`WRITE_BUF_BYTES`]) and pushed to the
+/// peer by [`Transport::flush`] at request/response boundaries.
+pub struct StreamTransport<R, W: Write> {
     r: R,
-    w: W,
+    w: BufWriter<W>,
 }
 
 impl<R: Read + Send, W: Write + Send> StreamTransport<R, W> {
     /// A transport reading frames from `r` and writing frames to `w`.
     pub fn new(r: R, w: W) -> StreamTransport<R, W> {
-        StreamTransport { r, w }
+        StreamTransport {
+            r,
+            w: BufWriter::with_capacity(WRITE_BUF_BYTES, w),
+        }
     }
 }
 
 impl<R: Read + Send, W: Write + Send> Transport for StreamTransport<R, W> {
     fn send(&mut self, payload: &[u8]) -> Result<(), WireError> {
         frame::write_frame(&mut self.w, payload)
+    }
+
+    fn flush(&mut self) -> Result<(), WireError> {
+        self.w.flush()?;
+        Ok(())
     }
 
     fn recv_timeout(&mut self, _timeout: Option<Duration>) -> Result<Option<Vec<u8>>, WireError> {
@@ -275,6 +312,7 @@ mod tests {
             let mut t = StreamTransport::new(std::io::empty(), &mut wire);
             t.send(b"hello").unwrap();
             t.send(b"world").unwrap();
+            t.flush().unwrap();
         }
         let mut t = StreamTransport::new(&wire[..], std::io::sink());
         assert_eq!(t.recv().unwrap(), b"hello");
@@ -290,11 +328,58 @@ mod tests {
             Err(_) => return, // no `cat` on this host; skip
         };
         t.send(b"through the pipe").unwrap();
+        t.flush().unwrap();
         assert_eq!(t.recv().unwrap(), b"through the pipe");
         assert_eq!(
             t.recv_timeout(Some(Duration::from_millis(5))).unwrap(),
             None
         );
         drop(t); // must kill the child, not hang
+    }
+
+    /// A writer that counts how many times the transport reaches the
+    /// underlying sink — the observable cost model for syscalls.
+    struct CountingWriter {
+        writes: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        sink: Vec<u8>,
+    }
+
+    impl Write for CountingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.writes
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.sink.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// The flush discipline, pinned: N buffered frames reach the sink as
+    /// exactly one write when `flush` marks the boundary — never one
+    /// write per frame.
+    #[test]
+    fn frames_buffer_until_flush_boundary() {
+        let writes = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let w = CountingWriter {
+            writes: writes.clone(),
+            sink: Vec::new(),
+        };
+        let mut t = StreamTransport::new(std::io::empty(), w);
+        for i in 0..5u8 {
+            t.send(&[i; 100]).unwrap();
+        }
+        assert_eq!(
+            writes.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "frames must buffer until the boundary"
+        );
+        t.flush().unwrap();
+        assert_eq!(
+            writes.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "one boundary, one write"
+        );
     }
 }

@@ -1,0 +1,166 @@
+//! A real Darwin cluster over loopback TCP: coordinator + 2 shard
+//! workers + 1 oracle worker, every worker a `darwin-worker` child
+//! process dialing the coordinator's socket.
+//!
+//! The coordinator binds an ephemeral listener, launches the workers
+//! with `--dial` (shard workers advertise their spans with `--span`),
+//! collects the dial-ins through [`WorkerRegistry`], and runs the same
+//! interactive discovery task twice — once fully in-process, once with
+//! the benefit partitions and the oracle behind real sockets — then
+//! asserts the cluster run reproduces the local positives and scores
+//! exactly. Deployment is an execution detail, never a behavioral one;
+//! sockets are no exception.
+//!
+//! ```sh
+//! cargo build --release && cargo run --release --example cluster
+//! ```
+//!
+//! (The build step matters: the example spawns the shipped
+//! `darwin-worker` binary next to its own executable.)
+
+use darwin::core::{ShardConnector, WireOracle};
+use darwin::index::ShardMap;
+use darwin::prelude::*;
+use darwin::wire::{Listener, Transport, WireError, WorkerRegistry};
+use darwin_datasets::directions;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::Mutex;
+use std::time::Instant;
+
+const N: usize = 1200;
+const SEED: u64 = 42;
+const SHARDS: usize = 2;
+
+/// The shipped worker binary, next to this example's executable
+/// (`target/<profile>/examples/cluster` → `target/<profile>/darwin-worker`).
+fn worker_exe() -> PathBuf {
+    let exe = std::env::current_exe().expect("own path");
+    exe.parent()
+        .and_then(|p| p.parent())
+        .map(|d| d.join("darwin-worker"))
+        .filter(|p| p.exists())
+        .expect("darwin-worker not found — run `cargo build --release` first")
+}
+
+fn main() {
+    let data = directions::generate(N, SEED);
+    let index_cfg = IndexConfig {
+        max_phrase_len: 4,
+        min_count: 2,
+        ..Default::default()
+    };
+    let index = IndexSet::build(&data.corpus, &index_cfg);
+    let cfg = DarwinConfig {
+        budget: 20,
+        n_candidates: 2000,
+        shards: SHARDS,
+        batch: BatchPolicy::Fixed(2),
+        fanout: Fanout::Concurrent,
+        ..DarwinConfig::fast()
+    };
+    let seed_rule = Heuristic::phrase(&data.corpus, data.seed_rules[0]).unwrap();
+
+    // Local reference: everything in this process.
+    let t0 = Instant::now();
+    let local = {
+        let darwin = Darwin::new(&data.corpus, &index, cfg.clone());
+        let mut oracle = Immediate::new(GroundTruthOracle::new(&data.labels, 0.8));
+        darwin.run_async(Seed::Rule(seed_rule.clone()), &mut oracle)
+    };
+    let local_wall = t0.elapsed();
+
+    // ---- stand up the cluster ----
+    let listener = Listener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let exe = worker_exe();
+    let map = ShardMap::new(N, SHARDS);
+    let mut children: Vec<Child> = Vec::new();
+    for s in 0..SHARDS {
+        let span = map.range(s);
+        eprintln!("[coordinator] launching shard worker for ids {span:?}");
+        children.push(
+            Command::new(&exe)
+                .args(["shard", "--dial", &addr, "--span"])
+                .arg(span.start.to_string())
+                .arg(span.end.to_string())
+                .spawn()
+                .expect("spawn shard worker"),
+        );
+    }
+    eprintln!("[coordinator] launching oracle worker");
+    children.push(
+        Command::new(&exe)
+            .args(["oracle", "--directions"])
+            .arg(N.to_string())
+            .arg(SEED.to_string())
+            .args(["--dial", &addr])
+            .spawn()
+            .expect("spawn oracle worker"),
+    );
+    // Workers dial in and register; the registry orders the shard
+    // connections by their advertised spans.
+    let registry = WorkerRegistry::accept(&listener, SHARDS, 1, 0).expect("workers register");
+
+    // Hand the registered connections to the engine: connect-or-abort —
+    // a shard whose advertised span disagrees with the partition the
+    // engine asks for is refused, and (in this minimal deployment) so is
+    // any reconnect attempt after a worker death.
+    let slots: Mutex<Vec<_>> = Mutex::new(registry.shards.into_iter().map(Some).collect());
+    let connect: Box<ShardConnector> = Box::new(move |s, range| {
+        let (reg, t) = slots.lock().unwrap()[s]
+            .take()
+            .ok_or_else(|| WireError::Protocol(format!("no spare worker for shard {s}")))?;
+        if reg.span != Some((range.start, range.end)) {
+            return Err(WireError::Protocol(format!(
+                "shard {s} wants {range:?} but the worker advertised {:?}",
+                reg.span
+            )));
+        }
+        Ok(Box::new(t) as Box<dyn Transport>)
+    });
+
+    let t1 = Instant::now();
+    let clustered = {
+        let darwin = Darwin::new(&data.corpus, &index, cfg).with_remote_shards(connect);
+        let (_, oracle_t) = registry.oracles.into_iter().next().expect("oracle slot");
+        let mut oracle = WireOracle::connect(Box::new(oracle_t)).expect("oracle handshake");
+        darwin.run_async(Seed::Rule(seed_rule), &mut oracle)
+    };
+    let cluster_wall = t1.elapsed();
+    for mut child in children {
+        let _ = child.wait();
+    }
+
+    // ---- the contract ----
+    assert!(
+        clustered.run.wire_error.is_none(),
+        "cluster run failed: {:?}",
+        clustered.run.wire_error
+    );
+    assert_eq!(
+        local.run.positives, clustered.run.positives,
+        "cluster P must equal the local P exactly"
+    );
+    assert_eq!(
+        local.run.scores, clustered.run.scores,
+        "cluster scores must be bit-identical to local"
+    );
+    assert_eq!(local.run.questions(), clustered.run.questions());
+
+    let recall = coverage(&clustered.run.positives, &data.labels);
+    println!(
+        "local run:    {:>6.2?}  ({} questions)",
+        local_wall,
+        local.run.questions()
+    );
+    println!(
+        "cluster run:  {:>6.2?}  ({SHARDS} shard workers + 1 oracle worker over TCP, {} waves)",
+        cluster_wall, clustered.report.waves
+    );
+    println!(
+        "accepted {} rules, |P| = {}, recall {recall:.2} — identical P and bit-identical scores across deployments",
+        clustered.run.accepted.len(),
+        clustered.run.positives.len(),
+    );
+}

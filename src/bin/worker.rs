@@ -1,52 +1,93 @@
 //! `darwin-worker` — an out-of-process Darwin worker.
 //!
 //! Speaks the [`darwin_wire`] protocol over stdio (stdout carries nothing
-//! but frames; diagnostics go to stderr). One process serves one role:
+//! but frames; diagnostics go to stderr), or — with `--dial <addr>` —
+//! over a TCP connection to a listening coordinator, opened with a
+//! registration frame declaring the worker's role. One process serves one
+//! role:
 //!
 //! ```text
-//! darwin-worker shard
+//! darwin-worker shard [--dial <addr> [--span <lo> <hi>]]
 //!     A benefit-shard worker: initialized entirely over the wire
 //!     (corpus, index recipe, span, state), then answers
-//!     track/delta/rebuild requests with fragment deltas.
+//!     track/delta/rebuild requests with fragment deltas. `--span`
+//!     advertises a partition preference in the registration frame (a
+//!     restarted worker reclaiming its old span).
 //!
-//! darwin-worker oracle --directions <n> <seed> [--threshold <t>]
+//! darwin-worker oracle --directions <n> <seed> [--threshold <t>] [--dial <addr>]
 //!     A ground-truth oracle worker over the deterministic `directions`
 //!     dataset (both sides regenerate the identical fixture from
 //!     <n, seed>), answering submitted questions at precision ≥ t
 //!     (default 0.8).
 //!
-//! darwin-worker classifier
+//! darwin-worker classifier [--dial <addr>]
 //!     A remote benefit classifier: initialized over the wire
 //!     (corpus, embedding seed, model recipe), then serves
 //!     fit / predict_batch.
 //! ```
 //!
-//! This binary is what `examples/distributed.rs`, the `Proc` rows of the
-//! test matrix and the CI distributed job spawn.
+//! This binary is what `examples/distributed.rs`, `examples/cluster.rs`,
+//! the `Proc`/`Tcp` rows of the test matrix and the CI distributed job
+//! spawn.
 
 use darwin_core::{serve_classifier, serve_oracle, serve_shard, GroundTruthOracle};
-use darwin_wire::StdioTransport;
+use darwin_wire::{register, Registration, StdioTransport, Transport, WorkerRole};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let role = args.first().map(String::as_str).unwrap_or("");
-    let mut transport = StdioTransport::new();
-    let served = match role {
-        "shard" => serve_shard(&mut transport),
-        "classifier" => serve_classifier(&mut transport),
-        "oracle" => match oracle_config(&args[1..]) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let NetOptions {
+        dial: dial_addr,
+        span,
+    } = match net_options(&mut args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("darwin-worker: {msg}");
+            return usage();
+        }
+    };
+    let role = args.first().map(String::as_str).unwrap_or("").to_string();
+    let worker_role = match role.as_str() {
+        "shard" => WorkerRole::Shard,
+        "oracle" => WorkerRole::Oracle,
+        "classifier" => WorkerRole::Classifier,
+        _ => return usage(),
+    };
+    let mut transport: Box<dyn Transport> = match &dial_addr {
+        None => Box::new(StdioTransport::new()),
+        Some(addr) => {
+            let mut t = match darwin_wire::dial(addr.as_str()) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("darwin-worker ({role}): dial {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let reg = Registration {
+                role: worker_role,
+                span,
+            };
+            if let Err(e) = register(&mut t, &reg) {
+                eprintln!("darwin-worker ({role}): register with {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Box::new(t)
+        }
+    };
+    let served = match worker_role {
+        WorkerRole::Shard => serve_shard(transport.as_mut()),
+        WorkerRole::Classifier => serve_classifier(transport.as_mut()),
+        WorkerRole::Oracle => match oracle_config(&args[1..]) {
             Ok((n, seed, threshold)) => {
                 let data = darwin_datasets::directions::generate(n, seed);
                 let mut oracle = GroundTruthOracle::new(&data.labels, threshold);
-                serve_oracle(&mut transport, &data.corpus, &mut oracle)
+                serve_oracle(transport.as_mut(), &data.corpus, &mut oracle)
             }
             Err(msg) => {
                 eprintln!("darwin-worker: {msg}");
                 return usage();
             }
         },
-        _ => return usage(),
     };
     match served {
         Ok(()) => ExitCode::SUCCESS,
@@ -55,6 +96,46 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `--dial <addr>` and `--span <lo> <hi>`, stripped out of the
+/// argument list by [`net_options`].
+struct NetOptions {
+    dial: Option<String>,
+    span: Option<(u32, u32)>,
+}
+
+/// Strip `--dial <addr>` and `--span <lo> <hi>` from the argument list
+/// (they may appear anywhere after the role) and return them.
+fn net_options(args: &mut Vec<String>) -> Result<NetOptions, String> {
+    let mut dial = None;
+    let mut span = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dial" => {
+                if i + 1 >= args.len() {
+                    return Err("--dial needs <addr>".into());
+                }
+                dial = Some(args.remove(i + 1));
+                args.remove(i);
+            }
+            "--span" => {
+                if i + 2 >= args.len() {
+                    return Err("--span needs <lo> <hi>".into());
+                }
+                let lo = args[i + 1].parse().map_err(|_| "--span needs integers")?;
+                let hi = args[i + 2].parse().map_err(|_| "--span needs integers")?;
+                span = Some((lo, hi));
+                args.drain(i..i + 3);
+            }
+            _ => i += 1,
+        }
+    }
+    if span.is_some() && dial.is_none() {
+        return Err("--span only makes sense with --dial".into());
+    }
+    Ok(NetOptions { dial, span })
 }
 
 /// Parse `oracle --directions <n> <seed> [--threshold <t>]`.
@@ -94,7 +175,7 @@ fn oracle_config(args: &[String]) -> Result<(usize, u64, f64), String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: darwin-worker shard\n       darwin-worker oracle --directions <n> <seed> [--threshold <t>]\n       darwin-worker classifier"
+        "usage: darwin-worker shard [--dial <addr> [--span <lo> <hi>]]\n       darwin-worker oracle --directions <n> <seed> [--threshold <t>] [--dial <addr>]\n       darwin-worker classifier [--dial <addr>]"
     );
     ExitCode::FAILURE
 }

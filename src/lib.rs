@@ -61,8 +61,8 @@ pub use darwin_wire as wire;
 pub mod prelude {
     pub use darwin_classifier::{ClassifierKind, TextClassifier};
     pub use darwin_core::{
-        AsyncOracle, BatchPolicy, CostModel, Darwin, DarwinConfig, GroundTruthOracle, Immediate,
-        Oracle, QuestionId, RunResult, SampledAnnotatorOracle, Seed, TraversalKind,
+        AsyncOracle, BatchPolicy, CostModel, Darwin, DarwinConfig, Fanout, GroundTruthOracle,
+        Immediate, Oracle, QuestionId, RunResult, SampledAnnotatorOracle, Seed, TraversalKind,
     };
     pub use darwin_datasets::Dataset;
     pub use darwin_eval::{coverage, f1_score, Curve};

@@ -8,10 +8,11 @@
 //! scores cross bit-exactly, and the worker rebuilds an identical index
 //! from the same texts, so selection asks the same question sequence.
 //!
-//! The matrix pinned here (acceptance criterion of the wire PR):
-//! transport {InProc, Proc} × S ∈ {1,2,4} × threads ∈ {1,4} ×
-//! batch ∈ {1,8} — batch 1 against the synchronous local trace, larger
-//! batches against the local async run of the same batch size.
+//! The matrix pinned here (acceptance criterion of the wire PR, extended
+//! by the fan-out PR): transport {InProc, Proc, Tcp} × S ∈ {1,2,4} ×
+//! threads ∈ {1,4} × batch ∈ {1,8} × fanout {Sequential, Concurrent} —
+//! batch 1 against the synchronous local trace, larger batches against
+//! the local async run of the same batch size.
 //!
 //! Fault injection rides the same suite: a dying shard worker poisons the
 //! coordinator and aborts the run *cleanly* (`RunResult::wire_error`, no
@@ -31,6 +32,8 @@ use darwin_testkit::{
 use darwin_wire::{InProc, Transport, WireError};
 use proptest::prelude::*;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 const N: usize = 600;
 const DSEED: u64 = 42;
@@ -80,10 +83,15 @@ fn run_distributed(
     shards: usize,
     threads: usize,
     batch: usize,
+    fanout: Fanout,
 ) -> AsyncRunResult {
     let (d, index) = directions_fixture(n, DSEED);
-    let darwin = Darwin::new(&d.corpus, &index, cfg(n, shards, threads, batch))
-        .with_remote_shards(shard_connector(kind, Some(worker_exe())));
+    let darwin = Darwin::new(
+        &d.corpus,
+        &index,
+        cfg(n, shards, threads, batch).with_fanout(fanout),
+    )
+    .with_remote_shards(shard_connector(kind, Some(worker_exe())));
     let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
     let labels: &'static [bool] = Box::leak(d.labels.clone().into_boxed_slice());
     let exe = worker_exe();
@@ -105,21 +113,37 @@ fn run_distributed(
 }
 
 /// Batch 1: every transport × shard count replays the *synchronous*
-/// local trace byte for byte, at the env-configured thread count.
+/// local trace byte for byte, at the env-configured thread count, with
+/// the concurrent fan-out that is the default.
 #[test]
 fn wire_batch1_replays_synchronous_trace() {
     let threads = test_threads();
     let reference = run_local(N, 1, threads, 1);
     assert!(reference.run.questions() > 5, "reference asked nothing");
-    for kind in [TransportKind::InProc, TransportKind::Proc] {
+    for kind in [
+        TransportKind::InProc,
+        TransportKind::Proc,
+        TransportKind::Tcp,
+    ] {
         for shards in [1usize, 2, 4] {
-            let done = run_distributed(N, kind, shards, threads, 1);
+            let done = run_distributed(N, kind, shards, threads, 1, Fanout::Concurrent);
             assert_equivalent(
                 &reference.run,
                 &done.run,
                 &format!("{kind:?} S={shards} T={threads} batch=1"),
             );
         }
+    }
+}
+
+/// The fan-out knob is a pure latency knob: sequential round trips and
+/// the overlapped broadcast replay the identical trace at S = 4.
+#[test]
+fn sequential_fanout_replays_concurrent_trace() {
+    let reference = run_local(N, 1, 1, 1);
+    for fanout in [Fanout::Sequential, Fanout::Concurrent] {
+        let done = run_distributed(N, TransportKind::InProc, 4, 1, 1, fanout);
+        assert_equivalent(&reference.run, &done.run, &format!("{fanout:?} S=4"));
     }
 }
 
@@ -130,8 +154,12 @@ fn wire_batch1_replays_synchronous_trace() {
 fn wire_batch8_replays_local_async_run() {
     let threads = test_threads();
     let reference = run_local(N, 1, threads, 8);
-    for kind in [TransportKind::InProc, TransportKind::Proc] {
-        let done = run_distributed(N, kind, 2, threads, 8);
+    for kind in [
+        TransportKind::InProc,
+        TransportKind::Proc,
+        TransportKind::Tcp,
+    ] {
+        let done = run_distributed(N, kind, 2, threads, 8, Fanout::Concurrent);
         assert_equivalent(
             &reference.run,
             &done.run,
@@ -146,7 +174,7 @@ fn wire_batch8_replays_local_async_run() {
 fn wire_env_cell_matches_local() {
     let (kind, threads, batch) = (test_transport(), test_threads(), test_batch());
     let reference = run_local(N, 1, threads, batch);
-    let done = run_distributed(N, kind, 2, threads, batch);
+    let done = run_distributed(N, kind, 2, threads, batch, Fanout::Concurrent);
     assert_equivalent(
         &reference.run,
         &done.run,
@@ -158,23 +186,28 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..Default::default() })]
 
     /// The full acceptance matrix, sampled: transport × S ∈ {1,2,4} ×
-    /// threads ∈ {1,4} × batch ∈ {1,8} reproduces the in-process S=1
-    /// run of the same batch size (which batch_async.rs pins to the
-    /// synchronous trace at batch 1).
+    /// threads ∈ {1,4} × batch ∈ {1,8} × fanout reproduces the
+    /// in-process S=1 run of the same batch size (which batch_async.rs
+    /// pins to the synchronous trace at batch 1).
     #[test]
     fn wire_matrix_replays_inprocess_trace(
-        proc_kind in prop::bool::ANY,
+        kind in prop::sample::select(vec![
+            TransportKind::InProc,
+            TransportKind::Proc,
+            TransportKind::Tcp,
+        ]),
         shards in prop::sample::select(vec![1usize, 2, 4]),
         threads in prop::sample::select(vec![1usize, 4]),
         batch in prop::sample::select(vec![1usize, 8]),
+        sequential in prop::bool::ANY,
     ) {
-        let kind = if proc_kind { TransportKind::Proc } else { TransportKind::InProc };
+        let fanout = if sequential { Fanout::Sequential } else { Fanout::Concurrent };
         let reference = run_local(300, 1, threads, batch);
-        let done = run_distributed(300, kind, shards, threads, batch);
+        let done = run_distributed(300, kind, shards, threads, batch, fanout);
         assert_equivalent(
             &reference.run,
             &done.run,
-            &format!("{kind:?} S={shards} T={threads} B={batch}"),
+            &format!("{kind:?} S={shards} T={threads} B={batch} {fanout:?}"),
         );
     }
 }
@@ -200,17 +233,25 @@ fn remote_mirrors_audit_exact_after_stepping() {
     assert!(engine.store_is_consistent());
 }
 
-/// A shard worker that dies mid-run: the run aborts *cleanly* — the
-/// error surfaces in `RunResult::wire_error`, the applied prefix stays
-/// coherent, and nothing panics.
+/// A shard worker that dies mid-run *and cannot be restarted*: the run
+/// aborts *cleanly* — the reconnect attempt fails, the error surfaces in
+/// `RunResult::wire_error`, the applied prefix stays coherent, and
+/// nothing panics. (When restart succeeds, the run recovers instead —
+/// see `flaky_shard_worker_reconnects_and_replays`.)
 #[test]
 fn dying_shard_worker_aborts_cleanly() {
     let (d, index) = directions_fixture(N, DSEED);
     // Let the handshake, init and first hierarchy tracking through
     // (hello, init, retain, track_scored — 4 sends), then the transport
     // to shard 0 starts dropping everything: the first YES's store
-    // update is the first casualty.
-    let connect: Box<darwin_core::ShardConnector> = Box::new(|s, _range| {
+    // update is the first casualty. Re-dials are refused, so
+    // reconnect-and-replay cannot save the run.
+    let dials = Arc::new(AtomicUsize::new(0));
+    let dials_in = dials.clone();
+    let connect: Box<darwin_core::ShardConnector> = Box::new(move |s, _range| {
+        if s == 0 && dials_in.fetch_add(1, Ordering::SeqCst) > 0 {
+            return Err(WireError::Disconnected);
+        }
         let (client, mut server) = InProc::pair();
         std::thread::spawn(move || {
             let _ = darwin_core::serve_shard(&mut server);
@@ -231,12 +272,64 @@ fn dying_shard_worker_aborts_cleanly() {
         .as_deref()
         .expect("wire failure must surface");
     assert!(!err.is_empty());
+    assert!(
+        dials.load(Ordering::SeqCst) > 1,
+        "the coordinator must have attempted a restart before giving up"
+    );
     // The prefix is coherent: every trace step's P growth is consistent.
     let mut prev = run.p_size_after(0);
     for step in &run.trace {
         assert!(step.p_size >= prev);
         prev = step.p_size;
     }
+}
+
+/// A shard worker that keeps dying but *can* be restarted: the
+/// coordinator re-dials, re-initializes the fresh worker from its
+/// confirmed mirrors, replays the interrupted request, and the run
+/// completes with no wire error — byte-identical to the healthy trace.
+#[test]
+fn flaky_shard_worker_reconnects_and_replays() {
+    let (d, index) = directions_fixture(N, DSEED);
+    let reference = {
+        let darwin = Darwin::new(&d.corpus, &index, cfg(N, 2, 1, 1));
+        let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
+        let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);
+        darwin.run(seed, &mut oracle)
+    };
+    // Every incarnation of shard 0's worker survives only 6 sends past
+    // the dial (enough for the hello + re-init + replay cycle, plus a
+    // little progress) before its transport starts dropping frames — a
+    // worker that crashes over and over but is always restartable.
+    let dials = Arc::new(AtomicUsize::new(0));
+    let dials_in = dials.clone();
+    let connect: Box<darwin_core::ShardConnector> = Box::new(move |s, _range| {
+        let (client, mut server) = InProc::pair();
+        std::thread::spawn(move || {
+            let _ = darwin_core::serve_shard(&mut server);
+        });
+        let t: Box<dyn Transport> = if s == 0 {
+            dials_in.fetch_add(1, Ordering::SeqCst);
+            Box::new(FlakyTransport::after(Box::new(client), Fault::Drop, 6))
+        } else {
+            Box::new(client)
+        };
+        Ok(t)
+    });
+    let darwin = Darwin::new(&d.corpus, &index, cfg(N, 2, 1, 1)).with_remote_shards(connect);
+    let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
+    let mut oracle = GroundTruthOracle::new(&d.labels, 0.8);
+    let run = darwin.run(seed, &mut oracle);
+    assert!(
+        run.wire_error.is_none(),
+        "reconnect-and-replay must absorb the failures: {:?}",
+        run.wire_error
+    );
+    assert!(
+        dials.load(Ordering::SeqCst) > 1,
+        "shard 0 must actually have been restarted"
+    );
+    assert_equivalent(&reference, &run, "flaky-but-restartable shard 0");
 }
 
 /// Frame corruption (torn writes) is caught before it can poison state:
