@@ -1,0 +1,149 @@
+//! Durable-session cost: what a suspend/resume cycle adds on top of an
+//! uninterrupted run, and how snapshot serialization scales with corpus
+//! size.
+//!
+//! Per corpus size, the bench suspends a run at a wave barrier, measures
+//! encoding the captured [`Snapshot`] to its checksummed frame and
+//! decoding it back, then completes the run from the bytes alone and
+//! asserts the recovered positives, scores and trace are identical to
+//! the uninterrupted reference — the timings are only reported for runs
+//! that honored the contract.
+//!
+//! Besides the criterion report, running this bench rewrites
+//! `BENCH_snapshot.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darwin_core::{
+    BatchPolicy, Darwin, DarwinConfig, GroundTruthOracle, Immediate, Seed, SessionOutcome, Snapshot,
+};
+use darwin_datasets::directions;
+use darwin_grammar::Heuristic;
+use darwin_index::{IndexConfig, IndexSet};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const SUSPEND_AT: u64 = 2;
+
+/// Median wall-clock of `f` over `iters` runs, in nanoseconds.
+fn median_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            criterion::black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    corpus_sentences: usize,
+    snapshot_bytes: usize,
+    encode_ns: u64,
+    decode_ns: u64,
+    uninterrupted_ns: u64,
+    suspend_resume_ns: u64,
+    overhead_ratio: f64,
+}
+
+fn measure(n: usize, c: &mut Criterion) -> Row {
+    let d = directions::generate(n, SEED);
+    let index = IndexSet::build(
+        &d.corpus,
+        &IndexConfig {
+            max_phrase_len: 4,
+            min_count: 2,
+            ..Default::default()
+        },
+    );
+    let cfg = DarwinConfig {
+        budget: 12,
+        n_candidates: 1200,
+        batch: BatchPolicy::Fixed(3),
+        ..DarwinConfig::fast()
+    };
+    let darwin = Darwin::new(&d.corpus, &index, cfg);
+    let seed = Seed::Rule(Heuristic::phrase(&d.corpus, d.seed_rules[0]).unwrap());
+    let oracle = || Immediate::new(GroundTruthOracle::new(&d.labels, 0.8));
+
+    // Uninterrupted reference.
+    let t = Instant::now();
+    let reference = darwin.run_async(seed.clone(), &mut oracle());
+    let uninterrupted_ns = t.elapsed().as_nanos() as u64;
+
+    // The whole crashed lifecycle: run to the barrier, capture, encode;
+    // then decode, rebuild and finish from the bytes alone.
+    let t = Instant::now();
+    let snap = match darwin.snapshot(seed.clone(), &mut oracle(), SUSPEND_AT) {
+        SessionOutcome::Suspended(snap) => snap,
+        SessionOutcome::Finished(_) => unreachable!("budget outlives wave {SUSPEND_AT}"),
+    };
+    let bytes = snap.to_bytes();
+    let resumed = darwin.resume(&bytes, &mut oracle()).expect("resume");
+    let suspend_resume_ns = t.elapsed().as_nanos() as u64;
+
+    // The contract, before any timing is reported.
+    assert_eq!(reference.run.positives, resumed.run.positives, "P differs");
+    assert_eq!(reference.run.scores, resumed.run.scores, "scores differ");
+    assert_eq!(reference.run.trace, resumed.run.trace, "trace differs");
+
+    let mut g = c.benchmark_group(format!("snapshot_{n}"));
+    g.sample_size(20);
+    g.bench_function("encode", |b| b.iter(|| snap.to_bytes()));
+    g.bench_function("decode", |b| {
+        b.iter(|| Snapshot::from_bytes(&bytes).unwrap())
+    });
+    g.finish();
+
+    let encode_ns = median_ns(50, || snap.to_bytes());
+    let decode_ns = median_ns(50, || Snapshot::from_bytes(&bytes).unwrap());
+    Row {
+        corpus_sentences: n,
+        snapshot_bytes: bytes.len(),
+        encode_ns,
+        decode_ns,
+        uninterrupted_ns,
+        suspend_resume_ns,
+        overhead_ratio: suspend_resume_ns as f64 / uninterrupted_ns as f64,
+    }
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let rows: Vec<Row> = [1000, 5000, 20000].iter().map(|&n| measure(n, c)).collect();
+
+    let mut blocks = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            blocks.push_str(",\n");
+        }
+        blocks.push_str(&format!(
+            "    {{\n      \"corpus_sentences\": {},\n      \"snapshot_bytes\": {},\n      \"encode_ns\": {},\n      \"decode_ns\": {},\n      \"uninterrupted_run_ns\": {},\n      \"suspend_resume_ns\": {},\n      \"overhead_ratio\": {:.3}\n    }}",
+            r.corpus_sentences,
+            r.snapshot_bytes,
+            r.encode_ns,
+            r.decode_ns,
+            r.uninterrupted_ns,
+            r.suspend_resume_ns,
+            r.overhead_ratio
+        ));
+        println!(
+            "snapshot_bench {}k: {} bytes, encode {} µs, decode {} µs, lifecycle overhead {:.2}x",
+            r.corpus_sentences / 1000,
+            r.snapshot_bytes,
+            r.encode_ns / 1000,
+            r.decode_ns / 1000,
+            r.overhead_ratio
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"snapshot_resume\",\n  \"suspend_at_wave\": {SUSPEND_AT},\n  \"host_threads\": {host_threads},\n  \"resumed_identical_to_reference\": true,\n  \"corpora\": [\n{blocks}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");
+    std::fs::write(path, &json).expect("write BENCH_snapshot.json");
+    println!("snapshot_bench: recorded in BENCH_snapshot.json");
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

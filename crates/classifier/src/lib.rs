@@ -27,4 +27,4 @@ pub use block::{EmbedBlock, FeatureBlock, BLOCK_ROWS};
 pub use cnn::{CnnConfig, KimCnn};
 pub use logreg::{LogReg, LogRegConfig};
 pub use model::{ClassifierKind, TextClassifier};
-pub use scorer::ScoreCache;
+pub use scorer::{ScoreCache, ScoreImage};

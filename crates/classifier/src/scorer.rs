@@ -70,6 +70,24 @@ pub struct ScoreCache {
     changes: Vec<(u32, f32, f32)>,
 }
 
+/// A plain-data image of a [`ScoreCache`]'s refresh state — see
+/// [`ScoreCache::export`]. Session snapshots serialize this through the
+/// wire codec; `f32` fields round-trip bit for bit there (NaN payloads
+/// included), which is why the image stores raw scores rather than any
+/// derived form.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScoreImage {
+    pub scores: Vec<f32>,
+    pub round: u32,
+    pub threshold: f32,
+    pub full_every: u32,
+    pub incremental: bool,
+    pub refreshed_last_round: u64,
+    pub epoch: u64,
+    pub last_was_full: bool,
+    pub changes: Vec<(u32, f32, f32)>,
+}
+
 impl ScoreCache {
     pub fn new(n_sentences: usize) -> ScoreCache {
         ScoreCache {
@@ -249,6 +267,46 @@ impl ScoreCache {
             out.extend_from_slice(&part);
         }
         out
+    }
+
+    /// Capture the cache's refresh state as a plain-data image for
+    /// session snapshots. Execution knobs (`shards`, `threads`) are
+    /// deliberately absent: they are pure performance parameters, and a
+    /// resumed session may legally run with different ones.
+    pub fn export(&self) -> ScoreImage {
+        ScoreImage {
+            scores: self.scores.clone(),
+            round: self.round,
+            threshold: self.threshold,
+            full_every: self.full_every,
+            incremental: self.incremental,
+            refreshed_last_round: self.refreshed_last_round as u64,
+            epoch: self.epoch,
+            last_was_full: self.last_was_full,
+            changes: self.changes.clone(),
+        }
+    }
+
+    /// Rebuild a cache from an exported image (sequential, unsharded —
+    /// apply [`ScoreCache::with_shards`] / [`ScoreCache::with_threads`]
+    /// for the new deployment). The refresh cadence continues exactly
+    /// where the exporter stopped: `round` drives the full-vs-incremental
+    /// decision, so a resumed run schedules its next full pass on the same
+    /// retrain as the uninterrupted one.
+    pub fn import(img: &ScoreImage) -> ScoreCache {
+        ScoreCache {
+            scores: img.scores.clone(),
+            round: img.round,
+            threshold: img.threshold,
+            full_every: img.full_every,
+            incremental: img.incremental,
+            shards: 1,
+            threads: 1,
+            refreshed_last_round: img.refreshed_last_round as usize,
+            epoch: img.epoch,
+            last_was_full: img.last_was_full,
+            changes: img.changes.clone(),
+        }
     }
 
     /// Refresh scores from a (re)trained classifier.
@@ -478,6 +536,46 @@ mod tests {
         }
         assert_eq!(rebuilt, cache.last_changes());
         assert_eq!(cache.changes_in(0, n), cache.last_changes());
+    }
+
+    /// An exported-then-imported cache must continue the refresh cadence
+    /// exactly: same full-pass schedule, bit-identical scores and
+    /// journals as the never-interrupted cache.
+    #[test]
+    fn export_import_continues_the_refresh_cadence() {
+        let (c, e) = setup();
+        let mut clf = ClassifierKind::logreg().build(&e, 1);
+        let sets: [(&[u32], &[u32]); 4] = [
+            (&[0, 2], &[1, 3]),
+            (&[0, 2, 4], &[1, 3, 5]),
+            (&[0, 2, 4, 6], &[1, 3, 5, 7]),
+            (&[0, 2, 4, 6, 8], &[1, 3, 5, 7, 9]),
+        ];
+        let mut reference = ScoreCache::new(c.len());
+        reference.full_every = 3;
+        let mut live = ScoreCache::new(c.len());
+        live.full_every = 3;
+        for (pos, neg) in &sets[..2] {
+            clf.fit(&c, &e, pos, neg);
+            reference.refresh(clf.as_ref(), &c, &e);
+            live.refresh(clf.as_ref(), &c, &e);
+        }
+        let mut resumed = ScoreCache::import(&live.export())
+            .with_shards(2)
+            .with_threads(2);
+        assert_eq!(resumed.epoch(), live.epoch());
+        for (pos, neg) in &sets[2..] {
+            clf.fit(&c, &e, pos, neg);
+            reference.refresh(clf.as_ref(), &c, &e);
+            resumed.refresh(clf.as_ref(), &c, &e);
+            assert_eq!(
+                resumed.last_refresh_was_full(),
+                reference.last_refresh_was_full()
+            );
+            assert_eq!(resumed.scores(), reference.scores());
+            assert_eq!(resumed.last_changes(), reference.last_changes());
+        }
+        assert_eq!(resumed.epoch(), reference.epoch());
     }
 
     #[test]

@@ -65,6 +65,8 @@
 use crate::engine::{Engine, EngineFlavor};
 use crate::oracle::{AsyncOracle, Oracle, QuestionId};
 use crate::pipeline::{Darwin, RunResult, Seed};
+use crate::snapshot::{SessionCounters, Snapshot};
+use crate::traversal::Strategy;
 use darwin_grammar::Heuristic;
 use darwin_index::fx::FxHashMap;
 use darwin_index::RuleRef;
@@ -446,6 +448,21 @@ const SPIN_FREE_POLLS: usize = 64;
 /// polls) fall back to the driver's own backoff above.
 const POLL_DEADLINE: Duration = Duration::from_millis(10);
 
+/// What a suspendable driver session produced: either the run completed
+/// (budget exhausted, nothing left to ask, or the oracle went silent), or
+/// it was suspended at the requested wave barrier and the complete run
+/// state is in the returned [`Snapshot`] — feed it to
+/// [`Darwin::resume`](crate::pipeline::Darwin::resume) to continue.
+// One value of this enum exists per driven session; the size gap between
+// the variants costs nothing worth boxing the result for.
+#[allow(clippy::large_enum_variant)]
+pub enum SessionOutcome {
+    /// The run drove to completion; no snapshot was taken.
+    Finished(AsyncRunResult),
+    /// The run was suspended at a wave barrier.
+    Suspended(Box<Snapshot>),
+}
+
 /// The async driver — see the module docs for the wave protocol and the
 /// equivalence argument. Called via [`Darwin::run_async`].
 pub(crate) fn drive(
@@ -454,18 +471,49 @@ pub(crate) fn drive(
     oracle: &mut dyn AsyncOracle,
     model: &CostModel,
 ) -> AsyncRunResult {
+    let engine = Engine::new(darwin, seed, EngineFlavor::Sequential);
+    let strategy = crate::pipeline::default_strategy(darwin.config(), engine.seed_refs());
+    match drive_session(
+        darwin,
+        engine,
+        strategy,
+        SessionCounters::default(),
+        oracle,
+        model,
+        None,
+    ) {
+        SessionOutcome::Finished(result) => result,
+        SessionOutcome::Suspended(_) => unreachable!("drive() never requests suspension"),
+    }
+}
+
+/// The suspendable driver core. `start` carries the cumulative counters
+/// (zero for a fresh run, the snapshot's for a resumed one) so question
+/// ids and the final [`AsyncReport`] continue across a suspend exactly as
+/// if the run had never stopped. With `suspend_after = Some(w)` the
+/// driver returns [`SessionOutcome::Suspended`] at the first wave barrier
+/// where the *cumulative* wave count reaches `w` — a barrier is the only
+/// point where a snapshot is taken (pending set drained, feedback
+/// applied, retrain done), which is what makes resume trace-exact.
+pub(crate) fn drive_session<'a>(
+    darwin: &'a Darwin<'a>,
+    mut engine: Engine<'a>,
+    mut strategy: Box<dyn Strategy>,
+    start: SessionCounters,
+    oracle: &mut dyn AsyncOracle,
+    model: &CostModel,
+    suspend_after: Option<u64>,
+) -> SessionOutcome {
     let cfg = darwin.config();
     let corpus = darwin.corpus();
     let index = darwin.index();
     let started = Instant::now();
 
-    let mut engine = Engine::new(darwin, seed, EngineFlavor::Sequential);
-    let mut strategy = crate::pipeline::default_strategy(cfg, engine.seed_refs());
     let mut batcher = AdaptiveBatcher::new(cfg.batch.clone());
-    let mut submitted = 0usize;
-    let mut waves = 0usize;
-    let mut retrains = 0usize;
-    let mut peak = 0usize;
+    let mut submitted = start.submitted as usize;
+    let mut waves = start.waves as usize;
+    let mut retrains = start.retrains as usize;
+    let mut peak = start.peak as usize;
     let mut abandoned = 0usize;
     let mut submit_at: FxHashMap<u64, Instant> = FxHashMap::default();
 
@@ -601,6 +649,19 @@ pub(crate) fn drive(
         if abandoned > 0 {
             break; // the oracle went silent: return the partial run
         }
+        // ---- suspend hook: barriers are the only snapshot points ----
+        // Pending is drained, feedback applied, the retrain (if any) done:
+        // the run's future is a pure function of the captured state.
+        if suspend_after.is_some_and(|stop| waves as u64 >= stop) {
+            let counters = SessionCounters {
+                submitted: submitted as u64,
+                waves: waves as u64,
+                retrains: retrains as u64,
+                peak: peak as u64,
+            };
+            let snap = Snapshot::capture(darwin, &engine, strategy.as_ref(), counters);
+            return SessionOutcome::Suspended(Box::new(snap));
+        }
     }
 
     let run = engine.finish();
@@ -613,7 +674,7 @@ pub(crate) fn drive(
         wall_ns: started.elapsed().as_nanos(),
         cost: model.report(run.questions()),
     };
-    AsyncRunResult { run, report }
+    SessionOutcome::Finished(AsyncRunResult { run, report })
 }
 
 #[cfg(test)]

@@ -390,6 +390,18 @@ pub struct EngineState {
     asked_coverages: FxHashSet<u64>,
 }
 
+impl EngineState {
+    /// Canonical heuristics already asked (alias dedup) — snapshot capture.
+    pub(crate) fn asked(&self) -> &FxHashSet<Heuristic> {
+        &self.asked
+    }
+
+    /// Coverage hashes already asked (duplicate dedup) — snapshot capture.
+    pub(crate) fn asked_coverages(&self) -> &FxHashSet<u64> {
+        &self.asked_coverages
+    }
+}
+
 /// Which loop flavor an [`Engine`] serves. The two differ in RNG stream
 /// and in the parallel loop's always-incremental score cache. One
 /// deliberate unification vs. the pre-engine loops: both flavors now mark
@@ -554,6 +566,142 @@ impl<'a> Engine<'a> {
         }
         engine.regen_hierarchy();
         engine
+    }
+
+    /// Rebuild an engine at the state a [`crate::snapshot::Snapshot`]
+    /// captured — the resume half of the durable-session contract.
+    ///
+    /// What is restored directly: the run state (`P`, queried/asked sets,
+    /// accepted/rejected, trace), the score cache image (re-sharded for
+    /// *this* deployment's `shards`/`threads` — pure perf knobs), the RNG
+    /// at its exact captured words, the frontier memo, the in-flight
+    /// question set and the seed handles. What is *re-derived*: the
+    /// classifier (untrained — `fit` is a pure function of
+    /// `(P, RNG draws, seed)`, so the next retrain reproduces the
+    /// identical model; the restored scores are the model's output at the
+    /// barrier), the candidate hierarchy (deterministic in `P`), and the
+    /// benefit aggregates (recomputed from the restored `(P, scores)`,
+    /// bit-equal to the suspended run's delta-maintained sums by the
+    /// store-consistency invariant). Re-attaching remote shards replays
+    /// `ShardInit` with the restored state through this `Darwin`'s
+    /// connector, and [`Engine::regen_hierarchy`] doubles as the `Track`
+    /// replay.
+    ///
+    /// Deliberately does **not** retrain: that would consume RNG words
+    /// the uninterrupted reference never drew at this point.
+    pub fn resume(
+        darwin: &'a Darwin<'a>,
+        snap: &crate::snapshot::Snapshot,
+    ) -> Result<Engine<'a>, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let corpus = darwin.corpus();
+        let index = darwin.index();
+        let cfg = darwin.config();
+        let n = corpus.len();
+        if snap.n as usize != n || snap.cache.scores.len() != n {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot sized for {} sentences ({} scores), live corpus has {n}",
+                snap.n,
+                snap.cache.scores.len()
+            )));
+        }
+
+        let state = EngineState {
+            p: IdSet::from_ids(&snap.p, n),
+            queried: snap.queried.iter().copied().collect(),
+            accepted: snap.accepted.clone(),
+            rejected: snap.rejected.clone(),
+            trace: snap.trace.clone(),
+            asked: snap.asked.iter().cloned().collect(),
+            asked_coverages: snap.asked_coverages.iter().copied().collect(),
+        };
+
+        // The classifier is built exactly as in `Engine::new` — local or
+        // behind this deployment's connector — but left untrained.
+        let kind = cfg.classifier.clone().with_warm_start(cfg.warm_start);
+        let mut clf_abort: Option<darwin_wire::WireError> = None;
+        let clf: Box<dyn TextClassifier> = match darwin.remote_classifier() {
+            None => kind.build(darwin.embeddings(), cfg.seed),
+            Some(spec) => match (spec.connect)().and_then(|t| {
+                crate::remote::WireClassifier::connect(t, corpus, cfg.seed, &kind, cfg.seed)
+            }) {
+                Ok(wc) => Box::new(wc),
+                Err(e) => {
+                    clf_abort = Some(e);
+                    kind.build(darwin.embeddings(), cfg.seed)
+                }
+            },
+        };
+        let cache = ScoreCache::import(&snap.cache)
+            .with_shards(cfg.shards)
+            .with_threads(cfg.threads);
+        let rng = StdRng::from_state(snap.rng);
+        let frontier = match (&snap.frontier, cfg.incremental_frontier) {
+            (Some(img), true) => Some(FrontierPool::import(img).map_err(SnapshotError::Corrupt)?),
+            // Resuming with the pool enabled but no captured memo: a fresh
+            // pool's first regeneration is a full walk — identical output,
+            // the memo was only ever a cost optimization.
+            (None, true) => Some(FrontierPool::new()),
+            _ => None,
+        };
+        let max_count = (cfg.max_coverage_frac * n as f64).ceil() as usize;
+        let pending = snap
+            .pending
+            .iter()
+            .map(|&(q, r)| (crate::oracle::QuestionId(q), r))
+            .collect();
+
+        let mut engine = Engine {
+            darwin,
+            state,
+            clf,
+            cache,
+            rng,
+            hierarchy: Hierarchy::new(index, Vec::new()),
+            store: None,
+            frontier,
+            pending,
+            seed_refs: snap.seed_refs.clone(),
+            max_count,
+            wire_abort: clf_abort,
+        };
+        if cfg.incremental_benefit {
+            let map = ShardMap::new(n, cfg.shards);
+            match darwin.remote_shards() {
+                None => engine.store = Some(ShardedBenefitStore::new(map)),
+                // Re-attach workers by replaying `ShardInit` with the
+                // *restored* (P, scores) — the state the suspended
+                // coordinator's workers held at the barrier.
+                Some(spec) => match ShardedBenefitStore::connect_remote(
+                    map,
+                    corpus,
+                    index.config(),
+                    &engine.state.p,
+                    engine.cache.scores(),
+                    spec.connect.clone(),
+                    cfg.fanout,
+                ) {
+                    Ok(store) => engine.store = Some(store),
+                    Err(e) => engine.wire_abort = Some(e),
+                },
+            }
+        } else if darwin.remote_shards().is_some() {
+            engine.wire_abort = Some(darwin_wire::WireError::Protocol(
+                "remote shards require DarwinConfig::incremental_benefit".into(),
+            ));
+        }
+        engine.regen_hierarchy();
+        Ok(engine)
+    }
+
+    /// The score cache (snapshot capture).
+    pub(crate) fn cache(&self) -> &ScoreCache {
+        &self.cache
+    }
+
+    /// The raw RNG state (snapshot capture).
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
     }
 
     /// The wire failure that aborted a distributed run, if any. While set,

@@ -339,6 +339,117 @@ impl FrontierPool {
     }
 }
 
+/// A plain-data image of a [`FrontierPool`]'s persistent state, produced
+/// by [`FrontierPool::export`] and consumed by [`FrontierPool::import`].
+/// Session snapshots serialize this through the wire codec.
+///
+/// The image is *canonical*: walk-local bookkeeping (`seen_gen`,
+/// `walk_gen`) is normalized away — it only disambiguates visits within
+/// one regeneration and resets naturally on import — and derived totals
+/// (`memoized`, `total_cov`) are recomputed rather than stored, so two
+/// pools with the same memo always export byte-identical images.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FrontierImage {
+    /// `(overlap, count, kids)` per dense rule id; `count == u32::MAX`
+    /// marks a never-visited slot.
+    pub nodes: Vec<(u32, u32, u32)>,
+    /// Adjacency arena: `[len, child...]` runs of dense child ids (slot 0
+    /// is the "unexpanded" dummy). Empty only when the pool was never
+    /// used.
+    pub kids: Vec<u32>,
+    /// Journaled dirty ids not yet applied to the memo.
+    pub pending: Vec<u32>,
+    /// Epoch stamp: the `|P|` the memoized overlaps reflect.
+    pub synced_p: u64,
+    /// The reflected positive ids, in increasing order.
+    pub reflected: Vec<u32>,
+    /// Universe (corpus size) the reflected set is sized for.
+    pub universe: u32,
+    /// Work counters, carried across the suspend so diagnostics stay
+    /// continuous.
+    pub stats: FrontierStats,
+}
+
+impl FrontierPool {
+    /// Capture the pool's persistent state as a [`FrontierImage`].
+    /// `universe` is the corpus size (sizes the reflected-id set on
+    /// import).
+    pub fn export(&self, universe: usize) -> FrontierImage {
+        FrontierImage {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| (n.overlap, n.count, n.kids))
+                .collect(),
+            kids: self.kids.clone(),
+            pending: self.pending.clone(),
+            synced_p: self.synced_p as u64,
+            reflected: self.reflected.iter().collect(),
+            universe: universe as u32,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild a pool from an exported image, validating internal
+    /// consistency (arena offsets in bounds, overlaps within coverage) so
+    /// a corrupt image is refused instead of panicking later. Statistics
+    /// the image does not carry (`memoized`, `total_cov`) are recomputed;
+    /// the walk generation restarts at zero, which is invisible to
+    /// regeneration output.
+    pub fn import(img: &FrontierImage) -> Result<FrontierPool, String> {
+        if img.nodes.is_empty() && img.kids.len() > 1 {
+            return Err("frontier image has an arena but no memo table".into());
+        }
+        let mut memoized = 0usize;
+        let mut total_cov = 0u64;
+        for (i, &(overlap, count, kids)) in img.nodes.iter().enumerate() {
+            if count != ABSENT {
+                if overlap > count {
+                    return Err(format!(
+                        "frontier slot {i}: overlap {overlap} > count {count}"
+                    ));
+                }
+                memoized += 1;
+                total_cov += count as u64;
+            }
+            if kids != 0 {
+                let off = kids as usize;
+                let len =
+                    *img.kids.get(off).ok_or_else(|| {
+                        format!("frontier slot {i}: arena offset {off} out of bounds")
+                    })? as usize;
+                let run = img
+                    .kids
+                    .get(off + 1..off + 1 + len)
+                    .ok_or_else(|| format!("frontier slot {i}: arena run escapes the arena"))?;
+                if run.iter().any(|&d| d as usize >= img.nodes.len()) {
+                    return Err(format!("frontier slot {i}: child beyond the memo table"));
+                }
+            }
+        }
+        Ok(FrontierPool {
+            nodes: img
+                .nodes
+                .iter()
+                .map(|&(overlap, count, kids)| NodeStat {
+                    overlap,
+                    count,
+                    seen_gen: 0,
+                    kids,
+                })
+                .collect(),
+            kids: img.kids.clone(),
+            memoized,
+            pending: img.pending.clone(),
+            synced_p: img.synced_p as usize,
+            reflected: IdSet::from_ids(&img.reflected, img.universe as usize),
+            walk_gen: 0,
+            total_cov,
+            stats: img.stats,
+        })
+    }
+}
+
 /// The pool-backed [`WalkSource`]: visits are one probe of the memo slot
 /// (seen-set stamp + statistics in a single cache line), expansions read
 /// the adjacency arena, and only first-ever visits touch the index's
@@ -525,6 +636,63 @@ mod tests {
         let a = by_postings.generate_scored(&idx, &p, 10_000, usize::MAX);
         let b = by_intersection.generate_scored(&idx, &p, 10_000, usize::MAX);
         assert_eq!(as_tuples(&a), as_tuples(&b));
+    }
+
+    /// An exported-then-imported pool must regenerate exactly what the
+    /// original would have, including across further growth, and its
+    /// re-export must be byte-identical (canonical image).
+    #[test]
+    fn export_import_roundtrip_preserves_regeneration() {
+        let (c, idx) = setup();
+        let n = c.len();
+        let mut pool = FrontierPool::new();
+        let mut p = IdSet::from_ids(&[0, 1], n);
+        pool.generate_scored(&idx, &p, 10_000, usize::MAX);
+        pool.note_positives(&[2]);
+        p.insert(2);
+
+        let img = pool.export(n);
+        let mut copy = FrontierPool::import(&img).expect("valid image");
+        assert_eq!(copy.export(n), img, "re-export must be canonical");
+
+        for batch in [&[5u32][..], &[6, 7][..]] {
+            pool.note_positives(batch);
+            copy.note_positives(batch);
+            p.extend_from_slice(batch);
+            let a = pool.generate_scored(&idx, &p, 10_000, usize::MAX);
+            let b = copy.generate_scored(&idx, &p, 10_000, usize::MAX);
+            assert_eq!(as_tuples(&a), as_tuples(&b));
+        }
+        assert_eq!(copy.stats().full_rebuilds, 0, "import must not rebuild");
+    }
+
+    /// Corrupt images are refused, never imported.
+    #[test]
+    fn corrupt_images_are_refused() {
+        let (c, idx) = setup();
+        let mut pool = FrontierPool::new();
+        let p = IdSet::from_ids(&[0], c.len());
+        pool.generate_scored(&idx, &p, 10_000, usize::MAX);
+        let img = pool.export(c.len());
+
+        let mut bad = img.clone();
+        if let Some(slot) = bad.nodes.iter_mut().find(|s| s.1 != ABSENT) {
+            slot.0 = slot.1 + 1; // overlap beyond coverage
+        }
+        assert!(FrontierPool::import(&bad).is_err());
+
+        let mut bad = img.clone();
+        for slot in &mut bad.nodes {
+            if slot.2 != 0 {
+                slot.2 = bad.kids.len() as u32 + 40; // arena offset out of bounds
+                break;
+            }
+        }
+        assert!(FrontierPool::import(&bad).is_err());
+
+        let mut bad = img;
+        bad.kids.truncate(bad.kids.len().saturating_sub(1));
+        assert!(FrontierPool::import(&bad).is_err());
     }
 
     fn as_tuples(cands: &[Candidate]) -> Vec<(RuleRef, usize, usize)> {

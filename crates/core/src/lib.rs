@@ -47,15 +47,16 @@ pub mod parallel;
 pub mod pipeline;
 pub mod remote;
 pub mod shard;
+pub mod snapshot;
 pub mod traversal;
 
 pub use batch::{
     AdaptiveBatcher, AsyncReport, AsyncRunResult, BatchPolicy, CostModel, CrowdCost,
-    ScriptedArrival, SimulatedLatency,
+    ScriptedArrival, SessionOutcome, SimulatedLatency,
 };
 pub use config::{DarwinConfig, Fanout, TraversalKind};
 pub use engine::{BenefitAgg, BenefitStore, Engine, EngineFlavor, EngineState};
-pub use frontier::{FrontierPool, FrontierStats};
+pub use frontier::{FrontierImage, FrontierPool, FrontierStats};
 pub use oracle::{
     AsyncOracle, GroundTruthOracle, Immediate, Oracle, QuestionId, SampledAnnotatorOracle,
 };
@@ -66,4 +67,5 @@ pub use remote::{
     serve_oracle, serve_shard, WireClassifier, WireOracle,
 };
 pub use shard::{RemoteShard, ShardConnector, ShardedBenefitStore};
-pub use traversal::Strategy;
+pub use snapshot::{SessionCounters, Snapshot, SnapshotError};
+pub use traversal::{Strategy, StrategyState};

@@ -7,11 +7,12 @@
 //! run's output — any configuration replays the same trace, so results
 //! are comparable across machines and deployments.
 
-use crate::batch::{AsyncRunResult, CostModel};
+use crate::batch::{AsyncRunResult, CostModel, SessionOutcome};
 use crate::config::{DarwinConfig, TraversalKind};
 use crate::engine::{Engine, EngineFlavor};
 use crate::oracle::{AsyncOracle, Oracle};
 use crate::shard::ShardConnector;
+use crate::snapshot::{SessionCounters, Snapshot, SnapshotError};
 use crate::traversal::{HybridSearch, LocalSearch, Strategy, UniversalSearch};
 use darwin_grammar::Heuristic;
 use darwin_index::fx::FxHashSet;
@@ -29,7 +30,7 @@ pub enum Seed {
 }
 
 /// One oracle interaction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceStep {
     /// 1-based question number.
     pub question: usize,
@@ -278,6 +279,80 @@ impl<'a> Darwin<'a> {
         model: &CostModel,
     ) -> AsyncRunResult {
         crate::batch::drive(self, seed, oracle, model)
+    }
+
+    /// Drive an async run and suspend it at a wave barrier: the first
+    /// barrier where the cumulative wave count reaches `after_waves`.
+    /// Barriers are the *only* snapshot points — the wave's questions are
+    /// all answered and applied, the strategy has observed them, the
+    /// classifier has retrained if `P` grew — so the returned
+    /// [`Snapshot`] (see [`SessionOutcome::Suspended`]) plus the seedless
+    /// re-derivations at resume determine the rest of the run exactly.
+    /// Runs that finish before the requested barrier return
+    /// [`SessionOutcome::Finished`].
+    pub fn snapshot(
+        &self,
+        seed: Seed,
+        oracle: &mut dyn AsyncOracle,
+        after_waves: u64,
+    ) -> SessionOutcome {
+        let engine = Engine::new(self, seed, EngineFlavor::Sequential);
+        let strategy = default_strategy(&self.cfg, engine.seed_refs());
+        crate::batch::drive_session(
+            self,
+            engine,
+            strategy,
+            SessionCounters::default(),
+            oracle,
+            &CostModel::paper(),
+            Some(after_waves),
+        )
+    }
+
+    /// Resume a suspended run from serialized snapshot bytes and drive it
+    /// to completion. The snapshot is validated (frame checksum, version
+    /// window, config/corpus fingerprints, rule-handle bounds) before any
+    /// state is rebuilt. Remote workers are re-attached through *this*
+    /// `Darwin`'s connectors ([`Darwin::with_remote_shards`] and friends)
+    /// by replaying `ShardInit`/`Track` from the restored `(P, scores)` —
+    /// the deployment may differ freely from the suspended one (transport,
+    /// shard count, thread count, fanout): those are perf knobs, and the
+    /// completed trace is byte-identical to the uninterrupted run.
+    pub fn resume(
+        &self,
+        bytes: &[u8],
+        oracle: &mut dyn AsyncOracle,
+    ) -> Result<AsyncRunResult, SnapshotError> {
+        match self.resume_suspendable(bytes, oracle, None)? {
+            SessionOutcome::Finished(result) => Ok(result),
+            SessionOutcome::Suspended(_) => unreachable!("resume() never requests suspension"),
+        }
+    }
+
+    /// [`Darwin::resume`], optionally suspending again at a later barrier
+    /// (`suspend_after` counts *cumulative* waves, like
+    /// [`Darwin::snapshot`]) — a run can hop process to process barrier
+    /// by barrier, snapshotting at each.
+    pub fn resume_suspendable(
+        &self,
+        bytes: &[u8],
+        oracle: &mut dyn AsyncOracle,
+        suspend_after: Option<u64>,
+    ) -> Result<SessionOutcome, SnapshotError> {
+        let snap = Snapshot::from_bytes(bytes)?;
+        snap.validate_against(self)?;
+        let engine = Engine::resume(self, &snap)?;
+        let mut strategy = default_strategy(&self.cfg, engine.seed_refs());
+        strategy.import_state(&snap.strategy);
+        Ok(crate::batch::drive_session(
+            self,
+            engine,
+            strategy,
+            snap.counters,
+            oracle,
+            &CostModel::paper(),
+            suspend_after,
+        ))
     }
 
     /// Run with a custom selection strategy (how the HighP/HighC baselines

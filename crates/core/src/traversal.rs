@@ -90,6 +90,25 @@ impl Ctx<'_> {
     }
 }
 
+/// Serializable traversal state, captured at a wave barrier for session
+/// snapshots. Replaying `feedback` at resume time would *not* reproduce
+/// this — feedback walks the hierarchy as it stood when the answer
+/// arrived, and the hierarchy changes after every retrain — so the state
+/// is exported explicitly instead.
+///
+/// The image is canonical: the frontier is sorted (the underlying set is
+/// unordered and selection is order-independent), so equal states export
+/// equal bytes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StrategyState {
+    /// LocalSearch's frontier, in increasing rule order.
+    pub local: Vec<RuleRef>,
+    /// HybridSearch: whether universal mode is active.
+    pub universal_mode: bool,
+    /// HybridSearch: consecutive failed attempts of the active mode.
+    pub attempts: u64,
+}
+
 /// A hierarchy-traversal policy.
 pub trait Strategy: Send {
     /// Display name (experiment reports key on it).
@@ -106,6 +125,19 @@ pub trait Strategy: Send {
     /// loops share this order, so strategies behave identically under
     /// both.
     fn feedback(&mut self, rule: RuleRef, answer: bool, ctx: &Ctx);
+
+    /// Capture the strategy's mutable state for a session snapshot, or
+    /// `None` when the implementation does not support snapshotting
+    /// (custom strategies may opt out; the built-in three all opt in).
+    fn export_state(&self) -> Option<StrategyState> {
+        None
+    }
+
+    /// Restore state captured by [`Strategy::export_state`]. Returns
+    /// `false` when the implementation does not support snapshotting.
+    fn import_state(&mut self, _state: &StrategyState) -> bool {
+        false
+    }
 }
 
 /// Algorithm 3 — LocalSearch.
@@ -193,6 +225,20 @@ impl Strategy for LocalSearch {
             }
         }
     }
+
+    fn export_state(&self) -> Option<StrategyState> {
+        let mut local: Vec<RuleRef> = self.local.iter().copied().collect();
+        local.sort_unstable();
+        Some(StrategyState {
+            local,
+            ..StrategyState::default()
+        })
+    }
+
+    fn import_state(&mut self, state: &StrategyState) -> bool {
+        self.local = state.local.iter().copied().collect();
+        true
+    }
 }
 
 /// Algorithm 4 — UniversalSearch.
@@ -230,6 +276,14 @@ impl Strategy for UniversalSearch {
 
     fn feedback(&mut self, _rule: RuleRef, _answer: bool, _ctx: &Ctx) {
         // Stateless: the shared `queried` set already excludes asked rules.
+    }
+
+    fn export_state(&self) -> Option<StrategyState> {
+        Some(StrategyState::default()) // stateless, trivially snapshotted
+    }
+
+    fn import_state(&mut self, _state: &StrategyState) -> bool {
+        true
     }
 }
 
@@ -303,6 +357,20 @@ impl Strategy for HybridSearch {
         } else {
             self.attempts += 1;
         }
+    }
+
+    fn export_state(&self) -> Option<StrategyState> {
+        let mut state = self.local.export_state()?;
+        state.universal_mode = self.universal_mode;
+        state.attempts = self.attempts as u64;
+        Some(state)
+    }
+
+    fn import_state(&mut self, state: &StrategyState) -> bool {
+        self.local.import_state(state);
+        self.universal_mode = state.universal_mode;
+        self.attempts = state.attempts as usize;
+        true
     }
 }
 

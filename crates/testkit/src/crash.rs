@@ -1,0 +1,254 @@
+//! Crash-recovery harness and snapshot corruption fuzzing.
+//!
+//! * [`CrashPlan`] — the exhaustive fault injector behind the durable-
+//!   session invariant: run a reference uninterrupted, then for *every*
+//!   wave barrier kill the run there (snapshot + drop the engine, the
+//!   oracle, the workers) and resume from bytes alone, asserting the
+//!   completed trace is byte-identical to the reference.
+//! * [`snapshot_mutants`] — a deterministic byte mutator (bit flips,
+//!   truncations, length-prefix inflation) for proving snapshot decode
+//!   rejects damage with a clean error: never a panic, never an
+//!   unbounded allocation.
+
+use crate::trace::assert_equivalent;
+use darwin_core::{AsyncOracle, AsyncRunResult, Darwin, Seed, SessionOutcome};
+use darwin_wire::{parse_snapshot_frame, snapshot_frame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assert a resumed run completed *identically* to the uninterrupted
+/// reference: byte-for-byte trace, accepted rules in order, scores
+/// bit-exact, and the driver's cumulative instrumentation (waves,
+/// submissions, retrains, peak, cost) continued across the suspend as if
+/// it never happened. Wall-clock is the one field legitimately different.
+pub fn assert_resumed_equivalent(
+    reference: &AsyncRunResult,
+    resumed: &AsyncRunResult,
+    label: &str,
+) {
+    assert_equivalent(&reference.run, &resumed.run, label);
+    assert_eq!(
+        reference.run.accepted, resumed.run.accepted,
+        "{label}: accepted rules differ"
+    );
+    assert_eq!(
+        reference.run.rejected, resumed.run.rejected,
+        "{label}: rejected rules differ"
+    );
+    let (a, b) = (&reference.report, &resumed.report);
+    assert_eq!(a.waves, b.waves, "{label}: wave counts differ");
+    assert_eq!(a.submitted, b.submitted, "{label}: submissions differ");
+    assert_eq!(a.retrains, b.retrains, "{label}: retrain counts differ");
+    assert_eq!(
+        a.peak_in_flight, b.peak_in_flight,
+        "{label}: peak in-flight differs"
+    );
+    assert_eq!(a.abandoned, b.abandoned, "{label}: abandonment differs");
+    assert_eq!(a.cost, b.cost, "{label}: crowd cost differs");
+}
+
+/// The exhaustive crash-recovery fault injector.
+///
+/// [`CrashPlan::exhaustive`] drives a reference run to completion, then
+/// for each wave barrier `w` (or only the barrier `crash_at` names, for
+/// CI matrix cells) repeats the run on `suspend_on` with a kill at `w`:
+/// the suspended leg's engine, oracle and workers are all dropped — only
+/// the serialized snapshot bytes survive — and the run resumes on
+/// `resume_on`, a deployment that may differ in transport, shard count,
+/// thread count and fanout. Every recovered run must satisfy
+/// [`assert_resumed_equivalent`] against the reference.
+pub struct CrashPlan {
+    /// Wave barriers the plan exercised (killed + resumed).
+    pub barriers: usize,
+    /// Waves the uninterrupted reference drove.
+    pub reference_waves: usize,
+}
+
+impl CrashPlan {
+    /// Run the plan. `make_oracle` must build a *fresh* oracle per leg
+    /// whose answers are a pure function of the question (the harness
+    /// kills the oracle with the rest of the suspended process);
+    /// `crash_at = Some(w)` restricts the plan to that one barrier (the
+    /// `DARWIN_TEST_CRASH_AT` matrix axis), `None` exercises every
+    /// barrier of the reference.
+    pub fn exhaustive<'o>(
+        suspend_on: &Darwin<'_>,
+        resume_on: &Darwin<'_>,
+        seed: &Seed,
+        make_oracle: &mut dyn FnMut() -> Box<dyn AsyncOracle + 'o>,
+        crash_at: Option<u64>,
+    ) -> CrashPlan {
+        let mut reference_oracle = make_oracle();
+        let reference = suspend_on.run_async(seed.clone(), &mut *reference_oracle);
+        drop(reference_oracle);
+        let reference_waves = reference.report.waves;
+
+        let mut barriers = 0usize;
+        for w in 1..=reference_waves as u64 {
+            if crash_at.is_some_and(|only| only != w) {
+                continue;
+            }
+            let mut suspend_oracle = make_oracle();
+            let outcome = suspend_on.snapshot(seed.clone(), &mut *suspend_oracle, w);
+            drop(suspend_oracle);
+            let bytes = match outcome {
+                SessionOutcome::Suspended(snap) => snap.to_bytes(),
+                // The run can finish a wave early when the final fill
+                // comes up empty; nothing left to kill at this barrier.
+                SessionOutcome::Finished(done) => {
+                    assert_resumed_equivalent(&reference, &done, "early finish");
+                    continue;
+                }
+            };
+            // Everything but `bytes` is gone — this is the crash.
+            let mut resume_oracle = make_oracle();
+            let resumed = resume_on
+                .resume(&bytes, &mut *resume_oracle)
+                .unwrap_or_else(|e| panic!("resume at barrier {w} failed: {e}"));
+            assert_resumed_equivalent(&reference, &resumed, &format!("crash at barrier {w}"));
+            barriers += 1;
+        }
+        CrashPlan {
+            barriers,
+            reference_waves,
+        }
+    }
+}
+
+/// A deterministically mutated snapshot image plus what the decoder owes
+/// us for it.
+pub struct Mutant {
+    /// The mutated snapshot frame.
+    pub bytes: Vec<u8>,
+    /// What was done to it (for assertion messages).
+    pub what: String,
+    /// `true`: decode *must* return a clean error (structural damage —
+    /// truncation, header tampering, checksum-visible flips). `false`:
+    /// decode merely must not panic — a payload flip behind a freshly
+    /// computed checksum can land in a score and produce a different but
+    /// well-formed snapshot.
+    pub must_reject: bool,
+}
+
+/// The deterministic corruption schedule for snapshot fuzzing: bit flips
+/// over the raw frame (the checksum must catch every one), truncations at
+/// fixed and seeded offsets, header length inflation (the decoder must
+/// refuse *before* allocating), and — behind a recomputed checksum, so
+/// the codec itself is on trial — payload truncations and interior
+/// length-prefix inflation.
+pub fn snapshot_mutants(frame: &[u8], seed: u64) -> Vec<Mutant> {
+    let payload = parse_snapshot_frame(frame).expect("fuzz input must be a valid snapshot frame");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+
+    // Frame truncations: fixed boundaries (empty, magic, header, headless
+    // payload) plus seeded interior cuts.
+    let mut cuts = vec![0, 1, 2, 3, 6, 7, frame.len() / 2, frame.len() - 1];
+    for _ in 0..24 {
+        cuts.push(rng.gen_range(0..frame.len()));
+    }
+    for cut in cuts {
+        if cut < frame.len() {
+            out.push(Mutant {
+                bytes: frame[..cut].to_vec(),
+                what: format!("frame truncated to {cut} of {} bytes", frame.len()),
+                must_reject: true,
+            });
+        }
+    }
+
+    // Raw bit flips anywhere in the frame: header flips hit magic /
+    // version / length validation, payload and trailer flips hit the
+    // checksum. Every single one must be rejected.
+    for _ in 0..96 {
+        let at = rng.gen_range(0..frame.len());
+        let bit = rng.gen_range(0..8u8);
+        let mut bytes = frame.to_vec();
+        bytes[at] ^= 1 << bit;
+        out.push(Mutant {
+            bytes,
+            what: format!("bit {bit} flipped at frame offset {at}"),
+            must_reject: true,
+        });
+    }
+
+    // Header length inflation: the u32 payload length lives at offsets
+    // 3..7. The decoder must refuse at the cap or the size mismatch —
+    // before believing the length, long before allocating it.
+    for inflated in [u32::MAX, u32::MAX / 2, (frame.len() as u32) << 8] {
+        let mut bytes = frame.to_vec();
+        bytes[3..7].copy_from_slice(&inflated.to_le_bytes());
+        out.push(Mutant {
+            bytes,
+            what: format!("header length inflated to {inflated}"),
+            must_reject: true,
+        });
+    }
+
+    // Payload truncations re-framed with a *valid* checksum: the frame
+    // layer passes, the codec's bounds checks are on trial. A strict
+    // prefix of a field sequence can never be a complete encoding (the
+    // codec also rejects trailing garbage), so all must fail cleanly.
+    for _ in 0..24 {
+        let cut = rng.gen_range(0..payload.len());
+        out.push(Mutant {
+            bytes: snapshot_frame(&payload[..cut]),
+            what: format!(
+                "payload truncated to {cut} of {} bytes, reframed",
+                payload.len()
+            ),
+            must_reject: true,
+        });
+    }
+
+    // Interior length-prefix inflation behind a valid checksum: overwrite
+    // four payload bytes with a huge little-endian count. Wherever it
+    // lands — a `Vec` prefix (the codec must refuse without allocating),
+    // or plain data (may still decode) — the decoder must not panic.
+    for _ in 0..24 {
+        let at = rng.gen_range(0..payload.len().saturating_sub(4));
+        let mut p = payload.clone();
+        p[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        out.push(Mutant {
+            bytes: snapshot_frame(&p),
+            what: format!("length prefix inflated at payload offset {at}, reframed"),
+            must_reject: false,
+        });
+    }
+
+    // Seeded payload bit flips behind a valid checksum: pure decoder
+    // robustness — must not panic, may or may not reject.
+    for _ in 0..48 {
+        let at = rng.gen_range(0..payload.len());
+        let bit = rng.gen_range(0..8u8);
+        let mut p = payload.clone();
+        p[at] ^= 1 << bit;
+        out.push(Mutant {
+            bytes: snapshot_frame(&p),
+            what: format!("bit {bit} flipped at payload offset {at}, reframed"),
+            must_reject: false,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutants_are_deterministic_and_plentiful() {
+        // Any valid frame works as fuzz input; an empty payload is one.
+        let frame = snapshot_frame(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let a = snapshot_mutants(&frame, 9);
+        let b = snapshot_mutants(&frame, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bytes, y.bytes, "schedule must be deterministic");
+            assert_eq!(x.must_reject, y.must_reject);
+        }
+        assert!(a.len() > 150, "got {}", a.len());
+        assert!(a.iter().any(|m| !m.must_reject));
+    }
+}

@@ -14,40 +14,89 @@
 //! * [`transports`] — wire-boundary doubles: the fault-injecting
 //!   [`FlakyTransport`] and worker-deployment helpers for distributed
 //!   suites;
-//! * env helpers ([`test_threads`], [`test_batch`], [`test_transport`])
-//!   wiring the CI matrix (`DARWIN_TEST_THREADS`, `DARWIN_TEST_BATCH`,
-//!   `DARWIN_TEST_TRANSPORT`) into suite configurations.
+//! * [`crash`] — the [`CrashPlan`] crash-recovery fault injector and the
+//!   snapshot corruption fuzzer for the durable-session suites;
+//! * [`TestEnv`] — the CI matrix (`DARWIN_TEST_TRANSPORT`,
+//!   `DARWIN_TEST_THREADS`, `DARWIN_TEST_BATCH`, `DARWIN_TEST_CRASH_AT`)
+//!   parsed once, composed into suite configurations — suites never
+//!   re-parse env vars themselves.
 //!
 //! This is a dev-dependency only: nothing here ships in the library.
 
 #![warn(missing_docs)]
 
 pub mod corpora;
+pub mod crash;
 pub mod oracles;
 pub mod strategies;
 pub mod trace;
 pub mod transports;
 
 pub use corpora::{directions_fixture, indexed, tiny_transport, transport};
+pub use crash::{assert_resumed_equivalent, snapshot_mutants, CrashPlan, Mutant};
 pub use oracles::{NoisyOracle, ScriptedOracle};
 pub use trace::{assert_equivalent, assert_same_final, assert_same_pool};
 pub use transports::{
     shard_connector, test_transport, wire_oracle, worker_bin, Fault, FlakyTransport, TransportKind,
 };
 
-/// Worker-thread count for suite runs: `DARWIN_TEST_THREADS` (the CI
-/// matrix runs 1 and 4), default 1. Trace determinism across thread
-/// counts is part of the engine contract, so suites run every
-/// configuration through this knob.
-pub fn test_threads() -> usize {
-    env_usize("DARWIN_TEST_THREADS", 1)
+use darwin_core::{BatchPolicy, DarwinConfig};
+
+/// The CI matrix configuration, parsed from the environment exactly once
+/// and composed into suite configs — the single home for every
+/// `DARWIN_TEST_*` axis, so adding an axis (as `DARWIN_TEST_CRASH_AT`
+/// did) touches this struct instead of every suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TestEnv {
+    /// How distributed suites deploy workers (`DARWIN_TEST_TRANSPORT`:
+    /// `inproc` default, `proc`, `tcp`).
+    pub transport: TransportKind,
+    /// Worker-thread count (`DARWIN_TEST_THREADS`, default 1; the matrix
+    /// runs 1 and 4). Trace determinism across thread counts is part of
+    /// the engine contract.
+    pub threads: usize,
+    /// Async wave size (`DARWIN_TEST_BATCH`, default 1; the matrix runs
+    /// 1 and 8). Size 1 is the synchronous reference.
+    pub batch: usize,
+    /// Restrict crash-recovery suites to killing at this one wave
+    /// barrier (`DARWIN_TEST_CRASH_AT`; unset = every barrier). Feeds
+    /// [`CrashPlan::exhaustive`].
+    pub crash_at: Option<u64>,
 }
 
-/// Async wave size for suite runs: `DARWIN_TEST_BATCH` (the CI matrix
-/// runs 1 and 8), default 1. Batch size 1 is the synchronous reference;
-/// larger sizes exercise the pipelined wave protocol.
+impl TestEnv {
+    /// Parse the matrix from the environment.
+    pub fn from_env() -> TestEnv {
+        TestEnv {
+            transport: transports::test_transport(),
+            threads: env_usize("DARWIN_TEST_THREADS", 1),
+            batch: env_usize("DARWIN_TEST_BATCH", 1),
+            crash_at: std::env::var("DARWIN_TEST_CRASH_AT")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&w| w > 0),
+        }
+    }
+
+    /// Compose the matrix's execution axes onto `cfg`: thread count and a
+    /// fixed wave size. (The transport and crash axes configure the
+    /// deployment and the crash plan, not the `DarwinConfig`.)
+    pub fn apply(&self, cfg: DarwinConfig) -> DarwinConfig {
+        cfg.with_threads(self.threads)
+            .with_batch(BatchPolicy::Fixed(self.batch))
+    }
+}
+
+/// Worker-thread count for suite runs — [`TestEnv::from_env`]'s `threads`
+/// axis, kept as a helper for suites that need only this knob.
+pub fn test_threads() -> usize {
+    TestEnv::from_env().threads
+}
+
+/// Async wave size for suite runs — [`TestEnv::from_env`]'s `batch` axis,
+/// kept as a helper for suites that need only this knob.
 pub fn test_batch() -> usize {
-    env_usize("DARWIN_TEST_BATCH", 1)
+    TestEnv::from_env().batch
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -60,11 +109,24 @@ fn env_usize(key: &str, default: usize) -> usize {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn env_helpers_default_to_one() {
         // The suite may run under the CI matrix; only pin the fallback.
         assert!(super::env_usize("DARWIN_TESTKIT_UNSET_VAR", 1) == 1);
         assert!(super::test_threads() >= 1);
         assert!(super::test_batch() >= 1);
+    }
+
+    #[test]
+    fn test_env_is_one_parse_of_the_matrix() {
+        let env = TestEnv::from_env();
+        assert_eq!(env.threads, test_threads());
+        assert_eq!(env.batch, test_batch());
+        assert_eq!(env.transport, test_transport());
+        let cfg = env.apply(DarwinConfig::fast());
+        assert_eq!(cfg.threads, env.threads);
+        assert_eq!(cfg.batch, BatchPolicy::Fixed(env.batch));
     }
 }

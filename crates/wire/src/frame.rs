@@ -134,6 +134,81 @@ fn validate_header(header: &[u8]) -> Result<(), WireError> {
     Ok(())
 }
 
+// ---- snapshot frames ----------------------------------------------------
+//
+// A durable session snapshot travels (and rests on disk) inside a frame of
+// the same shape as a wire frame, but under its own magic and its own
+// version window: snapshots outlive processes, so their format evolves on
+// a different schedule than the connection protocol, and a snapshot file
+// must never be mistaken for (or replayed as) a protocol frame. The
+// payload cap is larger too — a snapshot carries per-sentence scores and
+// the frontier memo, which can dwarf any single protocol message.
+
+/// Snapshot-frame magic: `0xDA` for Darwin, `0x53` ("S" for snapshot).
+pub const SNAPSHOT_MAGIC: [u8; 2] = [0xDA, 0x53];
+
+/// The newest snapshot format version this build writes.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// The oldest snapshot format version this build still resumes.
+pub const MIN_SNAPSHOT_VERSION: u8 = 1;
+
+/// Upper bound on a snapshot payload (256 MiB). Scores and the frontier
+/// memo scale with corpus size; anything bigger is corrupt.
+pub const MAX_SNAPSHOT_LEN: usize = 256 << 20;
+
+/// Wrap an encoded snapshot into a checksummed snapshot frame.
+pub fn snapshot_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.push(SNAPSHOT_VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out
+}
+
+/// Validate a complete snapshot frame (magic, version window, length
+/// bound, checksum), returning its payload. A truncated, corrupt, alien
+/// or version-incompatible snapshot is a clean [`WireError`] — decoding
+/// never panics and the length bound is checked before any allocation.
+pub fn parse_snapshot_frame(buf: &[u8]) -> Result<Vec<u8>, WireError> {
+    if buf.len() < HEADER_LEN + 4 {
+        return Err(WireError::Truncated {
+            want: HEADER_LEN + 4,
+            got: buf.len(),
+        });
+    }
+    if buf[..2] != SNAPSHOT_MAGIC {
+        return Err(WireError::BadMagic([buf[0], buf[1]]));
+    }
+    let version = buf[2];
+    if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
+        return Err(WireError::BadVersion {
+            got: version,
+            want: SNAPSHOT_VERSION,
+        });
+    }
+    let n = u32::from_le_bytes(buf[3..7].try_into().unwrap()) as usize;
+    if n > MAX_SNAPSHOT_LEN {
+        return Err(WireError::Corrupt(format!(
+            "snapshot length {n} exceeds cap"
+        )));
+    }
+    if buf.len() != HEADER_LEN + n + 4 {
+        return Err(WireError::Truncated {
+            want: HEADER_LEN + n + 4,
+            got: buf.len(),
+        });
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + n];
+    let sum = u32::from_le_bytes(buf[HEADER_LEN + n..].try_into().unwrap());
+    if sum != checksum(payload) {
+        return Err(WireError::Checksum);
+    }
+    Ok(payload.to_vec())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +275,53 @@ mod tests {
     fn checksum_is_order_sensitive() {
         assert_ne!(checksum(b"ab"), checksum(b"ba"));
         assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+
+    #[test]
+    fn snapshot_frame_roundtrips() {
+        let f = snapshot_frame(b"engine state");
+        assert_eq!(parse_snapshot_frame(&f).unwrap(), b"engine state");
+        assert_eq!(parse_snapshot_frame(&snapshot_frame(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn snapshot_and_protocol_frames_do_not_cross() {
+        // A protocol frame is never a snapshot, and vice versa: the magics
+        // differ in the second byte.
+        let wire = frame(b"abc");
+        assert!(matches!(
+            parse_snapshot_frame(&wire),
+            Err(WireError::BadMagic(_))
+        ));
+        let snap = snapshot_frame(b"abc");
+        assert!(matches!(parse_frame(&snap), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn snapshot_version_window_enforced() {
+        let mut f = snapshot_frame(b"abc");
+        f[2] = 200;
+        assert!(matches!(
+            parse_snapshot_frame(&f),
+            Err(WireError::BadVersion { got: 200, .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_corruption_detected() {
+        let f = snapshot_frame(b"scores and memo");
+        assert!(matches!(
+            parse_snapshot_frame(&f[..f.len() - 3]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut flipped = f.clone();
+        flipped[HEADER_LEN + 4] ^= 0x10;
+        assert_eq!(parse_snapshot_frame(&flipped), Err(WireError::Checksum));
+        let mut inflated = f;
+        inflated[3..7].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            parse_snapshot_frame(&inflated),
+            Err(WireError::Corrupt(_))
+        ));
     }
 }

@@ -38,7 +38,10 @@ pub mod transport;
 
 pub use codec::{Decode, Encode, Reader};
 pub use error::WireError;
-pub use frame::{MAX_FRAME_LEN, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
+pub use frame::{
+    parse_snapshot_frame, snapshot_frame, MAX_FRAME_LEN, MAX_SNAPSHOT_LEN, MIN_SNAPSHOT_VERSION,
+    MIN_SUPPORTED_VERSION, PROTOCOL_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use msg::{
     recv_request, send_response, CorpusSlice, Request, Response, ScoredRule, Session, WireAgg,
     WireClassifierKind,

@@ -17,6 +17,12 @@
 //!
 //! (The build step matters: the example spawns the shipped
 //! `darwin-worker` binary next to its own executable.)
+//!
+//! With `--resume`, the cluster leg additionally exercises the durable
+//! session path: the in-process run is suspended at a wave barrier,
+//! serialized to snapshot bytes, and the *cluster* completes it — the
+//! resumed socket deployment must land on the identical final P and
+//! bit-identical scores.
 
 use darwin::core::{ShardConnector, WireOracle};
 use darwin::index::ShardMap;
@@ -44,6 +50,7 @@ fn worker_exe() -> PathBuf {
 }
 
 fn main() {
+    let resume_mode = std::env::args().any(|a| a == "--resume");
     let data = directions::generate(N, SEED);
     let index_cfg = IndexConfig {
         max_phrase_len: 4,
@@ -120,12 +127,37 @@ fn main() {
         Ok(Box::new(t) as Box<dyn Transport>)
     });
 
+    // With `--resume`, the cluster doesn't start the session — it
+    // *finishes* one. Suspend the in-process run at a wave barrier, keep
+    // only the serialized bytes (the suspended engine and its oracle are
+    // dropped — that's the crash), and hand them to the socket deployment.
+    let snapshot_bytes = resume_mode.then(|| {
+        let darwin = Darwin::new(&data.corpus, &index, cfg.clone());
+        let mut oracle = Immediate::new(GroundTruthOracle::new(&data.labels, 0.8));
+        match darwin.snapshot(Seed::Rule(seed_rule.clone()), &mut oracle, 2) {
+            SessionOutcome::Suspended(snap) => {
+                eprintln!(
+                    "[coordinator] suspended at wave {} — {} snapshot bytes survive the crash",
+                    snap.counters.waves,
+                    snap.to_bytes().len()
+                );
+                snap.to_bytes()
+            }
+            SessionOutcome::Finished(_) => unreachable!("budget {} outlives wave 2", cfg.budget),
+        }
+    });
+
     let t1 = Instant::now();
     let clustered = {
         let darwin = Darwin::new(&data.corpus, &index, cfg).with_remote_shards(connect);
         let (_, oracle_t) = registry.oracles.into_iter().next().expect("oracle slot");
         let mut oracle = WireOracle::connect(Box::new(oracle_t)).expect("oracle handshake");
-        darwin.run_async(Seed::Rule(seed_rule), &mut oracle)
+        match &snapshot_bytes {
+            Some(bytes) => darwin
+                .resume(bytes, &mut oracle)
+                .expect("resume on cluster"),
+            None => darwin.run_async(Seed::Rule(seed_rule), &mut oracle),
+        }
     };
     let cluster_wall = t1.elapsed();
     for mut child in children {
@@ -155,8 +187,14 @@ fn main() {
         local.run.questions()
     );
     println!(
-        "cluster run:  {:>6.2?}  ({SHARDS} shard workers + 1 oracle worker over TCP, {} waves)",
-        cluster_wall, clustered.report.waves
+        "cluster run:  {:>6.2?}  ({SHARDS} shard workers + 1 oracle worker over TCP, {} waves{})",
+        cluster_wall,
+        clustered.report.waves,
+        if resume_mode {
+            ", resumed from a wave-2 snapshot"
+        } else {
+            ""
+        }
     );
     println!(
         "accepted {} rules, |P| = {}, recall {recall:.2} — identical P and bit-identical scores across deployments",

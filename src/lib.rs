@@ -62,7 +62,8 @@ pub mod prelude {
     pub use darwin_classifier::{ClassifierKind, TextClassifier};
     pub use darwin_core::{
         AsyncOracle, BatchPolicy, CostModel, Darwin, DarwinConfig, Fanout, GroundTruthOracle,
-        Immediate, Oracle, QuestionId, RunResult, SampledAnnotatorOracle, Seed, TraversalKind,
+        Immediate, Oracle, QuestionId, RunResult, SampledAnnotatorOracle, Seed, SessionOutcome,
+        Snapshot, SnapshotError, TraversalKind,
     };
     pub use darwin_datasets::Dataset;
     pub use darwin_eval::{coverage, f1_score, Curve};

@@ -113,6 +113,43 @@ pub mod strategy {
         pub(crate) f: F,
     }
 
+    /// The constant strategy (`Just(v)` in the real crate's prelude).
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A boxed generator closure — one arm of a [`Union`].
+    pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice between heterogeneous strategies sharing a value
+    /// type — what [`prop_oneof!`](crate::prop_oneof) builds. (The real
+    /// crate weights branches; the shim draws uniformly.)
+    pub struct Union<V> {
+        options: Vec<UnionArm<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given generator closures.
+        pub fn new(options: Vec<UnionArm<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.options[rng.below(self.options.len())])(rng)
+        }
+    }
+
     impl<S, F, U> Strategy for Map<S, F>
     where
         S: Strategy,
@@ -158,6 +195,73 @@ pub mod strategy {
     tuple_strategy!(A, B);
     tuple_strategy!(A, B, C);
     tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy — `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        /// Draw one full-range value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! tuple_arbitrary {
+        ($($name:ident),+) => {
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_arbitrary!(A);
+    tuple_arbitrary!(A, B);
+    tuple_arbitrary!(A, B, C);
+    tuple_arbitrary!(A, B, C, D);
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// The strategy [`any`] returns.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical full-range strategy for `T` (`any::<u32>()`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
 }
 
 pub mod bool {
@@ -230,11 +334,29 @@ pub mod collection {
     }
 }
 
+/// Define a union strategy: uniform choice between the given arms, which
+/// may be different strategy types as long as their values unify. (The
+/// real crate supports `weight => strategy` arms; the shim is uniform.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
 /// What `use proptest::prelude::*` brings into scope.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Namespaced strategy constructors, as the real crate exposes them.
     pub mod prop {
@@ -367,6 +489,19 @@ mod tests {
                 return Ok(());
             }
             prop_assert!(x % 2 == 1);
+        }
+
+        #[test]
+        fn any_and_just_and_oneof_compose(
+            full in any::<u64>(),
+            arr in any::<[u32; 3]>(),
+            choice in prop_oneof![
+                Just(0u32),
+                (1u32..10).prop_map(|x| x * 100),
+            ],
+        ) {
+            let _ = (full, arr);
+            prop_assert!(choice == 0u32 || (100u32..1000u32).contains(&choice));
         }
     }
 
