@@ -30,6 +30,15 @@ pub trait TextClassifier: Send + Sync {
     fn predict_batch(&self, corpus: &Corpus, emb: &Embeddings, ids: &[u32], out: &mut Vec<f32>) {
         out.extend(ids.iter().map(|&id| self.predict(corpus, emb, id)));
     }
+
+    /// Notification that `texts` were appended to the corpus, which now
+    /// holds `new_len` sentences. Local classifiers are stateless with
+    /// respect to corpus size — every `fit`/`predict` call receives the
+    /// corpus and embeddings as arguments — so the default is a no-op.
+    /// Classifiers that *mirror* the corpus elsewhere (a wire classifier
+    /// ships it to a worker at connect) override this to forward the
+    /// growth.
+    fn corpus_appended(&mut self, _texts: &[String], _new_len: usize) {}
 }
 
 /// Which classifier the pipeline should train (paper default: the Kim CNN;

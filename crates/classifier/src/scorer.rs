@@ -64,6 +64,13 @@ pub struct ScoreCache {
     pub incremental: bool,
     shards: usize,
     threads: usize,
+    /// Coordinator-supplied shard ranges (`[lo, hi)` per shard). When set,
+    /// these — not a locally re-derived `⌈n/S⌉` split — bound every
+    /// sharded prediction pass, so the cache can never drift from the
+    /// `darwin_index::ShardMap` that owns the partition (this crate sits
+    /// below darwin-index and cannot name the type, so the ranges are
+    /// threaded in as plain pairs).
+    ranges: Option<Vec<(u32, u32)>>,
     refreshed_last_round: usize,
     epoch: u64,
     last_was_full: bool,
@@ -98,6 +105,7 @@ impl ScoreCache {
             incremental: true,
             shards: 1,
             threads: 1,
+            ranges: None,
             refreshed_last_round: 0,
             epoch: 0,
             last_was_full: false,
@@ -125,6 +133,55 @@ impl ScoreCache {
     pub fn with_threads(mut self, threads: usize) -> ScoreCache {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Adopt the coordinator's shard partition: `ranges[s]` is the
+    /// `[lo, hi)` id range shard `s` owns. The ranges must tile `0..n`
+    /// contiguously (the `ShardMap` contract). Once set, sharded
+    /// prediction passes split on these bounds instead of re-deriving a
+    /// `⌈n/S⌉` split locally — the split that silently disagreed with a
+    /// mid-run grown `ShardMap`. Per-id predictions are pure, so *any*
+    /// contiguous tiling yields bit-identical scores; threading the real
+    /// one in makes journal slices and prediction bounds one partition.
+    pub fn set_shard_ranges(&mut self, ranges: Vec<(u32, u32)>) {
+        let n = self.scores.len() as u32;
+        assert!(!ranges.is_empty(), "at least one shard range required");
+        let mut cursor = 0u32;
+        for &(lo, hi) in &ranges {
+            assert!(
+                lo == cursor && hi >= lo,
+                "ranges must tile 0..n contiguously"
+            );
+            cursor = hi;
+        }
+        assert_eq!(cursor, n, "ranges must cover exactly 0..{n}");
+        self.shards = ranges.len();
+        self.ranges = Some(ranges);
+    }
+
+    /// Builder form of [`ScoreCache::set_shard_ranges`].
+    pub fn with_shard_ranges(mut self, ranges: Vec<(u32, u32)>) -> ScoreCache {
+        self.set_shard_ranges(ranges);
+        self
+    }
+
+    /// Grow the id space by `added` sentences appended to the corpus.
+    ///
+    /// New ids enter at the 0.5 neutral prior — the same epistemic state
+    /// every id starts a run in — and are journaled as `(id, 0.5, 0.5)`
+    /// movements so shard coordinators replaying [`ScoreCache::changes_in`]
+    /// see them (the journal stays id-sorted because appended ids are the
+    /// largest). They sit above the refresh threshold, so the next
+    /// incremental refresh scores them with the live classifier. Any
+    /// coordinator-supplied shard ranges are dropped: the grown partition
+    /// must be re-threaded from the grown `ShardMap`.
+    pub fn append(&mut self, added: usize) {
+        let old_n = self.scores.len();
+        self.scores.resize(old_n + added, 0.5);
+        for id in old_n..old_n + added {
+            self.changes.push((id as u32, 0.5, 0.5));
+        }
+        self.ranges = None;
     }
 
     /// Configured shard count.
@@ -174,17 +231,27 @@ impl ScoreCache {
         &self.changes[a..b]
     }
 
-    /// Shard boundaries over the id space: contiguous near-equal ranges,
-    /// the same `⌈n / S⌉` split as `darwin_index::ShardMap` (which this
-    /// crate sits below and therefore cannot name). Agreement is a
-    /// convenience, not a correctness requirement — shard coordinators
-    /// slice the journal by *their own* ranges via
-    /// [`ScoreCache::changes_in`].
+    /// Shard boundaries over the id space. Coordinator-supplied ranges
+    /// ([`ScoreCache::set_shard_ranges`]) when present; otherwise the
+    /// fresh-map `⌈n / S⌉` split — identical to `darwin_index::ShardMap`
+    /// at construction, but only the threaded ranges track a map grown
+    /// mid-epoch, so coordinators must thread theirs in.
     fn shard_bounds(&self) -> Vec<(u32, u32)> {
+        if let Some(ranges) = &self.ranges {
+            return ranges.clone();
+        }
         let n = self.scores.len() as u32;
         let chunk = n.div_ceil(self.shards as u32).max(1);
         (0..self.shards as u32)
-            .map(|s| ((s * chunk).min(n), ((s + 1) * chunk).min(n)))
+            .map(|s| {
+                let lo = (s * chunk).min(n);
+                let hi = if s + 1 == self.shards as u32 {
+                    n
+                } else {
+                    ((s + 1) * chunk).min(n)
+                };
+                (lo, hi)
+            })
             .collect()
     }
 
@@ -302,6 +369,7 @@ impl ScoreCache {
             incremental: img.incremental,
             shards: 1,
             threads: 1,
+            ranges: None,
             refreshed_last_round: img.refreshed_last_round as usize,
             epoch: img.epoch,
             last_was_full: img.last_was_full,
@@ -576,6 +644,84 @@ mod tests {
             assert_eq!(resumed.last_changes(), reference.last_changes());
         }
         assert_eq!(resumed.epoch(), reference.epoch());
+    }
+
+    /// Satellite pin: threaded coordinator ranges must drive sharded
+    /// prediction and stay bit-identical to the locally-derived split —
+    /// including on a *grown* id space, where the epoch-frozen map's
+    /// ranges no longer match a fresh `⌈n/S⌉` derivation.
+    #[test]
+    fn threaded_shard_ranges_agree_on_grown_corpora() {
+        let (c, e) = setup();
+        let n = c.len() as u32;
+        let mut clf = ClassifierKind::logreg().build(&e, 1);
+        clf.fit(&c, &e, &[0, 2, 4], &[1, 3, 5]);
+        let mut reference = ScoreCache::new(c.len());
+        reference.full_every = 100;
+        reference.refresh(clf.as_ref(), &c, &e);
+
+        // Epoch-frozen grown partition: a 4-shard map built when the
+        // corpus was 12 sentences (chunk 3), grown to n — the last shard
+        // owns [9, n), which no fresh split of n would produce.
+        let grown = vec![(0u32, 3u32), (3, 6), (6, 9), (9, n)];
+        let mut cache = ScoreCache::new(c.len())
+            .with_threads(2)
+            .with_shard_ranges(grown);
+        cache.full_every = 100;
+        cache.refresh(clf.as_ref(), &c, &e);
+        assert_eq!(cache.scores(), reference.scores());
+        assert_eq!(cache.shards(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile 0..n")]
+    fn shard_ranges_that_do_not_tile_are_rejected() {
+        let _ = ScoreCache::new(10).with_shard_ranges(vec![(0, 4), (5, 10)]);
+    }
+
+    /// Appended ids enter at the 0.5 prior, are journaled, sit above the
+    /// refresh threshold, and the next incremental refresh scores them.
+    #[test]
+    fn append_grows_scores_and_journals_new_ids() {
+        let (c, e) = setup();
+        // The pre-append view: same first 37 sentences (same syms — the
+        // vocab interns in sentence order), 3 yet to arrive.
+        let texts: Vec<String> = (0..37)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("shuttle to the airport number {i}")
+                } else {
+                    format!("pizza with cheese number {i}")
+                }
+            })
+            .collect();
+        let c_small = Corpus::from_texts(texts.iter());
+        let mut clf = ClassifierKind::logreg().build(&e, 1);
+        clf.fit(&c, &e, &[0, 2, 4], &[1, 3, 5]);
+        let mut cache = ScoreCache::new(c_small.len());
+        cache.full_every = 100;
+        cache.refresh(clf.as_ref(), &c_small, &e);
+        let journal_before = cache.last_changes().len();
+        cache.append(3);
+        assert_eq!(cache.scores().len(), c.len());
+        assert!(cache.scores()[c.len() - 3..].iter().all(|&s| s == 0.5));
+        // New ids journaled, id-sorted, visible through changes_in.
+        let tail = &cache.last_changes()[journal_before..];
+        assert_eq!(tail.len(), 3);
+        let ids: Vec<u32> = cache.last_changes().iter().map(|&(id, _, _)| id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "journal stays sorted");
+        assert_eq!(
+            cache.changes_in(c.len() as u32 - 3, c.len() as u32).len(),
+            3
+        );
+        // The next incremental refresh re-scores them (0.5 >= threshold).
+        cache.refresh(clf.as_ref(), &c, &e);
+        assert!(!cache.last_refresh_was_full());
+        for id in c.len() - 3..c.len() {
+            let mut want = Vec::new();
+            clf.predict_batch(&c, &e, &[id as u32], &mut want);
+            assert_eq!(cache.score(id as u32), want[0], "appended id {id} scored");
+        }
     }
 
     #[test]

@@ -487,6 +487,28 @@ pub(crate) fn drive(
     }
 }
 
+/// How a driven segment ended: the run completed, or it stopped at the
+/// requested wave barrier with the engine still *live* — classifier
+/// trained, remote sessions connected, frontier memo warm. The live form
+/// is what [`crate::stream::StreamSession`] holds across a corpus append;
+/// [`drive_session`] converts it into a serialized [`Snapshot`] for the
+/// durable suspend path.
+pub(crate) enum SegmentEnd<'a> {
+    /// The run drove to completion.
+    Finished(AsyncRunResult),
+    /// The run stopped at a wave barrier; everything needed to continue
+    /// it (in this process or after an append) is returned alive.
+    Suspended {
+        /// The engine at the barrier: pending drained, feedback applied,
+        /// retrain (if any) done. Boxed — it dwarfs the finished variant.
+        engine: Box<Engine<'a>>,
+        /// The strategy, with all feedback observed.
+        strategy: Box<dyn Strategy>,
+        /// Cumulative counters at the barrier.
+        counters: SessionCounters,
+    },
+}
+
 /// The suspendable driver core. `start` carries the cumulative counters
 /// (zero for a fresh run, the snapshot's for a resumed one) so question
 /// ids and the final [`AsyncReport`] continue across a suspend exactly as
@@ -497,13 +519,47 @@ pub(crate) fn drive(
 /// applied, retrain done), which is what makes resume trace-exact.
 pub(crate) fn drive_session<'a>(
     darwin: &'a Darwin<'a>,
+    engine: Engine<'a>,
+    strategy: Box<dyn Strategy>,
+    start: SessionCounters,
+    oracle: &mut dyn AsyncOracle,
+    model: &CostModel,
+    suspend_after: Option<u64>,
+) -> SessionOutcome {
+    match drive_segment(
+        darwin,
+        engine,
+        strategy,
+        start,
+        oracle,
+        model,
+        suspend_after,
+    ) {
+        SegmentEnd::Finished(result) => SessionOutcome::Finished(result),
+        SegmentEnd::Suspended {
+            engine,
+            strategy,
+            counters,
+        } => {
+            let snap = Snapshot::capture(darwin, &engine, strategy.as_ref(), counters);
+            SessionOutcome::Suspended(Box::new(snap))
+        }
+    }
+}
+
+/// [`drive_session`]'s engine-alive core — see [`SegmentEnd`]. The
+/// in-memory streaming path keeps the returned engine and continues it
+/// directly; the durable path serializes it into a [`Snapshot`] and lets
+/// it drop.
+pub(crate) fn drive_segment<'a>(
+    darwin: &'a Darwin<'a>,
     mut engine: Engine<'a>,
     mut strategy: Box<dyn Strategy>,
     start: SessionCounters,
     oracle: &mut dyn AsyncOracle,
     model: &CostModel,
     suspend_after: Option<u64>,
-) -> SessionOutcome {
+) -> SegmentEnd<'a> {
     let cfg = darwin.config();
     let corpus = darwin.corpus();
     let index = darwin.index();
@@ -659,8 +715,11 @@ pub(crate) fn drive_session<'a>(
                 retrains: retrains as u64,
                 peak: peak as u64,
             };
-            let snap = Snapshot::capture(darwin, &engine, strategy.as_ref(), counters);
-            return SessionOutcome::Suspended(Box::new(snap));
+            return SegmentEnd::Suspended {
+                engine: Box::new(engine),
+                strategy,
+                counters,
+            };
         }
     }
 
@@ -674,7 +733,7 @@ pub(crate) fn drive_session<'a>(
         wall_ns: started.elapsed().as_nanos(),
         cost: model.report(run.questions()),
     };
-    SessionOutcome::Finished(AsyncRunResult { run, report })
+    SegmentEnd::Finished(AsyncRunResult { run, report })
 }
 
 #[cfg(test)]

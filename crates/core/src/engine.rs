@@ -44,7 +44,7 @@ use crate::traversal::{Ctx, Strategy};
 use darwin_classifier::{ScoreCache, TextClassifier};
 use darwin_grammar::Heuristic;
 use darwin_index::fx::{FxHashMap, FxHashSet};
-use darwin_index::{IdSet, IndexSet, RuleRef, ShardMap};
+use darwin_index::{AppendDelta, IdSet, IndexSet, RuleRef, ShardMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -344,6 +344,37 @@ impl BenefitStore {
                 }
             }
         }
+    }
+
+    /// The corpus grew: ids in `new_ids` were appended (none positive, all
+    /// scored — the neutral prior until the next retrain). Every tracked
+    /// rule covering an owned appended id gains it as a new instance.
+    /// `extend_span` must be called first when the store is the last shard's
+    /// fragment, so ownership covers the appended tail.
+    pub fn on_ids_appended(&mut self, new_ids: &[u32], index: &IndexSet, scores: &[f32]) {
+        for &id in new_ids {
+            if !self.owns(id) {
+                continue;
+            }
+            let q = quantize(scores[id as usize]);
+            for r in index.rules_covering(id) {
+                if let Some(agg) = self.aggs.get_mut(&r) {
+                    agg.new_instances += 1;
+                    agg.sum_q += q;
+                }
+            }
+        }
+    }
+
+    /// Extend the owned span to `[lo, new_hi)` — the epoch growth rule for
+    /// the *last* shard's fragment, mirroring [`darwin_index::ShardMap::grow`].
+    /// A full-span store already owns every id and is left untouched.
+    pub fn extend_span(&mut self, new_hi: u32) {
+        if self.full_span() {
+            return;
+        }
+        assert!(new_hi >= self.hi, "BenefitStore span cannot shrink");
+        self.hi = new_hi;
     }
 }
 
@@ -1180,6 +1211,143 @@ impl<'a> Engine<'a> {
         });
         fragments_ok && merge_ok
     }
+
+    /// Decompose the engine into its owned state, releasing the `Darwin`
+    /// borrow — the suspend half of the streaming-session contract
+    /// ([`crate::stream::StreamSession`]). Unlike a
+    /// [`crate::snapshot::Snapshot`], nothing is serialized or re-derived:
+    /// the live classifier (including a connected wire worker), the score
+    /// cache, the RNG, the hierarchy, the benefit store (including remote
+    /// shard sessions) and the frontier memo all move out intact, so
+    /// [`Engine::from_parts`] against an *equal* corpus/index view
+    /// continues the run as if the engine had never been taken apart.
+    pub fn into_parts(self) -> EngineParts {
+        EngineParts {
+            state: self.state,
+            clf: self.clf,
+            cache: self.cache,
+            rng: self.rng,
+            hierarchy: self.hierarchy,
+            store: self.store,
+            frontier: self.frontier,
+            pending: self.pending,
+            seed_refs: self.seed_refs,
+            max_count: self.max_count,
+            wire_abort: self.wire_abort,
+        }
+    }
+
+    /// Reassemble an engine from [`Engine::into_parts`] against a (possibly
+    /// rebuilt) `Darwin` view. Pure reassembly: no reconnects, no retrain,
+    /// no hierarchy regeneration — the caller guarantees `darwin` presents
+    /// the same corpus/index the parts were taken from (or that corpus/
+    /// index growth has been reconciled via [`Engine::apply_append`]
+    /// immediately after reassembly).
+    pub fn from_parts(darwin: &'a Darwin<'a>, parts: EngineParts) -> Engine<'a> {
+        Engine {
+            darwin,
+            state: parts.state,
+            clf: parts.clf,
+            cache: parts.cache,
+            rng: parts.rng,
+            hierarchy: parts.hierarchy,
+            store: parts.store,
+            frontier: parts.frontier,
+            pending: parts.pending,
+            seed_refs: parts.seed_refs,
+            max_count: parts.max_count,
+            wire_abort: parts.wire_abort,
+        }
+    }
+
+    /// Reconcile the engine with a corpus that grew from `old_n` sentences
+    /// by `texts` — the wave-barrier append operation. The caller has
+    /// already grown the corpus, the index (in place via
+    /// [`IndexSet::append`], or rebuilt from scratch on the grown corpus —
+    /// the two produce identical indexes) and the embeddings
+    /// (zero-padded: appends never retrain embeddings), and `darwin` views
+    /// the grown state.
+    ///
+    /// What happens here, in order:
+    ///
+    /// 1. the score cache grows — appended ids enter at the 0.5 neutral
+    ///    prior and are journaled so the next incremental refresh scores
+    ///    them with the live classifier;
+    /// 2. the benefit store folds the appended ids into every tracked
+    ///    aggregate at that prior and extends its span/partition
+    ///    ([`ShardedBenefitStore::on_corpus_appended`] — remote shards get
+    ///    the `CorpusAppend` frame), after which the grown partition is
+    ///    re-threaded into the cache's shard bounds;
+    /// 3. a corpus-mirroring classifier (wire worker) is forwarded the
+    ///    growth;
+    /// 4. the frontier memo folds the appended ids (`delta` carries the
+    ///    dense-id shift; `None` means the index was rebuilt from scratch,
+    ///    so the memo is reset and the next walk is a full one — identical
+    ///    output, the memo is a cost optimization);
+    /// 5. the coverage cap is recomputed for the grown `n` and the
+    ///    hierarchy regenerated once.
+    ///
+    /// Deliberately does **not** retrain: appends are not oracle answers,
+    /// and retraining here would consume RNG words the delta/rebuild
+    /// equivalence (and any suspended twin of this run) depends on.
+    pub fn apply_append(&mut self, old_n: u32, texts: &[String], delta: Option<&AppendDelta>) {
+        let darwin = self.darwin;
+        let corpus = darwin.corpus();
+        let index = darwin.index();
+        let cfg = darwin.config();
+        let n = corpus.len();
+        let added = n - old_n as usize;
+        if added == 0 {
+            return;
+        }
+        self.cache.append(added);
+        if let Some(store) = &mut self.store {
+            let mut r = store.on_corpus_appended(corpus, texts, index, self.cache.scores());
+            let ranges = store
+                .shard_map()
+                .ranges()
+                .map(|r| (r.start, r.end))
+                .collect();
+            self.cache.set_shard_ranges(ranges);
+            if r.is_ok() && delta.is_none() {
+                // Scratch-rebuild reference path: recompute every tracked
+                // aggregate from the grown (P, scores) instead of trusting
+                // the delta fold — this is what the append-equivalence
+                // suites compare the fold against.
+                r = store.rebuild(index, &self.state.p, self.cache.scores(), cfg.threads);
+            }
+            self.note_wire(r);
+        }
+        self.clf.corpus_appended(texts, n);
+        match (&mut self.frontier, delta) {
+            (Some(pool), Some(delta)) => {
+                let new_ids: Vec<u32> = (old_n..n as u32).collect();
+                pool.append_ids(index, &new_ids, delta);
+            }
+            (Some(pool), None) => *pool = FrontierPool::new(),
+            (None, _) => {}
+        }
+        self.max_count = (cfg.max_coverage_frac * n as f64).ceil() as usize;
+        self.regen_hierarchy();
+    }
+}
+
+/// The owned state of a suspended-in-memory [`Engine`] — everything but
+/// the `Darwin` borrow. Produced by [`Engine::into_parts`] at a wave
+/// barrier, held across a corpus append (during which no engine exists and
+/// the corpus/index are mutable), and consumed by [`Engine::from_parts`].
+pub struct EngineParts {
+    state: EngineState,
+    clf: Box<dyn TextClassifier>,
+    cache: ScoreCache,
+    rng: StdRng,
+    hierarchy: Hierarchy,
+    store: Option<ShardedBenefitStore>,
+    frontier: Option<FrontierPool>,
+    pending: Vec<(QuestionId, RuleRef)>,
+    seed_refs: Vec<RuleRef>,
+    max_count: usize,
+    wire_abort: Option<darwin_wire::WireError>,
 }
 
 #[cfg(test)]
@@ -1264,6 +1432,48 @@ mod tests {
             assert_eq!(
                 store.agg(r).copied().unwrap(),
                 scratch(&idx, &p, &scores, r)
+            );
+        }
+    }
+
+    #[test]
+    fn append_delta_matches_scratch_on_grown_corpus() {
+        let (mut c, mut idx) = setup();
+        let p = IdSet::from_ids(&[0, 1], c.len());
+        let mut scores = vec![0.9, 0.9, 0.8, 0.2, 0.1];
+        let mut full = BenefitStore::new();
+        let mut span = BenefitStore::for_span(3, c.len() as u32);
+        let rules: Vec<RuleRef> = idx.all_rules().collect();
+        full.track(rules.iter().copied(), &idx, &p, &scores, 1);
+        span.track(rules.iter().copied(), &idx, &p, &scores, 1);
+
+        let old_n = c.len();
+        c.append_texts(
+            ["the night shuttle to the airport is free", "pizza daily"].iter(),
+            1,
+        );
+        idx.append(&c).unwrap();
+        let new_ids: Vec<u32> = (old_n as u32..c.len() as u32).collect();
+        scores.resize(c.len(), 0.5); // neutral prior until the next retrain
+
+        full.on_ids_appended(&new_ids, &idx, &scores);
+        span.extend_span(c.len() as u32);
+        span.on_ids_appended(&new_ids, &idx, &scores);
+
+        // Positives stay dimensioned for the grown universe.
+        let p = IdSet::from_ids(&[0, 1], c.len());
+        for &r in &rules {
+            assert_eq!(
+                full.agg(r).copied().unwrap(),
+                scratch(&idx, &p, &scores, r),
+                "full-span {:?}",
+                idx.heuristic(r)
+            );
+            assert_eq!(
+                span.agg(r).copied().unwrap(),
+                BenefitStore::for_span(3, c.len() as u32).compute(&idx, &p, &scores, r),
+                "span {:?}",
+                idx.heuristic(r)
             );
         }
     }

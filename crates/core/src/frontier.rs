@@ -45,7 +45,7 @@
 //! consume the `ScoreCache` journal separately.)
 
 use crate::candidates::{best_first_walk, Candidate, WalkSource};
-use darwin_index::{intersect_count, IdSet, IndexSet, RuleRef};
+use darwin_index::{intersect_count, AppendDelta, IdSet, IndexSet, RuleRef};
 
 /// Memoized best-first statistics for one visited rule. `count` is
 /// immutable (the index never changes within a run); `overlap` is patched
@@ -283,6 +283,65 @@ impl FrontierPool {
             self.apply_dirty(&pending, index);
             self.stats.delta_batches += 1;
             self.synced_p = p.len();
+        }
+    }
+
+    /// Fold corpus-appended sentence ids into the memoized statistics.
+    ///
+    /// Called at an append barrier, after the index has grown over
+    /// `new_ids` (which are **not** in `P` — appended sentences enter
+    /// unlabeled, so overlaps are untouched; contrast
+    /// [`FrontierPool::note_positives`], the journal for ids *joining*
+    /// `P`). Three things change under the memo's feet:
+    ///
+    /// * the dense numbering is *remapped*, not just grown: `RuleRef`s
+    ///   are append-stable, but dense ids lay phrases out before trees,
+    ///   so the [`AppendDelta::tree_shift`] new phrase nodes push every
+    ///   tree rule's slot up — the memo's tree block moves with them, and
+    ///   appended rules start `ABSENT` like any never-visited rule;
+    /// * every memoized `count = |C_r|` grows by the rule's appended
+    ///   coverage, patched through the same inverted-postings delta route
+    ///   as a small dirty batch (`rules_covering` per appended id);
+    /// * derivation edges are no longer immutable: an existing node can
+    ///   gain children materialized by the new sentences (and the root
+    ///   gains new tree roots), so the adjacency cache — whose runs also
+    ///   store now-stale dense child ids — is dropped and re-fills on
+    ///   demand; edge recomputation is cheap and involves no posting
+    ///   scans.
+    ///
+    /// After the fold, a pooled regeneration is byte-identical to a
+    /// scratch walk over the grown index and unchanged `P` — the memo
+    /// holds exactly the `(overlap, count)` a fresh visit would compute.
+    pub fn append_ids(&mut self, index: &IndexSet, new_ids: &[u32], delta: &AppendDelta) {
+        if self.nodes.is_empty() {
+            return; // never used: sized lazily against the grown index
+        }
+        debug_assert_eq!(self.nodes.len(), delta.dense_before, "stale delta");
+        let absent = NodeStat {
+            overlap: 0,
+            count: ABSENT,
+            seen_gen: 0,
+            kids: 0,
+        };
+        let mut nodes = vec![absent; delta.dense_after];
+        nodes[..delta.phrase_before].copy_from_slice(&self.nodes[..delta.phrase_before]);
+        for (i, slot) in self.nodes[delta.phrase_before..].iter().enumerate() {
+            nodes[delta.phrase_after + i] = *slot;
+        }
+        self.nodes = nodes;
+        self.kids.clear();
+        self.kids.push(0); // slot 0 stays the "unexpanded" sentinel
+        for slot in &mut self.nodes {
+            slot.kids = 0;
+        }
+        for &id in new_ids {
+            for &r in index.inverted().rules_covering(id) {
+                let slot = &mut self.nodes[index.dense_id(r) as usize];
+                if !slot.absent() {
+                    slot.count += 1;
+                    self.total_cov += 1;
+                }
+            }
         }
     }
 
@@ -664,6 +723,46 @@ mod tests {
             assert_eq!(as_tuples(&a), as_tuples(&b));
         }
         assert_eq!(copy.stats().full_rebuilds, 0, "import must not rebuild");
+    }
+
+    /// The frontier leg of append equivalence: fold appended ids into a
+    /// warm pool, and every later regeneration must match a scratch walk
+    /// on the grown index — including after further positive growth.
+    #[test]
+    fn append_fold_matches_scratch_walk_on_grown_index() {
+        let first: Vec<String> = (0..10)
+            .map(|i| format!("sentence {i} takes the shuttle to the airport"))
+            .collect();
+        let extra = [
+            "a new arrival orders pizza with extra cheese".to_string(),
+            "the shuttle to the airport waits for the arrival".to_string(),
+        ];
+        let mut c = Corpus::from_texts(first.iter());
+        let mut idx = IndexSet::build(&c, &IndexConfig::small());
+        let mut pool = FrontierPool::new();
+        let mut p = IdSet::from_ids(&[0, 3], c.len());
+        pool.generate_scored(&idx, &p, 10_000, usize::MAX);
+
+        let old_n = c.len();
+        c.append_texts(extra.iter(), 1);
+        let delta = idx.append(&c).unwrap();
+        let new_ids: Vec<u32> = (old_n as u32..c.len() as u32).collect();
+        pool.append_ids(&idx, &new_ids, &delta);
+
+        let pooled = pool.generate_scored(&idx, &p, 10_000, usize::MAX);
+        let scratch = generate_scored(&idx, &p, 10_000, usize::MAX);
+        assert_eq!(as_tuples(&pooled), as_tuples(&scratch), "post-append walk");
+        assert_eq!(pool.stats().full_rebuilds, 0, "fold must avoid a rebuild");
+
+        // Growth continues across the barrier: a newly appended sentence
+        // turns positive and flows through the ordinary dirty journal.
+        let appended_id = old_n as u32 + 1;
+        pool.note_positives(&[appended_id]);
+        p.insert(appended_id);
+        let pooled = pool.generate_scored(&idx, &p, 10_000, usize::MAX);
+        let scratch = generate_scored(&idx, &p, 10_000, usize::MAX);
+        assert_eq!(as_tuples(&pooled), as_tuples(&scratch), "post-YES walk");
+        assert_eq!(pool.stats().full_rebuilds, 0);
     }
 
     /// Corrupt images are refused, never imported.

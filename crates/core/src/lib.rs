@@ -48,6 +48,7 @@ pub mod pipeline;
 pub mod remote;
 pub mod shard;
 pub mod snapshot;
+pub mod stream;
 pub mod traversal;
 
 pub use batch::{
@@ -55,7 +56,7 @@ pub use batch::{
     ScriptedArrival, SessionOutcome, SimulatedLatency,
 };
 pub use config::{DarwinConfig, Fanout, TraversalKind};
-pub use engine::{BenefitAgg, BenefitStore, Engine, EngineFlavor, EngineState};
+pub use engine::{BenefitAgg, BenefitStore, Engine, EngineFlavor, EngineParts, EngineState};
 pub use frontier::{FrontierImage, FrontierPool, FrontierStats};
 pub use oracle::{
     AsyncOracle, GroundTruthOracle, Immediate, Oracle, QuestionId, SampledAnnotatorOracle,
@@ -68,4 +69,5 @@ pub use remote::{
 };
 pub use shard::{RemoteShard, ShardConnector, ShardedBenefitStore};
 pub use snapshot::{SessionCounters, Snapshot, SnapshotError};
+pub use stream::{AppendMode, StreamSession, StreamStatus};
 pub use traversal::{Strategy, StrategyState};

@@ -235,6 +235,15 @@ impl<'a> Darwin<'a> {
         &self.emb
     }
 
+    /// Consume the system and reclaim its embeddings. The streaming
+    /// session ([`crate::stream::StreamSession`]) rebuilds a `Darwin` view
+    /// per segment against its growing corpus; the embeddings move in and
+    /// out because appends grow them in place ([`Embeddings::grow_to`])
+    /// instead of retraining.
+    pub fn into_embeddings(self) -> Embeddings {
+        self.emb
+    }
+
     /// The corpus under labeling.
     pub fn corpus(&self) -> &'a Corpus {
         self.corpus

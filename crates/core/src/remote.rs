@@ -72,9 +72,11 @@ fn answer_hello(t: &mut dyn Transport, seq: u64, version: u8) -> Result<(), Wire
 
 // ---- shard worker --------------------------------------------------------
 
-/// The state a shard worker owns after `ShardInit` (the corpus itself is
-/// dropped after indexing — the fragment math runs entirely on postings).
+/// The state a shard worker owns after `ShardInit`. The corpus is retained
+/// after indexing (the fragment math runs entirely on postings, but a later
+/// `CorpusAppend` re-enters the analyzer to grow the index in place).
 struct ShardState {
+    corpus: Corpus,
     index: IndexSet,
     store: BenefitStore,
     p: IdSet,
@@ -181,8 +183,8 @@ pub fn serve_shard(t: &mut dyn Transport) -> Result<(), WireError> {
                     scores: full_scores,
                     lo,
                     hi,
+                    corpus,
                 });
-                drop(corpus);
                 reply(t, seq, &Response::Ack)?;
             }
             other => {
@@ -201,6 +203,11 @@ pub fn serve_shard(t: &mut dyn Transport) -> Result<(), WireError> {
 fn shard_request(s: &mut ShardState, req: Request) -> Response {
     match req {
         Request::Track { rules } => {
+            if let Some(r) = rules.iter().find(|r| !s.index.contains_rule(**r)) {
+                return Response::Error {
+                    message: format!("unknown rule handle {r:?} for this shard's index"),
+                };
+            }
             let missing: Vec<RuleRef> = rules
                 .iter()
                 .copied()
@@ -211,6 +218,11 @@ fn shard_request(s: &mut ShardState, req: Request) -> Response {
             s.deltas(missing)
         }
         Request::TrackScored { cands } => {
+            if let Some(c) = cands.iter().find(|c| !s.index.contains_rule(c.rule)) {
+                return Response::Error {
+                    message: format!("unknown rule handle {:?} for this shard's index", c.rule),
+                };
+            }
             let cands: Vec<crate::candidates::Candidate> = cands
                 .into_iter()
                 .map(|c| crate::candidates::Candidate {
@@ -284,6 +296,49 @@ fn shard_request(s: &mut ShardState, req: Request) -> Response {
                 .map(|r| s.store.agg(r).map(agg_to_wire))
                 .collect(),
         },
+        Request::CorpusAppend {
+            texts,
+            new_hi,
+            scores,
+        } => {
+            // Validate everything before mutating: a refused append must
+            // leave the worker exactly where it was.
+            let old_hi = s.hi;
+            let grown = s.corpus.len() + texts.len();
+            if new_hi < old_hi || (new_hi as usize) > grown {
+                return Response::Error {
+                    message: format!(
+                        "append span {old_hi}..{new_hi} outside grown corpus 0..{grown}"
+                    ),
+                };
+            }
+            if scores.len() != (new_hi - old_hi) as usize {
+                return Response::Error {
+                    message: "append scores length mismatch".into(),
+                };
+            }
+            if s.index.config().min_count > 1 {
+                return Response::Error {
+                    message: "cannot append to a pruned index".into(),
+                };
+            }
+            s.corpus.append_texts(texts.iter(), 1);
+            if let Err(e) = s.index.append(&s.corpus) {
+                return Response::Error {
+                    message: e.to_string(),
+                };
+            }
+            // Appended ids outside the (possibly unchanged) span keep the
+            // zero placeholder, exactly like init.
+            s.scores.resize(s.corpus.len(), 0.0);
+            s.scores[old_hi as usize..new_hi as usize].copy_from_slice(&scores);
+            let new_owned: Vec<u32> = (old_hi..new_hi).collect();
+            let affected = s.affected(new_owned.iter().copied());
+            s.store.extend_span(new_hi);
+            s.store.on_ids_appended(&new_owned, &s.index, &s.scores);
+            s.hi = new_hi;
+            s.deltas(affected)
+        }
         other => Response::Error {
             message: format!("not a shard request: {other:?}"),
         },
@@ -566,6 +621,25 @@ pub fn serve_classifier(t: &mut dyn Transport) -> Result<(), WireError> {
                     reply(t, seq, &Response::Scores { scores })?;
                 }
             },
+            Request::CorpusAppend {
+                texts,
+                new_hi,
+                scores: _,
+            } => match state.as_mut() {
+                None => reply_error(t, seq, "classifier worker not initialized".into())?,
+                Some(s) => {
+                    if s.corpus.len() + texts.len() != new_hi as usize {
+                        reply_error(t, seq, "append length disagrees with coordinator".into())?;
+                        continue;
+                    }
+                    s.corpus.append_texts(texts.iter(), 1);
+                    // The embedding table is frozen at init; OOV tokens get
+                    // the deterministic zero row, so featurization agrees
+                    // with a coordinator that grew the same way.
+                    s.emb.grow_to(s.corpus.vocab().len());
+                    reply(t, seq, &Response::Ack)?;
+                }
+            },
             other => reply_error(t, seq, format!("not a classifier request: {other:?}"))?,
         }
     }
@@ -664,6 +738,30 @@ impl TextClassifier for WireClassifier {
             }
         }
         out.extend(std::iter::repeat_n(0.5, ids.len()));
+    }
+
+    fn corpus_appended(&mut self, texts: &[String], new_len: usize) {
+        let link = self.link.get_mut().unwrap();
+        if link.1.is_some() {
+            return;
+        }
+        // The worker validates the grown length against its own mirror;
+        // the score span is empty because the classifier worker keeps no
+        // per-sentence scores (that is the shard workers' state).
+        let req = Request::CorpusAppend {
+            texts: texts.to_vec(),
+            new_hi: new_len as u32,
+            scores: Vec::new(),
+        };
+        match link.0.call(&req) {
+            Ok(Response::Ack) => {}
+            Ok(other) => {
+                link.1 = Some(WireError::Protocol(format!(
+                    "corpus append expected Ack, got {other:?}"
+                )))
+            }
+            Err(e) => link.1 = Some(e),
+        }
     }
 }
 
@@ -855,6 +953,55 @@ mod tests {
             scores: vec![0.5; c.len()],
         });
         assert_eq!(ok.unwrap(), Response::Ack);
+        session.call(&Request::Shutdown).unwrap();
+        assert!(handle.join().unwrap().is_ok());
+    }
+
+    /// Rule handles arrive over the wire as raw node ids; an out-of-range
+    /// phrase node, or a tree pattern sent to a worker whose index was
+    /// built without TreeMatch, must come back as a clean remote error —
+    /// not a slice panic — and the worker must survive to serve valid
+    /// requests.
+    #[test]
+    fn shard_worker_rejects_unknown_rule_handles() {
+        let (c, _labels) = corpus();
+        let (client, mut server) = darwin_wire::InProc::pair();
+        let handle = std::thread::spawn(move || serve_shard(&mut server));
+        let mut session = Session::new(Box::new(client));
+        session.hello().unwrap();
+        session
+            .call(&Request::ShardInit {
+                corpus: CorpusSlice::full(&c),
+                index: IndexConfig {
+                    enable_tree: false,
+                    ..IndexConfig::small()
+                },
+                lo: 0,
+                hi: c.len() as u32,
+                positives: vec![0],
+                scores: vec![0.5; c.len()],
+            })
+            .unwrap();
+        let bad = [
+            RuleRef::Phrase(u32::MAX), // out-of-range trie node
+            RuleRef::Tree(0),          // no tree index in this worker
+        ];
+        for r in bad {
+            let err = session
+                .call(&Request::Track { rules: vec![r] })
+                .unwrap_err();
+            assert!(matches!(err, WireError::Remote(_)), "got {err:?}");
+        }
+        // The loop survived: a valid handle still tracks.
+        let resp = session
+            .call(&Request::Track {
+                rules: vec![RuleRef::Root],
+            })
+            .unwrap();
+        assert!(
+            matches!(resp, Response::FragmentDeltas { .. }),
+            "got {resp:?}"
+        );
         session.call(&Request::Shutdown).unwrap();
         assert!(handle.join().unwrap().is_ok());
     }

@@ -108,6 +108,7 @@ const TAG_POSITIVES_ADDED: u8 = 6;
 const TAG_SCORES_CHANGED: u8 = 7;
 const TAG_FRAGMENTS: u8 = 8;
 const TAG_SHUTDOWN: u8 = 14;
+const TAG_CORPUS_APPEND: u8 = 15;
 
 /// `tag` + the `Vec<T>` wire encoding of `items` — byte-identical to
 /// encoding the corresponding single-field [`Request`] variant, without
@@ -155,6 +156,15 @@ enum Post {
     Rebuild(Vec<f32>),
     /// Sorted keep-list: prune the fragment mirror to it.
     Retain(Arc<Vec<RuleRef>>),
+    /// The corpus grew: the shard's confirmed span extends to `new_hi`
+    /// (unchanged for every shard but the last — the epoch growth rule)
+    /// and the span-scores mirror gains the newly owned tail.
+    Append {
+        /// The span's new exclusive upper bound.
+        new_hi: u32,
+        /// Scores for the newly owned ids (empty off the last shard).
+        scores: Vec<f32>,
+    },
 }
 
 /// One sent-but-not-yet-joined request: the encoded body (kept so a
@@ -376,6 +386,10 @@ impl RemoteShard {
             Post::Rebuild(scores) => self.scores = scores,
             Post::Retain(keep) => {
                 self.mirror.retain(|r, _| keep.binary_search(r).is_ok());
+            }
+            Post::Append { new_hi, scores } => {
+                self.hi = new_hi;
+                self.scores.extend_from_slice(&scores);
             }
         }
         Ok(())
@@ -991,6 +1005,89 @@ impl ShardedBenefitStore {
         Ok(())
     }
 
+    /// The corpus grew at an append barrier: ids `old_n..corpus.len()`
+    /// were appended, `index` and `scores` already cover them, and none
+    /// are positive. Grows the id partition under the epoch rule
+    /// ([`ShardMap::grow`] — the chunk split stays frozen, every new id
+    /// joins the last shard), extends the last partition's span, and
+    /// folds the appended ids into its fragments.
+    ///
+    /// Remote: every worker receives the appended texts (each needs the
+    /// full grown corpus to grow its index), but only the last shard's
+    /// span — and its slice of `scores` — actually moves. After the
+    /// fan-out confirms, the shared `ShardInit` reconnect prefix is
+    /// re-encoded from the grown corpus so a later worker death replays
+    /// the grown deployment. A failure mid-append poisons the store like
+    /// any other broadcast; the per-shard reconnect path replays the
+    /// append body itself, so a transient death during the fan-out still
+    /// converges on the grown state.
+    pub fn on_corpus_appended(
+        &mut self,
+        corpus: &Corpus,
+        texts: &[String],
+        index: &IndexSet,
+        scores: &[f32],
+    ) -> Result<(), WireError> {
+        let old_n = self.map.sentences() as u32;
+        let new_n = corpus.len() as u32;
+        debug_assert_eq!(old_n as usize + texts.len(), new_n as usize);
+        debug_assert_eq!(scores.len(), new_n as usize);
+        if new_n == old_n {
+            return Ok(());
+        }
+        self.map.grow(new_n as usize);
+        if self.is_remote() {
+            // The texts dominate the frame; encode them once and share the
+            // byte run across every shard's body.
+            let mut texts_enc = Vec::new();
+            (texts.len() as u32).encode(&mut texts_enc);
+            for t in texts {
+                t.encode(&mut texts_enc);
+            }
+            let map = self.map.clone();
+            let last = self.parts.len() - 1;
+            self.guarded(|parts, fanout| {
+                fan_out(parts, fanout, |s| {
+                    let new_hi = map.range(s).end;
+                    let span: &[f32] = if s == last {
+                        &scores[old_n as usize..new_hi as usize]
+                    } else {
+                        &[]
+                    };
+                    let mut body = Vec::with_capacity(1 + texts_enc.len() + 8 + 4 * span.len());
+                    body.push(TAG_CORPUS_APPEND);
+                    body.extend_from_slice(&texts_enc);
+                    new_hi.encode(&mut body);
+                    (span.len() as u32).encode(&mut body);
+                    for v in span {
+                        v.encode(&mut body);
+                    }
+                    Some((
+                        body,
+                        Post::Append {
+                            new_hi,
+                            scores: span.to_vec(),
+                        },
+                    ))
+                })
+            })?;
+            let prefix = Arc::new(init_prefix(corpus, index.config()));
+            for part in &mut self.parts {
+                if let Part::Remote(w) = part {
+                    w.prefix = prefix.clone();
+                }
+            }
+            return Ok(());
+        }
+        let new_ids: Vec<u32> = (old_n..new_n).collect();
+        let last = self.parts.len() - 1;
+        if let Part::Local(b) = &mut self.parts[last] {
+            b.extend_span(new_n);
+            b.on_ids_appended(&new_ids, index, scores);
+        }
+        Ok(())
+    }
+
     /// Audit every remote mirror against its worker's ground truth
     /// (`Ok(true)` when all mirrors are exact; trivially true for local
     /// partitions). Driven per the configured fan-out like every other
@@ -1242,6 +1339,31 @@ mod tests {
             }
             .to_bytes()
         );
+        // And the assembled CorpusAppend body (texts encoded once, shared
+        // across shards) equals the encoded variant.
+        let texts = vec!["the night bus".to_string(), "pizza downtown".to_string()];
+        let span = [0.5f32, 0.5];
+        let mut texts_enc = Vec::new();
+        (texts.len() as u32).encode(&mut texts_enc);
+        for t in &texts {
+            t.encode(&mut texts_enc);
+        }
+        let mut append = vec![TAG_CORPUS_APPEND];
+        append.extend_from_slice(&texts_enc);
+        9u32.encode(&mut append);
+        (span.len() as u32).encode(&mut append);
+        for v in span {
+            v.encode(&mut append);
+        }
+        assert_eq!(
+            append,
+            Request::CorpusAppend {
+                texts,
+                new_hi: 9,
+                scores: span.to_vec(),
+            }
+            .to_bytes()
+        );
     }
 
     /// Merged fragments equal the global benefit for every shard count,
@@ -1467,6 +1589,87 @@ mod tests {
             assert_eq!(store.benefit_of(r), reference.benefit_of(r));
         }
         store.shutdown().unwrap();
+    }
+
+    /// The store leg of append equivalence: growing the partition at an
+    /// append barrier leaves every merged benefit identical to a scratch
+    /// pass over the grown corpus — locally for every shard count, and
+    /// remotely under both fan-outs (where the append deltas must also
+    /// keep the mirrors exact against worker ground truth). Growth then
+    /// continues across the barrier: an appended id turning positive
+    /// flows through the ordinary delta route.
+    #[test]
+    fn append_matches_scratch_store_on_grown_corpus() {
+        let extra = vec![
+            "the late shuttle downtown leaves hourly".to_string(),
+            "order a pizza downtown tonight".to_string(),
+        ];
+        let run = |mut store: ShardedBenefitStore, label: &str| {
+            let (mut c, mut idx) = setup();
+            let old_n = c.len();
+            let rules: Vec<RuleRef> = idx.all_rules().collect();
+            let mut p = IdSet::from_ids(&[0, 1], old_n);
+            let mut scores: Vec<f32> = (0..old_n).map(|i| (i as f32 * 0.31).fract()).collect();
+            store.track(&rules, &idx, &p, &scores, 1).unwrap();
+
+            c.append_texts(extra.iter(), 1);
+            idx.append(&c).unwrap();
+            scores.resize(c.len(), 0.5); // neutral prior for appended ids
+            store.on_corpus_appended(&c, &extra, &idx, &scores).unwrap();
+            assert_eq!(store.shard_map().sentences(), c.len(), "{label}");
+            for &r in &rules {
+                assert_eq!(
+                    store.benefit_of(r).unwrap(),
+                    benefit(idx.coverage(r), &p, &scores),
+                    "{label} post-append: rule {:?}",
+                    idx.heuristic(r)
+                );
+            }
+
+            // An appended sentence turns positive across the barrier.
+            let appended = old_n as u32 + 1;
+            store
+                .on_positives_added(&[appended], &idx, &scores)
+                .unwrap();
+            p.insert(appended);
+            for &r in &rules {
+                assert_eq!(
+                    store.benefit_of(r).unwrap(),
+                    benefit(idx.coverage(r), &p, &scores),
+                    "{label} post-YES: rule {:?}",
+                    idx.heuristic(r)
+                );
+            }
+            store
+        };
+        let n = setup().0.len();
+        for shards in [1usize, 2, 3, 4] {
+            run(
+                ShardedBenefitStore::new(ShardMap::new(n, shards)),
+                &format!("local S={shards}"),
+            );
+        }
+        for fanout in [Fanout::Sequential, Fanout::Concurrent] {
+            let (c, _) = setup();
+            let p = IdSet::from_ids(&[0, 1], n);
+            let scores: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).fract()).collect();
+            let store = ShardedBenefitStore::connect_remote(
+                ShardMap::new(n, 3),
+                &c,
+                &IndexConfig::small(),
+                &p,
+                &scores,
+                inproc_connector(),
+                fanout,
+            )
+            .unwrap();
+            let mut store = run(store, &format!("remote {fanout:?}"));
+            assert!(
+                store.audit_remote().unwrap(),
+                "{fanout:?} audit post-append"
+            );
+            store.shutdown().unwrap();
+        }
     }
 
     /// A dead transport must surface as a clean error and poison the

@@ -67,6 +67,76 @@ impl IndexConfig {
     }
 }
 
+/// Why [`IndexSet::append`] refused to grow the index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppendError {
+    /// The index was built with `min_count > 1`: pruning renumbers trie
+    /// nodes, so a delta-grown index could not reproduce the rule
+    /// numbering of a scratch build on the grown corpus — and numbering
+    /// is output-affecting (the best-first walk tie-breaks on dense ids).
+    PrunedIndex {
+        /// The offending `min_count` the index was built with.
+        min_count: usize,
+    },
+    /// The corpus passed in is shorter than the indexed prefix — it is not
+    /// a grown version of the corpus this index was built over.
+    CorpusBehindIndex {
+        /// Sentences in the corpus handed to `append`.
+        corpus: usize,
+        /// Sentences already indexed.
+        indexed: usize,
+    },
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::PrunedIndex { min_count } => write!(
+                f,
+                "cannot append to a pruned index (min_count = {min_count}): \
+                 pruning renumbers rules; rebuild instead"
+            ),
+            AppendError::CorpusBehindIndex { corpus, indexed } => write!(
+                f,
+                "corpus has {corpus} sentences but {indexed} are already indexed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+/// What [`IndexSet::append`] changed — the numbers a dense-keyed side
+/// table needs to remap itself across the append.
+///
+/// Appending keeps every `RuleRef` stable (trie nodes and tree patterns
+/// are numbered in first-occurrence order), but the **dense** numbering
+/// lays phrases out before trees, so new phrase nodes shift every tree
+/// rule's dense id up by `phrase_after - phrase_before`. A scratch build
+/// on the grown corpus shifts identically — the delta and rebuild paths
+/// agree — but any table keyed by pre-append dense ids must move its tree
+/// slots by that amount.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppendDelta {
+    /// Sentences folded in.
+    pub sentences: usize,
+    /// `phrase_index().len()` before the append (trie nodes incl. root).
+    pub phrase_before: usize,
+    /// `phrase_index().len()` after.
+    pub phrase_after: usize,
+    /// [`IndexSet::dense_rules`] before the append.
+    pub dense_before: usize,
+    /// [`IndexSet::dense_rules`] after.
+    pub dense_after: usize,
+}
+
+impl AppendDelta {
+    /// How far tree rules' dense ids moved.
+    pub fn tree_shift(&self) -> usize {
+        self.phrase_after - self.phrase_before
+    }
+}
+
 /// The combined heuristic index: one sub-index per registered grammar.
 pub struct IndexSet {
     phrase: PhraseIndex,
@@ -106,6 +176,72 @@ impl IndexSet {
     /// identical [`RuleRef`] numbering.
     pub fn config(&self) -> &IndexConfig {
         &self.cfg
+    }
+
+    /// Grow the index over sentences appended to `corpus` since the build
+    /// (ids `self.sentences()..corpus.len()`). Returns how many sentences
+    /// were folded in.
+    ///
+    /// The delta-grown index is **bit-identical** to a scratch
+    /// [`IndexSet::build`] on the grown corpus: trie nodes and tree
+    /// patterns are numbered in first-occurrence order either way, the
+    /// tree hierarchy is recomputed from the full pattern table by
+    /// `finalize`, and a cached inverted transpose is extended in place
+    /// (sound because new rules can only cover new sentences — see
+    /// [`InvertedIndex::extend_for_append`]). That identity is what lets
+    /// streaming sessions prove append ≡ rebuild downstream.
+    ///
+    /// Refused for pruned indexes (`min_count > 1`): pruning renumbers
+    /// nodes, so delta growth could not match a scratch rebuild.
+    ///
+    /// The returned [`AppendDelta`] records how the dense numbering moved;
+    /// side tables keyed by dense ids (the frontier memo) remap with it.
+    pub fn append(&mut self, corpus: &Corpus) -> Result<AppendDelta, AppendError> {
+        if self.cfg.min_count > 1 {
+            return Err(AppendError::PrunedIndex {
+                min_count: self.cfg.min_count,
+            });
+        }
+        let old_n = self.all_ids.len();
+        if corpus.len() < old_n {
+            return Err(AppendError::CorpusBehindIndex {
+                corpus: corpus.len(),
+                indexed: old_n,
+            });
+        }
+        let phrase_before = self.phrase.len();
+        let dense_before = self.dense_rules();
+        if corpus.len() == old_n {
+            return Ok(AppendDelta {
+                sentences: 0,
+                phrase_before,
+                phrase_after: phrase_before,
+                dense_before,
+                dense_after: dense_before,
+            });
+        }
+        let inverted = self.inverted.take();
+        for s in &corpus.sentences()[old_n..] {
+            self.phrase.add_sentence(s);
+            if let Some(t) = &mut self.tree {
+                t.add_sentence(s, &self.cfg.tree);
+            }
+        }
+        if let Some(t) = &mut self.tree {
+            t.finalize();
+        }
+        self.all_ids.extend(old_n as u32..corpus.len() as u32);
+        if let Some(mut inv) = inverted {
+            inv.extend_for_append(self, old_n);
+            let _ = self.inverted.set(inv);
+        }
+        Ok(AppendDelta {
+            sentences: corpus.len() - old_n,
+            phrase_before,
+            phrase_after: self.phrase.len(),
+            dense_before,
+            dense_after: self.dense_rules(),
+        })
     }
 
     /// The sentence → covering-rules transpose (built and cached on first
@@ -245,6 +381,20 @@ impl IndexSet {
             }
             Heuristic::Phrase(_) => None,
             Heuristic::Tree(t) => self.tree.as_ref()?.lookup(t).map(RuleRef::Tree),
+        }
+    }
+
+    /// Whether `r` denotes a rule this index actually holds — the
+    /// wire-boundary validity check. Every other accessor
+    /// ([`IndexSet::coverage`], [`IndexSet::heuristic`], …) treats its
+    /// handle as trusted and will panic on an out-of-range node or a tree
+    /// ref against a treeless build; workers receiving handles from a
+    /// peer check here first and refuse invalid ones cleanly.
+    pub fn contains_rule(&self, r: RuleRef) -> bool {
+        match r {
+            RuleRef::Root => true,
+            RuleRef::Phrase(n) => (n as usize) < self.phrase.len(),
+            RuleRef::Tree(p) => self.tree.as_ref().is_some_and(|t| (p as usize) < t.len()),
         }
     }
 
@@ -420,6 +570,85 @@ mod tests {
         assert_eq!(
             idx.rule_of_dense(idx.dense_id(RuleRef::Root)),
             RuleRef::Root
+        );
+    }
+
+    /// The index-layer leg of the append-equivalence argument: a
+    /// delta-grown index must be indistinguishable from a scratch build on
+    /// the grown corpus — same rule set, numbering, coverage, hierarchy
+    /// edges and inverted transpose.
+    #[test]
+    fn append_matches_scratch_build_on_grown_corpus() {
+        let first: Vec<String> = (0..12)
+            .map(|i| format!("sentence {i} takes the shuttle to the airport"))
+            .collect();
+        let extra = [
+            "a brand new arrival orders pizza with extra cheese".to_string(),
+            "the shuttle to the airport waits for the new arrival".to_string(),
+            "pizza with extra cheese goes to the airport too".to_string(),
+        ];
+        let mut corpus = Corpus::from_texts(first.iter());
+        let mut grown = IndexSet::build(&corpus, &IndexConfig::small());
+        // Populate the inverted cache *before* the append so the delta
+        // extension path (not a fresh transpose) is what gets compared.
+        let _ = grown.inverted();
+        corpus.append_texts(extra.iter(), 1);
+        let delta = grown.append(&corpus).unwrap();
+        assert_eq!(delta.sentences, extra.len());
+        assert_eq!(delta.dense_after, grown.dense_rules());
+        assert_eq!(delta.tree_shift(), delta.phrase_after - delta.phrase_before);
+
+        let scratch = IndexSet::build(&corpus, &IndexConfig::small());
+        assert_eq!(grown.sentences(), scratch.sentences());
+        assert_eq!(grown.rules(), scratch.rules());
+        assert_eq!(grown.dense_rules(), scratch.dense_rules());
+        let grown_rules: Vec<RuleRef> = grown.all_rules().collect();
+        let scratch_rules: Vec<RuleRef> = scratch.all_rules().collect();
+        assert_eq!(grown_rules, scratch_rules, "rule numbering diverged");
+        for &r in &grown_rules {
+            assert_eq!(grown.coverage(r), scratch.coverage(r), "{r:?} coverage");
+            assert_eq!(grown.children(r), scratch.children(r), "{r:?} children");
+            assert_eq!(grown.parents(r), scratch.parents(r), "{r:?} parents");
+            assert_eq!(grown.dense_id(r), scratch.dense_id(r));
+        }
+        assert_eq!(
+            grown.children(RuleRef::Root),
+            scratch.children(RuleRef::Root)
+        );
+        // Inverted transpose: delta-extended rows equal scratch rows.
+        for s in 0..corpus.len() as u32 {
+            assert_eq!(
+                grown.inverted().rules_covering(s),
+                scratch.inverted().rules_covering(s),
+                "transpose row {s}"
+            );
+        }
+        // Appending nothing is a no-op.
+        assert_eq!(grown.append(&corpus).unwrap().sentences, 0);
+    }
+
+    #[test]
+    fn append_refuses_pruned_indexes_and_shrunk_corpora() {
+        let c = corpus();
+        let mut pruned = IndexSet::build(
+            &c,
+            &IndexConfig {
+                min_count: 2,
+                ..IndexConfig::small()
+            },
+        );
+        assert_eq!(
+            pruned.append(&c),
+            Err(AppendError::PrunedIndex { min_count: 2 })
+        );
+        let mut idx = IndexSet::build(&c, &IndexConfig::small());
+        let shorter = Corpus::from_texts(["just one sentence"]);
+        assert_eq!(
+            idx.append(&shorter),
+            Err(AppendError::CorpusBehindIndex {
+                corpus: 1,
+                indexed: 5
+            })
         );
     }
 

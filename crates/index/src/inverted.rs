@@ -55,6 +55,51 @@ impl InvertedIndex {
         InvertedIndex { offsets, rules }
     }
 
+    /// Extend the transpose for sentences appended after it was built:
+    /// `index` has grown to cover ids `old_n..index.sentences()` and this
+    /// transpose still ends at `old_n`.
+    ///
+    /// Only *new* rows are written. That is sound because the caller
+    /// (`IndexSet::append`) guarantees an unpruned index (`min_count == 1`),
+    /// where a rule first materialized by an appended sentence can cover
+    /// only appended sentences — any earlier occurrence would already have
+    /// interned it — so no pre-existing row gains or loses a rule and the
+    /// result is bit-identical to a scratch [`InvertedIndex::build`] on the
+    /// grown index. Each rule's new postings are the tail of its sorted
+    /// posting list (`>= old_n`), found by one binary search.
+    pub fn extend_for_append(&mut self, index: &IndexSet, old_n: usize) {
+        debug_assert_eq!(self.sentences(), old_n, "transpose not at old_n");
+        let new_n = index.sentences();
+        if new_n == old_n {
+            return;
+        }
+        let mut counts = vec![0usize; new_n - old_n];
+        for r in index.all_rules() {
+            let cov = index.coverage(r);
+            let tail = cov.partition_point(|&s| (s as usize) < old_n);
+            for &s in &cov[tail..] {
+                counts[s as usize - old_n] += 1;
+            }
+        }
+        let mut acc = *self.offsets.last().expect("offsets never empty");
+        let mut cursor = Vec::with_capacity(counts.len());
+        for &c in &counts {
+            cursor.push(acc);
+            acc += c;
+            self.offsets.push(acc);
+        }
+        self.rules.resize(acc, RuleRef::Root);
+        for r in index.all_rules() {
+            let cov = index.coverage(r);
+            let tail = cov.partition_point(|&s| (s as usize) < old_n);
+            for &s in &cov[tail..] {
+                let slot = &mut cursor[s as usize - old_n];
+                self.rules[*slot] = r;
+                *slot += 1;
+            }
+        }
+    }
+
     /// Rules covering sentence `id`, in [`IndexSet::all_rules`] order.
     pub fn rules_covering(&self, id: u32) -> &[RuleRef] {
         let lo = self.offsets[id as usize];

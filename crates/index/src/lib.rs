@@ -35,7 +35,7 @@ pub mod shard;
 pub mod sketch;
 pub mod tree_index;
 
-pub use api::{IndexConfig, IndexSet, RuleRef};
+pub use api::{AppendDelta, AppendError, IndexConfig, IndexSet, RuleRef};
 pub use bitset::IdSet;
 pub use inverted::InvertedIndex;
 pub use phrase_index::PhraseIndex;

@@ -111,19 +111,42 @@ impl ShardMap {
         self.n as usize
     }
 
-    /// The shard owning sentence `id`.
+    /// The shard owning sentence `id`, clamped to the last shard.
+    ///
+    /// The clamp is a real invariant in every build profile, not a debug
+    /// assertion: the result is always `< shards()`, so downstream
+    /// fragment-vector indexing cannot run past the end even if a caller
+    /// hands in an id at (or beyond) the universe edge. It is also the
+    /// epoch-growth rule — after [`grow`](ShardMap::grow) the chunk split
+    /// stays frozen and every appended id lands on the last shard.
     pub fn owner(&self, id: u32) -> usize {
-        debug_assert!(id < self.n, "id {id} outside universe {}", self.n);
-        (id / self.chunk) as usize
+        ((id / self.chunk) as usize).min(self.shards - 1)
     }
 
     /// The id range shard `s` owns (empty for trailing shards of an
-    /// over-partitioned corpus).
+    /// over-partitioned corpus). The last shard always extends to `n`, so
+    /// ranges keep tiling the universe after [`grow`](ShardMap::grow).
     pub fn range(&self, s: usize) -> Range<u32> {
         debug_assert!(s < self.shards);
         let lo = (s as u32).saturating_mul(self.chunk).min(self.n);
-        let hi = lo.saturating_add(self.chunk).min(self.n);
+        let hi = if s + 1 == self.shards {
+            self.n
+        } else {
+            lo.saturating_add(self.chunk).min(self.n)
+        };
         lo..hi
+    }
+
+    /// Extend the universe to `new_n` ids **without** moving the chunk
+    /// split: ids `n..new_n` all join the last shard. This is the
+    /// epoch-stamped growth rule for appended corpora — within an epoch
+    /// the partition of pre-existing ids is immutable (so confirmed
+    /// remote fragment state stays valid), and only a fresh
+    /// [`ShardMap::new`] at a retrain barrier re-balances.
+    pub fn grow(&mut self, new_n: usize) {
+        let new_n = u32::try_from(new_n).expect("corpus exceeds u32 id space");
+        assert!(new_n >= self.n, "ShardMap::grow cannot shrink the universe");
+        self.n = new_n;
     }
 
     /// All shard ranges, in shard order.
@@ -218,6 +241,43 @@ mod tests {
         assert_eq!(intersect_count(&short, &long), naive(&short, &long));
         let similar: Vec<u32> = (0..1000).step_by(4).collect();
         assert_eq!(intersect_count(&similar, &long), naive(&similar, &long));
+    }
+
+    #[test]
+    fn owner_clamps_to_last_shard_in_all_profiles() {
+        // Pinned satellite behavior: an id at or past the universe edge
+        // must never produce an owner >= shards() in any build profile
+        // (release builds skip the debug_assert and used to return a
+        // nonsense shard that indexed past the fragment vector).
+        let m = ShardMap::new(100, 4);
+        for id in [99u32, 100, 101, 1000, u32::MAX] {
+            assert_eq!(m.owner(id).min(m.shards() - 1), m.owner(id));
+            assert!(m.owner(id) < m.shards(), "id {id} escaped the clamp");
+        }
+        assert_eq!(ShardMap::new(1, 8).owner(u32::MAX), 7, "chunk=1 clamp");
+    }
+
+    #[test]
+    fn grow_keeps_chunk_and_routes_new_ids_to_last_shard() {
+        let mut m = ShardMap::new(100, 4); // chunk = 25
+        let frozen: Vec<_> = (0..100).map(|id| m.owner(id)).collect();
+        m.grow(140);
+        assert_eq!(m.sentences(), 140);
+        // Pre-existing ids keep their owners — the epoch invariant.
+        for id in 0..100u32 {
+            assert_eq!(m.owner(id), frozen[id as usize]);
+        }
+        // Appended ids all land on the last shard, and ranges still tile.
+        for id in 100..140u32 {
+            assert_eq!(m.owner(id), 3);
+        }
+        let mut cursor = 0u32;
+        for r in m.ranges() {
+            assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        assert_eq!(cursor, 140);
+        assert_eq!(m.range(3), 75..140, "last shard absorbs the growth");
     }
 
     #[test]

@@ -54,6 +54,65 @@ impl Default for TreeSketchConfig {
     }
 }
 
+/// Compact identity of one enumerated TreeMatch pattern — the closed
+/// family [`tree_sketch`] produces. Interning and deduplicating by key
+/// instead of by [`TreePattern`] keeps the hot ingest path free of
+/// recursive hashing and per-pattern `Box` allocation; the full pattern
+/// is materialized ([`SketchKey::to_pattern`]) only when a key is seen
+/// for the first time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SketchKey {
+    /// `t`.
+    Term(TreeTerm),
+    /// `a / b`.
+    Child(TreeTerm, TreeTerm),
+    /// `a // b`.
+    Desc(TreeTerm, TreeTerm),
+    /// `(h/b1 ∧ h/b2)` with `b1 < b2` (the canonical enumeration order).
+    And(TreeTerm, TreeTerm, TreeTerm),
+}
+
+impl SketchKey {
+    /// Materialize the pattern this key denotes.
+    pub fn to_pattern(self) -> TreePattern {
+        match self {
+            SketchKey::Term(t) => TreePattern::Term(t),
+            SketchKey::Child(a, b) => {
+                TreePattern::child(TreePattern::Term(a), TreePattern::Term(b))
+            }
+            SketchKey::Desc(a, b) => TreePattern::desc(TreePattern::Term(a), TreePattern::Term(b)),
+            SketchKey::And(h, b1, b2) => TreePattern::and(
+                TreePattern::child(TreePattern::Term(h), TreePattern::Term(b1)),
+                TreePattern::child(TreePattern::Term(h), TreePattern::Term(b2)),
+            ),
+        }
+    }
+
+    /// The key of a pattern, if it has the shape of the enumerated family
+    /// (`None` otherwise — such a pattern is never interned).
+    pub fn of_pattern(p: &TreePattern) -> Option<SketchKey> {
+        let term = |q: &TreePattern| match q {
+            TreePattern::Term(t) => Some(*t),
+            _ => None,
+        };
+        match p {
+            TreePattern::Term(t) => Some(SketchKey::Term(*t)),
+            TreePattern::Child(a, b) => Some(SketchKey::Child(term(a)?, term(b)?)),
+            TreePattern::Desc(a, b) => Some(SketchKey::Desc(term(a)?, term(b)?)),
+            TreePattern::And(l, r) => match (&**l, &**r) {
+                (TreePattern::Child(h1, b1), TreePattern::Child(h2, b2)) => {
+                    let (h1, h2) = (term(h1)?, term(h2)?);
+                    if h1 != h2 {
+                        return None;
+                    }
+                    Some(SketchKey::And(h1, term(b1)?, term(b2)?))
+                }
+                _ => None,
+            },
+        }
+    }
+}
+
 /// Enumerate the bounded TreeMatch pattern family satisfied by `sentence`:
 ///
 /// * terminals: `tok`, and `POS` for content tags,
@@ -65,12 +124,27 @@ impl Default for TreeSketchConfig {
 /// Each reported pattern is also returned with the `(token, tag)` evidence
 /// needed to register token→POS generalization edges.
 pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePattern> {
+    let mut out = Vec::new();
+    for_each_tree_sketch(sentence, cfg, &mut |k| out.push(k.to_pattern()));
+    out
+}
+
+/// [`tree_sketch`] without materializing patterns: calls `f` once per
+/// (deduplicated) pattern key, in the exact order `tree_sketch` reports
+/// patterns. The allocation-free primitive behind
+/// [`crate::tree_index::TreeIndex::add_sentence`].
+pub fn for_each_tree_sketch(
+    sentence: &Sentence,
+    cfg: &TreeSketchConfig,
+    f: &mut impl FnMut(SketchKey),
+) {
     let n = sentence.len();
-    let mut out: Vec<TreePattern> = Vec::new();
-    let mut seen: FxHashSet<TreePattern> = FxHashSet::default();
-    let mut push = |p: TreePattern, out: &mut Vec<TreePattern>| {
-        if out.len() < cfg.max_patterns && seen.insert(p.clone()) {
-            out.push(p);
+    let mut accepted = 0usize;
+    let mut seen: FxHashSet<SketchKey> = FxHashSet::default();
+    let mut push = |k: SketchKey| {
+        if accepted < cfg.max_patterns && seen.insert(k) {
+            accepted += 1;
+            f(k);
         }
     };
 
@@ -80,22 +154,56 @@ pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePatte
     // such patterns floods the candidate pool (the paper's diversity
     // constraints in §3.2.1 serve the same purpose).
     let anchorable = |i: usize| usable(i) && sentence.tags[i] != PosTag::Det;
-    let terms = |i: usize| -> Vec<TreeTerm> {
-        let mut t = vec![TreeTerm::Tok(sentence.tokens[i])];
-        if sentence.tags[i].is_content() {
-            t.push(TreeTerm::Pos(sentence.tags[i]));
-        }
-        t
-    };
+    // Per-node terminals, precomputed once — the nested edge loops below
+    // revisit them per (head, child) pair.
+    let node_terms: Vec<[Option<TreeTerm>; 2]> = (0..n)
+        .map(|i| {
+            [
+                Some(TreeTerm::Tok(sentence.tokens[i])),
+                sentence.tags[i]
+                    .is_content()
+                    .then_some(TreeTerm::Pos(sentence.tags[i])),
+            ]
+        })
+        .collect();
+    let terms = |i: usize| node_terms[i].into_iter().flatten();
 
+    // CSR child adjacency, built once: `Sentence::children` is a full
+    // head-array scan per call, and the edge loops below need children
+    // per node and per descendant. Scanning child ids in ascending order
+    // reproduces `Sentence::children`'s iteration order exactly.
+    let mut child_off = vec![0usize; n + 1];
+    for (c, &h) in sentence.heads.iter().enumerate() {
+        if h as usize != c {
+            child_off[h as usize + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        child_off[i + 1] += child_off[i];
+    }
+    let mut child_items = vec![0usize; child_off[n]];
+    let mut cursor = child_off.clone();
+    for (c, &h) in sentence.heads.iter().enumerate() {
+        if h as usize != c {
+            child_items[cursor[h as usize]] = c;
+            cursor[h as usize] += 1;
+        }
+    }
+    let kids = |i: usize| child_items[child_off[i]..child_off[i + 1]].iter().copied();
+
+    let mut children: Vec<usize> = Vec::new();
+    let mut child_terms: Vec<TreeTerm> = Vec::new();
+    let mut desc_stack: Vec<usize> = Vec::new();
+    let mut descendants: Vec<usize> = Vec::new();
     for i in 0..n {
         if !usable(i) {
             continue;
         }
         for t in terms(i) {
-            push(TreePattern::Term(t), &mut out);
+            push(SketchKey::Term(t));
         }
-        let children: Vec<usize> = sentence.children(i).filter(|&c| anchorable(c)).collect();
+        children.clear();
+        children.extend(kids(i).filter(|&c| anchorable(c)));
         // Direct-edge Child patterns.
         for &c in &children {
             for a in terms(i) {
@@ -105,17 +213,21 @@ pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePatte
                     if matches!(a, TreeTerm::Pos(_)) && matches!(b, TreeTerm::Pos(_)) {
                         continue;
                     }
-                    push(
-                        TreePattern::child(TreePattern::Term(a), TreePattern::Term(b)),
-                        &mut out,
-                    );
+                    push(SketchKey::Child(a, b));
                 }
             }
         }
         // Descendant patterns over the full transitive closure, so that the
         // index's postings for `a//b` exactly equal the pattern's coverage
         // at any depth.
-        for d in sentence.descendants(i) {
+        descendants.clear();
+        desc_stack.clear();
+        desc_stack.extend(kids(i));
+        while let Some(d) = desc_stack.pop() {
+            descendants.push(d);
+            desc_stack.extend(kids(d));
+        }
+        for &d in &descendants {
             if !anchorable(d) {
                 continue;
             }
@@ -124,10 +236,7 @@ pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePatte
                     if matches!(a, TreeTerm::Pos(_)) && matches!(b, TreeTerm::Pos(_)) {
                         continue;
                     }
-                    push(
-                        TreePattern::desc(TreePattern::Term(a), TreePattern::Term(b)),
-                        &mut out,
-                    );
+                    push(SketchKey::Desc(a, b));
                 }
             }
         }
@@ -138,7 +247,7 @@ pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePatte
         // child — complete and canonical (b1 < b2 by the derived ordering).
         if cfg.include_and && !children.is_empty() {
             let head = TreeTerm::Tok(sentence.tokens[i]);
-            let mut child_terms: Vec<TreeTerm> = Vec::new();
+            child_terms.clear();
             for &c in &children {
                 child_terms.extend(terms(c));
             }
@@ -150,14 +259,11 @@ pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePatte
                     if matches!(b1, TreeTerm::Pos(_)) && matches!(b2, TreeTerm::Pos(_)) {
                         continue;
                     }
-                    let left = TreePattern::child(TreePattern::Term(head), TreePattern::Term(b1));
-                    let right = TreePattern::child(TreePattern::Term(head), TreePattern::Term(b2));
-                    push(TreePattern::and(left, right), &mut out);
+                    push(SketchKey::And(head, b1, b2));
                 }
             }
         }
     }
-    out
 }
 
 /// Token→POS generalization evidence: every `(token, tag)` occurrence of

@@ -12,7 +12,7 @@
 //! * `Term(tok)` is a specialization of `Term(POS-of-tok)` (evidence-based).
 
 use crate::fx::FxHashMap;
-use crate::sketch::{term_generalizations, tree_sketch, TreeSketchConfig};
+use crate::sketch::{for_each_tree_sketch, term_generalizations, SketchKey, TreeSketchConfig};
 use darwin_grammar::{TreePattern, TreeTerm};
 use darwin_text::{Corpus, PosTag, Sentence, Sym};
 
@@ -22,7 +22,10 @@ pub type PatId = u32;
 /// Inverted index over the enumerated TreeMatch pattern family.
 pub struct TreeIndex {
     pats: Vec<TreePattern>,
-    ids: FxHashMap<TreePattern, PatId>,
+    /// `keys[id]` is the compact identity of `pats[id]` — hierarchy
+    /// maintenance and interning work on keys, never re-hashing patterns.
+    keys: Vec<SketchKey>,
+    ids: FxHashMap<SketchKey, PatId>,
     postings: Vec<Vec<u32>>,
     parents: Vec<Vec<PatId>>,
     children: Vec<Vec<PatId>>,
@@ -32,6 +35,18 @@ pub struct TreeIndex {
     /// `None` marks tokens seen with more than one tag — for those the
     /// `Term(tok) → Term(POS)` edge would not be coverage-monotone.
     tok_tags: FxHashMap<Sym, Option<PosTag>>,
+    /// Patterns `pats[..finalized]` have their hierarchy edges computed;
+    /// later interns are folded in by the next [`TreeIndex::finalize`].
+    finalized: usize,
+    /// Candidate generalizations that were not interned when a child was
+    /// finalized → the children waiting on them. If the candidate is
+    /// interned later, the edges are added then (keeping append-grown
+    /// hierarchies identical to a from-scratch build).
+    pending: FxHashMap<SketchKey, Vec<PatId>>,
+    /// Tokens whose tag evidence turned ambiguous since the last
+    /// finalize, with the tag they held before — their `Term(tok) →
+    /// Term(POS)` edge (or pending wait) must be retracted.
+    flips: Vec<(Sym, PosTag)>,
 }
 
 impl TreeIndex {
@@ -39,12 +54,16 @@ impl TreeIndex {
     pub fn build(corpus: &Corpus, cfg: &TreeSketchConfig) -> TreeIndex {
         let mut idx = TreeIndex {
             pats: Vec::new(),
+            keys: Vec::new(),
             ids: FxHashMap::default(),
             postings: Vec::new(),
             parents: Vec::new(),
             children: Vec::new(),
             roots: Vec::new(),
             tok_tags: FxHashMap::default(),
+            finalized: 0,
+            pending: FxHashMap::default(),
+            flips: Vec::new(),
         };
         for s in corpus.sentences() {
             idx.add_sentence(s, cfg);
@@ -56,87 +75,151 @@ impl TreeIndex {
     /// Merge one sentence's sketch. Call [`TreeIndex::finalize`] after the
     /// last addition to (re)compute hierarchy edges.
     pub fn add_sentence(&mut self, s: &Sentence, cfg: &TreeSketchConfig) {
-        for p in tree_sketch(s, cfg) {
-            let id = self.intern(p);
+        let sid = s.id;
+        for_each_tree_sketch(s, cfg, &mut |k| {
+            let id = self.intern(k);
             let postings = &mut self.postings[id as usize];
-            if postings.last() != Some(&s.id) {
-                postings.push(s.id);
+            if postings.last() != Some(&sid) {
+                postings.push(sid);
             }
-        }
+        });
         for (tok, tag) in term_generalizations(s) {
-            self.tok_tags
-                .entry(tok)
-                .and_modify(|t| {
-                    if *t != Some(tag) {
-                        *t = None; // ambiguous across sentences
+            match self.tok_tags.entry(tok) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if let Some(old) = *e.get() {
+                        if old != tag {
+                            *e.get_mut() = None; // ambiguous across sentences
+                            self.flips.push((tok, old));
+                        }
                     }
-                })
-                .or_insert(Some(tag));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Some(tag));
+                }
+            }
         }
     }
 
-    fn intern(&mut self, p: TreePattern) -> PatId {
-        if let Some(&id) = self.ids.get(&p) {
+    fn intern(&mut self, k: SketchKey) -> PatId {
+        if let Some(&id) = self.ids.get(&k) {
             return id;
         }
         let id = self.pats.len() as PatId;
-        self.ids.insert(p.clone(), id);
-        self.pats.push(p);
+        self.ids.insert(k, id);
+        self.keys.push(k);
+        self.pats.push(k.to_pattern());
         self.postings.push(Vec::new());
         id
     }
 
-    /// Compute generalization edges between interned patterns.
+    /// Fold patterns interned since the last call into the generalization
+    /// hierarchy — **incremental**: only the new patterns (plus edge
+    /// retractions forced by tokens whose tag evidence turned ambiguous)
+    /// are visited, so an append-grown session pays O(delta) per batch,
+    /// not O(total patterns).
+    ///
+    /// The result is identical — including the order of every adjacency
+    /// list — to recomputing the hierarchy from scratch over the full
+    /// table: parent lists and children lists are kept sorted by id
+    /// (exactly what the scan in id order produces), a candidate
+    /// generalization that is not interned yet is remembered in the
+    /// pending-waiters map and wired up the moment a later batch
+    /// interns it, and a `Term(tok) → Term(POS)` edge whose tag evidence
+    /// is invalidated by later sentences is retracted.
     pub fn finalize(&mut self) {
-        let n = self.pats.len();
-        self.parents = vec![Vec::new(); n];
-        self.children = vec![Vec::new(); n];
-        self.roots.clear();
-        for id in 0..n as PatId {
-            let pars = self.structural_parents(&self.pats[id as usize]);
-            if pars.is_empty() {
-                self.roots.push(id);
+        // Retract terminal edges whose single-tag evidence flipped.
+        let flips = std::mem::take(&mut self.flips);
+        for (tok, old_tag) in flips {
+            if !old_tag.is_content() {
+                continue;
             }
-            for p in pars {
-                self.parents[id as usize].push(p);
-                self.children[p as usize].push(id);
+            let Some(&c) = self.ids.get(&SketchKey::Term(TreeTerm::Tok(tok))) else {
+                continue;
+            };
+            let gen = SketchKey::Term(TreeTerm::Pos(old_tag));
+            if (c as usize) >= self.finalized {
+                // Interned but not yet finalized: it will be processed
+                // below against the already-ambiguous evidence.
+                continue;
             }
-        }
-    }
-
-    /// Parents (strict generalizations, one derivation step away) of `p`
-    /// that exist in the table.
-    fn structural_parents(&self, p: &TreePattern) -> Vec<PatId> {
-        let mut out = Vec::new();
-        let push = |q: &TreePattern, out: &mut Vec<PatId>| {
-            if let Some(&id) = self.ids.get(q) {
-                out.push(id);
-            }
-        };
-        match p {
-            TreePattern::Term(TreeTerm::Tok(t)) => {
-                // Only unambiguous content tags yield a sound edge.
-                if let Some(Some(tag)) = self.tok_tags.get(t) {
-                    if tag.is_content() {
-                        push(&TreePattern::term_pos(*tag), &mut out);
+            match self.ids.get(&gen) {
+                Some(&g) => {
+                    remove_sorted(&mut self.parents[c as usize], g);
+                    remove_sorted(&mut self.children[g as usize], c);
+                    if self.parents[c as usize].is_empty() {
+                        insert_sorted(&mut self.roots, c);
+                    }
+                }
+                None => {
+                    if let Some(w) = self.pending.get_mut(&gen) {
+                        w.retain(|&x| x != c);
+                        if w.is_empty() {
+                            self.pending.remove(&gen);
+                        }
                     }
                 }
             }
-            TreePattern::Term(TreeTerm::Pos(_)) => {}
-            TreePattern::Child(a, b) => {
-                push(a, &mut out);
-                push(&TreePattern::Desc(a.clone(), b.clone()), &mut out);
+        }
+        // Wire up the patterns interned since the last finalize.
+        let n = self.pats.len();
+        self.parents.resize_with(n, Vec::new);
+        self.children.resize_with(n, Vec::new);
+        for id in self.finalized as PatId..n as PatId {
+            let k = self.keys[id as usize];
+            for q in self.parent_candidates(k) {
+                match self.ids.get(&q) {
+                    Some(&g) => {
+                        insert_sorted(&mut self.parents[id as usize], g);
+                        insert_sorted(&mut self.children[g as usize], id);
+                    }
+                    None => self.pending.entry(q).or_default().push(id),
+                }
             }
-            TreePattern::Desc(a, _) => {
-                push(a, &mut out);
+            if self.parents[id as usize].is_empty() {
+                insert_sorted(&mut self.roots, id);
             }
-            TreePattern::And(a, b) => {
-                push(a, &mut out);
-                push(b, &mut out);
+            // Older patterns that were waiting for this generalization.
+            if let Some(waiters) = self.pending.remove(&k) {
+                for c in waiters {
+                    if self.parents[c as usize].is_empty() {
+                        remove_sorted(&mut self.roots, c);
+                    }
+                    insert_sorted(&mut self.parents[c as usize], id);
+                    insert_sorted(&mut self.children[id as usize], c);
+                }
             }
         }
-        out.sort_unstable();
-        out.dedup();
+        self.finalized = n;
+    }
+
+    /// Candidate parents (strict generalizations, one derivation step
+    /// away) of the pattern `k` denotes, interned or not, deduplicated.
+    fn parent_candidates(&self, k: SketchKey) -> Vec<SketchKey> {
+        let mut out: Vec<SketchKey> = Vec::new();
+        match k {
+            SketchKey::Term(TreeTerm::Tok(t)) => {
+                // Only unambiguous content tags yield a sound edge.
+                if let Some(Some(tag)) = self.tok_tags.get(&t) {
+                    if tag.is_content() {
+                        out.push(SketchKey::Term(TreeTerm::Pos(*tag)));
+                    }
+                }
+            }
+            SketchKey::Term(TreeTerm::Pos(_)) => {}
+            SketchKey::Child(a, b) => {
+                out.push(SketchKey::Term(a));
+                out.push(SketchKey::Desc(a, b));
+            }
+            SketchKey::Desc(a, _) => {
+                out.push(SketchKey::Term(a));
+            }
+            SketchKey::And(h, b1, b2) => {
+                out.push(SketchKey::Child(h, b1));
+                if b1 != b2 {
+                    out.push(SketchKey::Child(h, b2));
+                }
+            }
+        }
         out
     }
 
@@ -157,7 +240,7 @@ impl TreeIndex {
 
     /// Find the id of an (enumerated) pattern.
     pub fn lookup(&self, p: &TreePattern) -> Option<PatId> {
-        self.ids.get(p).copied()
+        SketchKey::of_pattern(p).and_then(|k| self.ids.get(&k).copied())
     }
 
     /// Sorted ids of sentences matching the pattern.
@@ -188,6 +271,20 @@ impl TreeIndex {
     /// Iterate over all pattern ids.
     pub fn pat_ids(&self) -> impl Iterator<Item = PatId> {
         0..self.pats.len() as PatId
+    }
+}
+
+/// Insert into a sorted id list, keeping it sorted (no-op if present).
+fn insert_sorted(v: &mut Vec<PatId>, x: PatId) {
+    if let Err(i) = v.binary_search(&x) {
+        v.insert(i, x);
+    }
+}
+
+/// Remove from a sorted id list (no-op if absent).
+fn remove_sorted(v: &mut Vec<PatId>, x: PatId) {
+    if let Ok(i) = v.binary_search(&x) {
+        v.remove(i);
     }
 }
 
@@ -278,6 +375,68 @@ mod tests {
         for id in idx.pat_ids() {
             for &p in idx.parents(id) {
                 assert!(idx.children(p).contains(&id));
+            }
+        }
+    }
+
+    /// The incremental hierarchy contract: growing batch by batch (one
+    /// finalize per batch) must reproduce the scratch build over the full
+    /// corpus exactly — patterns, postings, every adjacency list in the
+    /// same order, and the root list. The fixture forces the hard cases:
+    /// a generalization interned batches after its specialization (the
+    /// pending wait), and a token whose tag evidence turns ambiguous
+    /// after its terminal edge was already wired (the flip retraction).
+    #[test]
+    fn batched_growth_matches_scratch_build() {
+        let texts = [
+            "the storm caused the outage in the city",
+            "lightning caused the fire",
+            "his job is a teacher at the school",
+            "uber is the best way to our hotel",
+            "they fire the lazy teacher",     // "fire" NOUN→VERB flip
+            "the storm will outage the grid", // "outage" flips too
+            "a shuttle to the airport is fast",
+            "the best shuttle leaves at dawn",
+        ];
+        let cfg = TreeSketchConfig::default();
+        for split in 1..texts.len() {
+            let scratch_corpus = Corpus::from_texts(texts.iter().copied());
+            let scratch = TreeIndex::build(&scratch_corpus, &cfg);
+
+            let mut corpus = Corpus::from_texts(texts[..split].iter().copied());
+            let mut grown = TreeIndex::build(&corpus, &cfg);
+            for t in &texts[split..] {
+                let base = corpus.len();
+                corpus.append_texts([t], 1);
+                for s in &corpus.sentences()[base..] {
+                    grown.add_sentence(s, &cfg);
+                }
+                grown.finalize();
+            }
+
+            assert_eq!(grown.len(), scratch.len(), "split {split}: pattern count");
+            assert_eq!(grown.roots, scratch.roots, "split {split}: roots");
+            for id in scratch.pat_ids() {
+                assert_eq!(
+                    grown.pattern(id),
+                    scratch.pattern(id),
+                    "split {split}: pat {id}"
+                );
+                assert_eq!(
+                    grown.postings(id),
+                    scratch.postings(id),
+                    "split {split}: postings of {id}"
+                );
+                assert_eq!(
+                    grown.parents(id),
+                    scratch.parents(id),
+                    "split {split}: parents of {id}"
+                );
+                assert_eq!(
+                    grown.children(id),
+                    scratch.children(id),
+                    "split {split}: children of {id}"
+                );
             }
         }
     }

@@ -99,6 +99,34 @@ impl Corpus {
         out
     }
 
+    /// Append `texts` to the corpus: tokenize, intern into the existing
+    /// vocabulary, tag and parse, continuing sentence ids from
+    /// [`Corpus::len`]. Returns the number of sentences appended.
+    ///
+    /// The grown corpus is exactly what [`Corpus::from_texts`] would build
+    /// over the concatenation — interning is serial in input order and
+    /// analysis is per sentence, so pre-existing sentences, symbol ids and
+    /// the vocabulary prefix are all untouched (the same argument as
+    /// [`CorpusBuilder`], which is this method behind a by-value API).
+    pub fn append_texts<I, S>(&mut self, texts: I, threads: usize) -> usize
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let token_lists: Vec<Vec<String>> = texts
+            .into_iter()
+            .map(|t| crate::tokenize::tokenize(t.as_ref()))
+            .collect();
+        let added = token_lists.len();
+        analyze_append(
+            &mut self.vocab,
+            &mut self.sentences,
+            &token_lists,
+            threads.max(1),
+        );
+        added
+    }
+
     /// Mean sentence length in tokens.
     pub fn mean_len(&self) -> f64 {
         if self.sentences.is_empty() {
@@ -200,6 +228,20 @@ impl CorpusBuilder {
         CorpusBuilder {
             vocab: Vocab::new(),
             sentences: Vec::new(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Continue building from an already-analyzed corpus: pushed chunks
+    /// append to its arenas (vocabulary and sentence list) exactly as if
+    /// they had been part of the original build. This is the builder-side
+    /// append path — `CorpusBuilder::resume(c, t).push_texts(more)` and
+    /// [`Corpus::append_texts`] produce identical corpora.
+    pub fn resume(corpus: Corpus, threads: usize) -> CorpusBuilder {
+        let Corpus { vocab, sentences } = corpus;
+        CorpusBuilder {
+            vocab,
+            sentences,
             threads: threads.max(1),
         }
     }
@@ -311,6 +353,44 @@ mod tests {
             assert_eq!(built.sentence(i).tags, whole.sentence(i).tags);
             assert_eq!(built.sentence(i).heads, whole.sentence(i).heads);
             assert_eq!(built.text(i), whole.text(i));
+        }
+    }
+
+    /// The append path must reproduce `from_texts` on the concatenation —
+    /// sentence ids, tokens, analyses and vocabulary all identical, and
+    /// the pre-append prefix untouched. This is the text-layer leg of the
+    /// append-equivalence argument.
+    #[test]
+    fn append_texts_matches_from_texts_on_concatenation() {
+        let first: Vec<String> = (0..30)
+            .map(|i| format!("sentence {i} rides the bus to the airport"))
+            .collect();
+        let extra: Vec<String> = (0..20)
+            .map(|i| format!("new arrival {i} orders a pizza margherita"))
+            .collect();
+        let whole = Corpus::from_texts(first.iter().chain(extra.iter()));
+        let mut grown = Corpus::from_texts(first.iter());
+        assert_eq!(grown.append_texts(extra.iter(), 2), extra.len());
+        assert_eq!(grown.len(), whole.len());
+        assert_eq!(grown.vocab().len(), whole.vocab().len());
+        for i in 0..whole.len() as u32 {
+            assert_eq!(grown.sentence(i).id, i);
+            assert_eq!(grown.sentence(i).tokens, whole.sentence(i).tokens);
+            assert_eq!(grown.sentence(i).tags, whole.sentence(i).tags);
+            assert_eq!(grown.sentence(i).heads, whole.sentence(i).heads);
+            assert_eq!(grown.text(i), whole.text(i));
+        }
+        // Empty append is a no-op.
+        assert_eq!(grown.append_texts(Vec::<String>::new(), 1), 0);
+        assert_eq!(grown.len(), whole.len());
+        // Builder resume is the same path behind a by-value API.
+        let mut b = CorpusBuilder::resume(Corpus::from_texts(first.iter()), 1);
+        b.push_texts(extra.iter());
+        let resumed = b.finish();
+        assert_eq!(resumed.len(), whole.len());
+        assert_eq!(resumed.vocab().len(), whole.vocab().len());
+        for i in 0..whole.len() as u32 {
+            assert_eq!(resumed.sentence(i).tokens, whole.sentence(i).tokens);
         }
     }
 

@@ -142,6 +142,24 @@ impl Embeddings {
         &self.table[s.index() * self.dim..(s.index() + 1) * self.dim]
     }
 
+    /// Extend the table with zero rows up to `vocab_len` tokens.
+    ///
+    /// Appended corpora can intern symbols the (deliberately frozen)
+    /// training pass never saw; without rows for them [`Embeddings::vector`]
+    /// would index past the table. A zero vector is the right OOV
+    /// embedding here: it contributes nothing to a sentence's mean and has
+    /// zero cosine similarity to everything — and because growth is
+    /// deterministic, featurization of a grown corpus is bit-identical
+    /// whether the corpus was appended to or rebuilt from scratch against
+    /// the same frozen embeddings. Shrinking is refused; growing to a
+    /// smaller `vocab_len` is a no-op.
+    pub fn grow_to(&mut self, vocab_len: usize) {
+        let want = vocab_len * self.dim;
+        if want > self.table.len() {
+            self.table.resize(want, 0.0);
+        }
+    }
+
     /// Cosine similarity between two tokens' vectors.
     pub fn similarity(&self, a: Sym, b: Sym) -> f32 {
         cosine(self.vector(a), self.vector(b))

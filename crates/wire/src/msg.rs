@@ -327,6 +327,22 @@ pub enum Request {
     },
     /// Orderly teardown; the worker replies `Ack` and exits its loop.
     Shutdown,
+    /// The coordinator appended sentences to the corpus: grow the worker's
+    /// corpus, index and span-local state to match. Sent to every shard
+    /// (each needs the full grown corpus to index), and to the classifier
+    /// worker (which grows its corpus and embedding table).
+    CorpusAppend {
+        /// The appended sentence texts, in corpus-id order.
+        texts: Vec<String>,
+        /// The receiver's owned span's new exclusive upper bound — the
+        /// grown corpus length for the last shard and the classifier,
+        /// unchanged for every other shard (epoch rule: the chunk split
+        /// is frozen, appended ids all join the last shard).
+        new_hi: u32,
+        /// Scores for ids the receiver *newly* owns (the appended tail of
+        /// the last shard's span; empty for the others).
+        scores: Vec<f32>,
+    },
 }
 
 /// Worker → coordinator messages.
@@ -454,6 +470,16 @@ impl Encode for Request {
                 ids.encode(out);
             }
             Request::Shutdown => out.push(14),
+            Request::CorpusAppend {
+                texts,
+                new_hi,
+                scores,
+            } => {
+                out.push(15);
+                texts.encode(out);
+                new_hi.encode(out);
+                scores.encode(out);
+            }
         }
     }
 }
@@ -515,6 +541,11 @@ impl Decode for Request {
                 ids: Vec::decode(r)?,
             }),
             14 => Ok(Request::Shutdown),
+            15 => Ok(Request::CorpusAppend {
+                texts: Vec::decode(r)?,
+                new_hi: u32::decode(r)?,
+                scores: Vec::decode(r)?,
+            }),
             t => Err(WireError::Corrupt(format!("request tag {t}"))),
         }
     }
@@ -770,6 +801,11 @@ mod tests {
         });
         roundtrip_req(Request::PredictBatch { ids: vec![0, 1] });
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::CorpusAppend {
+            texts: vec!["the late bus to the airport".into(), "pizza now".into()],
+            new_hi: 9,
+            scores: vec![0.5, 0.5],
+        });
     }
 
     #[test]

@@ -113,8 +113,14 @@ impl ProcTransport {
             .stdout(Stdio::piped())
             .spawn()
             .map_err(|e| WireError::Io(format!("spawn failed: {e}")))?;
-        let stdin = child.stdin.take().expect("piped stdin");
-        let mut stdout = child.stdout.take().expect("piped stdout");
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| WireError::Io("worker stdin was not piped".into()))?;
+        let mut stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| WireError::Io("worker stdout was not piped".into()))?;
         let (tx, frames): (SyncSender<_>, _) = mpsc::sync_channel(64);
         std::thread::spawn(move || loop {
             match frame::read_frame(&mut stdout) {
