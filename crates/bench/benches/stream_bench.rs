@@ -8,11 +8,17 @@
 //!   number the acceptance gate reads (`sustained_sentences_per_sec` ≥
 //!   100k/s on a release build).
 //! * `corpus_index_tree` — the same pipeline with the TreeMatch hierarchy
-//!   enabled. Tree sketch enumeration costs ~4× the phrase path, so this
-//!   row is reported alongside rather than gating.
+//!   enabled. Sketch enumeration plus pattern interning keeps this within
+//!   ~3.5× of the phrase path; it is reported alongside rather than
+//!   gating, with its own CI floor (≥ 80k/s).
 //! * `live_session` — appends folded into a live [`StreamSession`]
 //!   between wave barriers: everything above plus embedding zero-pad,
 //!   score-cache growth, benefit-store fold and hierarchy regeneration.
+//!
+//! A fourth cell microbenchmarks the reusable tree match kernel
+//! (`MatchCtx`) against the plain recursive matcher it replays, sweeping
+//! the indexed tree rules over the base corpus — the per-rule coverage
+//! cost the engine pays mid-run.
 //!
 //! Besides the criterion report, running this bench rewrites
 //! `BENCH_stream.json` at the repo root (schema in BENCHES.md).
@@ -21,6 +27,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use darwin_core::stream::StreamSession;
 use darwin_core::{BatchPolicy, DarwinConfig, GroundTruthOracle, Immediate, Seed};
 use darwin_datasets::directions;
+use darwin_grammar::{Heuristic, MatchCtx, TreePattern};
 use darwin_index::{IndexConfig, IndexSet};
 use std::time::Instant;
 
@@ -130,6 +137,59 @@ fn measure_live_session(threads: usize, batch: usize, batches: usize) -> Row {
     row("live_session", batch, batches, total_ns)
 }
 
+struct KernelCell {
+    patterns: usize,
+    sentences: usize,
+    kernel_ns: u64,
+    recursive_ns: u64,
+}
+
+/// Sweep up to 512 indexed tree rules over the base corpus, once with the
+/// reusable kernel (memo/size/stack arenas reused across calls) and once
+/// with the recursive reference it must replay; assert identical hit
+/// counts so the speedup is an equivalence-checked measurement.
+fn measure_match_kernel() -> (Vec<TreePattern>, Vec<darwin_text::Sentence>, KernelCell) {
+    let d = directions::generate(BASE_SENTENCES, SEED);
+    let index = IndexSet::build(&d.corpus, &min1());
+    let patterns: Vec<TreePattern> = index
+        .all_rules()
+        .filter_map(|r| match index.heuristic(r) {
+            Heuristic::Tree(p) => Some(p),
+            Heuristic::Phrase(_) => None,
+        })
+        .take(512)
+        .collect();
+    let sentences = d.corpus.sentences().to_vec();
+
+    let mut ctx = MatchCtx::new();
+    let t = Instant::now();
+    let mut kernel_hits = 0usize;
+    for p in &patterns {
+        for s in &sentences {
+            kernel_hits += ctx.matches(p, s) as usize;
+        }
+    }
+    let kernel_ns = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
+    let mut recursive_hits = 0usize;
+    for p in &patterns {
+        for s in &sentences {
+            recursive_hits += p.matches(s) as usize;
+        }
+    }
+    let recursive_ns = t.elapsed().as_nanos() as u64;
+    assert_eq!(kernel_hits, recursive_hits, "kernel must replay reference");
+
+    let cell = KernelCell {
+        patterns: patterns.len(),
+        sentences: sentences.len(),
+        kernel_ns,
+        recursive_ns,
+    };
+    (patterns, sentences, cell)
+}
+
 fn bench_stream(c: &mut Criterion) {
     let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let threads = host_threads.min(4);
@@ -147,12 +207,26 @@ fn bench_stream(c: &mut Criterion) {
             ))
         })
     });
+    let (patterns, sentences, kernel) = measure_match_kernel();
+    g.bench_function("tree_match_kernel", |b| {
+        let mut ctx = MatchCtx::new();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in patterns.iter().take(32) {
+                for s in &sentences {
+                    hits += ctx.matches(p, s) as usize;
+                }
+            }
+            criterion::black_box(hits)
+        })
+    });
     g.finish();
 
     let rows = [
         measure_corpus_index("corpus_index_phrase", &phrase_min1(), threads, 1000, 40),
         measure_corpus_index("corpus_index_phrase", &phrase_min1(), threads, 5000, 8),
         measure_corpus_index("corpus_index_tree", &min1(), threads, 1000, 40),
+        measure_corpus_index("corpus_index_tree", &min1(), threads, 5000, 8),
         measure_live_session(threads, 1000, 5),
     ];
     let sustained = rows
@@ -175,8 +249,20 @@ fn bench_stream(c: &mut Criterion) {
             r.path, r.batch_sentences, r.sentences_per_sec
         );
     }
+    let kernel_speedup = kernel.recursive_ns as f64 / kernel.kernel_ns.max(1) as f64;
+    let kernel_block = format!(
+        "  \"match_kernel\": {{\n    \"patterns\": {},\n    \"sentences\": {},\n    \"kernel_ns\": {},\n    \"recursive_ns\": {},\n    \"speedup\": {:.2}\n  }},",
+        kernel.patterns, kernel.sentences, kernel.kernel_ns, kernel.recursive_ns, kernel_speedup
+    );
+    println!(
+        "stream_bench match_kernel: {} patterns x {} sentences, kernel {:.1}ms vs recursive {:.1}ms ({kernel_speedup:.2}x)",
+        kernel.patterns,
+        kernel.sentences,
+        kernel.kernel_ns as f64 / 1e6,
+        kernel.recursive_ns as f64 / 1e6
+    );
     let json = format!(
-        "{{\n  \"bench\": \"stream_append\",\n  \"base_sentences\": {BASE_SENTENCES},\n  \"host_threads\": {host_threads},\n  \"append_threads\": {threads},\n  \"sustained_sentences_per_sec\": {sustained:.0},\n  \"rows\": [\n{blocks}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"stream_append\",\n  \"base_sentences\": {BASE_SENTENCES},\n  \"host_threads\": {host_threads},\n  \"append_threads\": {threads},\n  \"sustained_sentences_per_sec\": {sustained:.0},\n{kernel_block}\n  \"rows\": [\n{blocks}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
     std::fs::write(path, &json).expect("write BENCH_stream.json");

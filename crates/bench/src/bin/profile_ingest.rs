@@ -1,0 +1,180 @@
+//! Ingest profiling driver: where does tree-ingest time go?
+//!
+//! Decomposes the sustained-ingest pipeline `stream_bench` measures
+//! end-to-end into its stages — corpus analysis (tokenize, tag, parse),
+//! sketch enumeration, phrase index growth, tree `add_sentence` vs
+//! `finalize` — over the same directions base + synthetic arrivals the
+//! bench uses. Not part of any suite and writes no artifact; run it
+//! (`cargo run --release -p darwin-bench --bin profile_ingest`, two or
+//! three times — single runs are noisy) when a BENCH_stream.json number
+//! moves and you need to know which stage did it.
+
+use darwin_datasets::directions;
+use darwin_index::sketch::{for_each_tree_sketch, TreeSketchConfig};
+use darwin_index::{IndexConfig, IndexSet};
+use darwin_text::Corpus;
+use std::time::Instant;
+
+fn arrivals(offset: usize, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let k = offset + i;
+            match k % 3 {
+                0 => format!("is there a bus to the airport at {k}"),
+                1 => format!("order a pizza with {k} toppings to the room"),
+                _ => format!("the gym closes at {k} tonight"),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let d = directions::generate(2000, 42);
+    let total = 40_000usize;
+    let batch = 1000usize;
+
+    // Corpus analysis alone.
+    let mut corpus = d.corpus.clone();
+    let t = Instant::now();
+    for b in 0..total / batch {
+        corpus.append_texts(arrivals(b * batch, batch).iter(), 1);
+    }
+    let analysis = t.elapsed();
+    println!(
+        "analysis only:       {:?} ({:.0}/s)",
+        analysis,
+        total as f64 / analysis.as_secs_f64()
+    );
+
+    // Sketch enumeration alone over the grown corpus tail.
+    let cfg = TreeSketchConfig::default();
+    let t = Instant::now();
+    let mut keys = 0usize;
+    for s in &corpus.sentences()[2000..] {
+        for_each_tree_sketch(s, &cfg, &mut |_k| {
+            keys += 1;
+            true
+        });
+    }
+    let sketch = t.elapsed();
+    println!(
+        "tree sketch only:    {:?} ({:.0}/s, {:.1} keys/sentence)",
+        sketch,
+        total as f64 / sketch.as_secs_f64(),
+        keys as f64 / total as f64
+    );
+
+    // Phrase-only index append.
+    let mut corpus2 = d.corpus.clone();
+    let mut idx = IndexSet::build(
+        &corpus2,
+        &IndexConfig {
+            max_phrase_len: 4,
+            min_count: 1,
+            enable_tree: false,
+            ..Default::default()
+        },
+    );
+    let t = Instant::now();
+    for b in 0..total / batch {
+        corpus2.append_texts(arrivals(b * batch, batch).iter(), 1);
+        idx.append(&corpus2).unwrap();
+    }
+    let phrase = t.elapsed();
+    println!(
+        "analysis+phrase:     {:?} ({:.0}/s)",
+        phrase,
+        total as f64 / phrase.as_secs_f64()
+    );
+
+    // Tree index alone: add_sentence vs finalize split.
+    {
+        use darwin_index::TreeIndex;
+        let base = Corpus::from_texts(
+            (0..2000).map(|i| format!("warm base sentence number {i} for the tree")),
+        );
+        let mut tidx = TreeIndex::build(&base, &cfg);
+        let mut c = base.clone();
+        let mut add = std::time::Duration::ZERO;
+        let mut fin = std::time::Duration::ZERO;
+        for b in 0..total / batch {
+            let n0 = c.len();
+            c.append_texts(arrivals(b * batch, batch).iter(), 1);
+            let t = Instant::now();
+            for s in &c.sentences()[n0..] {
+                tidx.add_sentence(s, &cfg);
+            }
+            add += t.elapsed();
+            let t = Instant::now();
+            tidx.finalize();
+            fin += t.elapsed();
+        }
+        println!(
+            "tree add_sentence:   {:?} ({:.0}/s), finalize: {:?}  [{} pats]",
+            add,
+            total as f64 / add.as_secs_f64(),
+            fin,
+            tidx.len()
+        );
+    }
+
+    // Decomposed full path: analysis / phrase add / tree add / finalize
+    // over the same directions-based corpus the end-to-end cell uses.
+    {
+        use darwin_index::{PhraseIndex, TreeIndex};
+        let mut c = d.corpus.clone();
+        let mut pidx = PhraseIndex::build(&c, 4);
+        let mut tidx = TreeIndex::build(&c, &cfg);
+        let (mut ana, mut pha, mut tra, mut fin) = (
+            std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+        );
+        for b in 0..total / batch {
+            let n0 = c.len();
+            let t = Instant::now();
+            c.append_texts(arrivals(b * batch, batch).iter(), 1);
+            ana += t.elapsed();
+            let t = Instant::now();
+            for s in &c.sentences()[n0..] {
+                pidx.add_sentence(s);
+            }
+            pha += t.elapsed();
+            let t = Instant::now();
+            for s in &c.sentences()[n0..] {
+                tidx.add_sentence(s, &cfg);
+            }
+            tra += t.elapsed();
+            let t = Instant::now();
+            tidx.finalize();
+            fin += t.elapsed();
+        }
+        println!(
+            "decomposed: analysis {ana:?}, phrase {pha:?}, tree-add {tra:?}, finalize {fin:?}  [{} pats]",
+            tidx.len()
+        );
+    }
+
+    // Tree index append.
+    let mut corpus3 = d.corpus.clone();
+    let mut idx = IndexSet::build(
+        &corpus3,
+        &IndexConfig {
+            max_phrase_len: 4,
+            min_count: 1,
+            ..Default::default()
+        },
+    );
+    let t = Instant::now();
+    for b in 0..total / batch {
+        corpus3.append_texts(arrivals(b * batch, batch).iter(), 1);
+        idx.append(&corpus3).unwrap();
+    }
+    let tree = t.elapsed();
+    println!(
+        "analysis+phr+tree:   {:?} ({:.0}/s)",
+        tree,
+        total as f64 / tree.as_secs_f64()
+    );
+}

@@ -62,18 +62,22 @@ impl Hierarchy {
     }
 
     /// Children of `r`, same fallback policy as [`Hierarchy::parents`].
+    ///
+    /// Streams over [`IndexSet::for_each_child`] rather than materializing
+    /// the full child list: only the single result `Vec` is allocated, and
+    /// the (rare) off-pool fallback re-walks the adjacency instead of
+    /// holding a second list.
     pub fn children(&self, index: &IndexSet, r: RuleRef) -> Vec<RuleRef> {
-        let all = index.children(r);
-        let inside: Vec<RuleRef> = all
-            .iter()
-            .copied()
-            .filter(|c| self.set.contains(c))
-            .collect();
-        if inside.is_empty() {
-            all
-        } else {
-            inside
+        let mut out = Vec::new();
+        index.for_each_child(r, |c| {
+            if self.set.contains(&c) {
+                out.push(c);
+            }
+        });
+        if out.is_empty() {
+            index.for_each_child(r, |c| out.push(c));
         }
+        out
     }
 }
 

@@ -297,7 +297,10 @@ impl StreamSession {
         let old_n = self.corpus.len() as u32;
         self.corpus.append_texts(texts.iter(), self.cfg.threads);
         let delta = match self.mode {
-            AppendMode::Delta => Some(self.index.append(&self.corpus)?),
+            AppendMode::Delta => Some(
+                self.index
+                    .append_with_threads(&self.corpus, self.cfg.threads)?,
+            ),
             AppendMode::Rebuild => {
                 let config = self.index.config().clone();
                 self.index = IndexSet::build(&self.corpus, &config);

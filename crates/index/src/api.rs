@@ -197,6 +197,20 @@ impl IndexSet {
     /// The returned [`AppendDelta`] records how the dense numbering moved;
     /// side tables keyed by dense ids (the frontier memo) remap with it.
     pub fn append(&mut self, corpus: &Corpus) -> Result<AppendDelta, AppendError> {
+        self.append_with_threads(corpus, 1)
+    }
+
+    /// [`IndexSet::append`] with the tree-sketch enumeration of the new
+    /// batch fanned out over `threads` workers ([`crate::sketch::sketch_batch`]).
+    /// Per-sentence enumeration is pure and the per-sentence key lists are
+    /// interned in sentence order, so the result is bit-identical to the
+    /// serial append — and therefore to a scratch build — for any thread
+    /// count.
+    pub fn append_with_threads(
+        &mut self,
+        corpus: &Corpus,
+        threads: usize,
+    ) -> Result<AppendDelta, AppendError> {
         if self.cfg.min_count > 1 {
             return Err(AppendError::PrunedIndex {
                 min_count: self.cfg.min_count,
@@ -221,10 +235,19 @@ impl IndexSet {
             });
         }
         let inverted = self.inverted.take();
-        for s in &corpus.sentences()[old_n..] {
-            self.phrase.add_sentence(s);
-            if let Some(t) = &mut self.tree {
-                t.add_sentence(s, &self.cfg.tree);
+        let new = &corpus.sentences()[old_n..];
+        if let Some(tree) = self.tree.as_mut().filter(|_| threads > 1) {
+            let key_lists = crate::sketch::sketch_batch(new, &self.cfg.tree, threads);
+            for (s, keys) in new.iter().zip(&key_lists) {
+                self.phrase.add_sentence(s);
+                tree.add_sentence_keys(s, keys);
+            }
+        } else {
+            for s in new {
+                self.phrase.add_sentence(s);
+                if let Some(t) = &mut self.tree {
+                    t.add_sentence(s, &self.cfg.tree);
+                }
             }
         }
         if let Some(t) = &mut self.tree {
@@ -360,13 +383,9 @@ impl IndexSet {
             RuleRef::Phrase(n) => {
                 Heuristic::Phrase(PhrasePattern::from_tokens(self.phrase.phrase(n)))
             }
-            RuleRef::Tree(p) => Heuristic::Tree(
-                self.tree
-                    .as_ref()
-                    .expect("tree index enabled")
-                    .pattern(p)
-                    .clone(),
-            ),
+            RuleRef::Tree(p) => {
+                Heuristic::Tree(self.tree.as_ref().expect("tree index enabled").pattern(p))
+            }
         }
     }
 

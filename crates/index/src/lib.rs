@@ -29,6 +29,7 @@
 pub mod api;
 pub mod bitset;
 pub mod fx;
+mod intern;
 pub mod inverted;
 pub mod phrase_index;
 pub mod shard;

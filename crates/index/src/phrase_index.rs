@@ -8,7 +8,6 @@
 //! parallelizable").
 
 use crate::fx::FxHashMap;
-use crate::sketch::phrase_sketch;
 use darwin_text::{Corpus, Sentence, Sym};
 
 /// Node id within a [`PhraseIndex`]. Id 0 is the root (`*`, the heuristic
@@ -123,15 +122,25 @@ impl PhraseIndex {
     /// Incremental update: merge one sentence's derivation sketch
     /// ("linear update time complexity for adding the derivation sketch of
     /// a new sentence", §3.1).
+    ///
+    /// Walks the trie directly, one root-to-depth path per start position,
+    /// instead of materializing [`crate::sketch::phrase_sketch`]'s gram
+    /// list and re-walking
+    /// each gram from the root: the nodes visited per start are exactly the
+    /// sketch's grams at that start, shorter first, so node creation order
+    /// (first occurrence) and postings are identical to the sketch-driven
+    /// insert — the postings tail check stands in for the sketch's
+    /// per-sentence dedup.
     pub fn add_sentence(&mut self, s: &Sentence) {
-        for gram in phrase_sketch(s, self.max_len) {
+        for start in 0..s.tokens.len() {
             let mut cur = ROOT;
-            for sym in gram {
-                cur = self.child_or_insert(cur, sym);
-            }
-            let postings = &mut self.nodes[cur as usize].postings;
-            if postings.last() != Some(&s.id) {
-                postings.push(s.id);
+            let end = (start + self.max_len).min(s.tokens.len());
+            for i in start..end {
+                cur = self.child_or_insert(cur, s.tokens[i]);
+                let postings = &mut self.nodes[cur as usize].postings;
+                if postings.last() != Some(&s.id) {
+                    postings.push(s.id);
+                }
             }
         }
         self.sentences += 1;

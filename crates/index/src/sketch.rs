@@ -58,8 +58,7 @@ impl Default for TreeSketchConfig {
 /// family [`tree_sketch`] produces. Interning and deduplicating by key
 /// instead of by [`TreePattern`] keeps the hot ingest path free of
 /// recursive hashing and per-pattern `Box` allocation; the full pattern
-/// is materialized ([`SketchKey::to_pattern`]) only when a key is seen
-/// for the first time.
+/// is materialized ([`SketchKey::to_pattern`]) only on demand.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SketchKey {
     /// `t`.
@@ -85,6 +84,29 @@ impl SketchKey {
                 TreePattern::child(TreePattern::Term(h), TreePattern::Term(b1)),
                 TreePattern::child(TreePattern::Term(h), TreePattern::Term(b2)),
             ),
+        }
+    }
+
+    /// Pack into a unique `u128` — the intern-map key of the hot ingest
+    /// path. A [`TreeTerm`] needs 33 bits (32 payload bits plus a
+    /// token/POS discriminant), so three terms and the 2-bit variant tag
+    /// fit in 101 bits; hashing and comparing the packed word is a couple
+    /// of ALU instructions instead of a 28-byte field walk. Injective for
+    /// all inputs, so map identity is unchanged.
+    #[inline]
+    pub fn pack(self) -> u128 {
+        #[inline]
+        fn term(t: TreeTerm) -> u128 {
+            match t {
+                TreeTerm::Tok(s) => s.0 as u128,
+                TreeTerm::Pos(p) => (1u128 << 32) | p.as_u8() as u128,
+            }
+        }
+        match self {
+            SketchKey::Term(a) => term(a) << 2,
+            SketchKey::Child(a, b) => 1 | term(a) << 2 | term(b) << 35,
+            SketchKey::Desc(a, b) => 2 | term(a) << 2 | term(b) << 35,
+            SketchKey::And(h, b1, b2) => 3 | term(h) << 2 | term(b1) << 35 | term(b2) << 68,
         }
     }
 
@@ -125,26 +147,56 @@ impl SketchKey {
 /// needed to register token→POS generalization edges.
 pub fn tree_sketch(sentence: &Sentence, cfg: &TreeSketchConfig) -> Vec<TreePattern> {
     let mut out = Vec::new();
-    for_each_tree_sketch(sentence, cfg, &mut |k| out.push(k.to_pattern()));
+    let mut seen: FxHashSet<SketchKey> = FxHashSet::default();
+    for_each_tree_sketch(sentence, cfg, &mut |k| {
+        let fresh = seen.insert(k);
+        if fresh {
+            out.push(k.to_pattern());
+        }
+        fresh
+    });
     out
 }
 
-/// [`tree_sketch`] without materializing patterns: calls `f` once per
-/// (deduplicated) pattern key, in the exact order `tree_sketch` reports
-/// patterns. The allocation-free primitive behind
-/// [`crate::tree_index::TreeIndex::add_sentence`].
+/// Reusable per-sentence enumeration scratch for
+/// [`for_each_tree_sketch_with`]: the work lists hoisted out of the
+/// per-sentence loop so a streaming ingest pays zero allocations per
+/// sentence after warm-up.
+#[derive(Default, Clone)]
+pub struct SketchScratch {
+    children: Vec<u16>,
+    stack: Vec<u16>,
+    child_terms: Vec<TreeTerm>,
+}
+
+/// [`tree_sketch`] without materializing patterns: calls `f` for each
+/// enumerated key, in the exact order `tree_sketch` reports patterns.
+/// **Deduplication is the callback's job**: `f` returns whether the key
+/// was new for this sentence (only fresh keys count against
+/// `max_patterns`). The tree index dedupes for free off its postings
+/// tail, which is why no per-sentence hash set exists on this path.
 pub fn for_each_tree_sketch(
     sentence: &Sentence,
     cfg: &TreeSketchConfig,
-    f: &mut impl FnMut(SketchKey),
+    f: &mut impl FnMut(SketchKey) -> bool,
+) {
+    for_each_tree_sketch_with(&mut SketchScratch::default(), sentence, cfg, f)
+}
+
+/// [`for_each_tree_sketch`] with caller-owned scratch — the
+/// allocation-free primitive behind
+/// [`crate::tree_index::TreeIndex::add_sentence`].
+pub fn for_each_tree_sketch_with(
+    scratch: &mut SketchScratch,
+    sentence: &Sentence,
+    cfg: &TreeSketchConfig,
+    f: &mut impl FnMut(SketchKey) -> bool,
 ) {
     let n = sentence.len();
     let mut accepted = 0usize;
-    let mut seen: FxHashSet<SketchKey> = FxHashSet::default();
     let mut push = |k: SketchKey| {
-        if accepted < cfg.max_patterns && seen.insert(k) {
+        if accepted < cfg.max_patterns && f(k) {
             accepted += 1;
-            f(k);
         }
     };
 
@@ -154,47 +206,23 @@ pub fn for_each_tree_sketch(
     // such patterns floods the candidate pool (the paper's diversity
     // constraints in §3.2.1 serve the same purpose).
     let anchorable = |i: usize| usable(i) && sentence.tags[i] != PosTag::Det;
-    // Per-node terminals, precomputed once — the nested edge loops below
-    // revisit them per (head, child) pair.
-    let node_terms: Vec<[Option<TreeTerm>; 2]> = (0..n)
-        .map(|i| {
-            [
-                Some(TreeTerm::Tok(sentence.tokens[i])),
-                sentence.tags[i]
-                    .is_content()
-                    .then_some(TreeTerm::Pos(sentence.tags[i])),
-            ]
-        })
-        .collect();
-    let terms = |i: usize| node_terms[i].into_iter().flatten();
+    // Per-node terminals: the literal token, plus the POS tag for content
+    // tags. Cheap enough to derive in place wherever the edge loops below
+    // need them.
+    let terms = |i: usize| {
+        [
+            Some(TreeTerm::Tok(sentence.tokens[i])),
+            sentence.tags[i]
+                .is_content()
+                .then_some(TreeTerm::Pos(sentence.tags[i])),
+        ]
+        .into_iter()
+        .flatten()
+    };
 
-    // CSR child adjacency, built once: `Sentence::children` is a full
-    // head-array scan per call, and the edge loops below need children
-    // per node and per descendant. Scanning child ids in ascending order
-    // reproduces `Sentence::children`'s iteration order exactly.
-    let mut child_off = vec![0usize; n + 1];
-    for (c, &h) in sentence.heads.iter().enumerate() {
-        if h as usize != c {
-            child_off[h as usize + 1] += 1;
-        }
-    }
-    for i in 0..n {
-        child_off[i + 1] += child_off[i];
-    }
-    let mut child_items = vec![0usize; child_off[n]];
-    let mut cursor = child_off.clone();
-    for (c, &h) in sentence.heads.iter().enumerate() {
-        if h as usize != c {
-            child_items[cursor[h as usize]] = c;
-            cursor[h as usize] += 1;
-        }
-    }
-    let kids = |i: usize| child_items[child_off[i]..child_off[i + 1]].iter().copied();
-
-    let mut children: Vec<usize> = Vec::new();
-    let mut child_terms: Vec<TreeTerm> = Vec::new();
-    let mut desc_stack: Vec<usize> = Vec::new();
-    let mut descendants: Vec<usize> = Vec::new();
+    // The edge loops walk the corpus-resident CSR adjacency
+    // ([`Sentence::children_slice`]) — children ascending, the same order
+    // the old head-array filter scan produced.
     for i in 0..n {
         if !usable(i) {
             continue;
@@ -202,12 +230,18 @@ pub fn for_each_tree_sketch(
         for t in terms(i) {
             push(SketchKey::Term(t));
         }
-        children.clear();
-        children.extend(kids(i).filter(|&c| anchorable(c)));
+        scratch.children.clear();
+        scratch.children.extend(
+            sentence
+                .children_slice(i)
+                .iter()
+                .copied()
+                .filter(|&c| anchorable(c as usize)),
+        );
         // Direct-edge Child patterns.
-        for &c in &children {
+        for &c in &scratch.children {
             for a in terms(i) {
-                for b in terms(c) {
+                for b in terms(c as usize) {
                     // Skip the doubly-generic POS/POS patterns: they match
                     // nearly everything and drown the index.
                     if matches!(a, TreeTerm::Pos(_)) && matches!(b, TreeTerm::Pos(_)) {
@@ -219,43 +253,42 @@ pub fn for_each_tree_sketch(
         }
         // Descendant patterns over the full transitive closure, so that the
         // index's postings for `a//b` exactly equal the pattern's coverage
-        // at any depth.
-        descendants.clear();
-        desc_stack.clear();
-        desc_stack.extend(kids(i));
-        while let Some(d) = desc_stack.pop() {
-            descendants.push(d);
-            desc_stack.extend(kids(d));
-        }
-        for &d in &descendants {
-            if !anchorable(d) {
-                continue;
-            }
-            for a in terms(i) {
-                for b in terms(d) {
-                    if matches!(a, TreeTerm::Pos(_)) && matches!(b, TreeTerm::Pos(_)) {
-                        continue;
+        // at any depth. Fused stack walk: each descendant is processed the
+        // moment it pops, which is exactly the order the old collect-then-
+        // iterate version visited them.
+        scratch.stack.clear();
+        scratch.stack.extend_from_slice(sentence.children_slice(i));
+        while let Some(d) = scratch.stack.pop() {
+            let d = d as usize;
+            if anchorable(d) {
+                for a in terms(i) {
+                    for b in terms(d) {
+                        if matches!(a, TreeTerm::Pos(_)) && matches!(b, TreeTerm::Pos(_)) {
+                            continue;
+                        }
+                        push(SketchKey::Desc(a, b));
                     }
-                    push(SketchKey::Desc(a, b));
                 }
             }
+            scratch.stack.extend_from_slice(sentence.children_slice(d));
         }
         // Conjunctions of two child constraints on the same head token:
         // `(h/b1 ∧ h/b2)`. The pattern holds whenever *some* child matches
         // b1 and *some* child matches b2 (possibly the same child), so we
         // enumerate unordered pairs of the distinct terms matched by any
         // child — complete and canonical (b1 < b2 by the derived ordering).
-        if cfg.include_and && !children.is_empty() {
+        if cfg.include_and && !scratch.children.is_empty() {
             let head = TreeTerm::Tok(sentence.tokens[i]);
-            child_terms.clear();
-            for &c in &children {
-                child_terms.extend(terms(c));
+            scratch.child_terms.clear();
+            for k in 0..scratch.children.len() {
+                let c = scratch.children[k] as usize;
+                scratch.child_terms.extend(terms(c));
             }
-            child_terms.sort_unstable();
-            child_terms.dedup();
-            for x in 0..child_terms.len() {
-                for y in x + 1..child_terms.len() {
-                    let (b1, b2) = (child_terms[x], child_terms[y]);
+            scratch.child_terms.sort_unstable();
+            scratch.child_terms.dedup();
+            for x in 0..scratch.child_terms.len() {
+                for y in x + 1..scratch.child_terms.len() {
+                    let (b1, b2) = (scratch.child_terms[x], scratch.child_terms[y]);
                     if matches!(b1, TreeTerm::Pos(_)) && matches!(b2, TreeTerm::Pos(_)) {
                         continue;
                     }
@@ -264,6 +297,53 @@ pub fn for_each_tree_sketch(
             }
         }
     }
+}
+
+/// Enumerate one batch of sentences on `threads` workers: per-sentence
+/// key lists, deduplicated and capped exactly as the serial path would,
+/// joined in sentence order. Per-sentence enumeration is pure, so the
+/// ordered join is deterministic — interning the lists in order produces
+/// the same index the serial path builds (the same argument as the
+/// corpus analysis fan-out).
+pub fn sketch_batch(
+    sentences: &[Sentence],
+    cfg: &TreeSketchConfig,
+    threads: usize,
+) -> Vec<Vec<SketchKey>> {
+    let one = |scratch: &mut SketchScratch, s: &Sentence| -> Vec<SketchKey> {
+        let mut keys = Vec::new();
+        let mut seen: FxHashSet<SketchKey> = FxHashSet::default();
+        for_each_tree_sketch_with(scratch, s, cfg, &mut |k| {
+            let fresh = seen.insert(k);
+            if fresh {
+                keys.push(k);
+            }
+            fresh
+        });
+        keys
+    };
+    if threads <= 1 || sentences.len() < 256 {
+        let mut scratch = SketchScratch::default();
+        return sentences.iter().map(|s| one(&mut scratch, s)).collect();
+    }
+    let chunk = sentences.len().div_ceil(threads);
+    let mut parts: Vec<Vec<Vec<SketchKey>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sentences
+            .chunks(chunk)
+            .map(|c| {
+                let one = &one;
+                scope.spawn(move || {
+                    let mut scratch = SketchScratch::default();
+                    c.iter().map(|s| one(&mut scratch, s)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("sketch thread panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
 }
 
 /// Token→POS generalization evidence: every `(token, tag)` occurrence of

@@ -11,59 +11,90 @@
 //! * `p ∧ q` is a specialization of both `p` and `q`,
 //! * `Term(tok)` is a specialization of `Term(POS-of-tok)` (evidence-based).
 
-use crate::fx::FxHashMap;
-use crate::sketch::{for_each_tree_sketch, term_generalizations, SketchKey, TreeSketchConfig};
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::intern::InternTable;
+use crate::sketch::{
+    for_each_tree_sketch_with, term_generalizations, SketchKey, SketchScratch, TreeSketchConfig,
+};
 use darwin_grammar::{TreePattern, TreeTerm};
 use darwin_text::{Corpus, PosTag, Sentence, Sym};
 
 /// Pattern id within a [`TreeIndex`].
 pub type PatId = u32;
 
+/// What a token's tag evidence says about its `Term(tok) → Term(POS)`
+/// generalization edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TagEvidence {
+    /// Token not seen yet.
+    Unseen,
+    /// Seen with exactly one tag so far.
+    One(PosTag),
+    /// Seen with more than one tag — the edge would not be
+    /// coverage-monotone.
+    Ambiguous,
+}
+
 /// Inverted index over the enumerated TreeMatch pattern family.
+///
+/// Patterns are stored as compact [`SketchKey`]s only — hierarchy
+/// maintenance, interning and lookup all work on keys, and the boxed
+/// [`TreePattern`] is materialized lazily by [`TreeIndex::pattern`]
+/// (ingest never allocates a pattern).
 pub struct TreeIndex {
-    pats: Vec<TreePattern>,
-    /// `keys[id]` is the compact identity of `pats[id]` — hierarchy
-    /// maintenance and interning work on keys, never re-hashing patterns.
+    /// `keys[id]` is the compact identity of pattern `id`.
     keys: Vec<SketchKey>,
-    ids: FxHashMap<SketchKey, PatId>,
+    /// Intern table, keyed by [`SketchKey::pack`] — a single-word-slot
+    /// open-addressing table whose probes touch one cache line, which
+    /// matters because ingest probes it once per enumerated key.
+    ids: InternTable,
     postings: Vec<Vec<u32>>,
     parents: Vec<Vec<PatId>>,
     children: Vec<Vec<PatId>>,
     /// Terminal patterns — children of the root `*` heuristic.
     roots: Vec<PatId>,
-    /// Observed token→tag evidence for terminal generalization edges.
-    /// `None` marks tokens seen with more than one tag — for those the
-    /// `Term(tok) → Term(POS)` edge would not be coverage-monotone.
-    tok_tags: FxHashMap<Sym, Option<PosTag>>,
-    /// Patterns `pats[..finalized]` have their hierarchy edges computed;
+    /// Observed token→tag evidence for terminal generalization edges,
+    /// flat-indexed by [`Sym::index`] (symbols are dense vocabulary ids).
+    tok_tags: Vec<TagEvidence>,
+    /// Patterns `keys[..finalized]` have their hierarchy edges computed;
     /// later interns are folded in by the next [`TreeIndex::finalize`].
     finalized: usize,
     /// Candidate generalizations that were not interned when a child was
     /// finalized → the children waiting on them. If the candidate is
     /// interned later, the edges are added then (keeping append-grown
-    /// hierarchies identical to a from-scratch build).
-    pending: FxHashMap<SketchKey, Vec<PatId>>,
+    /// hierarchies identical to a from-scratch build). Keyed by
+    /// [`SketchKey::pack`], like `ids`.
+    pending: FxHashMap<u128, Vec<PatId>>,
     /// Tokens whose tag evidence turned ambiguous since the last
     /// finalize, with the tag they held before — their `Term(tok) →
     /// Term(POS)` edge (or pending wait) must be retracted.
     flips: Vec<(Sym, PosTag)>,
+    /// Reusable per-sentence enumeration scratch.
+    scratch: SketchScratch,
+    /// Reusable per-sentence key list + dedup set: [`TreeIndex::add_sentence`]
+    /// enumerates into these before interning, so the intern loop can
+    /// prefetch ahead over a known key list.
+    key_buf: Vec<SketchKey>,
+    seen: FxHashSet<SketchKey>,
 }
 
 impl TreeIndex {
     /// Build over a corpus.
     pub fn build(corpus: &Corpus, cfg: &TreeSketchConfig) -> TreeIndex {
         let mut idx = TreeIndex {
-            pats: Vec::new(),
             keys: Vec::new(),
-            ids: FxHashMap::default(),
+            ids: InternTable::default(),
             postings: Vec::new(),
             parents: Vec::new(),
             children: Vec::new(),
             roots: Vec::new(),
-            tok_tags: FxHashMap::default(),
+            tok_tags: Vec::new(),
             finalized: 0,
             pending: FxHashMap::default(),
             flips: Vec::new(),
+            scratch: SketchScratch::default(),
+            key_buf: Vec::new(),
+            seen: FxHashSet::default(),
         };
         for s in corpus.sentences() {
             idx.add_sentence(s, cfg);
@@ -74,42 +105,86 @@ impl TreeIndex {
 
     /// Merge one sentence's sketch. Call [`TreeIndex::finalize`] after the
     /// last addition to (re)compute hierarchy edges.
+    ///
+    /// Two phases per sentence: enumerate the deduplicated key list into a
+    /// reused buffer (first occurrence wins, matching the postings-tail
+    /// dedup the intern probe used to provide), then intern the known list
+    /// with prefetch-ahead — the same loop the batched path uses — so the
+    /// table probe's cache-line pull overlaps earlier keys' work instead
+    /// of stalling the enumeration.
     pub fn add_sentence(&mut self, s: &Sentence, cfg: &TreeSketchConfig) {
-        let sid = s.id;
-        for_each_tree_sketch(s, cfg, &mut |k| {
-            let id = self.intern(k);
-            let postings = &mut self.postings[id as usize];
-            if postings.last() != Some(&sid) {
-                postings.push(sid);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut buf = std::mem::take(&mut self.key_buf);
+        let mut seen = std::mem::take(&mut self.seen);
+        buf.clear();
+        seen.clear();
+        for_each_tree_sketch_with(&mut scratch, s, cfg, &mut |k| {
+            let fresh = seen.insert(k);
+            if fresh {
+                buf.push(k);
             }
+            fresh
         });
+        self.scratch = scratch;
+        self.add_sentence_keys(s, &buf);
+        self.key_buf = buf;
+        self.seen = seen;
+    }
+
+    /// The key-list half of [`TreeIndex::add_sentence`], for batches whose
+    /// enumeration was fanned out with [`crate::sketch::sketch_batch`]:
+    /// `keys` must be sentence `s`'s deduplicated key list in enumeration
+    /// order. Interning lists in sentence order reproduces the serial
+    /// path's numbering exactly.
+    pub fn add_sentence_keys(&mut self, s: &Sentence, sentence_keys: &[SketchKey]) {
+        let sid = s.id;
+        let ids = &mut self.ids;
+        let keys = &mut self.keys;
+        let postings = &mut self.postings;
+        // Prefetch a few keys ahead: the key list is known up front, so
+        // each slot's cache line is pulled while earlier keys are being
+        // interned, hiding the probe latency the list order exposes.
+        const LOOKAHEAD: usize = 8;
+        for (i, &k) in sentence_keys.iter().enumerate() {
+            if let Some(&ahead) = sentence_keys.get(i + LOOKAHEAD) {
+                ids.prefetch(ahead.pack());
+            }
+            let (id, _) = ids.get_or_insert_with(k.pack(), || {
+                let id = keys.len() as PatId;
+                keys.push(k);
+                postings.push(Vec::new());
+                id
+            });
+            let p = &mut postings[id as usize];
+            if p.last() != Some(&sid) {
+                p.push(sid);
+            }
+        }
+        self.observe_tags(s);
+    }
+
+    fn observe_tags(&mut self, s: &Sentence) {
         for (tok, tag) in term_generalizations(s) {
-            match self.tok_tags.entry(tok) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    if let Some(old) = *e.get() {
-                        if old != tag {
-                            *e.get_mut() = None; // ambiguous across sentences
-                            self.flips.push((tok, old));
-                        }
-                    }
+            let ix = tok.index();
+            if ix >= self.tok_tags.len() {
+                self.tok_tags.resize(ix + 1, TagEvidence::Unseen);
+            }
+            match self.tok_tags[ix] {
+                TagEvidence::Unseen => self.tok_tags[ix] = TagEvidence::One(tag),
+                TagEvidence::One(old) if old != tag => {
+                    self.tok_tags[ix] = TagEvidence::Ambiguous;
+                    self.flips.push((tok, old));
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(Some(tag));
-                }
+                _ => {}
             }
         }
     }
 
-    fn intern(&mut self, k: SketchKey) -> PatId {
-        if let Some(&id) = self.ids.get(&k) {
-            return id;
-        }
-        let id = self.pats.len() as PatId;
-        self.ids.insert(k, id);
-        self.keys.push(k);
-        self.pats.push(k.to_pattern());
-        self.postings.push(Vec::new());
-        id
+    fn tag_evidence(&self, t: Sym) -> TagEvidence {
+        self.tok_tags
+            .get(t.index())
+            .copied()
+            .unwrap_or(TagEvidence::Unseen)
     }
 
     /// Fold patterns interned since the last call into the generalization
@@ -133,17 +208,17 @@ impl TreeIndex {
             if !old_tag.is_content() {
                 continue;
             }
-            let Some(&c) = self.ids.get(&SketchKey::Term(TreeTerm::Tok(tok))) else {
+            let Some(c) = self.ids.get(SketchKey::Term(TreeTerm::Tok(tok)).pack()) else {
                 continue;
             };
-            let gen = SketchKey::Term(TreeTerm::Pos(old_tag));
+            let gen = SketchKey::Term(TreeTerm::Pos(old_tag)).pack();
             if (c as usize) >= self.finalized {
                 // Interned but not yet finalized: it will be processed
                 // below against the already-ambiguous evidence.
                 continue;
             }
-            match self.ids.get(&gen) {
-                Some(&g) => {
+            match self.ids.get(gen) {
+                Some(g) => {
                     remove_sorted(&mut self.parents[c as usize], g);
                     remove_sorted(&mut self.children[g as usize], c);
                     if self.parents[c as usize].is_empty() {
@@ -161,14 +236,15 @@ impl TreeIndex {
             }
         }
         // Wire up the patterns interned since the last finalize.
-        let n = self.pats.len();
+        let n = self.keys.len();
         self.parents.resize_with(n, Vec::new);
         self.children.resize_with(n, Vec::new);
         for id in self.finalized as PatId..n as PatId {
             let k = self.keys[id as usize];
-            for q in self.parent_candidates(k) {
-                match self.ids.get(&q) {
-                    Some(&g) => {
+            for q in self.parent_candidates(k).into_iter().flatten() {
+                let q = q.pack();
+                match self.ids.get(q) {
+                    Some(g) => {
                         insert_sorted(&mut self.parents[id as usize], g);
                         insert_sorted(&mut self.children[g as usize], id);
                     }
@@ -179,7 +255,7 @@ impl TreeIndex {
                 insert_sorted(&mut self.roots, id);
             }
             // Older patterns that were waiting for this generalization.
-            if let Some(waiters) = self.pending.remove(&k) {
+            if let Some(waiters) = self.pending.remove(&k.pack()) {
                 for c in waiters {
                     if self.parents[c as usize].is_empty() {
                         remove_sorted(&mut self.roots, c);
@@ -193,54 +269,54 @@ impl TreeIndex {
     }
 
     /// Candidate parents (strict generalizations, one derivation step
-    /// away) of the pattern `k` denotes, interned or not, deduplicated.
-    fn parent_candidates(&self, k: SketchKey) -> Vec<SketchKey> {
-        let mut out: Vec<SketchKey> = Vec::new();
+    /// away) of the pattern `k` denotes, interned or not, deduplicated —
+    /// at most two, returned without allocating (finalize visits every
+    /// new pattern).
+    fn parent_candidates(&self, k: SketchKey) -> [Option<SketchKey>; 2] {
         match k {
             SketchKey::Term(TreeTerm::Tok(t)) => {
                 // Only unambiguous content tags yield a sound edge.
-                if let Some(Some(tag)) = self.tok_tags.get(&t) {
+                if let TagEvidence::One(tag) = self.tag_evidence(t) {
                     if tag.is_content() {
-                        out.push(SketchKey::Term(TreeTerm::Pos(*tag)));
+                        return [Some(SketchKey::Term(TreeTerm::Pos(tag))), None];
                     }
                 }
+                [None, None]
             }
-            SketchKey::Term(TreeTerm::Pos(_)) => {}
-            SketchKey::Child(a, b) => {
-                out.push(SketchKey::Term(a));
-                out.push(SketchKey::Desc(a, b));
-            }
-            SketchKey::Desc(a, _) => {
-                out.push(SketchKey::Term(a));
-            }
-            SketchKey::And(h, b1, b2) => {
-                out.push(SketchKey::Child(h, b1));
-                if b1 != b2 {
-                    out.push(SketchKey::Child(h, b2));
-                }
-            }
+            SketchKey::Term(TreeTerm::Pos(_)) => [None, None],
+            SketchKey::Child(a, b) => [Some(SketchKey::Term(a)), Some(SketchKey::Desc(a, b))],
+            SketchKey::Desc(a, _) => [Some(SketchKey::Term(a)), None],
+            SketchKey::And(h, b1, b2) => [
+                Some(SketchKey::Child(h, b1)),
+                (b1 != b2).then_some(SketchKey::Child(h, b2)),
+            ],
         }
-        out
     }
 
     /// Number of indexed patterns.
     pub fn len(&self) -> usize {
-        self.pats.len()
+        self.keys.len()
     }
 
     /// Whether no pattern is indexed.
     pub fn is_empty(&self) -> bool {
-        self.pats.is_empty()
+        self.keys.is_empty()
     }
 
-    /// The pattern a [`PatId`] denotes.
-    pub fn pattern(&self, id: PatId) -> &TreePattern {
-        &self.pats[id as usize]
+    /// The pattern a [`PatId`] denotes, materialized on demand (the index
+    /// stores only compact keys).
+    pub fn pattern(&self, id: PatId) -> TreePattern {
+        self.keys[id as usize].to_pattern()
+    }
+
+    /// The compact key of a pattern.
+    pub fn key(&self, id: PatId) -> SketchKey {
+        self.keys[id as usize]
     }
 
     /// Find the id of an (enumerated) pattern.
     pub fn lookup(&self, p: &TreePattern) -> Option<PatId> {
-        SketchKey::of_pattern(p).and_then(|k| self.ids.get(&k).copied())
+        SketchKey::of_pattern(p).and_then(|k| self.ids.get(k.pack()))
     }
 
     /// Sorted ids of sentences matching the pattern.
@@ -270,7 +346,7 @@ impl TreeIndex {
 
     /// Iterate over all pattern ids.
     pub fn pat_ids(&self) -> impl Iterator<Item = PatId> {
-        0..self.pats.len() as PatId
+        0..self.keys.len() as PatId
     }
 }
 
@@ -307,7 +383,7 @@ mod tests {
         let idx = TreeIndex::build(&c, &TreeSketchConfig::default());
         // Every indexed pattern's postings equal its brute-force coverage.
         for id in idx.pat_ids().take(500) {
-            let p = idx.pattern(id).clone();
+            let p = idx.pattern(id);
             let brute: Vec<u32> = c
                 .sentences()
                 .iter()
@@ -324,11 +400,11 @@ mod tests {
         let idx = TreeIndex::build(&c, &TreeSketchConfig::default());
         let child = TreePattern::parse(c.vocab(), "caused/storm").unwrap();
         let id = idx.lookup(&child).expect("caused/storm indexed");
-        let parents: Vec<&TreePattern> = idx.parents(id).iter().map(|&p| idx.pattern(p)).collect();
+        let parents: Vec<TreePattern> = idx.parents(id).iter().map(|&p| idx.pattern(p)).collect();
         let head = TreePattern::parse(c.vocab(), "caused").unwrap();
         let desc = TreePattern::parse(c.vocab(), "caused//storm").unwrap();
-        assert!(parents.contains(&&head));
-        assert!(parents.contains(&&desc));
+        assert!(parents.contains(&head));
+        assert!(parents.contains(&desc));
     }
 
     #[test]
@@ -357,7 +433,7 @@ mod tests {
         let tok = TreePattern::parse(c.vocab(), "storm").unwrap();
         let id = idx.lookup(&tok).expect("storm indexed");
         let noun = TreePattern::term_pos(PosTag::Noun);
-        let has_noun_parent = idx.parents(id).iter().any(|&p| idx.pattern(p) == &noun);
+        let has_noun_parent = idx.parents(id).iter().any(|&p| idx.pattern(p) == noun);
         assert!(
             has_noun_parent,
             "Term(storm) should generalize to Term(NOUN)"

@@ -11,6 +11,11 @@ use crate::vocab::{Sym, Vocab};
 pub struct Corpus {
     vocab: Vocab,
     sentences: Vec<Sentence>,
+    /// `base_tags[sym]` caches the context-free lexicon tag of each interned
+    /// symbol ([`Tagger::tag_word`] is a pure function of the string), so
+    /// tagging a sentence is a table lookup per token plus the positional
+    /// repair passes instead of a lexicon scan per occurrence.
+    base_tags: Vec<crate::pos::PosTag>,
 }
 
 impl Corpus {
@@ -31,39 +36,25 @@ impl Corpus {
     /// phase (interning is inherently serial and cheap). Deterministic:
     /// output is identical to the sequential path.
     pub fn from_texts_parallel<S: AsRef<str> + Sync>(texts: &[S], threads: usize) -> Corpus {
-        let token_lists: Vec<Vec<String>> = if threads <= 1 || texts.len() < 1024 {
-            texts
-                .iter()
-                .map(|t| crate::tokenize::tokenize(t.as_ref()))
-                .collect()
-        } else {
-            let mut out: Vec<Vec<Vec<String>>> = Vec::new();
-            let chunk = texts.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = texts
-                    .chunks(chunk)
-                    .map(|c| {
-                        scope.spawn(move || {
-                            c.iter()
-                                .map(|t| crate::tokenize::tokenize(t.as_ref()))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    out.push(h.join().expect("tokenizer thread panicked"));
-                }
-            });
-            out.into_iter().flatten().collect()
-        };
-        Self::from_token_lists(token_lists, threads)
+        Self::from_token_lists(tokenize_batch(texts, threads), threads)
     }
 
     fn from_token_lists(token_lists: Vec<Vec<String>>, threads: usize) -> Corpus {
         let mut vocab = Vocab::new();
         let mut sentences = Vec::with_capacity(token_lists.len());
-        analyze_append(&mut vocab, &mut sentences, &token_lists, threads);
-        Corpus { vocab, sentences }
+        let mut base_tags = Vec::new();
+        analyze_append(
+            &mut vocab,
+            &mut base_tags,
+            &mut sentences,
+            &token_lists,
+            threads,
+        );
+        Corpus {
+            vocab,
+            sentences,
+            base_tags,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -108,18 +99,21 @@ impl Corpus {
     /// analysis is per sentence, so pre-existing sentences, symbol ids and
     /// the vocabulary prefix are all untouched (the same argument as
     /// [`CorpusBuilder`], which is this method behind a by-value API).
+    ///
+    /// Both analysis phases — tokenization and tag/parse — fan out over
+    /// `threads` workers for large batches, with output identical to the
+    /// sequential path.
     pub fn append_texts<I, S>(&mut self, texts: I, threads: usize) -> usize
     where
         I: IntoIterator<Item = S>,
-        S: AsRef<str>,
+        S: AsRef<str> + Sync,
     {
-        let token_lists: Vec<Vec<String>> = texts
-            .into_iter()
-            .map(|t| crate::tokenize::tokenize(t.as_ref()))
-            .collect();
+        let texts: Vec<S> = texts.into_iter().collect();
+        let token_lists = tokenize_batch(&texts, threads.max(1));
         let added = token_lists.len();
         analyze_append(
             &mut self.vocab,
+            &mut self.base_tags,
             &mut self.sentences,
             &token_lists,
             threads.max(1),
@@ -137,6 +131,37 @@ impl Corpus {
     }
 }
 
+/// Tokenize a batch, fanning out over `threads` workers when the batch is
+/// large enough to amortize the spawns. Deterministic: per-text
+/// tokenization is pure and the chunked join preserves input order, so the
+/// output is identical for every thread count.
+fn tokenize_batch<S: AsRef<str> + Sync>(texts: &[S], threads: usize) -> Vec<Vec<String>> {
+    if threads <= 1 || texts.len() < 1024 {
+        return texts
+            .iter()
+            .map(|t| crate::tokenize::tokenize(t.as_ref()))
+            .collect();
+    }
+    let mut out: Vec<Vec<Vec<String>>> = Vec::new();
+    let chunk = texts.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = texts
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move || {
+                    c.iter()
+                        .map(|t| crate::tokenize::tokenize(t.as_ref()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("tokenizer thread panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
 /// Intern, tag and parse `token_lists`, appending one [`Sentence`] per list
 /// to `sentences` (ids continue from `sentences.len()`). Interning is
 /// serial — symbol numbering must follow input order — while the tag/parse
@@ -144,6 +169,7 @@ impl Corpus {
 /// identical regardless of `threads`.
 fn analyze_append(
     vocab: &mut Vocab,
+    base_tags: &mut Vec<crate::pos::PosTag>,
     sentences: &mut Vec<Sentence>,
     token_lists: &[Vec<String>],
     threads: usize,
@@ -154,17 +180,23 @@ fn analyze_append(
         .map(|toks| toks.iter().map(|t| vocab.intern(t)).collect())
         .collect();
 
+    // Extend the per-symbol tag cache for newly interned words: the
+    // context-free tag is a pure function of the string, so looking it up
+    // by symbol is identical to re-deriving it per occurrence.
+    for ix in base_tags.len()..vocab.len() {
+        base_tags.push(Tagger::tag_word(vocab.resolve(Sym(ix as u32))));
+    }
+    let base_tags = &*base_tags;
+    let to_sym = vocab.get("to");
+
     let build = |range: std::ops::Range<usize>| -> Vec<Sentence> {
         range
             .map(|i| {
-                let tags = Tagger::tag(&token_lists[i]);
+                let syms = &sym_lists[i];
+                let mut tags: Vec<_> = syms.iter().map(|s| base_tags[s.index()]).collect();
+                Tagger::repair(&mut tags, |j| Some(syms[j]) == to_sym);
                 let heads = depparse::parse(&tags);
-                Sentence {
-                    id: (base + i) as u32,
-                    tokens: sym_lists[i].clone(),
-                    tags,
-                    heads,
-                }
+                Sentence::new((base + i) as u32, syms.clone(), tags, heads)
             })
             .collect()
     };
@@ -207,6 +239,7 @@ fn analyze_append(
 pub struct CorpusBuilder {
     vocab: Vocab,
     sentences: Vec<Sentence>,
+    base_tags: Vec<crate::pos::PosTag>,
     threads: usize,
 }
 
@@ -228,6 +261,7 @@ impl CorpusBuilder {
         CorpusBuilder {
             vocab: Vocab::new(),
             sentences: Vec::new(),
+            base_tags: Vec::new(),
             threads: threads.max(1),
         }
     }
@@ -238,10 +272,15 @@ impl CorpusBuilder {
     /// append path — `CorpusBuilder::resume(c, t).push_texts(more)` and
     /// [`Corpus::append_texts`] produce identical corpora.
     pub fn resume(corpus: Corpus, threads: usize) -> CorpusBuilder {
-        let Corpus { vocab, sentences } = corpus;
+        let Corpus {
+            vocab,
+            sentences,
+            base_tags,
+        } = corpus;
         CorpusBuilder {
             vocab,
             sentences,
+            base_tags,
             threads: threads.max(1),
         }
     }
@@ -260,14 +299,13 @@ impl CorpusBuilder {
     pub fn push_texts<I, S>(&mut self, texts: I)
     where
         I: IntoIterator<Item = S>,
-        S: AsRef<str>,
+        S: AsRef<str> + Sync,
     {
-        let token_lists: Vec<Vec<String>> = texts
-            .into_iter()
-            .map(|t| crate::tokenize::tokenize(t.as_ref()))
-            .collect();
+        let texts: Vec<S> = texts.into_iter().collect();
+        let token_lists = tokenize_batch(&texts, self.threads);
         analyze_append(
             &mut self.vocab,
+            &mut self.base_tags,
             &mut self.sentences,
             &token_lists,
             self.threads,
@@ -279,6 +317,7 @@ impl CorpusBuilder {
         Corpus {
             vocab: self.vocab,
             sentences: self.sentences,
+            base_tags: self.base_tags,
         }
     }
 }

@@ -383,10 +383,17 @@ impl Tagger {
     /// proper-noun capitalization cue); pass the same slice twice otherwise.
     pub fn tag<T: AsRef<str>>(tokens: &[T]) -> Vec<PosTag> {
         let mut tags: Vec<PosTag> = tokens.iter().map(|t| Self::tag_word(t.as_ref())).collect();
-        // Context repair passes.
+        Self::repair(&mut tags, |i| tokens[i].as_ref() == "to");
+        tags
+    }
+
+    /// The context repair passes of [`Tagger::tag`], shared with the
+    /// symbol-cached tagging path in the corpus analyzer: `is_to(i)` must
+    /// answer whether token `i` is the literal word "to".
+    pub(crate) fn repair(tags: &mut [PosTag], is_to: impl Fn(usize) -> bool) {
         for i in 0..tags.len() {
             // "to" + verb => PART; otherwise ADP.
-            if tokens[i].as_ref() == "to" {
+            if is_to(i) {
                 let next_is_verb = tags.get(i + 1).is_some_and(|&t| t == PosTag::Verb);
                 tags[i] = if next_is_verb {
                     PosTag::Part
@@ -402,10 +409,13 @@ impl Tagger {
                 tags[i + 1] = PosTag::Noun;
             }
         }
-        tags
     }
 
-    fn tag_word(w: &str) -> PosTag {
+    /// The context-free (lexicon + suffix-rule) tag of one word — a pure
+    /// function of the string, which is what lets the corpus analyzer
+    /// cache it per interned symbol instead of re-running the lexicon
+    /// scans on every occurrence.
+    pub(crate) fn tag_word(w: &str) -> PosTag {
         if w.chars().all(|c| !c.is_alphanumeric()) {
             return PosTag::Punct;
         }

@@ -6,6 +6,13 @@ use crate::vocab::Sym;
 /// A fully analyzed sentence: interned tokens, universal POS tags, and a
 /// dependency tree encoded as a head array (`heads[i]` is the index of token
 /// `i`'s head; the root points to itself).
+///
+/// The tree is additionally materialized as a CSR child adjacency
+/// (`child_offsets`/`child_list`), built once at construction: children of
+/// token `i` are `child_list[child_offsets[i]..child_offsets[i+1]]`, in
+/// increasing token order — the same order the head-array filter scan used
+/// to produce, so every consumer iterates identically. The CSR fields are
+/// private so they can never drift from `heads`.
 #[derive(Clone, Debug)]
 pub struct Sentence {
     /// Position of this sentence in its [`crate::Corpus`].
@@ -13,9 +20,50 @@ pub struct Sentence {
     pub tokens: Vec<Sym>,
     pub tags: Vec<PosTag>,
     pub heads: Vec<u16>,
+    child_offsets: Vec<u32>,
+    child_list: Vec<u16>,
 }
 
 impl Sentence {
+    /// Analyze-time constructor: takes the head array and materializes the
+    /// CSR child adjacency (two counting passes, children ascending).
+    pub fn new(id: u32, tokens: Vec<Sym>, tags: Vec<PosTag>, heads: Vec<u16>) -> Sentence {
+        let n = heads.len();
+        let mut child_offsets = vec![0u32; n + 1];
+        for (c, &h) in heads.iter().enumerate() {
+            if h as usize != c {
+                child_offsets[h as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            child_offsets[i + 1] += child_offsets[i];
+        }
+        let mut child_list = vec![0u16; child_offsets[n] as usize];
+        // Fill ascending, bumping each bucket's cursor in place; afterwards
+        // offsets[i] holds bucket i's *end*, so shift right to restore starts.
+        for (c, &h) in heads.iter().enumerate() {
+            if h as usize != c {
+                let pos = child_offsets[h as usize];
+                child_list[pos as usize] = c as u16;
+                child_offsets[h as usize] = pos + 1;
+            }
+        }
+        for i in (1..=n).rev() {
+            child_offsets[i] = child_offsets[i - 1];
+        }
+        if n > 0 {
+            child_offsets[0] = 0;
+        }
+        Sentence {
+            id,
+            tokens,
+            tags,
+            heads,
+            child_offsets,
+            child_list,
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.tokens.len()
     }
@@ -33,16 +81,22 @@ impl Sentence {
             .map(|(i, _)| i)
     }
 
-    /// Children of token `i` in the dependency tree.
+    /// Children of token `i` in the dependency tree, ascending: a CSR slice
+    /// iterator (bit-identical order to the head-array filter scan it
+    /// replaced).
+    #[inline]
     pub fn children(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
-        self.heads
-            .iter()
-            .enumerate()
-            .filter(move |(c, &h)| h as usize == i && *c != i)
-            .map(|(c, _)| c)
+        self.children_slice(i).iter().map(|&c| c as usize)
     }
 
-    /// All proper descendants of token `i` in the dependency tree.
+    /// Children of token `i` as a raw CSR slice (hot paths index it
+    /// directly; token indices fit `u16` by construction).
+    #[inline]
+    pub fn children_slice(&self, i: usize) -> &[u16] {
+        &self.child_list[self.child_offsets[i] as usize..self.child_offsets[i + 1] as usize]
+    }
+
+    /// All proper descendants of token `i`: a stack walk over the CSR.
     pub fn descendants(&self, i: usize) -> Vec<usize> {
         let mut out = Vec::new();
         let mut stack: Vec<usize> = self.children(i).collect();
@@ -75,12 +129,12 @@ mod tests {
 
     fn sent(heads: Vec<u16>) -> Sentence {
         let n = heads.len();
-        Sentence {
-            id: 0,
-            tokens: (0..n as u32).map(Sym).collect(),
-            tags: vec![PosTag::Noun; n],
+        Sentence::new(
+            0,
+            (0..n as u32).map(Sym).collect(),
+            vec![PosTag::Noun; n],
             heads,
-        }
+        )
     }
 
     #[test]
@@ -109,5 +163,34 @@ mod tests {
         let s = sent(vec![]);
         assert_eq!(s.root(), None);
         assert!(s.is_empty());
+    }
+
+    /// The CSR adjacency must reproduce the head-array filter scan exactly:
+    /// same children, same (ascending) order, self-loops excluded.
+    #[test]
+    fn csr_matches_filter_scan() {
+        let cases: Vec<Vec<u16>> = vec![
+            vec![],
+            vec![0],
+            vec![1, 1, 1, 2],
+            vec![0, 0, 0, 0],
+            vec![3, 3, 3, 3],
+            vec![1, 2, 3, 3, 3, 2],
+            vec![0, 1, 2], // three self-rooted singletons (forest)
+            vec![5, 0, 0, 2, 2, 5, 5, 5],
+        ];
+        for heads in cases {
+            let s = sent(heads.clone());
+            for i in 0..heads.len() {
+                let scan: Vec<usize> = heads
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, &h)| h as usize == i && *c != i)
+                    .map(|(c, _)| c)
+                    .collect();
+                let csr: Vec<usize> = s.children(i).collect();
+                assert_eq!(csr, scan, "heads={heads:?} i={i}");
+            }
+        }
     }
 }

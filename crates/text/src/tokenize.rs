@@ -45,6 +45,19 @@ fn is_word_internal(c: char) -> bool {
 }
 
 fn split_token(raw: &str, out: &mut Vec<String>) {
+    // Fast path: an already-lowercase ASCII word with nothing to peel or
+    // split (no uppercase to fold, no punctuation — apostrophes excluded
+    // because leading/trailing ones peel). The general path below would
+    // reproduce the token byte-for-byte, so this only skips its char
+    // buffer and intermediate strings.
+    if !raw.is_empty()
+        && raw
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+    {
+        out.push(raw.to_string());
+        return;
+    }
     let chars: Vec<char> = raw.chars().collect();
     let mut start = 0;
     let mut end = chars.len();

@@ -305,3 +305,62 @@ fn aggregates_stay_consistent_through_a_run() {
         );
     }
 }
+
+/// The reusable tree match kernel (`MatchCtx`) now computes every
+/// tree-rule coverage the engine sweeps mid-run; this cell proves the
+/// kernel replays the scan-based reference byte for byte at the trace
+/// level. A full session is run twice (the traces must already be
+/// identical), and then every tree rule the trace selected — plus a broad
+/// sample of indexed tree rules — has its kernel coverage recomputed and
+/// compared against the plain recursive matcher and the index postings.
+#[test]
+fn match_kernels_replay_reference_trace() {
+    let a = run_mode(true, TraversalKind::Hybrid, None);
+    let b = run_mode(true, TraversalKind::Hybrid, None);
+    assert_equivalent(&a, &b, "match-kernel trace replay");
+    assert!(a.questions() > 0, "run asked nothing");
+
+    let (d, index) = directions_fixture(800, 42);
+    let mut ctx = darwin::grammar::MatchCtx::new();
+    let mut checked = 0usize;
+    let traced: Vec<&Heuristic> = a.trace.iter().map(|t| &t.rule).collect();
+    let sampled: Vec<Heuristic> = index
+        .all_rules()
+        .map(|r| index.heuristic(r))
+        .filter(|h| matches!(h, Heuristic::Tree(_)))
+        .take(300)
+        .collect();
+    for h in traced.into_iter().chain(sampled.iter()) {
+        let Heuristic::Tree(p) = h else { continue };
+        let kernel: Vec<u32> = d
+            .corpus
+            .sentences()
+            .iter()
+            .filter(|s| ctx.matches(p, s))
+            .map(|s| s.id)
+            .collect();
+        let reference: Vec<u32> = d
+            .corpus
+            .sentences()
+            .iter()
+            .filter(|s| p.matches(s))
+            .map(|s| s.id)
+            .collect();
+        assert_eq!(
+            kernel,
+            reference,
+            "kernel vs recursive matcher: {}",
+            p.display(d.corpus.vocab())
+        );
+        if let Some(id) = index.tree_index().and_then(|t| t.lookup(p)) {
+            assert_eq!(
+                index.tree_index().unwrap().postings(id),
+                &kernel[..],
+                "kernel vs postings: {}",
+                p.display(d.corpus.vocab())
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 100, "too few tree rules exercised: {checked}");
+}

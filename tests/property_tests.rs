@@ -311,7 +311,7 @@ fn tree_term_generalization_is_sound() {
             for &parent in tree.parents(id) {
                 if let TreePattern::Term(darwin::grammar::TreeTerm::Pos(tag)) = tree.pattern(parent)
                 {
-                    assert!(PosTag::ALL.contains(tag));
+                    assert!(PosTag::ALL.contains(&tag));
                     let pc = tree.postings(parent);
                     for s in tree.postings(id) {
                         assert!(pc.contains(s));
@@ -338,5 +338,153 @@ fn heuristic_display_is_reparseable_for_index_rules() {
             Heuristic::Tree(_) => Heuristic::tree(&corpus, &text),
         };
         assert_eq!(reparsed.unwrap(), h, "{text}");
+    }
+}
+
+/// Scan-based reference for [`Sentence::children`]: the head-array filter
+/// scan the corpus-resident CSR adjacency replaced.
+fn scan_children(heads: &[u16], i: usize) -> Vec<usize> {
+    heads
+        .iter()
+        .enumerate()
+        .filter(|(c, &h)| h as usize == i && *c != i)
+        .map(|(c, _)| c)
+        .collect()
+}
+
+/// Scan-based reference for [`Sentence::descendants`]: the stack walk over
+/// `scan_children`, exactly the pre-CSR implementation.
+fn scan_descendants(heads: &[u16], i: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut stack = scan_children(heads, i);
+    while let Some(x) = stack.pop() {
+        out.push(x);
+        stack.extend(scan_children(heads, x));
+    }
+    out
+}
+
+fn sentence_with_heads(heads: Vec<u16>) -> darwin::text::Sentence {
+    let n = heads.len();
+    darwin::text::Sentence::new(
+        0,
+        (0..n as u32).map(Sym).collect(),
+        vec![PosTag::Noun; n],
+        heads,
+    )
+}
+
+/// Fully arbitrary head arrays: self-loops, multiple roots, even cycles —
+/// adjacency is a per-node property, so no shape restriction is needed.
+fn arbitrary_heads() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(0u16..u16::MAX, 0..24).prop_map(|v| {
+        let n = v.len() as u16;
+        v.into_iter().map(|r| r % n.max(1)).collect()
+    })
+}
+
+/// Forest-shaped head arrays (`heads[i] <= i`, roots self-looped): the
+/// acyclic family both the old scan walk and the CSR walk terminate on.
+fn forest_heads() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(0u16..u16::MAX, 0..24).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, r)| (r as usize % (i + 1)) as u16)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    /// The corpus-resident CSR adjacency must reproduce the head-array
+    /// filter scan exactly — same children, same ascending order — on
+    /// arbitrary head arrays (empty sentences, forests, self-loops,
+    /// cycles), and `root()` must still find the first self-loop.
+    #[test]
+    fn csr_children_equal_filter_scan(heads in arbitrary_heads()) {
+        let s = sentence_with_heads(heads.clone());
+        for i in 0..heads.len() {
+            prop_assert_eq!(
+                s.children(i).collect::<Vec<_>>(),
+                scan_children(&heads, i),
+                "children of {} under {:?}", i, &heads
+            );
+        }
+        let scan_root = heads.iter().enumerate().find(|(i, &h)| *i == h as usize).map(|(i, _)| i);
+        prop_assert_eq!(s.root(), scan_root);
+    }
+
+    /// The CSR stack walk behind `descendants` must visit the same nodes in
+    /// the same order as the scan-based walk it replaced, on every
+    /// forest-shaped head array.
+    #[test]
+    fn csr_descendants_equal_scan_walk(heads in forest_heads()) {
+        let s = sentence_with_heads(heads.clone());
+        for i in 0..heads.len() {
+            prop_assert_eq!(
+                s.descendants(i),
+                scan_descendants(&heads, i),
+                "descendants of {} under {:?}", i, &heads
+            );
+        }
+    }
+
+    /// The reusable match kernel (`MatchCtx`, memoized over a node×token
+    /// arena) must agree with the plain recursive matcher on every
+    /// (pattern, sentence, anchor) triple — including cross-sentence pairs
+    /// where the pattern does not match.
+    #[test]
+    fn match_kernel_equals_plain_recursion(texts in corpus_strategy()) {
+        let corpus = Corpus::from_texts(texts.iter());
+        let mut ctx = darwin::grammar::MatchCtx::new();
+        let pats: Vec<TreePattern> = corpus
+            .sentences()
+            .iter()
+            .flat_map(|s| darwin::index::sketch::tree_sketch(s, &Default::default()))
+            .take(60)
+            .collect();
+        for p in &pats {
+            for s in corpus.sentences() {
+                prop_assert_eq!(
+                    ctx.matches(p, s),
+                    p.matches(s),
+                    "matches: {} on sentence {}", p.display(corpus.vocab()), s.id
+                );
+                for i in 0..s.len() {
+                    prop_assert_eq!(
+                        ctx.matches_at(p, s, i),
+                        p.matches_at(s, i),
+                        "matches_at {}: {} on sentence {}", i, p.display(corpus.vocab()), s.id
+                    );
+                }
+            }
+        }
+    }
+
+    /// `append_with_threads` interns pre-enumerated per-sentence key lists;
+    /// the result must be indistinguishable from the serial per-sentence
+    /// append — rule numbering, coverage and hierarchy — for any split.
+    #[test]
+    fn threaded_append_equals_serial(texts in corpus_strategy()) {
+        if texts.len() < 2 {
+            return Ok(());
+        }
+        let split = texts.len() / 2;
+        let base = Corpus::from_texts(texts[..split].iter());
+        let mut serial = IndexSet::build(&base, &IndexConfig::small());
+        let mut threaded = IndexSet::build(&base, &IndexConfig::small());
+        let mut corpus = base;
+        corpus.append_texts(texts[split..].iter(), 1);
+        serial.append(&corpus).unwrap();
+        threaded.append_with_threads(&corpus, 4).unwrap();
+        let serial_rules: Vec<RuleRef> = serial.all_rules().collect();
+        let threaded_rules: Vec<RuleRef> = threaded.all_rules().collect();
+        prop_assert_eq!(&serial_rules, &threaded_rules, "rule numbering diverged");
+        for &r in &serial_rules {
+            prop_assert_eq!(serial.coverage(r), threaded.coverage(r), "coverage of {:?}", r);
+            prop_assert_eq!(serial.parents(r), threaded.parents(r), "parents of {:?}", r);
+            prop_assert_eq!(serial.children(r), threaded.children(r), "children of {:?}", r);
+        }
     }
 }
